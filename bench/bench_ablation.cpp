@@ -1,0 +1,165 @@
+// Ablations of the Section 4 implementation choices the paper argues for:
+//
+//   (a) replicating unmapped scalars (loop induction variables) vs the
+//       owner-computes-and-broadcasts alternative the paper rejects;
+//   (b) the subset-barrier handshake on array assignment (bounded pipeline
+//       run-ahead) vs pure unbounded deposits;
+//   (c) minimal-processor-subset identification for parent-scope statements
+//       vs conservatively synchronizing all current processors.
+//
+// Each ablation runs the same program both ways on the same simulated
+// machine and reports the timing difference.
+#include <cstdio>
+
+#include "apps/ffthist.hpp"
+#include "core/fx.hpp"
+
+using namespace fxpar;
+namespace ap = fxpar::apps;
+namespace ds = fxpar::dist;
+
+namespace {
+
+// (a) A two-stage pipelined loop whose induction variable is maintained in
+// the given replication mode. With OwnerBroadcast every iteration contains
+// a group-wide broadcast from the owner, which re-couples the subgroups and
+// destroys pipelining (the paper: "leads to unnecessary synchronization
+// that prevents pipelined task parallelism between loop iterations").
+double induction_variable_run(core::ReplicationMode mode, int procs, int iters) {
+  Machine machine(MachineConfig::paragon(procs));
+  const double stage_work = 5e-3;
+  auto res = machine.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"A", ctx.nprocs() / 2}, {"B", ctx.nprocs() / 2}});
+    auto buf_a = core::subgroup_array<double>(ctx, part, "A", {64}, {ds::DimDist::block()});
+    auto buf_b = core::subgroup_array<double>(ctx, part, "B", {64}, {ds::DimDist::block()});
+    core::TaskRegion region(ctx, part);
+    core::Replicated<int> i(ctx, 0, mode);
+    while (i.value() < iters) {
+      region.on("A", [&] {
+        buf_a.fill_value(static_cast<double>(i.value()));
+        ctx.charge(stage_work);
+      });
+      ds::assign(ctx, buf_b, buf_a);
+      region.on("B", [&] { ctx.charge(stage_work); });
+      i.increment();
+    }
+  });
+  return res.finish_time;
+}
+
+// (b) A producer/consumer pipeline with a slow consumer, run with the
+// default synchronized assignment and with unbounded deposits.
+struct SyncAblation {
+  double makespan;
+  double max_queue_latency;  ///< worst production-to-consumption delay
+};
+
+SyncAblation assign_sync_run(ds::AssignSync sync, int iters) {
+  Machine machine(MachineConfig::paragon(4));
+  const double produce = 2e-3, consume = 6e-3;
+  std::vector<double> produced(static_cast<std::size_t>(iters)),
+      consumed(static_cast<std::size_t>(iters));
+  auto res = machine.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"prod", 2}, {"cons", 2}});
+    auto a = core::subgroup_array<double>(ctx, part, "prod", {64}, {ds::DimDist::block()});
+    auto b = core::subgroup_array<double>(ctx, part, "cons", {64}, {ds::DimDist::block()});
+    core::TaskRegion region(ctx, part);
+    for (int k = 0; k < iters; ++k) {
+      region.on("prod", [&] {
+        ctx.charge(produce);
+        produced[static_cast<std::size_t>(k)] = ctx.now();
+      });
+      ds::assign(ctx, b, a, sync);
+      region.on("cons", [&] {
+        ctx.charge(consume);
+        consumed[static_cast<std::size_t>(k)] = ctx.now();
+      });
+    }
+  });
+  double worst = 0.0;
+  for (int k = 0; k < iters; ++k) {
+    worst = std::max(worst, consumed[static_cast<std::size_t>(k)] -
+                                produced[static_cast<std::size_t>(k)]);
+  }
+  return {res.finish_time, worst};
+}
+
+// (c) The FFT-Hist pipeline, optionally with a whole-machine barrier after
+// every parent-scope handoff — what execution looks like when the
+// implementation cannot identify minimal processor subsets and must
+// conservatively involve everyone in every statement.
+double minimal_subsets_run(bool conservative, int procs, const ap::FftHistConfig& cfg) {
+  Machine machine(MachineConfig::paragon(procs));
+  const auto stages = ap::ffthist_stages(cfg);
+  const int third = procs / 3;
+  auto res = machine.run([&](Context& ctx) {
+    core::TaskPartition part(
+        ctx, {{"G1", third}, {"G2", third}, {"G3", ctx.nprocs() - 2 * third}});
+    const auto& g1 = part.subgroup("G1");
+    const auto& g2 = part.subgroup("G2");
+    const auto& g3 = part.subgroup("G3");
+    ds::DistArray<ap::Complex> a1(ctx, stages[0].in_layout(g1), "A1");
+    ds::DistArray<ap::Complex> a1o(ctx, stages[0].out_layout(g1), "A1o");
+    ds::DistArray<ap::Complex> a2(ctx, stages[1].in_layout(g2), "A2");
+    ds::DistArray<ap::Complex> a2o(ctx, stages[1].out_layout(g2), "A2o");
+    ds::DistArray<ap::Complex> a3(ctx, stages[2].in_layout(g3), "A3");
+    ds::DistArray<ap::Complex> a3o(ctx, stages[2].out_layout(g3), "A3o");
+    core::TaskRegion region(ctx, part);
+    for (int k = 0; k < cfg.num_sets; ++k) {
+      region.on("G1", [&] { stages[0].run(ctx, a1, a1o, k); });
+      ds::assign(ctx, a2, a1o);
+      if (conservative) ctx.barrier();  // everyone synchronizes at the statement
+      region.on("G2", [&] { stages[1].run(ctx, a2, a2o, k); });
+      ds::assign(ctx, a3, a2o);
+      if (conservative) ctx.barrier();
+      region.on("G3", [&] { stages[2].run(ctx, a3, a3o, k); });
+    }
+  });
+  return res.finish_time;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablations of the paper's Section 4 implementation choices\n\n");
+
+  {
+    const int iters = 24;
+    const double repl = induction_variable_run(core::ReplicationMode::Replicate, 8, iters);
+    const double bcast =
+        induction_variable_run(core::ReplicationMode::OwnerBroadcast, 8, iters);
+    std::printf("(a) loop induction variable, %d pipelined iterations on 8 procs\n", iters);
+    std::printf("    replicated scalar (paper)    : %8.4f s\n", repl);
+    std::printf("    owner computes + broadcast   : %8.4f s   (%.2fx slower)\n\n", bcast,
+                bcast / repl);
+  }
+
+  {
+    const int iters = 24;
+    const auto barrier = assign_sync_run(ds::AssignSync::SubsetBarrier, iters);
+    const auto none = assign_sync_run(ds::AssignSync::None, iters);
+    std::printf("(b) assignment handshake, slow consumer, %d data sets\n", iters);
+    std::printf("    subset-barrier deposit (default): makespan %8.4f s, worst queueing %8.4f s\n",
+                barrier.makespan, barrier.max_queue_latency);
+    std::printf("    unbounded deposit               : makespan %8.4f s, worst queueing %8.4f s\n",
+                none.makespan, none.max_queue_latency);
+    std::printf("    (deposits without the handshake let the producer run arbitrarily far\n"
+                "     ahead: same makespan, unbounded buffering and per-set latency)\n\n");
+  }
+
+  {
+    ap::FftHistConfig cfg;
+    cfg.n = 128;
+    cfg.num_sets = 12;
+    const double minimal = minimal_subsets_run(false, 12, cfg);
+    const double conservative = minimal_subsets_run(true, 12, cfg);
+    std::printf("(c) minimal processor subsets, 3-stage FFT-Hist pipeline (n=%lld, 12 procs)\n",
+                static_cast<long long>(cfg.n));
+    std::printf("    minimal subsets (paper)      : %8.4f s\n", minimal);
+    std::printf("    all procs at every statement : %8.4f s   (%.2fx slower)\n", conservative,
+                conservative / minimal);
+    std::printf("    (without subset identification the non-participating subgroups wait at\n"
+                "     every assignment and pipelining across iterations disappears)\n");
+  }
+  return 0;
+}

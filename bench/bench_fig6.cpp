@@ -1,0 +1,55 @@
+// Reproduces Figure 6 of the paper: "Speedup of Airshed application on an
+// Intel Paragon" — data parallel vs task+data parallel speedup over the
+// sequential run for 4..64 processors. The data parallel curve flattens
+// because the hourly input/output phases are sequential (under 2% of the
+// sequential time); the task parallel version overlaps them on dedicated
+// subgroups and keeps scaling (the paper reports ~25% at 64 processors).
+#include <cstdio>
+
+#include "apps/airshed.hpp"
+
+using namespace fxpar;
+namespace ap = fxpar::apps;
+
+int main() {
+  ap::AirshedConfig cfg;  // 5 layers x 500 grid points x 35 species
+  cfg.hours = 4;
+
+  std::printf("Figure 6 — Airshed speedup, %lldx%lldx%lld concentrations, %d hours\n\n",
+              static_cast<long long>(cfg.layers), static_cast<long long>(cfg.grid_points),
+              static_cast<long long>(cfg.species), cfg.hours);
+
+  const auto seq = ap::run_airshed_dp(MachineConfig::paragon(1), cfg);
+  std::printf("  sequential time: %.3f s", seq.makespan);
+  {
+    // Report the sequential share of the I/O phases (the paper: "well
+    // under 2%").
+    ap::AirshedConfig compute_only = cfg;
+    auto mc = MachineConfig::paragon(1);
+    mc.io_latency = 0.0;
+    mc.io_byte_time = 0.0;
+    const auto no_io = ap::run_airshed_dp(mc, compute_only);
+    std::printf("   (I/O device share: %.1f%%)\n\n",
+                100.0 * (seq.makespan - no_io.makespan) / seq.makespan);
+  }
+
+  std::printf("  %6s | %12s %8s | %12s %8s | %s\n", "procs", "DP time", "speedup",
+              "task time", "speedup", "improvement");
+  std::printf("  ------------------------------------------------------------------\n");
+  for (int p : {4, 8, 16, 32, 64}) {
+    const auto dp = ap::run_airshed_dp(MachineConfig::paragon(p), cfg);
+    const auto tp = ap::run_airshed_taskpar(MachineConfig::paragon(p), cfg);
+    if (dp.checksum != seq.checksum || tp.checksum != seq.checksum) {
+      std::fprintf(stderr, "VERIFICATION FAILED at p=%d\n", p);
+      return 1;
+    }
+    std::printf("  %6d | %10.3f s %7.2fx | %10.3f s %7.2fx | %+5.0f%%\n", p, dp.makespan,
+                seq.makespan / dp.makespan, tp.makespan, seq.makespan / tp.makespan,
+                100.0 * (dp.makespan - tp.makespan) / dp.makespan);
+  }
+  std::printf("\nShape target (paper): the DP curve flattens with processor count while the\n"
+              "task+data curve keeps rising; at 64 processors the task parallel version\n"
+              "cuts execution time by roughly a quarter. All runs bit-match the\n"
+              "sequential reference.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Host-side microbenchmarks (google-benchmark) of the library substrate:
+// fiber switching, simulated messaging, subset barriers, redistribution,
+// and the numerical kernels. These measure the *host* cost of simulation,
+// not modeled machine time.
+#include <benchmark/benchmark.h>
+
+#include "apps/fft.hpp"
+#include "core/fx.hpp"
+#include "dist/redistribute.hpp"
+#include "runtime/fiber.hpp"
+
+using namespace fxpar;
+namespace ds = fxpar::dist;
+namespace ap = fxpar::apps;
+
+namespace {
+
+void BM_FiberSwitch(benchmark::State& state) {
+  runtime::Fiber* self = nullptr;
+  runtime::Fiber fiber(
+      [&] {
+        for (;;) self->yield_to_owner();
+      },
+      64 * 1024);
+  self = &fiber;
+  for (auto _ : state) {
+    fiber.resume();  // one round trip = two context switches
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SimulatedBarrier(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    Machine machine(MachineConfig::ideal(procs));
+    machine.run([&](Context& ctx) {
+      for (int i = 0; i < rounds; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * procs);
+}
+BENCHMARK(BM_SimulatedBarrier)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  const int rounds = 128;
+  for (auto _ : state) {
+    Machine machine(MachineConfig::ideal(2));
+    machine.run([&](Context& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        if (ctx.phys_rank() == 0) {
+          ctx.send_phys(1, 1, machine::Payload(64));
+          ctx.recv_phys(1, 2);
+        } else {
+          ctx.recv_phys(0, 1);
+          ctx.send_phys(0, 2, machine::Payload(64));
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_SimulatedPingPong);
+
+void BM_Redistribute1D(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const int procs = 8;
+  for (auto _ : state) {
+    Machine machine(MachineConfig::ideal(procs));
+    machine.run([&](Context& ctx) {
+      const auto g = pgroup::ProcessorGroup::identity(procs);
+      ds::DistArray<double> a(ctx, ds::Layout(g, {n}, {ds::DimDist::block()}), "a");
+      ds::DistArray<double> b(ctx, ds::Layout(g, {n}, {ds::DimDist::cyclic()}), "b");
+      a.fill_value(1.0);
+      ds::assign(ctx, b, a);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * n * static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_Redistribute1D)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Transpose2D(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const int procs = 8;
+  for (auto _ : state) {
+    Machine machine(MachineConfig::ideal(procs));
+    machine.run([&](Context& ctx) {
+      const auto g = pgroup::ProcessorGroup::identity(procs);
+      ds::DistArray<double> a(
+          ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "a");
+      ds::DistArray<double> b(
+          ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "b");
+      a.fill_value(1.0);
+      ds::transpose(ctx, b, a);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_Transpose2D)->Arg(64)->Arg(256);
+
+void BM_FftKernel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<ap::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = ap::Complex(static_cast<double>(i % 17), static_cast<double>(i % 5));
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    ap::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftKernel)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TaskRegionOnOff(benchmark::State& state) {
+  const int procs = 8;
+  const int rounds = 64;
+  for (auto _ : state) {
+    Machine machine(MachineConfig::ideal(procs));
+    machine.run([&](Context& ctx) {
+      core::TaskPartition part(ctx, {{"a", 4}, {"b", 4}});
+      core::TaskRegion region(ctx, part);
+      for (int i = 0; i < rounds; ++i) {
+        region.on("a", [&] { ctx.charge(1e-9); });
+        region.on("b", [&] { ctx.charge(1e-9); });
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * procs);
+}
+BENCHMARK(BM_TaskRegionOnOff);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// adaptive_remap: Section 6 of the paper — "dynamic load management by
+// reassigning processors to different tasks within a program", something a
+// coordination-language integration cannot do. A two-stage pipeline starts
+// with a naive 50/50 processor split, measures its stages after every
+// batch, and re-divides the processors; the run is compared with the same
+// program pinned to the initial split.
+//
+// Usage: ./examples/adaptive_remap [procs] [batches]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/adaptive.hpp"
+
+using namespace fxpar;
+namespace ap = fxpar::apps;
+
+int main(int argc, char** argv) {
+  ap::AdaptiveConfig cfg;
+  cfg.total_procs = (argc > 1) ? std::atoi(argv[1]) : 16;
+  cfg.batches = (argc > 2) ? std::atoi(argv[2]) : 6;
+  cfg.n = 1 << 16;
+  cfg.stage0_flops_per_elem = 16.0;
+  cfg.stage1_flops_per_elem = 64.0;  // 4x imbalance the adapter must discover
+
+  auto mcfg = MachineConfig::paragon(cfg.total_procs);
+  mcfg.stack_bytes = 1 << 20;
+
+  std::printf("adaptive remapping: 2-stage pipeline, %d procs, stage work 16 : 64\n\n",
+              cfg.total_procs);
+  const auto adaptive = ap::run_adaptive_pipeline(mcfg, cfg);
+  cfg.adapt = false;
+  const auto fixed = ap::run_adaptive_pipeline(mcfg, cfg);
+
+  std::printf("  %-8s | %-22s | %-12s\n", "batch", "stage-0 procs (adaptive)", "sets/s");
+  for (std::size_t b = 0; b < adaptive.batch_throughput.size(); ++b) {
+    std::printf("  %-8zu | %-22d | %8.2f\n", b, adaptive.stage0_procs_per_batch[b],
+                adaptive.batch_throughput[b]);
+  }
+  std::printf("\n  adaptive makespan : %.4f s\n", adaptive.makespan);
+  std::printf("  static 50/50      : %.4f s   (adaptive is %.2fx faster)\n", fixed.makespan,
+              fixed.makespan / adaptive.makespan);
+  std::printf("\nNo task was restarted and no data left the machine: each re-mapping is\n"
+              "just a new TASK_PARTITION of the same processors.\n");
+  return 0;
+}

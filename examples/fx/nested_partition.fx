@@ -1,0 +1,22 @@
+PROGRAM nested_partition
+  ! Section 3.4 of the paper: dynamic nesting — a subgroup subdivides its
+  ! own processors with a new TASK_PARTITION inside an ON block.
+  TASK_PARTITION outer :: left(NPROCS()/2), right(NPROCS() - NPROCS()/2)
+  BEGIN TASK_REGION outer
+  ON SUBGROUP left
+    TASK_PARTITION inner :: lo(NPROCS()/2), hi(NPROCS() - NPROCS()/2)
+    ARRAY x(32)
+    SUBGROUP(lo) :: x
+    DISTRIBUTE x(BLOCK)
+    BEGIN TASK_REGION inner
+    ON SUBGROUP lo
+      x = INDEX(1) * INDEX(1)
+      PRINT SUM(x)             ! sum of squares 0..31 = 10416
+    END ON
+    END TASK_REGION
+  END ON
+  ON SUBGROUP right
+    PRINT NPROCS()
+  END ON
+  END TASK_REGION
+END

@@ -1,0 +1,41 @@
+PROGRAM parallel_sections
+  ! Figure 1 of the paper: two independent computations on disjoint
+  ! subgroups, exchanging results through parent-scope assignments.
+  INTEGER step
+  TASK_PARTITION part :: agroup(NPROCS()/2), bgroup(NPROCS() - NPROCS()/2)
+  ARRAY a(128), b(128), a_edge(128), b_edge(128)
+  SUBGROUP(agroup) :: a, b_edge
+  SUBGROUP(bgroup) :: b, a_edge
+  DISTRIBUTE a(BLOCK), b(BLOCK), a_edge(BLOCK), b_edge(BLOCK)
+
+  BEGIN TASK_REGION part
+  ON SUBGROUP agroup
+    a = INDEX(1)
+  END ON
+  ON SUBGROUP bgroup
+    b = 2 * INDEX(1)
+  END ON
+  DO step = 1, 4
+    ON SUBGROUP agroup
+      a = a * 0.5 + step          ! proca
+    END ON
+    ON SUBGROUP bgroup
+      b = b * 0.25 + step         ! procb
+    END ON
+    a_edge = a                    ! transfer(A, B): parent scope
+    b_edge = b
+    ON SUBGROUP agroup
+      a = a + b_edge * 0.125
+    END ON
+    ON SUBGROUP bgroup
+      b = b + a_edge * 0.125
+    END ON
+  END DO
+  ON SUBGROUP agroup
+    PRINT SUM(a)
+  END ON
+  ON SUBGROUP bgroup
+    PRINT SUM(b)
+  END ON
+  END TASK_REGION
+END

@@ -1,0 +1,31 @@
+PROGRAM recursive_tree
+  ! Figure 4's recursion skeleton: a subroutine subdivides its own
+  ! processor group with a fresh TASK_PARTITION at every level
+  ! (dynamically nested task parallelism), computing a partial result per
+  ! leaf processor and combining on the way up through subgroup arrays.
+  ARRAY total(1)
+  DISTRIBUTE total(*)
+  total = 0
+  CALL recurse(0, 3)
+  PRINT 0          ! marker: recursion done on all processors
+END
+
+SUBROUTINE recurse(depth, max_depth)
+  IF NPROCS() == 1 THEN
+    PRINT 100 + depth            ! leaf work: one processor
+  ELSE
+    IF depth >= max_depth THEN
+      PRINT 200 + NPROCS()       ! group bottomed out early
+    ELSE
+      TASK_PARTITION half :: lo(NPROCS()/2), hi(NPROCS() - NPROCS()/2)
+      BEGIN TASK_REGION half
+      ON SUBGROUP lo
+        CALL recurse(depth + 1, max_depth)
+      END ON
+      ON SUBGROUP hi
+        CALL recurse(depth + 1, max_depth)
+      END ON
+      END TASK_REGION
+    END IF
+  END IF
+END SUBROUTINE

@@ -1,0 +1,26 @@
+PROGRAM replicated_stream
+  ! Figure 3 of the paper: replicated data parallel computation — two
+  ! subgroups each process alternate data sets of a stream.
+  INTEGER k
+  TASK_PARTITION part :: g1(NPROCS()/2), g2(NPROCS() - NPROCS()/2)
+  ARRAY a1(64), a2(64)
+  SUBGROUP(g1) :: a1
+  SUBGROUP(g2) :: a2
+  DISTRIBUTE a1(BLOCK), a2(BLOCK)
+
+  BEGIN TASK_REGION part
+  DO k = 1, 8
+    IF MOD(k, 2) == 1 THEN
+      ON SUBGROUP g1
+        a1 = INDEX(1) + k        ! process odd data sets on g1
+        PRINT SUM(a1)
+      END ON
+    ELSE
+      ON SUBGROUP g2
+        a2 = INDEX(1) + k        ! even data sets on g2
+        PRINT SUM(a2)
+      END ON
+    END IF
+  END DO
+  END TASK_REGION
+END

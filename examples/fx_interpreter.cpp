@@ -1,0 +1,79 @@
+// fx_interpreter: run Fx directive-language programs on the simulated
+// machine — the missing-frontend substitute for the paper's Fortran/Fx
+// compiler. With no arguments it runs a built-in demo modelled on the
+// paper's Figure 2 (a data parallel pipeline written *in the language*,
+// directives and all); pass a path to run your own program.
+//
+// Usage: ./examples/fx_interpreter [source.fx] [procs]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/fx.hpp"
+#include "lang/interp.hpp"
+#include "machine/report.hpp"
+
+using namespace fxpar;
+
+namespace {
+
+const char* kDemo = R"(PROGRAM pipeline_demo
+  ! A two-stage data parallel pipeline in the style of the paper's
+  ! Figure 2: stage 1 produces data sets, stage 2 consumes them; the
+  ! assignment between the subgroup arrays is the pipeline handoff.
+  INTEGER i, nsets
+  TASK_PARTITION part :: producer(NPROCS()/2), consumer(NPROCS() - NPROCS()/2)
+  ARRAY a(256), b(256)
+  SUBGROUP(producer) :: a
+  SUBGROUP(consumer) :: b
+  DISTRIBUTE a(BLOCK), b(CYCLIC)
+
+  nsets = 6
+  BEGIN TASK_REGION part
+  DO i = 1, nsets
+    ON SUBGROUP producer
+      a = INDEX(1) * i        ! "acquire" data set i and preprocess
+    END ON
+    b = a                     ! redistribution handoff (minimal subsets)
+    ON SUBGROUP consumer
+      b = b * 2 + 1           ! postprocess
+      PRINT SUM(b)
+    END ON
+  END DO
+  END TASK_REGION
+END
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  const char* name;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+    name = argv[1];
+  } else {
+    source = kDemo;
+    name = "<built-in pipeline demo>";
+  }
+  const int procs = (argc > 2) ? std::atoi(argv[2]) : 8;
+
+  std::printf("fxlang: running %s on %d simulated processors\n\n", name, procs);
+  try {
+    const auto res = lang::run_source(MachineConfig::paragon(procs), source);
+    for (const auto& line : res.output) std::printf("  PRINT> %s\n", line.c_str());
+    std::printf("\n%s", machine::utilization_report(res.machine_result).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

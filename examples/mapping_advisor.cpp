@@ -1,0 +1,74 @@
+// mapping_advisor: the workflow the paper's Section 5.1 describes —
+// "allows us to automatically determine the best mapping for a program for
+// different performance goals". For a chosen application it prints the
+// latency-throughput frontier computed by the mapping algorithms of refs
+// [21][22], validates the interesting points in the simulator, and shows
+// the utilization and communication structure of the chosen mapping.
+//
+// Usage: ./examples/mapping_advisor [ffthist|radar] [procs] [n]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/ffthist.hpp"
+#include "apps/radar.hpp"
+#include "machine/report.hpp"
+#include "sched/tradeoff.hpp"
+
+using namespace fxpar;
+namespace ap = fxpar::apps;
+namespace sc = fxpar::sched;
+
+namespace {
+
+template <typename T>
+void advise(const char* app_name, const MachineConfig& mcfg,
+            const std::vector<ap::PipelineStage<T>>& stages, const sc::PipelineModel& model,
+            int num_sets) {
+  std::printf("%s on %d simulated Paragon nodes\n\n", app_name, mcfg.num_procs);
+  const auto curve = sc::latency_throughput_curve(model, mcfg.num_procs, 24);
+  std::printf("latency-throughput frontier (validated in the simulator):\n");
+  std::printf("  %10s %10s | %10s %10s | mapping\n", "model thr", "model lat", "sim thr",
+              "sim lat");
+  for (const auto& pt : curve) {
+    const auto stats = ap::run_stream_pipeline<T>(mcfg, stages, pt.mapping.modules, num_sets);
+    std::printf("  %10.2f %10.4f | %10.2f %10.4f | %s\n", pt.mapping.throughput,
+                pt.mapping.latency, stats.steady_throughput(), stats.avg_latency(),
+                pt.mapping.to_string(model).c_str());
+  }
+  if (curve.empty()) return;
+
+  // Examine the throughput end of the frontier in detail.
+  auto chosen = curve.back().mapping;
+  std::printf("\nhighest-throughput mapping in detail: %s\n",
+              chosen.to_string(model).c_str());
+  auto traced = mcfg;
+  traced.record_traffic = true;
+  const auto stats = ap::run_stream_pipeline<T>(traced, stages, chosen.modules, num_sets);
+  std::printf("%s", machine::utilization_report(stats.machine_result).c_str());
+  std::printf("%s", machine::traffic_report(stats.machine_result).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* app = (argc > 1) ? argv[1] : "ffthist";
+  const int procs = (argc > 2) ? std::atoi(argv[2]) : 32;
+  const auto mcfg = MachineConfig::paragon(procs);
+
+  if (std::strcmp(app, "radar") == 0) {
+    ap::RadarConfig cfg;
+    cfg.samples = (argc > 3) ? std::atoll(argv[3]) : 256;
+    cfg.channels = 16;
+    cfg.num_sets = 10;
+    advise("narrowband tracking radar", mcfg, ap::radar_stages(cfg),
+           ap::radar_model(mcfg, cfg), cfg.num_sets);
+  } else {
+    ap::FftHistConfig cfg;
+    cfg.n = (argc > 3) ? std::atoll(argv[3]) : 128;
+    cfg.num_sets = 10;
+    advise("FFT-Hist", mcfg, ap::ffthist_stages(cfg), ap::ffthist_model(mcfg, cfg),
+           cfg.num_sets);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// parallel_sections: Figure 1 of the paper — two coupled multiblock meshes
+// relaxed concurrently on disjoint subgroups, exchanging boundary values
+// through parent-scope assignments every iteration.
+//
+// Usage: ./examples/parallel_sections [rows] [cols] [iters] [procs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/multiblock.hpp"
+
+using namespace fxpar;
+namespace ap = fxpar::apps;
+
+int main(int argc, char** argv) {
+  ap::MultiblockConfig cfg;
+  cfg.rows = (argc > 1) ? std::atoll(argv[1]) : 128;
+  cfg.cols = (argc > 2) ? std::atoll(argv[2]) : 64;
+  cfg.iterations = (argc > 3) ? std::atoi(argv[3]) : 20;
+  const int procs = (argc > 4) ? std::atoi(argv[4]) : 16;
+
+  std::printf("multiblock: two %lldx%lld meshes, %d iterations, %d processors\n",
+              static_cast<long long>(cfg.rows), static_cast<long long>(cfg.cols),
+              cfg.iterations, procs);
+
+  const double ref = ap::multiblock_reference(cfg);
+  const auto mcfg = MachineConfig::paragon(procs);
+  const auto dp = ap::run_multiblock(mcfg, cfg, /*task_parallel=*/false);
+  const auto tp = ap::run_multiblock(mcfg, cfg, /*task_parallel=*/true);
+
+  std::printf("  data parallel (back to back) : %.5f s\n", dp.makespan);
+  std::printf("  parallel sections (Fig 1)    : %.5f s   (%.2fx)\n", tp.makespan,
+              dp.makespan / tp.makespan);
+  if (dp.checksum != ref || tp.checksum != ref) {
+    std::fprintf(stderr, "VERIFICATION FAILED (checksums differ from reference)\n");
+    return 1;
+  }
+  std::printf("  both versions bit-match the sequential reference\n");
+  return 0;
+}

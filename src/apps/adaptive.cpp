@@ -1,0 +1,90 @@
+#include "apps/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::DistArray;
+using dist::Layout;
+using machine::Context;
+using pgroup::ProcessorGroup;
+
+}  // namespace
+
+AdaptiveResult run_adaptive_pipeline(const machine::MachineConfig& mcfg,
+                                     const AdaptiveConfig& cfg) {
+  if (cfg.total_procs < 2 || mcfg.num_procs != cfg.total_procs) {
+    throw std::invalid_argument(
+        "run_adaptive_pipeline: total_procs must equal the machine size (>= 2)");
+  }
+  AdaptiveResult res;
+  machine::Machine machine(mcfg);
+  res.machine_result = machine.run([&](Context& ctx) {
+    const int P = cfg.total_procs;
+    int split = P / 2;  // initial guess: half the processors per stage
+    double batch_started = 0.0;
+
+    for (int batch = 0; batch < cfg.batches; ++batch) {
+      // (Re)build the partition for this batch: an ordinary runtime value,
+      // exactly as the paper's model allows.
+      core::TaskPartition part(
+          ctx, {{"s0", split}, {"s1", ctx.nprocs() - split}}, "adaptive");
+      auto a = core::subgroup_array<double>(ctx, part, "s0", {cfg.n},
+                                            {DimDist::block()}, "a");
+      auto b = core::subgroup_array<double>(ctx, part, "s1", {cfg.n},
+                                            {DimDist::block()}, "b");
+      double my_stage_busy = 0.0;
+
+      {
+        core::TaskRegion region(ctx, part);
+        for (int k = 0; k < cfg.sets_per_batch; ++k) {
+          region.on("s0", [&] {
+            const double t0 = ctx.now();
+            a.fill_value(static_cast<double>(batch * 100 + k));
+            ctx.charge_flops(cfg.stage0_flops_per_elem * static_cast<double>(a.local().size()));
+            my_stage_busy += ctx.now() - t0;
+          });
+          dist::assign(ctx, b, a);
+          region.on("s1", [&] {
+            const double t0 = ctx.now();
+            for (double& v : b.local()) v = v * 1.5 + 1.0;
+            ctx.charge_flops(cfg.stage1_flops_per_elem * static_cast<double>(b.local().size()));
+            my_stage_busy += ctx.now() - t0;
+          });
+        }
+      }
+
+      // Measure: the slowest processor of each stage bounds its service
+      // rate. Exchange the two maxima machine-wide and re-divide.
+      const bool in_s0 = part.subgroup("s0").contains(ctx.phys_rank());
+      const double t0 = comm::allreduce(ctx, ctx.group(), in_s0 ? my_stage_busy : 0.0,
+                                        [](double x, double y) { return std::max(x, y); });
+      const double t1 = comm::allreduce(ctx, ctx.group(), in_s0 ? 0.0 : my_stage_busy,
+                                        [](double x, double y) { return std::max(x, y); });
+      ctx.barrier();
+      const double now = ctx.now();
+      if (ctx.phys_rank() == 0) {
+        res.batch_throughput.push_back(static_cast<double>(cfg.sets_per_batch) /
+                                       (now - batch_started));
+        res.stage0_procs_per_batch.push_back(split);
+      }
+      batch_started = now;
+
+      if (cfg.adapt && t0 + t1 > 0.0) {
+        // Work per stage is (busy x procs); divide processors in proportion.
+        const double w0 = t0 * static_cast<double>(split);
+        const double w1 = t1 * static_cast<double>(P - split);
+        int next = static_cast<int>(std::lround(static_cast<double>(P) * w0 / (w0 + w1)));
+        split = std::clamp(next, 1, P - 1);
+      }
+    }
+  });
+  res.makespan = res.machine_result.finish_time;
+  return res;
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,42 @@
+// fxpar apps: adaptive processor reassignment between pipeline stages.
+//
+// Section 6 of the paper argues that, unlike coordination-language
+// approaches, the integrated model permits "dynamic load management by
+// reassigning processors to different tasks within a program": partitions
+// are ordinary runtime values, so a program can measure its stages and
+// re-divide the current processors between batches. This module implements
+// that loop for a two-stage stream pipeline: run a batch, compare the
+// stages' busy times, recompute the split proportionally, rebuild the
+// partition, continue. No process is restarted and no data leaves the
+// machine — the re-mapping is just a new TASK_PARTITION of the same
+// processors, exactly what the paper's model makes cheap.
+#pragma once
+
+#include <vector>
+
+#include "core/fx.hpp"
+
+namespace fxpar::apps {
+
+struct AdaptiveConfig {
+  int total_procs = 16;
+  int batches = 6;            ///< re-mapping opportunities
+  int sets_per_batch = 8;     ///< data sets between re-mappings
+  std::int64_t n = 1 << 14;   ///< elements per data set
+  double stage0_flops_per_elem = 4.0;
+  double stage1_flops_per_elem = 16.0;  ///< imbalance the adapter must discover
+  bool adapt = true;          ///< false: keep the initial 50/50 split
+};
+
+struct AdaptiveResult {
+  double makespan = 0.0;
+  std::vector<int> stage0_procs_per_batch;  ///< chosen split after each measurement
+  std::vector<double> batch_throughput;     ///< sets/s within each batch
+  machine::RunResult machine_result;
+};
+
+/// Runs the adaptive (or static, with cfg.adapt=false) two-stage pipeline.
+AdaptiveResult run_adaptive_pipeline(const machine::MachineConfig& mcfg,
+                                     const AdaptiveConfig& cfg);
+
+}  // namespace fxpar::apps

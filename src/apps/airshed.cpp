@@ -1,0 +1,220 @@
+#include "apps/airshed.hpp"
+
+#include <cmath>
+
+#include "dist/halo.hpp"
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::DistArray;
+using dist::Layout;
+using machine::Context;
+using pgroup::ProcessorGroup;
+
+/// Hourly initial conditions (deterministic).
+double initial(int hour, std::int64_t l, std::int64_t g, std::int64_t s) {
+  std::uint64_t h = static_cast<std::uint64_t>(hour) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(l) * 0xbf58476d1ce4e5b9ull +
+                    static_cast<std::uint64_t>(g) * 0x94d049bb133111ebull +
+                    static_cast<std::uint64_t>(s) * 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return static_cast<double>(h % 10000) / 10000.0;
+}
+
+double combine(double a, double in, bool first_hour) {
+  return first_hour ? in : 0.5 * a + 0.5 * in;
+}
+
+double pretrans_update(double v) { return v * 1.0001 + 0.001; }
+
+double chemistry_update(double v) { return v + 0.05 * v * (1.0 - v); }
+
+/// transport: 1-D upwind advection along the grid dimension, using OLD
+/// values (rows are updated in descending grid order so in-place update
+/// sees only old neighbours; the lowest row uses the ghost row).
+void transport_local(std::span<double> local, std::int64_t layers, std::int64_t rows,
+                     std::int64_t species, const double* ghost_above /* layers x species */) {
+  for (std::int64_t l = 0; l < layers; ++l) {
+    for (std::int64_t r = rows - 1; r >= 0; --r) {
+      double* row = local.data() + (l * rows + r) * species;
+      const double* prev =
+          (r > 0) ? row - species
+                  : (ghost_above != nullptr ? ghost_above + l * species : nullptr);
+      for (std::int64_t s = 0; s < species; ++s) {
+        const double up = (prev != nullptr) ? prev[s] : row[s];
+        row[s] = row[s] - 0.2 * (row[s] - up);
+      }
+    }
+  }
+}
+
+Layout main_layout(const ProcessorGroup& g, const AirshedConfig& cfg) {
+  return Layout(g, {cfg.layers, cfg.grid_points, cfg.species},
+                {DimDist::collapsed(), DimDist::block(), DimDist::collapsed()});
+}
+
+Layout serial_layout(const ProcessorGroup& g, const AirshedConfig& cfg) {
+  return Layout(g, {cfg.layers, cfg.grid_points, cfg.species},
+                {DimDist::collapsed(), DimDist::collapsed(), DimDist::collapsed()});
+}
+
+/// The main computation phase: pretrans + nsteps x (transport, chemistry,
+/// transport), executed by the members of A's owner group.
+void main_phase(Context& ctx, DistArray<double>& A, const AirshedConfig& cfg, int hour) {
+  if (!A.is_member()) return;
+  auto local = A.local();
+  const std::int64_t rows = A.local_extents()[1];
+  const std::int64_t cells = static_cast<std::int64_t>(local.size());
+
+  for (double& v : local) v = pretrans_update(v);
+  ctx.charge_flops(cfg.pretrans_flops * static_cast<double>(cells));
+
+  const int nsteps = cfg.steps(hour);
+  for (int step = 0; step < nsteps; ++step) {
+    for (int half = 0; half < 2; ++half) {
+      auto halo = dist::exchange_row_halo(ctx, A, 1);
+      const double* ghost = (halo.n_above == 1) ? halo.above.data() : nullptr;
+      transport_local(local, cfg.layers, rows, cfg.species, ghost);
+      ctx.charge_flops(cfg.transport_flops * static_cast<double>(cells));
+      if (half == 0) {
+        for (double& v : local) v = chemistry_update(v);
+        ctx.charge_flops(cfg.chemistry_flops * static_cast<double>(cells));
+      }
+    }
+  }
+}
+
+/// Deterministic checksum: gather to physical proc 0 and sum sequentially.
+double final_checksum(Context& ctx, DistArray<double>& A) {
+  const auto full = dist::gather_full(ctx, A, 0);
+  double sum = 0.0;
+  for (double v : full) sum += v;
+  return sum;  // nonzero only on proc 0
+}
+
+}  // namespace
+
+double airshed_reference_checksum(const AirshedConfig& cfg) {
+  const std::int64_t L = cfg.layers, G = cfg.grid_points, S = cfg.species;
+  std::vector<double> a(static_cast<std::size_t>(L * G * S), 0.0);
+  for (int hour = 0; hour < cfg.hours; ++hour) {
+    for (std::int64_t l = 0; l < L; ++l) {
+      for (std::int64_t g = 0; g < G; ++g) {
+        for (std::int64_t s = 0; s < S; ++s) {
+          auto& v = a[static_cast<std::size_t>((l * G + g) * S + s)];
+          v = combine(v, initial(hour, l, g, s), hour == 0);
+        }
+      }
+    }
+    for (double& v : a) v = pretrans_update(v);
+    const int nsteps = cfg.steps(hour);
+    for (int step = 0; step < nsteps; ++step) {
+      for (int half = 0; half < 2; ++half) {
+        transport_local(a, L, G, S, nullptr);
+        if (half == 0) {
+          for (double& v : a) v = chemistry_update(v);
+        }
+      }
+    }
+  }
+  double sum = 0.0;
+  for (double v : a) sum += v;
+  return sum;
+}
+
+AirshedResult run_airshed_dp(const machine::MachineConfig& mcfg, const AirshedConfig& cfg) {
+  AirshedResult res;
+  machine::Machine machine(mcfg);
+  res.machine_result = machine.run([&](Context& ctx) {
+    const ProcessorGroup all = ctx.group();
+    const ProcessorGroup io_group({0});
+    DistArray<double> A(ctx, main_layout(all, cfg), "A");
+    DistArray<double> input_serial(ctx, serial_layout(io_group, cfg), "input.serial");
+    DistArray<double> input_dist(ctx, main_layout(all, cfg), "input.dist");
+    DistArray<double> output_serial(ctx, serial_layout(io_group, cfg), "output.serial");
+
+    for (int hour = 0; hour < cfg.hours; ++hour) {
+      // Sequential input phase on processor 0.
+      if (ctx.phys_rank() == 0) {
+        ctx.io(cfg.hour_bytes());
+        input_serial.fill(
+            [&](std::span<const std::int64_t> g) { return initial(hour, g[0], g[1], g[2]); });
+        ctx.charge_flops(cfg.preprocess_flops * static_cast<double>(cfg.cells()));
+      }
+      dist::assign(ctx, input_dist, input_serial);  // scatter
+      if (A.is_member()) {
+        auto a = A.local();
+        auto in = input_dist.local();
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] = combine(a[i], in[i], hour == 0);
+        ctx.charge_flops(2.0 * static_cast<double>(a.size()));
+      }
+      main_phase(ctx, A, cfg, hour);
+      // Sequential output phase on processor 0.
+      dist::assign(ctx, output_serial, A);  // gather raw output
+      if (ctx.phys_rank() == 0) {
+        ctx.charge_flops(cfg.postprocess_flops * static_cast<double>(cfg.cells()));
+        ctx.io(cfg.hour_bytes());
+      }
+    }
+    const double sum = final_checksum(ctx, A);
+    if (ctx.phys_rank() == 0) res.checksum = sum;
+  });
+  res.makespan = res.machine_result.finish_time;
+  return res;
+}
+
+AirshedResult run_airshed_taskpar(const machine::MachineConfig& mcfg, const AirshedConfig& cfg) {
+  if (mcfg.num_procs < 3) {
+    throw std::invalid_argument("run_airshed_taskpar: needs at least 3 processors");
+  }
+  AirshedResult res;
+  machine::Machine machine(mcfg);
+  res.machine_result = machine.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"in", 1}, {"main", ctx.nprocs() - 2}, {"out", 1}},
+                             "airshed");
+    const ProcessorGroup& in_g = part.subgroup("in");
+    const ProcessorGroup& main_g = part.subgroup("main");
+    const ProcessorGroup& out_g = part.subgroup("out");
+
+    DistArray<double> A(ctx, main_layout(main_g, cfg), "A");
+    DistArray<double> input_serial(ctx, serial_layout(in_g, cfg), "input.serial");
+    DistArray<double> input_dist(ctx, main_layout(main_g, cfg), "input.dist");
+    DistArray<double> output_serial(ctx, serial_layout(out_g, cfg), "output.serial");
+
+    core::TaskRegion region(ctx, part);
+    core::Replicated<int> hour(ctx, 0);
+    for (int h = 0; h < cfg.hours; ++h) {
+      // Input subgroup reads and preprocesses hour h (it runs one hour
+      // ahead of the main computation thanks to the handoff handshake).
+      region.on("in", [&] {
+        ctx.io(cfg.hour_bytes());
+        input_serial.fill(
+            [&](std::span<const std::int64_t> g) { return initial(h, g[0], g[1], g[2]); });
+        ctx.charge_flops(cfg.preprocess_flops * static_cast<double>(cfg.cells()));
+      });
+      dist::assign(ctx, input_dist, input_serial);  // in + main participate
+      region.on("main", [&] {
+        auto a = A.local();
+        auto in = input_dist.local();
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] = combine(a[i], in[i], h == 0);
+        ctx.charge_flops(2.0 * static_cast<double>(a.size()));
+        main_phase(ctx, A, cfg, h);
+      });
+      dist::assign(ctx, output_serial, A);  // main + out participate
+      region.on("out", [&] {
+        ctx.charge_flops(cfg.postprocess_flops * static_cast<double>(cfg.cells()));
+        ctx.io(cfg.hour_bytes());
+      });
+      hour.increment();
+    }
+    const double sum = final_checksum(ctx, A);
+    if (ctx.phys_rank() == 0) res.checksum = sum;
+  });
+  res.makespan = res.machine_result.finish_time;
+  return res;
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,58 @@
+// fxpar apps: the Airshed air quality simulation skeleton (McRae & Russell
+// [13]; paper Section 5.2, Figure 6).
+//
+// The concentration matrix is (layers, grid points, species). Every hour:
+// a new set of initial conditions is input and preprocessed (sequential
+// phases tied to the I/O device), then nsteps iterations of
+// transport/chemistry/transport (data parallel), then hourly output
+// (sequential again). The data parallel version leaves the sequential I/O
+// phases on one processor — the scalability bottleneck of Figure 6; the
+// task parallel version moves input and output onto dedicated one-processor
+// subgroups so they overlap with the main computation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fx.hpp"
+
+namespace fxpar::apps {
+
+struct AirshedConfig {
+  std::int64_t layers = 5;
+  std::int64_t grid_points = 500;
+  std::int64_t species = 35;
+  int hours = 4;
+  int base_steps = 3;  ///< nsteps for hour h is base_steps + h % 3 (runtime-determined)
+
+  // Phase cost knobs (flops per cell unless stated).
+  double transport_flops = 40.0;
+  double chemistry_flops = 200.0;
+  double pretrans_flops = 10.0;
+  double preprocess_flops = 6.0;   ///< sequential, on the input processor
+  double postprocess_flops = 6.0;  ///< sequential, on the output processor
+
+  std::int64_t cells() const { return layers * grid_points * species; }
+  std::size_t hour_bytes() const { return static_cast<std::size_t>(cells()) * sizeof(double); }
+  int steps(int hour) const { return base_steps + hour % 3; }
+};
+
+struct AirshedResult {
+  double checksum = 0.0;   ///< deterministic sum of the final concentrations
+  double makespan = 0.0;   ///< simulated completion time
+  machine::RunResult machine_result;
+};
+
+/// Sequential reference checksum of the final concentration matrix.
+double airshed_reference_checksum(const AirshedConfig& cfg);
+
+/// Pure data parallel version: all processors run every phase; hourly input
+/// and output are performed by processor 0 (sequential) and scattered.
+AirshedResult run_airshed_dp(const machine::MachineConfig& mcfg, const AirshedConfig& cfg);
+
+/// Task + data parallel version (the paper's improvement): partition
+/// {in(1), main(P-2), out(1)}; the input subgroup preprocesses hour h+1
+/// while the main subgroup computes hour h and the output subgroup writes
+/// hour h-1. Requires at least 3 processors.
+AirshedResult run_airshed_taskpar(const machine::MachineConfig& mcfg, const AirshedConfig& cfg);
+
+}  // namespace fxpar::apps

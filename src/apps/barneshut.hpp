@@ -1,0 +1,117 @@
+// fxpar apps: Barnes-Hut N-body force computation with dynamically nested
+// task parallelism (paper Section 5.3, Figure 7).
+//
+// build_bh_tree builds a balanced binary tree by recursively partitioning
+// the particles along the x, y, z axes in rotation (median splits), which
+// sorts the particles by tree-leaf order. compute_force recursively halves
+// the particle range and the processor group; each subgroup works against a
+// *partial* tree — the top k levels of the full tree plus the subtree
+// covering its own particles. When the force calculation of a particle
+// needs a branch that is missing from the partial tree, the particle is
+// placed on a worklist and retried one level up, where the visible subtree
+// is twice as large; at the root the tree is complete and the worklist
+// drains. For n uniform particles the total worklist size is O(n^(2/3)),
+// and k >= log2(p) keeps it small (both properties are benchmarked).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fx.hpp"
+
+namespace fxpar::apps {
+
+struct BhParticle {
+  double pos[3];
+  double mass;
+};
+
+struct BhConfig {
+  std::int64_t n = 1024;
+  double theta = 0.5;       ///< opening criterion: use COM when size/dist < theta
+  int k_repl = -1;          ///< replicated top levels; -1 = ceil(log2 p) + 1
+  std::int64_t leaf_size = 8;
+  unsigned seed = 1;
+  double eps = 1e-3;        ///< gravitational softening
+};
+
+/// One node of the balanced Barnes-Hut tree.
+struct BhNode {
+  double bb_min[3], bb_max[3];
+  double com[3] = {0, 0, 0};
+  double mass = 0.0;
+  std::int64_t lo = 0, hi = 0;  ///< particle range (tree-sorted order)
+  int left = -1, right = -1;
+  int depth = 0;
+
+  bool leaf() const noexcept { return left < 0; }
+};
+
+/// The full tree over tree-sorted particles.
+class BhTree {
+ public:
+  BhTree(std::vector<BhParticle> particles, std::int64_t leaf_size);
+
+  const std::vector<BhParticle>& particles() const noexcept { return parts_; }
+  const std::vector<BhNode>& nodes() const noexcept { return nodes_; }
+  const BhNode& root() const { return nodes_.front(); }
+  int max_depth() const noexcept { return max_depth_; }
+
+  /// Attempts the force on tree-sorted particle `i` against the partial
+  /// tree that contains the top `k` levels plus the subtree over
+  /// [vis_lo, vis_hi). Returns the force if every needed branch is present
+  /// (nullopt means: put the particle on the worklist). `visited` counts
+  /// tree nodes touched (for time charging).
+  std::optional<std::array<double, 3>> force_on(std::int64_t i, std::int64_t vis_lo,
+                                                std::int64_t vis_hi, int k, double theta,
+                                                double eps, std::int64_t& visited) const;
+
+  /// Exact O(n^2) reference force on particle `i`.
+  std::array<double, 3> direct_force(std::int64_t i, double eps) const;
+
+ private:
+  int build(std::int64_t lo, std::int64_t hi, int axis, int depth);
+
+  std::vector<BhParticle> parts_;
+  std::vector<BhNode> nodes_;
+  std::int64_t leaf_size_;
+  int max_depth_ = 0;
+};
+
+/// Deterministic particle cloud (uniform in the unit cube).
+std::vector<BhParticle> bh_particles(const BhConfig& cfg);
+
+struct BhResult {
+  std::vector<std::array<double, 3>> forces;     ///< per tree-sorted particle
+  std::vector<std::int64_t> worklist_per_level;  ///< worklist sizes, leaf level first
+  machine::RunResult machine_result;
+  double makespan = 0.0;
+};
+
+/// Runs the nested task parallel force computation on a machine of
+/// mcfg.num_procs processors.
+BhResult run_barneshut(const machine::MachineConfig& mcfg, const BhConfig& cfg);
+
+/// Sequential Barnes-Hut (full tree visibility) for verification.
+std::vector<std::array<double, 3>> barneshut_reference(const BhConfig& cfg);
+
+/// Figure 7's full `bh` subroutine across time steps: build the tree,
+/// compute forces with nested task parallelism, update every particle's
+/// position from its force vector, repeat. Leapfrog-free toy dynamics
+/// (x += dt^2/m * F), deterministic.
+struct BhSimResult {
+  std::vector<BhParticle> particles;  ///< final state (tree-sorted order of the last step)
+  double makespan = 0.0;
+  std::vector<std::int64_t> worklist_total_per_step;
+  machine::RunResult machine_result;
+};
+
+BhSimResult run_barneshut_steps(const machine::MachineConfig& mcfg, const BhConfig& cfg,
+                                int steps, double dt);
+
+/// Sequential reference of the same dynamics.
+std::vector<BhParticle> barneshut_steps_reference(const BhConfig& cfg, int steps, double dt);
+
+}  // namespace fxpar::apps

@@ -1,0 +1,42 @@
+// fxpar apps: shared analytic cost helpers used by the sched stage models.
+//
+// The same formulas that the stage implementations charge to the virtual
+// clock are mirrored here as closed-form estimates t(p) for the mapping
+// algorithms. They need not be exact (the simulator is the ground truth);
+// they must only rank mappings the way the machine does.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/config.hpp"
+
+namespace fxpar::apps {
+
+/// Estimated time of redistributing `bytes` bytes from a p_up-processor
+/// group to a p_down-processor group (the A2 = A1 pattern), including the
+/// subset-barrier handshake.
+inline double redistribution_time(const machine::MachineConfig& cfg, double bytes, int p_up,
+                                  int p_down) {
+  const int pu = std::max(p_up, 1), pd = std::max(p_down, 1);
+  const double per_sender = bytes / static_cast<double>(pu);
+  const double msgs_per_sender = static_cast<double>(pd);
+  const double msgs_per_receiver = static_cast<double>(pu);
+  const double sender = msgs_per_sender * cfg.send_overhead + per_sender * cfg.byte_time +
+                        per_sender * cfg.mem_byte_time;
+  const double receiver = msgs_per_receiver * cfg.recv_overhead +
+                          (bytes / static_cast<double>(pd)) * cfg.mem_byte_time;
+  const int n = pu + pd;
+  const double barrier = cfg.barrier_base +
+                         cfg.barrier_stage * std::ceil(std::log2(static_cast<double>(std::max(n, 2))));
+  return barrier + cfg.latency + std::max(sender, receiver);
+}
+
+/// Estimated cost of an allreduce of `bytes` over p processors.
+inline double allreduce_time(const machine::MachineConfig& cfg, double bytes, int p) {
+  if (p <= 1) return 0.0;
+  const double stages = 2.0 * std::ceil(std::log2(static_cast<double>(p)));
+  return stages * (cfg.send_overhead + cfg.recv_overhead + cfg.latency + bytes * cfg.byte_time);
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,100 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fxpar::apps {
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(static_cast<std::int64_t>(n))) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& z : data) z *= scale;
+  }
+}
+
+std::vector<Complex> naive_dft(std::span<const Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang =
+          sign * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
+      acc += data[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+void fft_strided(std::span<Complex> data, std::size_t offset, std::size_t stride,
+                 std::size_t n, bool inverse) {
+  if (stride == 0) throw std::invalid_argument("fft_strided: zero stride");
+  if (offset + (n - 1) * stride >= data.size()) {
+    throw std::out_of_range("fft_strided: span too small");
+  }
+  if (stride == 1) {
+    fft_inplace(data.subspan(offset, n), inverse);
+    return;
+  }
+  std::vector<Complex> tmp(n);
+  for (std::size_t k = 0; k < n; ++k) tmp[k] = data[offset + k * stride];
+  fft_inplace(tmp, inverse);
+  for (std::size_t k = 0; k < n; ++k) data[offset + k * stride] = tmp[k];
+}
+
+double fft_flops(std::int64_t n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+std::vector<std::int64_t> magnitude_histogram(std::span<const Complex> data, int bins,
+                                              double max_mag) {
+  if (bins <= 0) throw std::invalid_argument("magnitude_histogram: bins must be positive");
+  if (max_mag <= 0.0) throw std::invalid_argument("magnitude_histogram: max_mag must be positive");
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(bins), 0);
+  for (const Complex& z : data) {
+    const double m = std::abs(z);
+    int b = static_cast<int>(m / max_mag * static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    if (b < 0) b = 0;
+    hist[static_cast<std::size_t>(b)] += 1;
+  }
+  return hist;
+}
+
+double histogram_flops(std::int64_t n) {
+  // magnitude (sqrt + 2 mul + add) + scale + clamp ~ 8 ops per element.
+  return 8.0 * static_cast<double>(n);
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,44 @@
+// fxpar apps: the FFT-Hist kernel (paper Section 3.2/3.3, Figure 2/3,
+// Table 1, Figure 5).
+//
+// A stream of n x n complex arrays; for each: 1-D FFTs on the columns
+// (cffts), 1-D FFTs on the rows (rffts), then a magnitude histogram (hist).
+// The three stages form a data parallel pipeline; replication processes
+// alternate data sets on disjoint subgroups; hybrids combine both.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "apps/fft.hpp"
+#include "apps/stream_pipeline.hpp"
+#include "sched/pipeline.hpp"
+
+namespace fxpar::apps {
+
+struct FftHistConfig {
+  std::int64_t n = 256;  ///< array edge (power of two)
+  int bins = 64;         ///< histogram buckets
+  int num_sets = 12;     ///< stream length
+
+  double max_mag() const { return static_cast<double>(n); }
+};
+
+/// Deterministic synthetic sensor sample for data set `k` at (i, j).
+Complex ffthist_input(int k, std::int64_t i, std::int64_t j);
+
+/// Host-side sequential reference: full FFT-Hist of data set `k`.
+std::vector<std::int64_t> ffthist_reference(const FftHistConfig& cfg, int k);
+
+/// The three pipeline stages. If `hist_sink` is non-null, the virtual
+/// rank 0 processor of the hist stage's subgroup appends each data set's
+/// histogram to (*hist_sink)[k] for verification.
+std::vector<PipelineStage<Complex>> ffthist_stages(
+    const FftHistConfig& cfg, std::vector<std::vector<std::int64_t>>* hist_sink = nullptr);
+
+/// Analytic stage cost model for the mapping algorithms (ref [21][22]).
+sched::PipelineModel ffthist_model(const machine::MachineConfig& mcfg,
+                                   const FftHistConfig& cfg);
+
+}  // namespace fxpar::apps

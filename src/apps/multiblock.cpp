@@ -1,0 +1,218 @@
+#include "apps/multiblock.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "dist/halo.hpp"
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::DistArray;
+using dist::Layout;
+using machine::Context;
+using pgroup::ProcessorGroup;
+
+double initial_mesh(int which, std::int64_t i, std::int64_t j) {
+  std::uint64_t h = static_cast<std::uint64_t>(which + 1) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ull +
+                    static_cast<std::uint64_t>(j) * 0x94d049bb133111ebull;
+  h ^= h >> 32;
+  return static_cast<double>(h % 1000) / 1000.0;
+}
+
+Layout mesh_layout(const ProcessorGroup& g, const MultiblockConfig& cfg) {
+  return Layout(g, {1, cfg.rows, cfg.cols},
+                {DimDist::collapsed(), DimDist::block(), DimDist::collapsed()});
+}
+
+Layout edge_layout(const ProcessorGroup& g, const MultiblockConfig& cfg) {
+  return Layout(g, {1, cfg.rows, 1},
+                {DimDist::collapsed(), DimDist::block(), DimDist::collapsed()});
+}
+
+/// One Jacobi relaxation sweep (interior points only), using old values.
+/// Ends with the usual convergence check: a residual allreduce over the
+/// mesh's owner group — the group-size-dependent cost that makes running
+/// the two meshes on *subgroups* cheaper than running them back to back on
+/// all processors.
+void relax(Context& ctx, DistArray<double>& m, const MultiblockConfig& cfg) {
+  if (!m.is_member()) return;
+  const std::int64_t C = cfg.cols;
+  const auto runs = m.layout().owned_runs(m.my_vrank(), 1);
+  const std::int64_t lo = runs.empty() ? 0 : runs.front().start;
+  const std::int64_t rows = runs.empty() ? 0 : runs.front().len;
+  auto halo = dist::exchange_row_halo(ctx, m, 1);
+  auto local = m.local();
+
+  auto old_row = [&](std::int64_t gi) -> const double* {
+    if (gi >= lo && gi < lo + rows) return local.data() + (gi - lo) * C;
+    if (gi == lo - 1 && halo.n_above == 1) return halo.above.data();
+    if (gi == lo + rows && halo.n_below == 1) return halo.below.data();
+    return nullptr;
+  };
+
+  std::vector<double> result(static_cast<std::size_t>(rows * C));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t gi = lo + r;
+    const double* mid = local.data() + r * C;
+    const double* up = (gi > 0) ? old_row(gi - 1) : nullptr;
+    const double* down = (gi + 1 < cfg.rows) ? old_row(gi + 1) : nullptr;
+    for (std::int64_t j = 0; j < C; ++j) {
+      if (gi == 0 || gi + 1 == cfg.rows || j == 0 || j + 1 == C) {
+        result[static_cast<std::size_t>(r * C + j)] = mid[j];  // boundary fixed
+      } else {
+        result[static_cast<std::size_t>(r * C + j)] =
+            0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+      }
+    }
+  }
+  double residual = 0.0;
+  for (std::int64_t i = 0; i < rows * C; ++i) {
+    residual += std::abs(result[static_cast<std::size_t>(i)] - local[static_cast<std::size_t>(i)]);
+  }
+  std::copy(result.begin(), result.end(), local.begin());
+  ctx.charge_flops(6.0 * static_cast<double>(rows * C));
+  comm::allreduce(ctx, m.group(), residual, std::plus<double>{});
+}
+
+/// Extracts column `col` of the mesh into `edge` (purely local stores).
+void extract_edge(DistArray<double>& edge, const DistArray<double>& m, std::int64_t col) {
+  if (!m.is_member()) return;
+  const std::int64_t C = m.layout().extent(2);
+  const auto runs = m.layout().owned_runs(m.my_vrank(), 1);
+  if (runs.empty()) return;
+  auto src = m.local();
+  auto dst = edge.local();
+  for (std::int64_t r = 0; r < runs.front().len; ++r) {
+    dst[static_cast<std::size_t>(r)] = src[static_cast<std::size_t>(r * C + col)];
+  }
+}
+
+/// Averages column `col` of the mesh with the (remote) edge values.
+void blend_edge(Context& ctx, DistArray<double>& m, const DistArray<double>& edge,
+                std::int64_t col) {
+  if (!m.is_member()) return;
+  const std::int64_t C = m.layout().extent(2);
+  const auto runs = m.layout().owned_runs(m.my_vrank(), 1);
+  if (runs.empty()) return;
+  auto dst = m.local();
+  auto src = edge.local();
+  for (std::int64_t r = 0; r < runs.front().len; ++r) {
+    auto& v = dst[static_cast<std::size_t>(r * C + col)];
+    v = 0.5 * (v + src[static_cast<std::size_t>(r)]);
+  }
+  ctx.charge_flops(2.0 * static_cast<double>(runs.front().len));
+}
+
+}  // namespace
+
+double multiblock_reference(const MultiblockConfig& cfg) {
+  const std::int64_t R = cfg.rows, C = cfg.cols;
+  std::vector<double> a(static_cast<std::size_t>(R * C)), b(a.size());
+  for (std::int64_t i = 0; i < R; ++i) {
+    for (std::int64_t j = 0; j < C; ++j) {
+      a[static_cast<std::size_t>(i * C + j)] = initial_mesh(0, i, j);
+      b[static_cast<std::size_t>(i * C + j)] = initial_mesh(1, i, j);
+    }
+  }
+  auto relax_seq = [&](std::vector<double>& m) {
+    std::vector<double> next = m;
+    for (std::int64_t i = 1; i + 1 < R; ++i) {
+      for (std::int64_t j = 1; j + 1 < C; ++j) {
+        next[static_cast<std::size_t>(i * C + j)] =
+            0.25 * (m[static_cast<std::size_t>((i - 1) * C + j)] +
+                    m[static_cast<std::size_t>((i + 1) * C + j)] +
+                    m[static_cast<std::size_t>(i * C + j - 1)] +
+                    m[static_cast<std::size_t>(i * C + j + 1)]);
+      }
+    }
+    m = std::move(next);
+  };
+  for (int it = 0; it < cfg.iterations; ++it) {
+    relax_seq(a);
+    relax_seq(b);
+    for (std::int64_t i = 0; i < R; ++i) {
+      auto& ea = a[static_cast<std::size_t>(i * C + (C - 1))];
+      auto& eb = b[static_cast<std::size_t>(i * C + 0)];
+      const double mix = 0.5 * (ea + eb);
+      ea = mix;
+      eb = mix;
+    }
+  }
+  double sum = 0.0;
+  for (double v : a) sum += v;
+  for (double v : b) sum += v;
+  return sum;
+}
+
+MultiblockResult run_multiblock(const machine::MachineConfig& mcfg,
+                                const MultiblockConfig& cfg, bool task_parallel) {
+  MultiblockResult res;
+  machine::Machine machine(mcfg);
+  res.machine_result = machine.run([&](Context& ctx) {
+    const int P = ctx.nprocs();
+    const bool split = task_parallel && P >= 2;
+    const int nA = split ? P / 2 : P;
+
+    // With a partition, A and B live on disjoint subgroups (Figure 1(c));
+    // otherwise both live on the whole group and run back to back.
+    std::optional<core::TaskPartition> part;
+    if (split) {
+      part.emplace(ctx, std::vector<SubgroupSpec>{{"Agroup", nA}, {"Bgroup", P - nA}});
+    }
+    const ProcessorGroup ga = split ? part->subgroup("Agroup") : ctx.group();
+    const ProcessorGroup gb = split ? part->subgroup("Bgroup") : ctx.group();
+
+    DistArray<double> A(ctx, mesh_layout(ga, cfg), "A");
+    DistArray<double> B(ctx, mesh_layout(gb, cfg), "B");
+    DistArray<double> edgeA(ctx, edge_layout(ga, cfg), "edgeA");
+    DistArray<double> edgeB(ctx, edge_layout(gb, cfg), "edgeB");
+    DistArray<double> edgeB_onA(ctx, edge_layout(ga, cfg), "edgeB.onA");
+    DistArray<double> edgeA_onB(ctx, edge_layout(gb, cfg), "edgeA.onB");
+
+    A.fill([](std::span<const std::int64_t> g) { return initial_mesh(0, g[1], g[2]); });
+    B.fill([](std::span<const std::int64_t> g) { return initial_mesh(1, g[1], g[2]); });
+
+    auto proca = [&] { relax(ctx, A, cfg); };
+    auto procb = [&] { relax(ctx, B, cfg); };
+    auto transfer = [&] {
+      extract_edge(edgeA, A, cfg.cols - 1);
+      extract_edge(edgeB, B, 0);
+      dist::assign(ctx, edgeA_onB, edgeA);
+      dist::assign(ctx, edgeB_onA, edgeB);
+      blend_edge(ctx, A, edgeB_onA, cfg.cols - 1);
+      blend_edge(ctx, B, edgeA_onB, 0);
+    };
+
+    if (split) {
+      core::TaskRegion region(ctx, *part);
+      for (int it = 0; it < cfg.iterations; ++it) {
+        region.on("Agroup", proca);
+        region.on("Bgroup", procb);
+        transfer();  // parent scope: both subgroups participate
+      }
+    } else {
+      for (int it = 0; it < cfg.iterations; ++it) {
+        proca();
+        procb();
+        transfer();
+      }
+    }
+
+    const auto fa = dist::gather_full(ctx, A, 0);
+    const auto fb = dist::gather_full(ctx, B, 0);
+    if (ctx.phys_rank() == 0) {
+      double sum = 0.0;
+      for (double v : fa) sum += v;
+      for (double v : fb) sum += v;
+      res.checksum = sum;
+    }
+  });
+  res.makespan = res.machine_result.finish_time;
+  return res;
+}
+
+}  // namespace fxpar::apps

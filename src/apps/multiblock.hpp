@@ -1,0 +1,38 @@
+// fxpar apps: multiblock parallel sections (paper Section 3.1, Figure 1).
+//
+// Two regular meshes A and B are relaxed independently (proca, procb) but
+// exchange boundary values between invocations (transfer) — the structure
+// of multiblock CFD codes. The task parallel version maps each mesh onto
+// its own processor subgroup so proca and procb run concurrently; the data
+// parallel version runs them back to back on all processors. Both produce
+// bit-identical results.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fx.hpp"
+
+namespace fxpar::apps {
+
+struct MultiblockConfig {
+  std::int64_t rows = 64;
+  std::int64_t cols = 32;
+  int iterations = 8;
+};
+
+struct MultiblockResult {
+  double checksum = 0.0;  ///< combined checksum of both meshes (proc 0)
+  double makespan = 0.0;
+  machine::RunResult machine_result;
+};
+
+/// Sequential reference checksum.
+double multiblock_reference(const MultiblockConfig& cfg);
+
+/// Runs the two-mesh computation. With `task_parallel` the current
+/// processors are divided into Agroup/Bgroup (Figure 1(c)); otherwise both
+/// meshes live on all processors and the procedures run back to back.
+MultiblockResult run_multiblock(const machine::MachineConfig& mcfg,
+                                const MultiblockConfig& cfg, bool task_parallel);
+
+}  // namespace fxpar::apps

@@ -1,0 +1,234 @@
+#include "apps/quicksort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::DistArray;
+using dist::Layout;
+using machine::Context;
+using pgroup::ProcessorGroup;
+
+constexpr double kClassifyOpsPerElem = 3.0;
+
+Layout block1d(const ProcessorGroup& g, std::int64_t n) {
+  return Layout(g, {n}, {DimDist::block()});
+}
+
+/// Scatters the selected elements of every parent processor into `target`
+/// (block-distributed over a subgroup of `parent`). `mine` holds this
+/// processor's selected elements in local order; `counts[v]` the selection
+/// count of parent virtual rank v (identical knowledge on every member, so
+/// sender/receiver pairs are computed symmetrically and no empty messages
+/// are exchanged — the paper's localization rule).
+void scatter_selected(Context& ctx, const ProcessorGroup& parent,
+                      const std::vector<std::int64_t>& mine,
+                      const std::vector<std::int64_t>& counts, DistArray<std::int64_t>& target) {
+  const int P = parent.size();
+  const int me = parent.virtual_of(ctx.phys_rank());
+  if (me < 0) throw std::logic_error("scatter_selected: caller outside parent group");
+  std::vector<std::int64_t> off(static_cast<std::size_t>(P + 1), 0);
+  for (int v = 0; v < P; ++v) off[static_cast<std::size_t>(v + 1)] = off[static_cast<std::size_t>(v)] + counts[static_cast<std::size_t>(v)];
+  const std::uint64_t tag = ctx.collective_tag(parent);
+  const Layout& tl = target.layout();
+  const ProcessorGroup& tg = tl.group();
+
+  // Send phase.
+  std::vector<std::int64_t> self_buf;
+  const std::int64_t my_lo = off[static_cast<std::size_t>(me)];
+  const std::int64_t my_hi = my_lo + static_cast<std::int64_t>(mine.size());
+  for (int r = 0; r < tg.size(); ++r) {
+    const auto runs = tl.owned_runs(r, 0);
+    if (runs.empty()) continue;
+    const std::int64_t lo = std::max(my_lo, runs.front().start);
+    const std::int64_t hi = std::min(my_hi, runs.front().start + runs.front().len);
+    if (lo >= hi) continue;
+    std::vector<std::int64_t> buf(mine.begin() + (lo - my_lo), mine.begin() + (hi - my_lo));
+    ctx.charge_mem_bytes(static_cast<double>(buf.size() * sizeof(std::int64_t)));
+    if (tg.physical(r) == ctx.phys_rank()) {
+      self_buf = std::move(buf);
+    } else {
+      ctx.send_phys(tg.physical(r), tag, comm::pack_span(std::span<const std::int64_t>(buf)));
+    }
+  }
+
+  // Receive phase.
+  const int tme = tg.virtual_of(ctx.phys_rank());
+  if (tme < 0) return;
+  const auto my_runs = tl.owned_runs(tme, 0);
+  if (my_runs.empty()) return;
+  const std::int64_t lo = my_runs.front().start;
+  const std::int64_t hi = lo + my_runs.front().len;
+  auto local = target.local();
+  for (int s = 0; s < P; ++s) {
+    const std::int64_t s_lo = std::max(off[static_cast<std::size_t>(s)], lo);
+    const std::int64_t s_hi = std::min(off[static_cast<std::size_t>(s + 1)], hi);
+    if (s_lo >= s_hi) continue;
+    std::vector<std::int64_t> data;
+    if (s == me) {
+      data = std::move(self_buf);
+    } else {
+      data = comm::unpack_vector<std::int64_t>(ctx.recv_phys(parent.physical(s), tag));
+    }
+    if (static_cast<std::int64_t>(data.size()) != s_hi - s_lo) {
+      throw std::logic_error("scatter_selected: payload size mismatch");
+    }
+    ctx.charge_mem_bytes(static_cast<double>(data.size() * sizeof(std::int64_t)));
+    std::copy(data.begin(), data.end(), local.begin() + (s_lo - lo));
+  }
+}
+
+/// Writes `pivot` into the global index range [first, first+count) of `a`
+/// (purely local stores on the owners).
+void write_pivot_range(DistArray<std::int64_t>& a, std::int64_t first, std::int64_t count,
+                       std::int64_t pivot) {
+  if (!a.is_member() || count == 0) return;
+  const auto runs = a.layout().owned_runs(a.my_vrank(), 0);
+  for (const auto& run : runs) {
+    const std::int64_t lo = std::max(first, run.start);
+    const std::int64_t hi = std::min(first + count, run.start + run.len);
+    for (std::int64_t i = lo; i < hi; ++i) a.at(i) = pivot;
+  }
+}
+
+}  // namespace
+
+void parallel_qsort(Context& ctx, DistArray<std::int64_t>& a) {
+  const std::int64_t n = a.layout().extent(0);
+  if (n <= 1) return;
+  const ProcessorGroup g = ctx.group();
+  if (!(a.group() == g)) {
+    throw std::logic_error("parallel_qsort: array must be mapped to the current group");
+  }
+
+  if (ctx.nprocs() == 1) {
+    auto local = a.local();
+    std::sort(local.begin(), local.end());
+    ctx.charge_int_ops(2.0 * static_cast<double>(n) *
+                       std::max(1.0, std::log2(static_cast<double>(n))));
+    return;
+  }
+
+  // Pick the pivot at the global midpoint and broadcast it.
+  const std::int64_t mid = n / 2;
+  const std::array<std::int64_t, 1> mid_idx{mid};
+  const int pivot_owner = a.layout().owner_of(mid_idx);
+  const std::int64_t pivot = comm::broadcast(
+      ctx, g, pivot_owner, a.owns(mid_idx) ? a.at(mid) : std::int64_t{0});
+
+  // Classify local elements (order-preserving).
+  std::vector<std::int64_t> less, greater;
+  std::int64_t eq = 0;
+  for (std::int64_t v : a.local()) {
+    if (v < pivot) {
+      less.push_back(v);
+    } else if (v > pivot) {
+      greater.push_back(v);
+    } else {
+      eq += 1;
+    }
+  }
+  ctx.charge_int_ops(kClassifyOpsPerElem * static_cast<double>(a.local().size()));
+
+  // Exchange per-processor counts (an allgather of triples).
+  std::vector<std::int64_t> triple{static_cast<std::int64_t>(less.size()), eq,
+                                   static_cast<std::int64_t>(greater.size())};
+  const auto gathered = comm::gather_vectors(ctx, g, 0, triple);
+  const auto all_counts = comm::broadcast_vector(ctx, g, 0, gathered);
+  const int P = g.size();
+  std::vector<std::int64_t> less_cnt(static_cast<std::size_t>(P)),
+      eq_cnt(static_cast<std::size_t>(P)), greater_cnt(static_cast<std::size_t>(P));
+  std::int64_t n_less = 0, n_eq = 0, n_greater = 0;
+  for (int v = 0; v < P; ++v) {
+    less_cnt[static_cast<std::size_t>(v)] = all_counts[static_cast<std::size_t>(3 * v)];
+    eq_cnt[static_cast<std::size_t>(v)] = all_counts[static_cast<std::size_t>(3 * v + 1)];
+    greater_cnt[static_cast<std::size_t>(v)] = all_counts[static_cast<std::size_t>(3 * v + 2)];
+    n_less += less_cnt[static_cast<std::size_t>(v)];
+    n_eq += eq_cnt[static_cast<std::size_t>(v)];
+    n_greater += greater_cnt[static_cast<std::size_t>(v)];
+  }
+
+  if (n_less == 0 && n_greater == 0) return;  // all keys equal: sorted
+
+  if (n_less == 0 || n_greater == 0) {
+    // One-sided: recurse on the non-empty side with the whole group (the
+    // equal keys peel off, so the problem strictly shrinks).
+    const bool less_side = n_less > 0;
+    auto& src_counts = less_side ? less_cnt : greater_cnt;
+    auto& src_vals = less_side ? less : greater;
+    const std::int64_t m = less_side ? n_less : n_greater;
+    DistArray<std::int64_t> rest(ctx, block1d(g, m), "qsort.rest");
+    scatter_selected(ctx, g, src_vals, src_counts, rest);
+    parallel_qsort(ctx, rest);
+    if (less_side) {
+      dist::assign_shifted(ctx, a, {0}, rest);
+      write_pivot_range(a, m, n_eq, pivot);
+    } else {
+      write_pivot_range(a, 0, n_eq, pivot);
+      dist::assign_shifted(ctx, a, {n_eq}, rest);
+    }
+    return;
+  }
+
+  // compute_subgroup_sizes: processors proportional to the two halves.
+  const auto sizes = pgroup::proportional_split(
+      P, {static_cast<double>(n_less), static_cast<double>(n_greater)});
+  core::TaskPartition part(ctx, {{"less", sizes[0]}, {"greater", sizes[1]}}, "qsortPart");
+  auto a_less =
+      core::subgroup_array<std::int64_t>(ctx, part, "less", {n_less},
+                                         {DimDist::block()}, "aLess");
+  auto a_greater =
+      core::subgroup_array<std::int64_t>(ctx, part, "greater", {n_greater},
+                                         {DimDist::block()}, "aGreaterEq");
+
+  // pick_less_than_pivot / pick_greater_...: value-dependent redistribution.
+  scatter_selected(ctx, g, less, less_cnt, a_less);
+  scatter_selected(ctx, g, greater, greater_cnt, a_greater);
+
+  {
+    core::TaskRegion region(ctx, part);
+    region.on("less", [&] { parallel_qsort(ctx, a_less); });
+    region.on("greater", [&] { parallel_qsort(ctx, a_greater); });
+
+    // merge_result (parent scope): sorted less block, pivot run, sorted
+    // greater block.
+    dist::assign_shifted(ctx, a, {0}, a_less);
+    write_pivot_range(a, n_less, n_eq, pivot);
+    dist::assign_shifted(ctx, a, {n_less + n_eq}, a_greater);
+  }
+}
+
+std::vector<std::int64_t> qsort_input(std::int64_t n, unsigned seed) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  std::uint64_t h = seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  for (auto& x : v) {
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    x = static_cast<std::int64_t>(h % static_cast<std::uint64_t>(std::max<std::int64_t>(n, 2)));
+  }
+  return v;
+}
+
+QsortResult run_parallel_qsort(const machine::MachineConfig& mcfg,
+                               const std::vector<std::int64_t>& input) {
+  QsortResult res;
+  machine::Machine machine(mcfg);
+  const std::int64_t n = static_cast<std::int64_t>(input.size());
+  res.machine_result = machine.run([&](Context& ctx) {
+    DistArray<std::int64_t> a(ctx, block1d(ctx.group(), n), "a");
+    a.fill([&](std::span<const std::int64_t> g) {
+      return input[static_cast<std::size_t>(g[0])];
+    });
+    parallel_qsort(ctx, a);
+    auto sorted = dist::gather_full(ctx, a, 0);
+    if (ctx.phys_rank() == 0) res.sorted = std::move(sorted);
+  });
+  return res;
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,38 @@
+// fxpar apps: parallel quicksort via dynamically nested task regions
+// (paper Section 3.4, Figure 4).
+//
+// The array is block-distributed over the current processors. Each level
+// picks a pivot, counts elements below/equal/above it, sizes two subgroups
+// proportionally (compute_subgroup_sizes), redistributes the elements into
+// subgroup-mapped arrays (pick_less_than_pivot / pick_greater_...), recurses
+// inside ON SUBGROUP blocks — each recursion declaring a new TASK_PARTITION
+// of its own subgroup — and merges the sorted pieces back (merge_result).
+// Elements equal to the pivot are written in place, which guarantees
+// termination with duplicate keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fx.hpp"
+
+namespace fxpar::apps {
+
+/// Sorts `a` (1-D, block-distributed over the *current* group of ctx) in
+/// ascending order. Every member of the current group must call.
+void parallel_qsort(machine::Context& ctx, dist::DistArray<std::int64_t>& a);
+
+/// Deterministic input generator (duplicates included).
+std::vector<std::int64_t> qsort_input(std::int64_t n, unsigned seed);
+
+/// Convenience driver: sorts `input` on a machine of mcfg.num_procs
+/// processors and returns the sorted data (validated layout round trip)
+/// plus machine statistics.
+struct QsortResult {
+  std::vector<std::int64_t> sorted;
+  machine::RunResult machine_result;
+};
+QsortResult run_parallel_qsort(const machine::MachineConfig& mcfg,
+                               const std::vector<std::int64_t>& input);
+
+}  // namespace fxpar::apps

@@ -1,0 +1,213 @@
+#include "apps/radar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "apps/cost_util.hpp"
+#include "apps/fft.hpp"
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::Layout;
+using pgroup::ProcessorGroup;
+
+constexpr double kGenFlopsPerElem = 3.0;
+constexpr double kScaleFlopsPerElem = 2.0;
+constexpr double kThreshFlopsPerElem = 6.0;
+
+Layout sample_major(const ProcessorGroup& g, const RadarConfig& cfg) {
+  return Layout(g, {cfg.samples, cfg.channels}, {DimDist::block(), DimDist::collapsed()});
+}
+
+Layout channel_major(const ProcessorGroup& g, const RadarConfig& cfg) {
+  return Layout(g, {cfg.channels, cfg.samples}, {DimDist::block(), DimDist::collapsed()});
+}
+
+double hann(std::int64_t s, std::int64_t n) {
+  return 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(s) /
+                              static_cast<double>(n));
+}
+
+std::int64_t tone_of(int k, std::int64_t c, std::int64_t samples) {
+  return (7 + 13 * c + 5 * k) % samples;
+}
+
+}  // namespace
+
+Complex radar_input(int k, std::int64_t s, std::int64_t c) {
+  // One strong tone per channel plus deterministic low-level clutter. The
+  // post-FFT margin between tone bins and clutter is orders of magnitude,
+  // so detection counts are robust to reduction order.
+  constexpr std::int64_t kSamples = 1 << 20;  // tone index computed by caller patterns
+  (void)kSamples;
+  std::uint64_t h = static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(s) * 0xbf58476d1ce4e5b9ull +
+                    static_cast<std::uint64_t>(c) * 0x94d049bb133111ebull;
+  h ^= h >> 33;
+  const double noise = 1e-3 * (static_cast<double>(h % 1000) / 1000.0 - 0.5);
+  return Complex(noise, -noise);  // clutter only; the tone is added by the stage
+}
+
+namespace {
+
+Complex radar_sample(const RadarConfig& cfg, int k, std::int64_t s, std::int64_t c) {
+  const std::int64_t f = tone_of(k, c, cfg.samples);
+  const double ang = 2.0 * std::numbers::pi * static_cast<double>(f) *
+                     static_cast<double>(s) / static_cast<double>(cfg.samples);
+  return Complex(std::cos(ang), std::sin(ang)) + radar_input(k, s, c);
+}
+
+}  // namespace
+
+std::int64_t radar_reference(const RadarConfig& cfg, int k) {
+  const std::int64_t S = cfg.samples, C = cfg.channels;
+  // Channel-major matrix after the corner turn.
+  std::vector<Complex> m(static_cast<std::size_t>(C * S));
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t s = 0; s < S; ++s) {
+      m[static_cast<std::size_t>(c * S + s)] = radar_sample(cfg, k, s, c);
+    }
+  }
+  for (std::int64_t c = 0; c < C; ++c) {
+    fft_inplace(std::span<Complex>(m).subspan(static_cast<std::size_t>(c * S),
+                                              static_cast<std::size_t>(S)));
+  }
+  double sum_mag = 0.0;
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t s = 0; s < S; ++s) {
+      auto& z = m[static_cast<std::size_t>(c * S + s)];
+      z *= hann(s, S);
+      sum_mag += std::abs(z);
+    }
+  }
+  const double threshold =
+      cfg.threshold_factor * sum_mag / static_cast<double>(C * S);
+  std::int64_t detections = 0;
+  for (const auto& z : m) {
+    if (std::abs(z) > threshold) detections += 1;
+  }
+  return detections;
+}
+
+std::vector<PipelineStage<Complex>> radar_stages(const RadarConfig& cfg,
+                                                 std::vector<std::int64_t>* detections_sink) {
+  if (!is_pow2(cfg.samples)) throw std::invalid_argument("radar: samples must be a power of two");
+  if (detections_sink) detections_sink->assign(static_cast<std::size_t>(cfg.num_sets), -1);
+
+  std::vector<PipelineStage<Complex>> stages(4);
+
+  // Stage 0: acquire the dwell in arrival (sample-major) order, then corner
+  // turn into channel-major order — one distributed transpose.
+  stages[0].name = "cturn";
+  stages[0].in_layout = [cfg](const ProcessorGroup& g) { return sample_major(g, cfg); };
+  stages[0].out_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[0].run = [cfg](machine::Context& ctx, DistArray<Complex>& in, DistArray<Complex>& out,
+                        int k) {
+    in.fill([&](std::span<const std::int64_t> g) { return radar_sample(cfg, k, g[0], g[1]); });
+    ctx.charge_flops(kGenFlopsPerElem * static_cast<double>(in.local().size()));
+    dist::transpose(ctx, out, in);
+  };
+
+  // Stage 1: independent FFTs over the channels (only `channels` units of
+  // parallelism: processors beyond that own no rows and stay idle).
+  stages[1].name = "rffts";
+  stages[1].in_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[1].out_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[1].run = [cfg](machine::Context& ctx, DistArray<Complex>& in, DistArray<Complex>& out,
+                        int) {
+    auto src = in.local();
+    auto dst = out.local();
+    std::copy(src.begin(), src.end(), dst.begin());
+    ctx.charge_mem_bytes(static_cast<double>(src.size_bytes()));
+    const std::int64_t rows = in.local_extents()[0];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      fft_inplace(dst.subspan(static_cast<std::size_t>(r * cfg.samples),
+                              static_cast<std::size_t>(cfg.samples)));
+    }
+    ctx.charge_flops(static_cast<double>(rows) * fft_flops(cfg.samples));
+  };
+
+  // Stage 2: scaling by the Hann window.
+  stages[2].name = "scale";
+  stages[2].in_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[2].out_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[2].run = [cfg](machine::Context& ctx, DistArray<Complex>& in, DistArray<Complex>& out,
+                        int) {
+    out.fill([&](std::span<const std::int64_t> g) {
+      return in.at_global(g) * hann(g[1], cfg.samples);
+    });
+    ctx.charge_flops(kScaleFlopsPerElem * static_cast<double>(in.local().size()));
+  };
+
+  // Stage 3: dwell-adaptive threshold; detections are marked in the output
+  // and the count is reduced over the subgroup.
+  stages[3].name = "thresh";
+  stages[3].in_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[3].out_layout = [cfg](const ProcessorGroup& g) { return channel_major(g, cfg); };
+  stages[3].run = [cfg, detections_sink](machine::Context& ctx, DistArray<Complex>& in,
+                                         DistArray<Complex>& out, int k) {
+    double local_sum = 0.0;
+    for (const auto& z : in.local()) local_sum += std::abs(z);
+    const double total =
+        comm::allreduce(ctx, in.group(), local_sum, std::plus<double>{});
+    const double threshold = cfg.threshold_factor * total /
+                             static_cast<double>(cfg.samples * cfg.channels);
+    std::int64_t local_det = 0;
+    auto src = in.local();
+    auto dst = out.local();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const bool hit = std::abs(src[i]) > threshold;
+      dst[i] = hit ? Complex(1.0, 0.0) : Complex(0.0, 0.0);
+      local_det += hit ? 1 : 0;
+    }
+    ctx.charge_flops(kThreshFlopsPerElem * static_cast<double>(src.size()));
+    const std::int64_t det =
+        comm::allreduce(ctx, in.group(), local_det, std::plus<std::int64_t>{});
+    if (detections_sink && in.group().virtual_of(ctx.phys_rank()) == 0) {
+      (*detections_sink)[static_cast<std::size_t>(k)] = det;
+    }
+  };
+
+  return stages;
+}
+
+sched::PipelineModel radar_model(const machine::MachineConfig& mcfg, const RadarConfig& cfg) {
+  const double S = static_cast<double>(cfg.samples);
+  const double C = static_cast<double>(cfg.channels);
+  const double elems = S * C;
+  const double bytes = elems * static_cast<double>(sizeof(Complex));
+
+  sched::PipelineModel model;
+  model.stages.resize(4);
+  model.stages[0] = {"cturn", [=](int p) {
+                       const double q = std::min<double>(p, S);
+                       return kGenFlopsPerElem * elems / q * mcfg.flop_time +
+                              redistribution_time(mcfg, bytes, p, p);
+                     }};
+  model.stages[1] = {"rffts", [=](int p) {
+                       // ceil(C/q) rows on the busiest processor.
+                       const double q = std::min<double>(p, C);
+                       const double rows = std::ceil(C / q);
+                       return rows * fft_flops(cfg.samples) * mcfg.flop_time +
+                              bytes / q * mcfg.mem_byte_time;
+                     }};
+  model.stages[2] = {"scale", [=](int p) {
+                       const double q = std::min<double>(p, C);
+                       return kScaleFlopsPerElem * elems / q * mcfg.flop_time;
+                     }};
+  model.stages[3] = {"thresh", [=](int p) {
+                       const double q = std::min<double>(p, C);
+                       return kThreshFlopsPerElem * elems / q * mcfg.flop_time +
+                              2.0 * allreduce_time(mcfg, 8.0, p);
+                     }};
+  model.transfer = [=](int, int pu, int pd) {
+    return redistribution_time(mcfg, bytes, pu, pd);
+  };
+  return model;
+}
+
+}  // namespace fxpar::apps

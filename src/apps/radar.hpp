@@ -1,0 +1,48 @@
+// fxpar apps: narrowband tracking radar benchmark (MIT Lincoln Labs [17],
+// paper Section 5.1, Table 1).
+//
+// Each data set is a dwell of `channels` pulse returns of `samples` complex
+// samples (the paper's 512x10x4: 512 samples, 10 range gates x 4 beams =
+// 40 channels). Processing: corner turn (transpose into channel-major
+// order), independent row FFTs, scaling by a window, and thresholding
+// against a dwell-adaptive level.
+//
+// The key structural property (paper): the FFT/scale/threshold stages have
+// only `channels` (=40) units of parallelism, so a pure data parallel
+// mapping cannot use a 64-node machine; replication can — which is why the
+// paper reports a large throughput gain at *unchanged* latency.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "apps/fft.hpp"
+#include "apps/stream_pipeline.hpp"
+#include "sched/pipeline.hpp"
+
+namespace fxpar::apps {
+
+struct RadarConfig {
+  std::int64_t samples = 512;  ///< samples per channel (power of two)
+  std::int64_t channels = 40;  ///< 10 range gates x 4 beams
+  int num_sets = 12;           ///< dwells in the stream
+  double threshold_factor = 2.0;
+};
+
+/// Deterministic synthetic pulse sample: channel c, sample s of dwell k.
+Complex radar_input(int k, std::int64_t s, std::int64_t c);
+
+/// Host-side sequential reference: detection count of dwell `k`.
+std::int64_t radar_reference(const RadarConfig& cfg, int k);
+
+/// Pipeline stages: cturn (acquire + corner turn), rffts, scale, thresh.
+/// If `detections_sink` is non-null, virtual rank 0 of the last stage's
+/// subgroup records each dwell's detection count.
+std::vector<PipelineStage<Complex>> radar_stages(
+    const RadarConfig& cfg, std::vector<std::int64_t>* detections_sink = nullptr);
+
+/// Analytic stage model for the mapping algorithms.
+sched::PipelineModel radar_model(const machine::MachineConfig& mcfg, const RadarConfig& cfg);
+
+}  // namespace fxpar::apps

@@ -1,0 +1,274 @@
+#include "apps/stereo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/cost_util.hpp"
+#include "dist/halo.hpp"
+
+namespace fxpar::apps {
+
+namespace {
+
+using dist::DimDist;
+using dist::Layout;
+using pgroup::ProcessorGroup;
+
+constexpr double kGenFlopsPerElem = 2.0;
+constexpr double kSsdFlopsPerElem = 6.0;   // per (d, i, j) output element
+constexpr double kErrFlopsPerElem = 10.0;  // separable 5x5: two 5-tap passes
+constexpr double kDepthFlopsPerElem = 2.0; // per (d, i, j) compare
+
+Layout image_layout(const ProcessorGroup& g, std::int64_t planes, const StereoConfig& cfg) {
+  return Layout(g, {planes, cfg.height, cfg.width},
+                {DimDist::collapsed(), DimDist::block(), DimDist::collapsed()});
+}
+
+}  // namespace
+
+float stereo_pixel(int k, int cam, std::int64_t row, std::int64_t col) {
+  // A smooth ramp plus camera-shifted texture: camera `cam` sees the scene
+  // shifted by cam * true_disparity, giving the SSD stage a real minimum.
+  const std::int64_t true_d = 1 + ((row / 16) + k) % 4;
+  const std::int64_t shifted = col + cam * true_d;
+  std::uint64_t h = static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(row) * 0xbf58476d1ce4e5b9ull +
+                    static_cast<std::uint64_t>(shifted) * 0x94d049bb133111ebull;
+  h ^= h >> 33;
+  return static_cast<float>(h % 256) / 256.0f;
+}
+
+namespace {
+
+// Shared sequential kernels so the reference and the stages agree exactly.
+
+float ssd_value(const StereoConfig& cfg, int k, std::int64_t d, std::int64_t i,
+                std::int64_t j, const std::function<float(int, std::int64_t, std::int64_t)>& img) {
+  const std::int64_t j2 = std::min(cfg.width - 1, j + d);
+  const std::int64_t j3 = std::min(cfg.width - 1, j + 2 * d);
+  const float a = img(0, i, j) - img(1, i, j2);
+  const float b = img(0, i, j) - img(2, i, j3);
+  (void)k;
+  return a * a + b * b;
+}
+
+}  // namespace
+
+std::int64_t stereo_reference(const StereoConfig& cfg, int k) {
+  const std::int64_t H = cfg.height, W = cfg.width, D = cfg.disparities;
+  const int w = cfg.window;
+  auto img = [&](int cam, std::int64_t i, std::int64_t j) { return stereo_pixel(k, cam, i, j); };
+  std::vector<float> ssd(static_cast<std::size_t>(D * H * W));
+  for (std::int64_t d = 0; d < D; ++d) {
+    for (std::int64_t i = 0; i < H; ++i) {
+      for (std::int64_t j = 0; j < W; ++j) {
+        ssd[static_cast<std::size_t>((d * H + i) * W + j)] = ssd_value(cfg, k, d, i, j, img);
+      }
+    }
+  }
+  // Separable window sum: rows then columns (clamped at edges).
+  std::vector<float> tmp(ssd.size()), err(ssd.size());
+  for (std::int64_t d = 0; d < D; ++d) {
+    for (std::int64_t i = 0; i < H; ++i) {
+      for (std::int64_t j = 0; j < W; ++j) {
+        float s = 0.0f;
+        for (std::int64_t dj = -w; dj <= w; ++dj) {
+          const std::int64_t jj = std::clamp<std::int64_t>(j + dj, 0, W - 1);
+          s += ssd[static_cast<std::size_t>((d * H + i) * W + jj)];
+        }
+        tmp[static_cast<std::size_t>((d * H + i) * W + j)] = s;
+      }
+    }
+    for (std::int64_t i = 0; i < H; ++i) {
+      for (std::int64_t j = 0; j < W; ++j) {
+        float s = 0.0f;
+        for (std::int64_t di = -w; di <= w; ++di) {
+          const std::int64_t ii = std::clamp<std::int64_t>(i + di, 0, H - 1);
+          s += tmp[static_cast<std::size_t>((d * H + ii) * W + j)];
+        }
+        err[static_cast<std::size_t>((d * H + i) * W + j)] = s;
+      }
+    }
+  }
+  std::int64_t depth_sum = 0;
+  for (std::int64_t i = 0; i < H; ++i) {
+    for (std::int64_t j = 0; j < W; ++j) {
+      std::int64_t best = 0;
+      float best_err = err[static_cast<std::size_t>((0 * H + i) * W + j)];
+      for (std::int64_t d = 1; d < D; ++d) {
+        const float e = err[static_cast<std::size_t>((d * H + i) * W + j)];
+        if (e < best_err) {
+          best_err = e;
+          best = d;
+        }
+      }
+      depth_sum += best;
+    }
+  }
+  return depth_sum;
+}
+
+std::vector<PipelineStage<float>> stereo_stages(const StereoConfig& cfg,
+                                                std::vector<std::int64_t>* depth_sink) {
+  if (depth_sink) depth_sink->assign(static_cast<std::size_t>(cfg.num_sets), -1);
+  const std::int64_t H = cfg.height, W = cfg.width, D = cfg.disparities;
+  const int w = cfg.window;
+
+  std::vector<PipelineStage<float>> stages(4);
+
+  stages[0].name = "acquire";
+  stages[0].in_layout = [cfg](const ProcessorGroup& g) { return image_layout(g, 3, cfg); };
+  stages[0].out_layout = [cfg](const ProcessorGroup& g) { return image_layout(g, 3, cfg); };
+  stages[0].run = [cfg](machine::Context& ctx, DistArray<float>&, DistArray<float>& out,
+                        int k) {
+    out.fill([&](std::span<const std::int64_t> g) {
+      return stereo_pixel(k, static_cast<int>(g[0]), g[1], g[2]);
+    });
+    ctx.charge_flops(kGenFlopsPerElem * static_cast<double>(out.local().size()));
+  };
+
+  // The paper's Fx implementation parallelizes the matching stages over the
+  // candidate *disparities* (each processor owns whole difference planes),
+  // which caps their parallelism at `disparities` — the structural reason a
+  // 64-node data parallel mapping cannot scale and replication wins
+  // (Table 1). The window sums are then plane-local; only the handoffs
+  // redistribute data.
+
+  // Stage 1: SSD difference planes. Input: the images replicated over the
+  // subgroup (the handoff broadcast); output: plane-distributed.
+  stages[1].name = "ssd";
+  stages[1].in_layout = [cfg](const ProcessorGroup& g) {
+    return Layout(g, {3, cfg.height, cfg.width},
+                  {DimDist::collapsed(), DimDist::collapsed(), DimDist::collapsed()});
+  };
+  stages[1].out_layout = [cfg](const ProcessorGroup& g) {
+    return Layout(g, {cfg.disparities, cfg.height, cfg.width},
+                  {DimDist::block(), DimDist::collapsed(), DimDist::collapsed()});
+  };
+  stages[1].run = [cfg](machine::Context& ctx, DistArray<float>& in, DistArray<float>& out,
+                        int k) {
+    if (!out.is_member()) return;
+    auto img = [&](int cam, std::int64_t i, std::int64_t j) { return in.at(cam, i, j); };
+    out.fill([&](std::span<const std::int64_t> g) {
+      return ssd_value(cfg, k, g[0], g[1], g[2], img);
+    });
+    ctx.charge_flops(kSsdFlopsPerElem * static_cast<double>(out.local().size()));
+  };
+
+  // Stage 2: 5x5 window sums, separable and fully local per plane.
+  stages[2].name = "err";
+  stages[2].in_layout = [cfg](const ProcessorGroup& g) {
+    return Layout(g, {cfg.disparities, cfg.height, cfg.width},
+                  {DimDist::block(), DimDist::collapsed(), DimDist::collapsed()});
+  };
+  stages[2].out_layout = stages[2].in_layout;
+  stages[2].run = [cfg, H, W, w](machine::Context& ctx, DistArray<float>& in,
+                                 DistArray<float>& out, int) {
+    if (!in.is_member()) return;
+    const std::int64_t planes = in.local_extents()[0];
+    auto src = in.local();
+    auto dst = out.local();
+    std::vector<float> tmp(static_cast<std::size_t>(H * W));
+    for (std::int64_t d = 0; d < planes; ++d) {
+      const float* plane = src.data() + d * H * W;
+      float* oplane = dst.data() + d * H * W;
+      for (std::int64_t i = 0; i < H; ++i) {
+        for (std::int64_t j = 0; j < W; ++j) {
+          float s = 0.0f;
+          for (std::int64_t dj = -w; dj <= w; ++dj) {
+            const std::int64_t jj = std::clamp<std::int64_t>(j + dj, 0, W - 1);
+            s += plane[i * W + jj];
+          }
+          tmp[static_cast<std::size_t>(i * W + j)] = s;
+        }
+      }
+      for (std::int64_t i = 0; i < H; ++i) {
+        for (std::int64_t j = 0; j < W; ++j) {
+          float s = 0.0f;
+          for (std::int64_t di = -w; di <= w; ++di) {
+            const std::int64_t ii = std::clamp<std::int64_t>(i + di, 0, H - 1);
+            s += tmp[static_cast<std::size_t>(ii * W + j)];
+          }
+          oplane[i * W + j] = s;
+        }
+      }
+    }
+    ctx.charge_flops(kErrFlopsPerElem * static_cast<double>(planes * H * W));
+  };
+
+  // Stage 3: depth by per-pixel argmin across disparities. The handoff
+  // redistributes from plane-major to row-major so the reduction is local.
+  stages[3].name = "depth";
+  stages[3].in_layout = [cfg](const ProcessorGroup& g) {
+    return image_layout(g, cfg.disparities, cfg);
+  };
+  stages[3].out_layout = [cfg](const ProcessorGroup& g) { return image_layout(g, 1, cfg); };
+  stages[3].run = [cfg, D, depth_sink](machine::Context& ctx, DistArray<float>& in,
+                                       DistArray<float>& out, int k) {
+    if (!in.is_member()) return;
+    std::int64_t local_sum = 0;
+    out.fill([&](std::span<const std::int64_t> g) {
+      std::int64_t best = 0;
+      float best_err = in.at(0, g[1], g[2]);
+      for (std::int64_t d = 1; d < D; ++d) {
+        const float e = in.at(d, g[1], g[2]);
+        if (e < best_err) {
+          best_err = e;
+          best = d;
+        }
+      }
+      local_sum += best;
+      return static_cast<float>(best);
+    });
+    ctx.charge_flops(kDepthFlopsPerElem * static_cast<double>(in.local().size()));
+    const std::int64_t total =
+        comm::allreduce(ctx, in.group(), local_sum, std::plus<std::int64_t>{});
+    if (depth_sink && in.group().virtual_of(ctx.phys_rank()) == 0) {
+      (*depth_sink)[static_cast<std::size_t>(k)] = total;
+    }
+  };
+
+  return stages;
+}
+
+sched::PipelineModel stereo_model(const machine::MachineConfig& mcfg, const StereoConfig& cfg) {
+  const double H = static_cast<double>(cfg.height);
+  const double W = static_cast<double>(cfg.width);
+  const double D = static_cast<double>(cfg.disparities);
+  const double img_bytes = 3.0 * H * W * sizeof(float);
+  const double ssd_bytes = D * H * W * sizeof(float);
+
+  sched::PipelineModel model;
+  model.stages.resize(4);
+  model.stages[0] = {"acquire", [=](int p) {
+                       const double q = std::min<double>(p, H);
+                       return kGenFlopsPerElem * 3.0 * H * W / q * mcfg.flop_time;
+                     }};
+  // The matching stages parallelize over disparity planes: cap D.
+  model.stages[1] = {"ssd", [=](int p) {
+                       const double q = std::min<double>(p, D);
+                       const double planes = std::ceil(D / q);
+                       return kSsdFlopsPerElem * planes * H * W * mcfg.flop_time;
+                     }};
+  model.stages[2] = {"err", [=](int p) {
+                       const double q = std::min<double>(p, D);
+                       const double planes = std::ceil(D / q);
+                       return kErrFlopsPerElem * planes * H * W * mcfg.flop_time;
+                     }};
+  model.stages[3] = {"depth", [=](int p) {
+                       const double q = std::min<double>(p, H);
+                       return kDepthFlopsPerElem * D * H * W / q * mcfg.flop_time +
+                              allreduce_time(mcfg, 8.0, p);
+                     }};
+  model.transfer = [=](int b, int pu, int pd) {
+    if (b == 0) {
+      // Images are replicated over the consumer: every consumer receives a
+      // full copy.
+      return redistribution_time(mcfg, img_bytes * pd, pu, pd);
+    }
+    return redistribution_time(mcfg, ssd_bytes, pu, pd);
+  };
+  return model;
+}
+
+}  // namespace fxpar::apps

@@ -1,0 +1,42 @@
+// fxpar apps: multibaseline stereo benchmark (Okutomi & Kanade [15], Webb
+// [23]; paper Section 5.1, Table 1).
+//
+// Input: three camera images per frame. Steps: sum-of-squared-difference
+// images for each candidate disparity (the second and third cameras are
+// offset by d and 2d), error images by summing a 5x5 window around every
+// pixel (implemented separably with a row-halo exchange — the stencil is
+// the one stage whose data parallel implementation needs neighbour data),
+// and a depth image taking the disparity with minimum error per pixel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/stream_pipeline.hpp"
+#include "sched/pipeline.hpp"
+
+namespace fxpar::apps {
+
+struct StereoConfig {
+  std::int64_t height = 240;
+  std::int64_t width = 256;
+  std::int64_t disparities = 8;
+  int num_sets = 12;
+  int window = 2;  ///< half-width of the (2w+1)^2 error window
+};
+
+/// Deterministic synthetic pixel: camera cam in frame k at (row, col).
+float stereo_pixel(int k, int cam, std::int64_t row, std::int64_t col);
+
+/// Host-side sequential reference: sum of the depth (disparity) image of
+/// frame `k` (an exact integer invariant of the whole computation).
+std::int64_t stereo_reference(const StereoConfig& cfg, int k);
+
+/// Pipeline stages: acquire, ssd, err (windowed sum), depth.
+std::vector<PipelineStage<float>> stereo_stages(const StereoConfig& cfg,
+                                                std::vector<std::int64_t>* depth_sink = nullptr);
+
+/// Analytic stage model for the mapping algorithms.
+sched::PipelineModel stereo_model(const machine::MachineConfig& mcfg, const StereoConfig& cfg);
+
+}  // namespace fxpar::apps

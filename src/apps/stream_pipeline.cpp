@@ -1,0 +1,38 @@
+#include "apps/stream_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxpar::apps {
+
+double StreamStats::steady_throughput() const {
+  const int n = num_sets;
+  if (n < 4) return throughput();
+  const int lo = n / 2;
+  const double window = end[static_cast<std::size_t>(n - 1)] - end[static_cast<std::size_t>(lo - 1)];
+  if (window <= 0.0) return throughput();
+  return static_cast<double>(n - lo) / window;
+}
+
+double StreamStats::avg_latency() const {
+  if (num_sets == 0) return 0.0;
+  double s = 0.0;
+  for (int k = 0; k < num_sets; ++k) {
+    s += end[static_cast<std::size_t>(k)] - start[static_cast<std::size_t>(k)];
+  }
+  return s / static_cast<double>(num_sets);
+}
+
+double StreamStats::max_latency() const {
+  double m = 0.0;
+  for (int k = 0; k < num_sets; ++k) {
+    m = std::max(m, end[static_cast<std::size_t>(k)] - start[static_cast<std::size_t>(k)]);
+  }
+  return m;
+}
+
+std::vector<StreamModule> to_stream_modules(const sched::PipelineMapping& mapping) {
+  return mapping.modules;
+}
+
+}  // namespace fxpar::apps

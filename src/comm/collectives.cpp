@@ -1,0 +1,34 @@
+#include "comm/collectives.hpp"
+
+namespace fxpar::comm {
+
+Payload broadcast_bytes(Context& ctx, const ProcessorGroup& g, int root, Payload bytes) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  if (n == 1) return bytes;
+  const int rel = detail::relative_rank(me, root, n);
+  const std::uint64_t tag = ctx.collective_tag(g);
+
+  ctx.push_group(g);
+  // Binomial tree: find this node's parent (highest set bit of rel), receive
+  // from it, then forward to children in decreasing mask order.
+  int high = 1;
+  while (high <= rel) high <<= 1;  // first mask beyond rel's highest bit
+  if (rel != 0) {
+    const int parent = rel & ~(high >> 1);
+    bytes = ctx.recv(detail::absolute_rank(parent, root, n), tag);
+  }
+  for (int mask = high; mask < n; mask <<= 1) {
+    // Only rel==0 reaches masks above its own high bit boundary correctly;
+    // generic form: children are rel | mask for mask > rel's highest bit.
+    const int child = rel | mask;
+    if (child != rel && child < n) {
+      ctx.send(detail::absolute_rank(child, root, n), tag, bytes);
+    }
+  }
+  ctx.pop_group();
+  return bytes;
+}
+
+}  // namespace fxpar::comm

@@ -1,0 +1,290 @@
+// fxpar comm: collective operations over processor groups.
+//
+// All collectives are SPMD: every member of `g` must call the same
+// operation in the same order. Tags are allocated with
+// Context::collective_tag, whose per-group counters advance identically on
+// every member. Broadcast and reduce use binomial trees (latency-optimal
+// for small payloads on a Paragon-class machine); gather/scatter are rooted
+// linear exchanges; alltoall is a full pairwise exchange.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "machine/context.hpp"
+#include "pgroup/group.hpp"
+
+namespace fxpar::comm {
+
+using machine::Context;
+using pgroup::ProcessorGroup;
+
+namespace detail {
+
+inline int relative_rank(int v, int root, int n) { return (v - root + n) % n; }
+inline int absolute_rank(int rel, int root, int n) { return (rel + root) % n; }
+
+inline void check_member_root(const Context& ctx, const ProcessorGroup& g, int root) {
+  if (!g.contains(ctx.phys_rank())) {
+    throw std::logic_error("collective: calling processor is not a group member");
+  }
+  if (root < 0 || root >= g.size()) {
+    throw std::out_of_range("collective: root virtual rank out of range");
+  }
+}
+
+}  // namespace detail
+
+/// Broadcasts `bytes` from virtual rank `root` of `g` to every member;
+/// returns the received (or original, on the root) payload.
+Payload broadcast_bytes(Context& ctx, const ProcessorGroup& g, int root, Payload bytes);
+
+/// Broadcast of a single trivially copyable value.
+template <TriviallyPackable T>
+T broadcast(Context& ctx, const ProcessorGroup& g, int root, const T& value) {
+  Payload p = (g.virtual_of(ctx.phys_rank()) == root) ? pack_value(value) : Payload{};
+  return unpack_value<T>(broadcast_bytes(ctx, g, root, std::move(p)));
+}
+
+/// Broadcast of a vector (the non-root input value is ignored).
+template <TriviallyPackable T>
+std::vector<T> broadcast_vector(Context& ctx, const ProcessorGroup& g, int root,
+                                const std::vector<T>& value) {
+  Payload p = (g.virtual_of(ctx.phys_rank()) == root)
+                  ? pack_span(std::span<const T>(value))
+                  : Payload{};
+  return unpack_vector<T>(broadcast_bytes(ctx, g, root, std::move(p)));
+}
+
+/// Binomial-tree reduction to `root`. `op` must be associative and is
+/// applied in a fixed deterministic order. Non-root members return T{}.
+template <TriviallyPackable T, typename Op>
+T reduce(Context& ctx, const ProcessorGroup& g, int root, T value, Op op) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const int rel = detail::relative_rank(me, root, n);
+  const std::uint64_t tag = ctx.collective_tag(g);
+
+  ctx.push_group(g);
+  // Children have relative ranks rel + 2^k below the next power of two.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      // Send partial result to parent and stop.
+      ctx.send(detail::absolute_rank(rel - mask, root, n), tag, pack_value(value));
+      break;
+    }
+    const int child = rel + mask;
+    if (child < n) {
+      T incoming = unpack_value<T>(ctx.recv(detail::absolute_rank(child, root, n), tag));
+      value = op(value, incoming);
+      ctx.charge_flops(1);
+    }
+  }
+  ctx.pop_group();
+  return (rel == 0) ? value : T{};
+}
+
+/// Reduction followed by broadcast; every member returns the result.
+template <TriviallyPackable T, typename Op>
+T allreduce(Context& ctx, const ProcessorGroup& g, T value, Op op) {
+  T total = reduce(ctx, g, 0, value, op);
+  return broadcast(ctx, g, 0, total);
+}
+
+/// Element-wise binomial-tree reduction of equal-length vectors to `root`.
+/// Non-root members return an empty vector.
+template <TriviallyPackable T, typename Op>
+std::vector<T> reduce_vector(Context& ctx, const ProcessorGroup& g, int root,
+                             std::vector<T> value, Op op) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const int rel = detail::relative_rank(me, root, n);
+  const std::uint64_t tag = ctx.collective_tag(g);
+
+  ctx.push_group(g);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      ctx.send(detail::absolute_rank(rel - mask, root, n), tag,
+               pack_span(std::span<const T>(value)));
+      break;
+    }
+    const int child = rel + mask;
+    if (child < n) {
+      std::vector<T> incoming =
+          unpack_vector<T>(ctx.recv(detail::absolute_rank(child, root, n), tag));
+      if (incoming.size() != value.size()) {
+        ctx.pop_group();
+        throw std::invalid_argument("reduce_vector: length mismatch between members");
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) value[i] = op(value[i], incoming[i]);
+      ctx.charge_flops(static_cast<double>(value.size()));
+    }
+  }
+  ctx.pop_group();
+  if (rel != 0) return {};
+  return value;
+}
+
+/// Element-wise vector reduction; every member returns the result.
+template <TriviallyPackable T, typename Op>
+std::vector<T> allreduce_vector(Context& ctx, const ProcessorGroup& g, std::vector<T> value,
+                                Op op) {
+  std::vector<T> total = reduce_vector(ctx, g, 0, std::move(value), op);
+  return broadcast_vector(ctx, g, 0, total);
+}
+
+/// Inclusive scan: member v returns op(x_0, ..., x_v) in virtual-rank
+/// order (deterministic linear chain; groups are small on this machine
+/// class and the chain matches the deposit model's cost structure).
+template <TriviallyPackable T, typename Op>
+T scan(Context& ctx, const ProcessorGroup& g, T value, Op op) {
+  if (!g.contains(ctx.phys_rank())) {
+    throw std::logic_error("scan: calling processor is not a group member");
+  }
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  T acc = value;
+  if (me > 0) {
+    acc = op(unpack_value<T>(ctx.recv(me - 1, tag)), value);
+    ctx.charge_flops(1);
+  }
+  if (me + 1 < n) ctx.send(me + 1, tag, pack_value(acc));
+  ctx.pop_group();
+  return acc;
+}
+
+/// Exclusive scan: member v returns op over x_0..x_{v-1}; member 0 returns
+/// `identity`.
+template <TriviallyPackable T, typename Op>
+T exscan(Context& ctx, const ProcessorGroup& g, T value, Op op, T identity) {
+  if (!g.contains(ctx.phys_rank())) {
+    throw std::logic_error("exscan: calling processor is not a group member");
+  }
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  T before = identity;
+  if (me > 0) before = unpack_value<T>(ctx.recv(me - 1, tag));
+  if (me + 1 < n) {
+    ctx.send(me + 1, tag, pack_value(op(before, value)));
+    ctx.charge_flops(1);
+  }
+  ctx.pop_group();
+  return before;
+}
+
+/// Gathers one value from every member to `root`, ordered by virtual rank.
+/// Non-root members return an empty vector.
+template <TriviallyPackable T>
+std::vector<T> gather(Context& ctx, const ProcessorGroup& g, int root, const T& value) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  std::vector<T> out;
+  if (me == root) {
+    out.resize(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(root)] = value;
+    for (int v = 0; v < n; ++v) {
+      if (v == root) continue;
+      out[static_cast<std::size_t>(v)] = unpack_value<T>(ctx.recv(v, tag));
+    }
+  } else {
+    ctx.send(root, tag, pack_value(value));
+  }
+  ctx.pop_group();
+  return out;
+}
+
+/// Gathers variable-length vectors to `root`, concatenated by virtual rank.
+template <TriviallyPackable T>
+std::vector<T> gather_vectors(Context& ctx, const ProcessorGroup& g, int root,
+                              const std::vector<T>& value) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  std::vector<T> out;
+  if (me == root) {
+    for (int v = 0; v < n; ++v) {
+      std::vector<T> part =
+          (v == root) ? value : unpack_vector<T>(ctx.recv(v, tag));
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  } else {
+    ctx.send(root, tag, pack_span(std::span<const T>(value)));
+  }
+  ctx.pop_group();
+  return out;
+}
+
+/// Scatters `parts[v]` from `root` to member `v`; returns the local part.
+template <TriviallyPackable T>
+std::vector<T> scatter_vectors(Context& ctx, const ProcessorGroup& g, int root,
+                               const std::vector<std::vector<T>>& parts) {
+  detail::check_member_root(ctx, g, root);
+  const int n = g.size();
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  std::vector<T> mine;
+  if (me == root) {
+    if (static_cast<int>(parts.size()) != n) {
+      ctx.pop_group();
+      throw std::invalid_argument("scatter_vectors: need one part per member");
+    }
+    for (int v = 0; v < n; ++v) {
+      if (v == root) continue;
+      ctx.send(v, tag, pack_span(std::span<const T>(parts[static_cast<std::size_t>(v)])));
+    }
+    mine = parts[static_cast<std::size_t>(root)];
+  } else {
+    mine = unpack_vector<T>(ctx.recv(root, tag));
+  }
+  ctx.pop_group();
+  return mine;
+}
+
+/// Full pairwise exchange: member `v` receives `send_parts[me]` from every
+/// member (including its own local part). `send_parts` has one vector per
+/// destination virtual rank; the result has one vector per source.
+template <TriviallyPackable T>
+std::vector<std::vector<T>> alltoall_vectors(Context& ctx, const ProcessorGroup& g,
+                                             const std::vector<std::vector<T>>& send_parts) {
+  if (!g.contains(ctx.phys_rank())) {
+    throw std::logic_error("alltoall_vectors: calling processor is not a group member");
+  }
+  const int n = g.size();
+  if (static_cast<int>(send_parts.size()) != n) {
+    throw std::invalid_argument("alltoall_vectors: need one part per member");
+  }
+  const int me = g.virtual_of(ctx.phys_rank());
+  const std::uint64_t tag = ctx.collective_tag(g);
+  ctx.push_group(g);
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(n));
+  // Deposit-based: send everything, then drain. Deposits never block.
+  for (int d = 1; d < n; ++d) {
+    const int dst = (me + d) % n;
+    ctx.send(dst, tag, pack_span(std::span<const T>(send_parts[static_cast<std::size_t>(dst)])));
+  }
+  out[static_cast<std::size_t>(me)] = send_parts[static_cast<std::size_t>(me)];
+  for (int d = 1; d < n; ++d) {
+    const int src = (me - d + n) % n;
+    out[static_cast<std::size_t>(src)] = unpack_vector<T>(ctx.recv(src, tag));
+  }
+  ctx.pop_group();
+  return out;
+}
+
+}  // namespace fxpar::comm

@@ -1,0 +1,142 @@
+// fxpar comm: an MPI-communicator-flavoured veneer over the runtime.
+//
+// The paper's Section 6 discusses the alternative of coordinating HPF tasks
+// with MPI [7] and the related-work systems all assume message passing.
+// This header shows the correspondence directly: a processor group plus a
+// Context behaves like an MPI communicator, TASK_PARTITION is comm_split,
+// and the paper's subset barriers / collectives are the familiar MPI
+// operations. It is also a convenient porting surface for users who think
+// in MPI terms (see the LLNL MPI tutorial's vocabulary).
+//
+//   fxmpi::Comm world(ctx);                    // MPI_COMM_WORLD
+//   auto sub = world.split(color, key);        // MPI_Comm_split
+//   sub.send(dest, tag, data); sub.recv(...);  // MPI_Send / MPI_Recv
+//   auto v = sub.bcast(root, value);           // MPI_Bcast
+//   auto s = sub.allreduce(x, std::plus<>());  // MPI_Allreduce
+//
+// All operations are SPMD over the communicator's members, and ranks are
+// the communicator-relative (virtual) ranks, exactly as in MPI.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "machine/context.hpp"
+#include "pgroup/group.hpp"
+
+namespace fxpar::fxmpi {
+
+class Comm {
+ public:
+  /// The world communicator: all processors of the machine.
+  explicit Comm(machine::Context& ctx)
+      : ctx_(&ctx), group_(pgroup::ProcessorGroup::identity(
+                        ctx.machine().num_procs())) {}
+
+  Comm(machine::Context& ctx, pgroup::ProcessorGroup group)
+      : ctx_(&ctx), group_(std::move(group)) {
+    if (!group_.contains(ctx.phys_rank())) {
+      throw std::logic_error("fxmpi::Comm: calling processor is not a member");
+    }
+  }
+
+  int rank() const { return group_.virtual_of(ctx_->phys_rank()); }
+  int size() const noexcept { return group_.size(); }
+  const pgroup::ProcessorGroup& group() const noexcept { return group_; }
+
+  /// MPI_Comm_split: members with the same `color` form a new communicator,
+  /// ordered by (key, old rank). Every member must call with its own color
+  /// and key; colors and keys are exchanged internally. A negative color
+  /// (MPI_UNDEFINED) yields no communicator (throws on use).
+  Comm split(int color, int key) const {
+    // Allgather (color, key) pairs.
+    std::vector<int> mine{color, key};
+    const auto gathered = comm::gather_vectors(*ctx_, group_, 0, mine);
+    const auto all = comm::broadcast_vector(*ctx_, group_, 0, gathered);
+    // Collect members of my color, ordered by (key, old rank).
+    struct Entry {
+      int key, old_rank;
+    };
+    std::vector<Entry> members;
+    for (int v = 0; v < size(); ++v) {
+      if (all[static_cast<std::size_t>(2 * v)] == color) {
+        members.push_back({all[static_cast<std::size_t>(2 * v + 1)], v});
+      }
+    }
+    if (color < 0) {
+      throw std::logic_error("fxmpi::Comm::split: negative color (MPI_UNDEFINED)");
+    }
+    std::stable_sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+      return a.key < b.key || (a.key == b.key && a.old_rank < b.old_rank);
+    });
+    std::vector<int> phys;
+    phys.reserve(members.size());
+    for (const Entry& e : members) phys.push_back(group_.physical(e.old_rank));
+    return Comm(*ctx_, pgroup::ProcessorGroup(std::move(phys)));
+  }
+
+  // ---- point to point (ranks are communicator-relative) ----
+
+  template <comm::TriviallyPackable T>
+  void send(int dest, int tag, const T& value) {
+    ctx_->send_phys(group_.physical(dest), user_tag(tag), comm::pack_value(value));
+  }
+  template <comm::TriviallyPackable T>
+  T recv(int source, int tag) {
+    return comm::unpack_value<T>(ctx_->recv_phys(group_.physical(source), user_tag(tag)));
+  }
+  template <comm::TriviallyPackable T>
+  void send_vector(int dest, int tag, const std::vector<T>& v) {
+    ctx_->send_phys(group_.physical(dest), user_tag(tag),
+                    comm::pack_span(std::span<const T>(v)));
+  }
+  template <comm::TriviallyPackable T>
+  std::vector<T> recv_vector(int source, int tag) {
+    return comm::unpack_vector<T>(ctx_->recv_phys(group_.physical(source), user_tag(tag)));
+  }
+
+  // ---- collectives ----
+
+  void barrier() { ctx_->barrier(group_); }
+
+  template <comm::TriviallyPackable T>
+  T bcast(int root, const T& value) {
+    return comm::broadcast(*ctx_, group_, root, value);
+  }
+  template <comm::TriviallyPackable T, typename Op>
+  T reduce(int root, const T& value, Op op) {
+    return comm::reduce(*ctx_, group_, root, value, op);
+  }
+  template <comm::TriviallyPackable T, typename Op>
+  T allreduce(const T& value, Op op) {
+    return comm::allreduce(*ctx_, group_, value, op);
+  }
+  template <comm::TriviallyPackable T>
+  std::vector<T> gather(int root, const T& value) {
+    return comm::gather(*ctx_, group_, root, value);
+  }
+  template <comm::TriviallyPackable T>
+  std::vector<T> allgather(const T& value) {
+    auto v = comm::gather(*ctx_, group_, 0, value);
+    return comm::broadcast_vector(*ctx_, group_, 0, v);
+  }
+  template <comm::TriviallyPackable T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& parts) {
+    return comm::alltoall_vectors(*ctx_, group_, parts);
+  }
+
+ private:
+  /// User tags share the point-to-point tag space; fold in the group key so
+  /// two communicators with the same members but different creation paths
+  /// still match (as MPI requires for identical groups).
+  std::uint64_t user_tag(int tag) const {
+    if (tag < 0) throw std::invalid_argument("fxmpi: negative tag");
+    return (static_cast<std::uint64_t>(tag) << 1) ^ (group_.key() << 20 >> 1);
+  }
+
+  machine::Context* ctx_;
+  pgroup::ProcessorGroup group_;
+};
+
+}  // namespace fxpar::fxmpi

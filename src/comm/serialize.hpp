@@ -1,0 +1,77 @@
+// fxpar comm: byte-level packing of trivially copyable values and arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace fxpar::comm {
+
+using machine::Payload;
+
+template <typename T>
+concept TriviallyPackable = std::is_trivially_copyable_v<T>;
+
+/// Packs one value.
+template <TriviallyPackable T>
+Payload pack_value(const T& v) {
+  Payload p(sizeof(T));
+  std::memcpy(p.data(), &v, sizeof(T));
+  return p;
+}
+
+/// Unpacks one value; the payload size must match exactly.
+template <TriviallyPackable T>
+T unpack_value(const Payload& p) {
+  if (p.size() != sizeof(T)) {
+    throw std::invalid_argument("unpack_value: payload size " + std::to_string(p.size()) +
+                                " != sizeof(T) " + std::to_string(sizeof(T)));
+  }
+  T v;
+  std::memcpy(&v, p.data(), sizeof(T));
+  return v;
+}
+
+/// Packs a contiguous range of values (no length header; the element count
+/// is recovered from the payload size).
+template <TriviallyPackable T>
+Payload pack_span(std::span<const T> s) {
+  Payload p(s.size_bytes());
+  if (!s.empty()) std::memcpy(p.data(), s.data(), s.size_bytes());
+  return p;
+}
+
+template <TriviallyPackable T>
+std::vector<T> unpack_vector(const Payload& p) {
+  if (p.size() % sizeof(T) != 0) {
+    throw std::invalid_argument("unpack_vector: payload size not a multiple of element size");
+  }
+  std::vector<T> v(p.size() / sizeof(T));
+  if (!v.empty()) std::memcpy(v.data(), p.data(), p.size());
+  return v;
+}
+
+/// Appends the raw bytes of `v` to `p` (for building mixed payloads).
+template <TriviallyPackable T>
+void append_value(Payload& p, const T& v) {
+  const std::size_t off = p.size();
+  p.resize(off + sizeof(T));
+  std::memcpy(p.data() + off, &v, sizeof(T));
+}
+
+/// Reads a value at byte offset `off`, advancing `off`.
+template <TriviallyPackable T>
+T read_value(const Payload& p, std::size_t& off) {
+  if (off + sizeof(T) > p.size()) throw std::out_of_range("read_value: payload underrun");
+  T v;
+  std::memcpy(&v, p.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace fxpar::comm

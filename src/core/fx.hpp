@@ -1,0 +1,46 @@
+// fxpar: umbrella public header for the integrated task and data parallel
+// programming model of Subhlok & Yang (PPoPP'97), reimplemented as a C++20
+// embedded DSL over a deterministic simulated multicomputer.
+//
+// Quickstart:
+//
+//   #include "core/fx.hpp"
+//   using namespace fxpar;
+//
+//   Machine machine(MachineConfig::paragon(8));
+//   machine.run([](Context& ctx) {
+//     core::TaskPartition part(ctx, {{"some", 5}, {"many", ctx.nprocs() - 5}});
+//     core::TaskRegion region(ctx, part);
+//     region.on("some", [&] { /* runs on 5 processors */ });
+//     region.on("many", [&] { /* runs on the rest    */ });
+//   });
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "comm/serialize.hpp"
+#include "core/hpf_on.hpp"
+#include "core/parallel_loop.hpp"
+#include "core/replicated.hpp"
+#include "core/subgroup_var.hpp"
+#include "core/task_partition.hpp"
+#include "core/task_region.hpp"
+#include "dist/dist_array.hpp"
+#include "dist/redistribute.hpp"
+#include "dist/reductions.hpp"
+#include "machine/config.hpp"
+#include "machine/context.hpp"
+#include "machine/machine.hpp"
+#include "pgroup/grid.hpp"
+#include "pgroup/group.hpp"
+#include "pgroup/partition.hpp"
+
+namespace fxpar {
+
+using machine::Context;
+using machine::Machine;
+using machine::MachineConfig;
+using machine::RunResult;
+using pgroup::ProcessorGroup;
+using pgroup::SubgroupSpec;
+
+}  // namespace fxpar

@@ -1,0 +1,70 @@
+// fxpar core: the Fx parallel loop construct ("do&merge", ref [24] of the
+// paper: Yang et al., "Do&merge: Integrating parallel loops and
+// reductions").
+//
+// Fx expresses loop parallelism with a construct that combines independent
+// iterations (the "do" part) with a merge of per-iteration contributions
+// (the "merge" part — a reduction). Here:
+//
+//   auto sum = core::parallel_reduce<double>(
+//       ctx, 0, n,
+//       [&](std::int64_t i) { return f(i); },     // do: one iteration
+//       std::plus<double>{}, 0.0);                // merge
+//
+// Iterations are block-partitioned over the *current* processor group, each
+// processor merges its local contributions in iteration order, and the
+// partial results are combined with a group reduction whose deterministic
+// tree order makes results reproducible. parallel_for is the no-merge
+// special case.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "comm/collectives.hpp"
+#include "machine/context.hpp"
+
+namespace fxpar::core {
+
+namespace detail {
+
+/// Block partition of [lo, hi) over `parts`: piece `which` as [first, last).
+inline std::pair<std::int64_t, std::int64_t> iteration_block(std::int64_t lo, std::int64_t hi,
+                                                             int parts, int which) {
+  const std::int64_t n = hi - lo;
+  const std::int64_t b = (n + parts - 1) / parts;
+  const std::int64_t first = lo + static_cast<std::int64_t>(which) * b;
+  const std::int64_t last = std::min(hi, first + b);
+  return {first, std::max(first, last)};
+}
+
+}  // namespace detail
+
+/// Runs `body(i)` for every i in [lo, hi), block-partitioned over the
+/// current group. Purely local: no synchronization (callers that need the
+/// results of other processors' iterations synchronize via the data they
+/// touch, as in the paper's execution model).
+template <typename Body>
+void parallel_for(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body) {
+  const auto [first, last] =
+      detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
+  for (std::int64_t i = first; i < last; ++i) body(i);
+}
+
+/// do&merge: evaluates `body(i)` for every iteration, merges locally in
+/// iteration order, then reduces across the current group. Every member of
+/// the current group must call. Returns the merged value on every member.
+template <typename T, typename Body, typename Merge>
+T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body,
+                  Merge&& merge, T init) {
+  T local = init;
+  const auto [first, last] =
+      detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
+  for (std::int64_t i = first; i < last; ++i) {
+    local = merge(local, body(i));
+  }
+  if (ctx.nprocs() == 1) return local;
+  return comm::allreduce(ctx, ctx.group(), local, merge);
+}
+
+}  // namespace fxpar::core

@@ -1,0 +1,102 @@
+// fxpar core: replicated scalar variables.
+//
+// The paper (Section 4, "Replicated Computations"): unmapped scalars are
+// replicated on all current processors and computations involving only
+// replicated values execute redundantly — asynchronously, with no
+// communication or synchronization. This is what lets the loop induction
+// variable of a pipelined task region advance independently in every
+// subgroup. The alternative — one owner computes and broadcasts — is
+// implemented too (OwnerBroadcast) purely so the ablation benchmark can
+// demonstrate why the paper rejects it.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "comm/collectives.hpp"
+#include "machine/context.hpp"
+#include "pgroup/group.hpp"
+
+namespace fxpar::core {
+
+enum class ReplicationMode {
+  Replicate,       ///< every processor computes its own copy (paper's choice)
+  OwnerBroadcast,  ///< virtual rank 0 of the scope computes and broadcasts
+};
+
+template <typename T>
+class Replicated {
+ public:
+  /// Declares a replicated scalar scoped to the current processor group of
+  /// `ctx`. Every member must construct it (SPMD).
+  Replicated(machine::Context& ctx, T init = T{},
+             ReplicationMode mode = ReplicationMode::Replicate)
+      : ctx_(&ctx), scope_(ctx.group()), mode_(mode), value_(std::move(init)) {}
+
+  const T& value() const noexcept { return value_; }
+  operator const T&() const noexcept { return value_; }
+
+  /// SPMD update: every member of the scope must call with an equivalent
+  /// `fn`. In Replicate mode each processor applies `fn` locally (a couple
+  /// of scalar ops of modeled time, no communication). In OwnerBroadcast
+  /// mode only virtual rank 0 computes; everyone then synchronizes on the
+  /// broadcast — the serialization the paper warns about.
+  template <typename Fn>
+  void update(Fn&& fn) {
+    switch (mode_) {
+      case ReplicationMode::Replicate:
+        value_ = fn(value_);
+        ctx_->charge_int_ops(2);  // redundant local compute: check + apply
+        break;
+      case ReplicationMode::OwnerBroadcast: {
+        T next = value_;
+        if (scope_.virtual_of(ctx_->phys_rank()) == 0) {
+          next = fn(value_);
+          ctx_->charge_int_ops(2);
+        }
+        value_ = comm::broadcast(*ctx_, scope_, 0, next);
+        break;
+      }
+    }
+  }
+
+  void set(const T& v) {
+    update([&](const T&) { return v; });
+  }
+
+  /// Loop-induction convenience: i.increment() is the paper's `i = i + 1`.
+  void increment(T step = T{1}) {
+    update([&](const T& v) { return static_cast<T>(v + step); });
+  }
+
+  const pgroup::ProcessorGroup& scope() const noexcept { return scope_; }
+  ReplicationMode mode() const noexcept { return mode_; }
+
+  /// Debug check of the model's assertion that replicated computations are
+  /// performed identically everywhere: verifies the value is bit-identical
+  /// on every member of the scope (costs one reduction; SPMD — every
+  /// member must call). Throws std::logic_error on divergence.
+  void assert_coherent() const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "assert_coherent requires a trivially copyable T");
+    const T lo = comm::allreduce(*ctx_, scope_, value_,
+                                 [](const T& a, const T& b) { return std::min(a, b); });
+    const T hi = comm::allreduce(*ctx_, scope_, value_,
+                                 [](const T& a, const T& b) { return std::max(a, b); });
+    if (lo != hi) {
+      throw std::logic_error(
+          "Replicated: value diverged across the scope (the asynchronous "
+          "replication assertion is violated)");
+    }
+  }
+
+ private:
+  machine::Context* ctx_;
+  pgroup::ProcessorGroup scope_;
+  ReplicationMode mode_;
+  T value_;
+};
+
+}  // namespace fxpar::core

@@ -1,0 +1,45 @@
+// fxpar core: the SUBGROUP variable-mapping directive.
+//
+//   SUBGROUP(some) :: some_low, some_high
+//   DISTRIBUTE some_low(BLOCK)
+//
+// becomes: a DistArray whose owning group is the named subgroup of a
+// TaskPartition, with distribution directives interpreted relative to that
+// subgroup. Only subgroup members allocate storage, and the DistArray's
+// ownership checks enforce the locality assertion of ON SUBGROUP blocks at
+// runtime (accessing a non-local element throws).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task_partition.hpp"
+#include "dist/dist_array.hpp"
+
+namespace fxpar::core {
+
+/// Creates a variable mapped onto `part`'s subgroup `subgroup_name`, with
+/// per-dimension distributions relative to that subgroup's processors.
+template <typename T>
+dist::DistArray<T> subgroup_array(Context& ctx, const TaskPartition& part,
+                                  const std::string& subgroup_name,
+                                  std::vector<std::int64_t> shape,
+                                  std::vector<dist::DimDist> dists,
+                                  std::string name = "") {
+  if (name.empty()) name = subgroup_name + ".var";
+  dist::Layout layout(part.subgroup(subgroup_name), std::move(shape), std::move(dists));
+  return dist::DistArray<T>(ctx, std::move(layout), std::move(name));
+}
+
+/// A variable mapped to the *current* group (an unmapped array in the
+/// paper's terms: visible to all current processors).
+template <typename T>
+dist::DistArray<T> current_group_array(Context& ctx, std::vector<std::int64_t> shape,
+                                       std::vector<dist::DimDist> dists,
+                                       std::string name = "") {
+  dist::Layout layout(ctx.group(), std::move(shape), std::move(dists));
+  return dist::DistArray<T>(ctx, std::move(layout), std::move(name));
+}
+
+}  // namespace fxpar::core

@@ -1,0 +1,45 @@
+#include "core/task_partition.hpp"
+
+#include <stdexcept>
+
+namespace fxpar::core {
+
+TaskPartition::TaskPartition(Context& ctx, std::vector<SubgroupSpec> specs, std::string name)
+    : name_(std::move(name)), tmpl_(std::move(specs)), parent_(ctx.group()) {
+  if (tmpl_.total_size() != parent_.size()) {
+    throw std::invalid_argument(
+        "TASK_PARTITION " + name_ + " :: " + tmpl_.to_string() + " covers " +
+        std::to_string(tmpl_.total_size()) + " processors but the current group has " +
+        std::to_string(parent_.size()));
+  }
+  subgroups_.reserve(static_cast<std::size_t>(tmpl_.num_subgroups()));
+  for (int i = 0; i < tmpl_.num_subgroups(); ++i) {
+    subgroups_.push_back(tmpl_.materialize(parent_, i));
+  }
+}
+
+const ProcessorGroup& TaskPartition::subgroup(int i) const {
+  if (i < 0 || i >= num_subgroups()) {
+    throw std::out_of_range("TaskPartition::subgroup: index " + std::to_string(i));
+  }
+  return subgroups_[static_cast<std::size_t>(i)];
+}
+
+const ProcessorGroup& TaskPartition::subgroup(const std::string& subgroup_name) const {
+  return subgroups_[static_cast<std::size_t>(tmpl_.index_of(subgroup_name))];
+}
+
+int TaskPartition::my_subgroup(const Context& ctx) const {
+  const int v = parent_.virtual_of(ctx.phys_rank());
+  if (v < 0) {
+    throw std::logic_error("TaskPartition::my_subgroup: processor is not in the parent group");
+  }
+  return tmpl_.subgroup_of_virtual(v);
+}
+
+std::string TaskPartition::to_string() const {
+  return "TASK_PARTITION " + (name_.empty() ? std::string("<anon>") : name_) +
+         " :: " + tmpl_.to_string();
+}
+
+}  // namespace fxpar::core

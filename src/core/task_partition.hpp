@@ -1,0 +1,53 @@
+// fxpar core: the TASK_PARTITION declaration directive.
+//
+// A TaskPartition materializes a PartitionTemplate against the *current*
+// processor group of the declaring context, exactly like the paper's
+//
+//   TASK_PARTITION myPart :: some(5), many(NUMBER_OF_PROCESSORS()-5)
+//
+// Subgroup sizes are ordinary runtime values, so — as in the paper — the
+// partitioning can differ per procedure invocation (quicksort, Barnes-Hut).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/context.hpp"
+#include "pgroup/group.hpp"
+#include "pgroup/partition.hpp"
+
+namespace fxpar::core {
+
+using machine::Context;
+using pgroup::PartitionTemplate;
+using pgroup::ProcessorGroup;
+using pgroup::SubgroupSpec;
+
+class TaskPartition {
+ public:
+  /// Declares a partition of the current processors of `ctx`. The subgroup
+  /// sizes must sum exactly to ctx.nprocs() (NUMBER_OF_PROCESSORS()).
+  TaskPartition(Context& ctx, std::vector<SubgroupSpec> specs, std::string name = "");
+
+  const std::string& name() const noexcept { return name_; }
+  const PartitionTemplate& tmpl() const noexcept { return tmpl_; }
+  const ProcessorGroup& parent() const noexcept { return parent_; }
+  int num_subgroups() const noexcept { return tmpl_.num_subgroups(); }
+
+  const ProcessorGroup& subgroup(int i) const;
+  const ProcessorGroup& subgroup(const std::string& subgroup_name) const;
+  const std::string& subgroup_name(int i) const { return tmpl_.spec(i).name; }
+
+  /// Index of the subgroup containing the calling processor.
+  int my_subgroup(const Context& ctx) const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  PartitionTemplate tmpl_;
+  ProcessorGroup parent_;
+  std::vector<ProcessorGroup> subgroups_;
+};
+
+}  // namespace fxpar::core

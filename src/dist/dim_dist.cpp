@@ -1,0 +1,125 @@
+#include "dist/dim_dist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxpar::dist {
+
+DimDist DimDist::block_cyclic(std::int64_t b) {
+  if (b <= 0) throw std::invalid_argument("DimDist::block_cyclic: block size must be positive");
+  return DimDist(DistKind::BlockCyclic, b);
+}
+
+std::int64_t DimDist::block_size(std::int64_t n, int p) const {
+  switch (kind_) {
+    case DistKind::Collapsed:
+      return n;
+    case DistKind::Block:
+      return (n + p - 1) / p;
+    case DistKind::Cyclic:
+      return 1;
+    case DistKind::BlockCyclic:
+      return block_;
+  }
+  return n;
+}
+
+int DimDist::owner(std::int64_t i, std::int64_t n, int p) const {
+  if (i < 0 || i >= n) throw std::out_of_range("DimDist::owner: index out of range");
+  if (kind_ == DistKind::Collapsed) return 0;
+  const std::int64_t b = block_size(n, p);
+  return static_cast<int>((i / b) % p);
+}
+
+std::int64_t DimDist::local_count(int c, std::int64_t n, int p) const {
+  if (kind_ == DistKind::Collapsed) return n;
+  if (c < 0 || c >= p) throw std::out_of_range("DimDist::local_count: bad coordinate");
+  const std::int64_t b = block_size(n, p);
+  const std::int64_t courses = (n + b - 1) / b;  // number of (possibly partial) blocks
+  if (c >= courses) return 0;
+  // Courses owned by c: c, c+p, c+2p, ... < courses.
+  const std::int64_t owned = (courses - 1 - c) / p + 1;
+  std::int64_t count = owned * b;
+  // The globally last course may be partial; subtract the shortfall if ours.
+  const std::int64_t last = courses - 1;
+  if (last % p == c) {
+    const std::int64_t last_len = n - last * b;
+    count -= (b - last_len);
+  }
+  return count;
+}
+
+std::int64_t DimDist::global_to_local(std::int64_t i, std::int64_t n, int p) const {
+  if (i < 0 || i >= n) throw std::out_of_range("DimDist::global_to_local: index out of range");
+  if (kind_ == DistKind::Collapsed) return i;
+  const std::int64_t b = block_size(n, p);
+  const std::int64_t course = i / b;
+  return (course / p) * b + (i % b);
+}
+
+std::int64_t DimDist::local_to_global(int c, std::int64_t l, std::int64_t n, int p) const {
+  if (kind_ == DistKind::Collapsed) {
+    if (l < 0 || l >= n) throw std::out_of_range("DimDist::local_to_global: index out of range");
+    return l;
+  }
+  if (l < 0 || l >= local_count(c, n, p)) {
+    throw std::out_of_range("DimDist::local_to_global: local index out of range");
+  }
+  const std::int64_t b = block_size(n, p);
+  const std::int64_t local_course = l / b;
+  const std::int64_t course = local_course * p + c;
+  return course * b + (l % b);
+}
+
+std::vector<IndexRun> DimDist::owned_runs(int c, std::int64_t n, int p) const {
+  if (n <= 0) return {};
+  if (kind_ == DistKind::Collapsed) return {IndexRun{0, n}};
+  if (c < 0 || c >= p) throw std::out_of_range("DimDist::owned_runs: bad coordinate");
+  const std::int64_t b = block_size(n, p);
+  const std::int64_t courses = (n + b - 1) / b;
+  std::vector<IndexRun> runs;
+  for (std::int64_t course = c; course < courses; course += p) {
+    const std::int64_t start = course * b;
+    runs.push_back(IndexRun{start, std::min(b, n - start)});
+  }
+  return runs;
+}
+
+std::string DimDist::to_string() const {
+  switch (kind_) {
+    case DistKind::Collapsed:
+      return "*";
+    case DistKind::Block:
+      return "BLOCK";
+    case DistKind::Cyclic:
+      return "CYCLIC";
+    case DistKind::BlockCyclic:
+      return "CYCLIC(" + std::to_string(block_) + ")";
+  }
+  return "?";
+}
+
+std::vector<IndexRun> intersect_runs(const std::vector<IndexRun>& a,
+                                     const std::vector<IndexRun>& b) {
+  std::vector<IndexRun> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].start, b[j].start);
+    const std::int64_t hi = std::min(a[i].start + a[i].len, b[j].start + b[j].len);
+    if (lo < hi) out.push_back(IndexRun{lo, hi - lo});
+    if (a[i].start + a[i].len < b[j].start + b[j].len) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::int64_t total_length(const std::vector<IndexRun>& runs) {
+  std::int64_t t = 0;
+  for (const IndexRun& r : runs) t += r.len;
+  return t;
+}
+
+}  // namespace fxpar::dist

@@ -1,0 +1,73 @@
+// fxpar dist: per-dimension HPF-style distributions and their index algebra.
+//
+// BLOCK, CYCLIC and BLOCK_CYCLIC(b) are all expressed as block-cyclic with
+// an effective block size (BLOCK -> ceil(N/P), CYCLIC -> 1), which gives a
+// single closed-form owner/local-index calculus. COLLAPSED ("*" in HPF)
+// leaves a dimension undistributed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fxpar::dist {
+
+enum class DistKind { Collapsed, Block, Cyclic, BlockCyclic };
+
+/// A contiguous run [start, start+len) of global indices.
+struct IndexRun {
+  std::int64_t start = 0;
+  std::int64_t len = 0;
+  friend bool operator==(const IndexRun&, const IndexRun&) = default;
+};
+
+class DimDist {
+ public:
+  static DimDist collapsed() { return DimDist(DistKind::Collapsed, 0); }
+  static DimDist block() { return DimDist(DistKind::Block, 0); }
+  static DimDist cyclic() { return DimDist(DistKind::Cyclic, 0); }
+  static DimDist block_cyclic(std::int64_t b);
+
+  DimDist() : DimDist(DistKind::Collapsed, 0) {}
+
+  DistKind kind() const noexcept { return kind_; }
+  bool distributed() const noexcept { return kind_ != DistKind::Collapsed; }
+
+  /// Effective block size for extent `n` over `p` processors.
+  std::int64_t block_size(std::int64_t n, int p) const;
+
+  /// Owning processor coordinate of global index `i` (0 for Collapsed).
+  int owner(std::int64_t i, std::int64_t n, int p) const;
+
+  /// Number of indices of [0,n) owned by coordinate `c`.
+  std::int64_t local_count(int c, std::int64_t n, int p) const;
+
+  /// Local index of global `i` on its owner.
+  std::int64_t global_to_local(std::int64_t i, std::int64_t n, int p) const;
+
+  /// Global index of local `l` on coordinate `c`.
+  std::int64_t local_to_global(int c, std::int64_t l, std::int64_t n, int p) const;
+
+  /// Maximal runs of consecutive global indices owned by coordinate `c`,
+  /// in increasing order. Runs never span block (course) boundaries.
+  std::vector<IndexRun> owned_runs(int c, std::int64_t n, int p) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const DimDist&, const DimDist&) = default;
+
+ private:
+  DimDist(DistKind k, std::int64_t b) : kind_(k), block_(b) {}
+
+  DistKind kind_;
+  std::int64_t block_;  // explicit block size for BlockCyclic
+};
+
+/// Intersection of two increasing run lists, as an increasing run list.
+std::vector<IndexRun> intersect_runs(const std::vector<IndexRun>& a,
+                                     const std::vector<IndexRun>& b);
+
+/// Total number of indices covered by a run list.
+std::int64_t total_length(const std::vector<IndexRun>& runs);
+
+}  // namespace fxpar::dist

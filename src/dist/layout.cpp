@@ -1,0 +1,164 @@
+#include "dist/layout.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fxpar::dist {
+
+Layout::Layout(pgroup::ProcessorGroup group, std::vector<std::int64_t> shape,
+               std::vector<DimDist> dists)
+    : group_(std::move(group)), shape_(std::move(shape)), dists_(std::move(dists)) {
+  init({});
+}
+
+Layout::Layout(pgroup::ProcessorGroup group, std::vector<std::int64_t> shape,
+               std::vector<DimDist> dists, std::vector<int> grid_extents)
+    : group_(std::move(group)), shape_(std::move(shape)), dists_(std::move(dists)) {
+  init(std::move(grid_extents));
+}
+
+void Layout::init(std::vector<int> grid_extents) {
+  if (shape_.empty()) throw std::invalid_argument("Layout: zero-dimensional shape");
+  if (dists_.size() != shape_.size()) {
+    throw std::invalid_argument("Layout: one DimDist required per dimension");
+  }
+  total_ = 1;
+  for (std::int64_t e : shape_) {
+    if (e <= 0) throw std::invalid_argument("Layout: non-positive extent");
+    total_ *= e;
+  }
+  int distributed = 0;
+  grid_dim_of_.assign(shape_.size(), -1);
+  for (std::size_t d = 0; d < dists_.size(); ++d) {
+    if (dists_[d].distributed()) grid_dim_of_[d] = distributed++;
+  }
+  replicated_ = (distributed == 0);
+  if (replicated_) {
+    grid_ = pgroup::Grid({1});
+    return;
+  }
+  if (grid_extents.empty()) {
+    grid_ = pgroup::Grid::balanced(group_.size(), distributed);
+  } else {
+    if (static_cast<int>(grid_extents.size()) != distributed) {
+      throw std::invalid_argument("Layout: grid extents must match distributed dims");
+    }
+    grid_ = pgroup::Grid(std::move(grid_extents));
+    if (grid_.size() != group_.size()) {
+      throw std::invalid_argument("Layout: grid size " + std::to_string(grid_.size()) +
+                                  " != group size " + std::to_string(group_.size()));
+    }
+  }
+}
+
+void Layout::check_dim(int d) const {
+  if (d < 0 || d >= ndims()) throw std::out_of_range("Layout: bad dimension");
+}
+
+int Layout::grid_coord(int vrank, int d) const {
+  check_dim(d);
+  if (vrank < 0 || vrank >= group_.size()) throw std::out_of_range("Layout: bad vrank");
+  const int gd = grid_dim_of_[static_cast<std::size_t>(d)];
+  if (gd < 0) return 0;
+  if (replicated_) return 0;
+  return grid_.coords_of(vrank)[static_cast<std::size_t>(gd)];
+}
+
+int Layout::procs_along(int d) const {
+  check_dim(d);
+  const int gd = grid_dim_of_[static_cast<std::size_t>(d)];
+  return gd < 0 ? 1 : grid_.extent(gd);
+}
+
+int Layout::owner_of(std::span<const std::int64_t> gidx) const {
+  if (static_cast<int>(gidx.size()) != ndims()) {
+    throw std::invalid_argument("Layout::owner_of: index arity mismatch");
+  }
+  if (replicated_) return 0;
+  std::vector<int> coords(static_cast<std::size_t>(grid_.rank()), 0);
+  for (int d = 0; d < ndims(); ++d) {
+    const int gd = grid_dim_of_[static_cast<std::size_t>(d)];
+    if (gd < 0) continue;
+    coords[static_cast<std::size_t>(gd)] = dists_[static_cast<std::size_t>(d)].owner(
+        gidx[static_cast<std::size_t>(d)], shape_[static_cast<std::size_t>(d)],
+        grid_.extent(gd));
+  }
+  return grid_.rank_at(coords);
+}
+
+bool Layout::owns(int vrank, std::span<const std::int64_t> gidx) const {
+  if (static_cast<int>(gidx.size()) != ndims()) {
+    throw std::invalid_argument("Layout::owns: index arity mismatch");
+  }
+  if (replicated_) return true;
+  for (int d = 0; d < ndims(); ++d) {
+    const int gd = grid_dim_of_[static_cast<std::size_t>(d)];
+    if (gd < 0) continue;
+    const int want = dists_[static_cast<std::size_t>(d)].owner(
+        gidx[static_cast<std::size_t>(d)], shape_[static_cast<std::size_t>(d)],
+        grid_.extent(gd));
+    if (want != grid_coord(vrank, d)) return false;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> Layout::local_extents(int vrank) const {
+  std::vector<std::int64_t> e(static_cast<std::size_t>(ndims()));
+  for (int d = 0; d < ndims(); ++d) {
+    e[static_cast<std::size_t>(d)] = dists_[static_cast<std::size_t>(d)].local_count(
+        grid_coord(vrank, d), shape_[static_cast<std::size_t>(d)], procs_along(d));
+  }
+  return e;
+}
+
+std::int64_t Layout::local_size(int vrank) const {
+  std::int64_t s = 1;
+  for (std::int64_t e : local_extents(vrank)) s *= e;
+  return s;
+}
+
+std::int64_t Layout::local_offset(int vrank, std::span<const std::int64_t> gidx) const {
+  const std::vector<std::int64_t> ext = local_extents(vrank);
+  std::int64_t off = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    const std::int64_t l = dists_[static_cast<std::size_t>(d)].global_to_local(
+        gidx[static_cast<std::size_t>(d)], shape_[static_cast<std::size_t>(d)],
+        procs_along(d));
+    off = off * ext[static_cast<std::size_t>(d)] + l;
+  }
+  return off;
+}
+
+std::vector<IndexRun> Layout::owned_runs(int vrank, int d) const {
+  check_dim(d);
+  return dists_[static_cast<std::size_t>(d)].owned_runs(
+      grid_coord(vrank, d), shape_[static_cast<std::size_t>(d)], procs_along(d));
+}
+
+std::vector<std::int64_t> Layout::local_to_global(
+    int vrank, std::span<const std::int64_t> lidx) const {
+  if (static_cast<int>(lidx.size()) != ndims()) {
+    throw std::invalid_argument("Layout::local_to_global: index arity mismatch");
+  }
+  std::vector<std::int64_t> g(static_cast<std::size_t>(ndims()));
+  for (int d = 0; d < ndims(); ++d) {
+    g[static_cast<std::size_t>(d)] = dists_[static_cast<std::size_t>(d)].local_to_global(
+        grid_coord(vrank, d), lidx[static_cast<std::size_t>(d)],
+        shape_[static_cast<std::size_t>(d)], procs_along(d));
+  }
+  return g;
+}
+
+std::string Layout::to_string() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (int d = 0; d < ndims(); ++d) {
+    if (d) oss << ",";
+    oss << shape_[static_cast<std::size_t>(d)] << ":"
+        << dists_[static_cast<std::size_t>(d)].to_string();
+  }
+  oss << ") over " << group_.to_string() << " grid " << grid_.to_string();
+  return oss.str();
+}
+
+}  // namespace fxpar::dist

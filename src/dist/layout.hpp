@@ -1,0 +1,97 @@
+// fxpar dist: the mapping of a whole array onto a processor group.
+//
+// A Layout combines a global shape, one DimDist per dimension, and the
+// processor group the array is mapped to (the paper's SUBGROUP directive:
+// distribution directives are relative to the subgroup the variable is
+// mapped to). Distributed dimensions are laid over a balanced logical grid
+// of the group's virtual processors; collapsed dimensions do not consume
+// grid dimensions. If every dimension is collapsed the array is fully
+// replicated over the group.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/dim_dist.hpp"
+#include "pgroup/grid.hpp"
+#include "pgroup/group.hpp"
+
+namespace fxpar::dist {
+
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Distributes `shape` over `group` with per-dimension `dists`.
+  Layout(pgroup::ProcessorGroup group, std::vector<std::int64_t> shape,
+         std::vector<DimDist> dists);
+
+  /// Convenience: explicit processor grid extents for the distributed
+  /// dimensions (product must equal group size).
+  Layout(pgroup::ProcessorGroup group, std::vector<std::int64_t> shape,
+         std::vector<DimDist> dists, std::vector<int> grid_extents);
+
+  int ndims() const noexcept { return static_cast<int>(shape_.size()); }
+  const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+  std::int64_t extent(int d) const { return shape_.at(static_cast<std::size_t>(d)); }
+  std::int64_t total_elements() const noexcept { return total_; }
+  const DimDist& dim_dist(int d) const { return dists_.at(static_cast<std::size_t>(d)); }
+  const pgroup::ProcessorGroup& group() const noexcept { return group_; }
+  const pgroup::Grid& grid() const noexcept { return grid_; }
+
+  /// True when every dimension is collapsed: each member holds a full copy.
+  bool fully_replicated() const noexcept { return replicated_; }
+
+  /// Grid coordinate (in the grid dimension of array dim `d`) of member `v`.
+  int grid_coord(int vrank, int d) const;
+
+  /// Processors in the grid dimension of array dim `d` (1 for collapsed).
+  int procs_along(int d) const;
+
+  /// Canonical owner (virtual rank) of a global index; for replicated
+  /// layouts this is virtual rank 0.
+  int owner_of(std::span<const std::int64_t> gidx) const;
+
+  /// Whether member `vrank` holds the element at `gidx` locally.
+  bool owns(int vrank, std::span<const std::int64_t> gidx) const;
+
+  /// Extents of member `vrank`'s local block, one per dimension.
+  std::vector<std::int64_t> local_extents(int vrank) const;
+
+  /// Number of elements stored by member `vrank`.
+  std::int64_t local_size(int vrank) const;
+
+  /// Row-major offset into member `vrank`'s local storage of global `gidx`.
+  /// Precondition: owns(vrank, gidx).
+  std::int64_t local_offset(int vrank, std::span<const std::int64_t> gidx) const;
+
+  /// Per-dimension global runs owned by `vrank`.
+  std::vector<IndexRun> owned_runs(int vrank, int d) const;
+
+  /// Global index corresponding to a per-dimension local index.
+  std::vector<std::int64_t> local_to_global(int vrank,
+                                            std::span<const std::int64_t> lidx) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Layout& a, const Layout& b) {
+    return a.group_ == b.group_ && a.shape_ == b.shape_ && a.dists_ == b.dists_ &&
+           a.grid_.extents() == b.grid_.extents();
+  }
+
+ private:
+  void init(std::vector<int> grid_extents);
+  void check_dim(int d) const;
+
+  pgroup::ProcessorGroup group_;
+  std::vector<std::int64_t> shape_;
+  std::vector<DimDist> dists_;
+  pgroup::Grid grid_;               ///< over distributed dims only
+  std::vector<int> grid_dim_of_;    ///< array dim -> grid dim, -1 if collapsed
+  std::int64_t total_ = 0;
+  bool replicated_ = false;
+};
+
+}  // namespace fxpar::dist

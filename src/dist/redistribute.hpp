@@ -1,0 +1,349 @@
+// fxpar dist: general array assignment between distributed arrays.
+//
+// assign(dst, src) implements the paper's parent-scope array assignment
+// (e.g. `A2 = A1` between pipeline stages, Figure 2): every processor of
+// the *current* scope may call it, but only the minimal participating set —
+// the union of the source and destination owner groups — takes part; all
+// other processors return immediately and race ahead (Section 4,
+// "Identification of minimal processor subsets"). Communication is pure
+// direct deposit: no empty messages between processors whose owned sets do
+// not intersect ("Localization").
+//
+// Synchronization: by default participants synchronize on a subset barrier
+// before the transfer, modelling Fx's deposit model in which the receiver's
+// buffer must be ready ("The actual synchronization mechanism is
+// implementation dependent ... typically the same as that used for normal
+// data parallel execution"). This bounds pipeline run-ahead to one data set
+// per stage, like the real system. AssignSync::None gives unbounded
+// buffering for ablation studies.
+//
+// assign_permuted additionally permutes dimensions — the corner turn
+// (transpose) of the radar benchmark is one redistribution — and
+// assign_shifted writes into a rectangular offset of the destination (the
+// merge step of the quicksort example).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "dist/dist_array.hpp"
+#include "machine/context.hpp"
+
+namespace fxpar::dist {
+
+using machine::Context;
+using machine::Payload;
+
+enum class AssignSync {
+  SubsetBarrier,  ///< participants barrier before the transfer (default)
+  None,           ///< pure deposit; sender never waits (unbounded buffering)
+};
+
+/// Union of two groups' members, ascending by physical rank.
+inline pgroup::ProcessorGroup union_group(const pgroup::ProcessorGroup& a,
+                                          const pgroup::ProcessorGroup& b) {
+  std::vector<int> m = a.members();
+  m.insert(m.end(), b.members().begin(), b.members().end());
+  std::sort(m.begin(), m.end());
+  m.erase(std::unique(m.begin(), m.end()), m.end());
+  return pgroup::ProcessorGroup(std::move(m));
+}
+
+namespace detail {
+
+/// Per-source-dimension runs a (sender, receiver) pair exchanges, expressed
+/// in *source* global indices.
+struct TransferPlan {
+  std::vector<std::vector<IndexRun>> runs;  ///< indexed by source dimension
+  std::int64_t elements = 0;
+
+  bool empty() const noexcept { return elements == 0; }
+};
+
+/// perm maps destination dimension -> source dimension:
+/// dst_index[dd] == src_index[perm[dd]] + offsets[dd].
+inline std::vector<int> inverse_perm(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t dd = 0; dd < perm.size(); ++dd) {
+    const int sd = perm[dd];
+    if (sd < 0 || sd >= static_cast<int>(perm.size()) || inv[static_cast<std::size_t>(sd)] != -1) {
+      throw std::invalid_argument("assign: perm is not a permutation");
+    }
+    inv[static_cast<std::size_t>(sd)] = static_cast<int>(dd);
+  }
+  return inv;
+}
+
+inline std::vector<IndexRun> shift_runs(std::vector<IndexRun> runs, std::int64_t delta) {
+  for (IndexRun& r : runs) r.start += delta;
+  return runs;
+}
+
+inline TransferPlan build_plan(const Layout& src, int s_vrank, const Layout& dst, int r_vrank,
+                               const std::vector<int>& inv_perm,
+                               const std::vector<std::int64_t>& offsets) {
+  TransferPlan plan;
+  const int nd = src.ndims();
+  plan.runs.resize(static_cast<std::size_t>(nd));
+  plan.elements = 1;
+  for (int sd = 0; sd < nd; ++sd) {
+    const int dd = inv_perm[static_cast<std::size_t>(sd)];
+    // Express the receiver's owned set in source coordinates, then clip it
+    // against the source's image inside the destination.
+    std::vector<IndexRun> dst_in_src = shift_runs(
+        dst.owned_runs(r_vrank, dd), -offsets[static_cast<std::size_t>(dd)]);
+    dst_in_src = intersect_runs(dst_in_src, {IndexRun{0, src.extent(sd)}});
+    plan.runs[static_cast<std::size_t>(sd)] =
+        intersect_runs(src.owned_runs(s_vrank, sd), dst_in_src);
+    plan.elements *= total_length(plan.runs[static_cast<std::size_t>(sd)]);
+    if (plan.elements == 0) {
+      plan.elements = 0;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+/// Visits the plan's global indices in source-row-major order. `fn` is
+/// called once per innermost run with gidx[last] set to the run start.
+template <typename Fn>
+void visit_plan(const TransferPlan& plan, std::vector<std::int64_t>& gidx, int d, Fn&& fn) {
+  const int nd = static_cast<int>(plan.runs.size());
+  if (d == nd - 1) {
+    for (const IndexRun& r : plan.runs[static_cast<std::size_t>(d)]) {
+      gidx[static_cast<std::size_t>(d)] = r.start;
+      fn(gidx, r.len);
+    }
+    return;
+  }
+  for (const IndexRun& r : plan.runs[static_cast<std::size_t>(d)]) {
+    for (std::int64_t i = r.start; i < r.start + r.len; ++i) {
+      gidx[static_cast<std::size_t>(d)] = i;
+      visit_plan(plan, gidx, d + 1, fn);
+    }
+  }
+}
+
+template <typename T>
+Payload pack_plan(const DistArray<T>& src, int s_vrank, const TransferPlan& plan) {
+  Payload buf;
+  buf.reserve(static_cast<std::size_t>(plan.elements) * sizeof(T));
+  std::vector<std::int64_t> gidx(plan.runs.size(), 0);
+  const std::span<const T> local = src.local();
+  visit_plan(plan, gidx, 0, [&](const std::vector<std::int64_t>& g, std::int64_t len) {
+    const std::int64_t off = src.layout().local_offset(s_vrank, g);
+    const std::size_t pos = buf.size();
+    buf.resize(pos + static_cast<std::size_t>(len) * sizeof(T));
+    std::memcpy(buf.data() + pos, local.data() + off, static_cast<std::size_t>(len) * sizeof(T));
+  });
+  return buf;
+}
+
+template <typename T>
+void unpack_plan(DistArray<T>& dst, int r_vrank, const TransferPlan& plan,
+                 const std::vector<int>& perm, const std::vector<std::int64_t>& offsets,
+                 bool identity_perm, const Payload& data) {
+  const int nd = static_cast<int>(plan.runs.size());
+  std::vector<std::int64_t> gidx(static_cast<std::size_t>(nd), 0);
+  std::vector<std::int64_t> didx(static_cast<std::size_t>(nd), 0);
+  const std::span<T> local = dst.local();
+  std::size_t pos = 0;
+  visit_plan(plan, gidx, 0, [&](const std::vector<std::int64_t>& g, std::int64_t len) {
+    if (identity_perm) {
+      // Runs never span a distribution block on either side (the plan was
+      // clipped against both owners' runs), so destination local addresses
+      // of a run are contiguous too.
+      for (int dd = 0; dd < nd; ++dd) {
+        didx[static_cast<std::size_t>(dd)] =
+            g[static_cast<std::size_t>(dd)] + offsets[static_cast<std::size_t>(dd)];
+      }
+      const std::int64_t off = dst.layout().local_offset(r_vrank, didx);
+      std::memcpy(local.data() + off, data.data() + pos,
+                  static_cast<std::size_t>(len) * sizeof(T));
+      pos += static_cast<std::size_t>(len) * sizeof(T);
+      return;
+    }
+    for (std::int64_t k = 0; k < len; ++k) {
+      for (int dd = 0; dd < nd; ++dd) {
+        const int sd = perm[static_cast<std::size_t>(dd)];
+        didx[static_cast<std::size_t>(dd)] = g[static_cast<std::size_t>(sd)] +
+                                             ((sd == nd - 1) ? k : 0) +
+                                             offsets[static_cast<std::size_t>(dd)];
+      }
+      T v;
+      std::memcpy(&v, data.data() + pos, sizeof(T));
+      pos += sizeof(T);
+      local[static_cast<std::size_t>(dst.layout().local_offset(r_vrank, didx))] = v;
+    }
+  });
+}
+
+}  // namespace detail
+
+/// Generalized assignment: for every source index G inside the copied
+/// region, dst[ G[perm[0]]+offsets[0], ... ] = src[G]. `perm` maps
+/// destination dimensions to source dimensions (identity when empty);
+/// `offsets` shifts the destination placement (zero when empty). Must be
+/// called by every processor of the current scope; only the union of owner
+/// groups participates.
+template <typename T>
+void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
+                    std::vector<int> perm, std::vector<std::int64_t> offsets,
+                    AssignSync sync = AssignSync::SubsetBarrier) {
+  const Layout& sl = src.layout();
+  const Layout& dl = dst.layout();
+  if (sl.ndims() != dl.ndims()) {
+    throw std::invalid_argument("assign: dimensionality mismatch");
+  }
+  const int nd = sl.ndims();
+  if (perm.empty()) {
+    perm.resize(static_cast<std::size_t>(nd));
+    std::iota(perm.begin(), perm.end(), 0);
+  }
+  if (offsets.empty()) offsets.assign(static_cast<std::size_t>(nd), 0);
+  if (static_cast<int>(perm.size()) != nd || static_cast<int>(offsets.size()) != nd) {
+    throw std::invalid_argument("assign: perm/offsets arity mismatch");
+  }
+  const std::vector<int> inv = detail::inverse_perm(perm);
+  for (int dd = 0; dd < nd; ++dd) {
+    const std::int64_t need =
+        sl.extent(perm[static_cast<std::size_t>(dd)]) + offsets[static_cast<std::size_t>(dd)];
+    if (offsets[static_cast<std::size_t>(dd)] < 0 || need > dl.extent(dd)) {
+      throw std::invalid_argument("assign: source does not fit destination in dimension " +
+                                  std::to_string(dd));
+    }
+  }
+  bool identity = true;
+  for (int dd = 0; dd < nd; ++dd) identity &= (perm[static_cast<std::size_t>(dd)] == dd);
+
+  // Minimal participating set: owners of either side. Everyone else skips.
+  const pgroup::ProcessorGroup ug = union_group(sl.group(), dl.group());
+  const int me = ctx.phys_rank();
+  if (!ug.contains(me)) return;
+  const std::uint64_t tag = ctx.collective_tag(ug);
+  if (sync == AssignSync::SubsetBarrier) ctx.barrier(ug);
+
+  const int s_me = sl.group().virtual_of(me);
+  const int r_me = dl.group().virtual_of(me);
+  // With a fully replicated source every member holds the data; virtual
+  // rank 0 is the canonical sender so values are sent exactly once.
+  const bool i_send = s_me >= 0 && (!sl.fully_replicated() || s_me == 0);
+
+  Payload self_payload;
+  bool have_self = false;
+  if (i_send) {
+    for (int r = 0; r < dl.group().size(); ++r) {
+      const int r_phys = dl.group().physical(r);
+      // With a replicated source, destination members that are themselves
+      // source members serve their own copy: never message them.
+      if (sl.fully_replicated() && r_phys != me && sl.group().contains(r_phys)) continue;
+      const detail::TransferPlan plan = detail::build_plan(sl, s_me, dl, r, inv, offsets);
+      if (plan.empty()) continue;
+      Payload buf = detail::pack_plan(src, s_me, plan);
+      ctx.charge_mem_bytes(static_cast<double>(buf.size()));
+      if (r_phys == me) {
+        self_payload = std::move(buf);
+        have_self = true;
+      } else {
+        ctx.send_phys(r_phys, tag, std::move(buf));
+      }
+    }
+  }
+  if (r_me >= 0) {
+    for (int s = 0; s < sl.group().size(); ++s) {
+      if (sl.fully_replicated() && s != (s_me >= 0 ? s_me : 0)) continue;
+      const detail::TransferPlan plan = detail::build_plan(sl, s, dl, r_me, inv, offsets);
+      if (plan.empty()) continue;
+      Payload buf;
+      if (sl.fully_replicated() && s_me >= 0 && s_me != 0) {
+        // Self-serve from the local replica (canonical sender skipped us).
+        buf = detail::pack_plan(src, s_me, plan);
+      } else if (sl.group().physical(s) == me) {
+        if (!have_self) throw std::logic_error("assign: missing self payload");
+        buf = std::move(self_payload);
+        have_self = false;
+      } else {
+        buf = ctx.recv_phys(sl.group().physical(s), tag);
+      }
+      if (buf.size() != static_cast<std::size_t>(plan.elements) * sizeof(T)) {
+        throw std::logic_error("assign: payload size does not match plan");
+      }
+      ctx.charge_mem_bytes(static_cast<double>(buf.size()));
+      detail::unpack_plan(dst, r_me, plan, perm, offsets, identity, buf);
+    }
+  }
+}
+
+/// dst = src with matching shapes (possibly different distributions and
+/// owner groups). The workhorse behind pipeline stage handoffs.
+template <typename T>
+void assign(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
+            AssignSync sync = AssignSync::SubsetBarrier) {
+  if (dst.layout().shape() != src.layout().shape()) {
+    throw std::invalid_argument("assign: whole-array assignment requires equal shapes");
+  }
+  assign_general(ctx, dst, src, {}, {}, sync);
+}
+
+/// dst[i...] = src[i[perm]...]: dimension-permuting assignment.
+template <typename T>
+void assign_permuted(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
+                     std::vector<int> perm, AssignSync sync = AssignSync::SubsetBarrier) {
+  assign_general(ctx, dst, src, std::move(perm), {}, sync);
+}
+
+/// Writes src into dst starting at `offsets` (dst section assignment).
+template <typename T>
+void assign_shifted(Context& ctx, DistArray<T>& dst, std::vector<std::int64_t> offsets,
+                    const DistArray<T>& src, AssignSync sync = AssignSync::SubsetBarrier) {
+  assign_general(ctx, dst, src, {}, std::move(offsets), sync);
+}
+
+/// 2-D transpose: dst[j,i] = src[i,j] (the radar corner turn).
+template <typename T>
+void transpose(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
+               AssignSync sync = AssignSync::SubsetBarrier) {
+  if (src.layout().ndims() != 2) throw std::invalid_argument("transpose: 2-D arrays only");
+  assign_permuted(ctx, dst, src, {1, 0}, sync);
+}
+
+/// Scatters a full row-major array held on physical processor `root_phys`
+/// into the distributed array `a`. Must be called by all members of the
+/// owner group plus the root; non-root callers may pass an empty vector.
+template <typename T>
+void scatter_full(Context& ctx, DistArray<T>& a, int root_phys, const std::vector<T>& full) {
+  const pgroup::ProcessorGroup root_group({root_phys});
+  Layout src_layout(root_group, a.layout().shape(),
+                    std::vector<DimDist>(static_cast<std::size_t>(a.layout().ndims()),
+                                         DimDist::collapsed()));
+  DistArray<T> tmp(ctx, std::move(src_layout), a.name() + ".scatter");
+  if (ctx.phys_rank() == root_phys) {
+    if (static_cast<std::int64_t>(full.size()) != a.layout().total_elements()) {
+      throw std::invalid_argument("scatter_full: source size does not match array shape");
+    }
+    std::copy(full.begin(), full.end(), tmp.local().begin());
+  }
+  assign(ctx, a, tmp);
+}
+
+/// Gathers the full array, row-major, onto physical processor `root_phys`.
+/// Must be called by all members of the owner group plus the root; the root
+/// returns the data, everyone else an empty vector.
+template <typename T>
+std::vector<T> gather_full(Context& ctx, const DistArray<T>& a, int root_phys) {
+  const pgroup::ProcessorGroup root_group({root_phys});
+  Layout dst_layout(root_group, a.layout().shape(),
+                    std::vector<DimDist>(static_cast<std::size_t>(a.layout().ndims()),
+                                         DimDist::collapsed()));
+  DistArray<T> tmp(ctx, std::move(dst_layout), a.name() + ".gather");
+  assign(ctx, tmp, a);
+  if (ctx.phys_rank() == root_phys) {
+    return std::vector<T>(tmp.local().begin(), tmp.local().end());
+  }
+  return {};
+}
+
+}  // namespace fxpar::dist

@@ -1,0 +1,75 @@
+// fxpar dist: whole-array reductions over distributed arrays.
+//
+// Convenience wrappers combining a local pass over the owned elements with
+// a deterministic group reduction — the "merge" side of Fx's do&merge in
+// array form. Every member of the array's owner group must call; the
+// caller's current group must contain the owner group (parent scope) or be
+// exactly it (subgroup scope).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "comm/collectives.hpp"
+#include "dist/dist_array.hpp"
+
+namespace fxpar::dist {
+
+namespace detail {
+
+template <typename T, typename Op>
+T reduce_local(const DistArray<T>& a, T init, Op op) {
+  T acc = init;
+  if (a.is_member()) {
+    for (const T& v : a.local()) acc = op(acc, v);
+    a.context().charge_flops(static_cast<double>(a.local().size()));
+  }
+  return acc;
+}
+
+template <typename T, typename Op>
+T reduce_array(machine::Context& ctx, const DistArray<T>& a, T init, Op op) {
+  if (!a.is_member()) {
+    throw std::logic_error("array reduction: caller is not a member of the owner group");
+  }
+  T local = detail::reduce_local(a, init, op);
+  if (a.layout().fully_replicated() || a.group().size() == 1) return local;
+  return comm::allreduce(ctx, a.group(), local, op);
+}
+
+}  // namespace detail
+
+/// Sum of all elements; every owner-group member returns the result.
+template <typename T>
+T array_sum(machine::Context& ctx, const DistArray<T>& a) {
+  return detail::reduce_array<T>(ctx, a, T{}, [](const T& x, const T& y) { return x + y; });
+}
+
+/// Minimum element.
+template <typename T>
+T array_min(machine::Context& ctx, const DistArray<T>& a) {
+  return detail::reduce_array<T>(ctx, a, std::numeric_limits<T>::max(),
+                                 [](const T& x, const T& y) { return std::min(x, y); });
+}
+
+/// Maximum element.
+template <typename T>
+T array_max(machine::Context& ctx, const DistArray<T>& a) {
+  return detail::reduce_array<T>(ctx, a, std::numeric_limits<T>::lowest(),
+                                 [](const T& x, const T& y) { return std::max(x, y); });
+}
+
+/// Number of elements for which `pred` holds.
+template <typename T, typename Pred>
+std::int64_t array_count(machine::Context& ctx, const DistArray<T>& a, Pred pred) {
+  if (!a.is_member()) {
+    throw std::logic_error("array_count: caller is not a member of the owner group");
+  }
+  std::int64_t local = 0;
+  for (const T& v : a.local()) local += pred(v) ? 1 : 0;
+  ctx.charge_int_ops(static_cast<double>(a.local().size()));
+  if (a.layout().fully_replicated() || a.group().size() == 1) return local;
+  return comm::allreduce(ctx, a.group(), local, std::plus<std::int64_t>{});
+}
+
+}  // namespace fxpar::dist

@@ -1,0 +1,116 @@
+// fxlang: abstract syntax of the Fx-like directive language.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fxpar::lang {
+
+// ---- expressions ----
+
+enum class ExprKind {
+  Number,
+  ScalarRef,  // scalar variable
+  ArrayRef,   // whole-array reference in elementwise context
+  Unary,      // -x
+  Binary,
+  Call,       // intrinsic: NPROCS, MYRANK, INDEX, SUM, MINVAL, MAXVAL, MOD
+};
+
+enum class BinOp { Add, Sub, Mul, Div, Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Expr {
+  ExprKind kind = ExprKind::Number;
+  double number = 0.0;
+  std::string name;  // variable or intrinsic name
+  BinOp op = BinOp::Add;
+  std::vector<std::unique_ptr<Expr>> args;  // operands / call arguments
+  int line = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---- statements ----
+
+enum class StmtKind {
+  DeclScalar,     // INTEGER/REAL names...
+  DeclArray,      // ARRAY a(e1[, e2, ...]) ...
+  DeclPartition,  // TASK_PARTITION name :: g1(e), g2(e)...
+  MapSubgroup,    // SUBGROUP(g) :: names...
+  Distribute,     // DISTRIBUTE a(BLOCK, *), ...
+  TaskRegion,     // BEGIN TASK_REGION name ... END TASK_REGION
+  OnSubgroup,     // ON SUBGROUP g ... END ON
+  Do,             // DO i = e1, e2 ... END DO
+  If,             // IF e THEN ... [ELSE ...] END IF
+  Assign,         // lhs[(indices)] = expr   (scalar, array, or element)
+  Print,          // PRINT expr
+  Barrier,        // BARRIER
+  Call,           // CALL name(args)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ArrayDecl {
+  std::string name;
+  std::vector<ExprPtr> extents;
+};
+
+struct SubgroupSpecAst {
+  std::string name;
+  ExprPtr size;
+};
+
+struct DistSpec {
+  std::string array;
+  std::vector<std::string> dims;  // "BLOCK", "CYCLIC", "CYCLIC(k)" -> "CYCLIC:k", "*"
+  std::vector<std::int64_t> cyclic_blocks;  // parallel to dims; 0 if n/a
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Barrier;
+  int line = 0;
+
+  // DeclScalar
+  std::vector<std::string> names;
+  // DeclArray
+  std::vector<ArrayDecl> arrays;
+  // DeclPartition
+  std::string partition_name;
+  std::vector<SubgroupSpecAst> subgroups;
+  // MapSubgroup / OnSubgroup
+  std::string subgroup_name;
+  // Distribute
+  std::vector<DistSpec> dists;
+  // TaskRegion / OnSubgroup / Do / If bodies
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;  // If only
+  // Do
+  std::string loop_var;
+  ExprPtr from, to;
+  // Assign
+  std::string lhs;
+  std::vector<ExprPtr> lhs_indices;  // non-empty for element assignment a(i) = ...
+  ExprPtr rhs;
+  // Print / If condition
+  ExprPtr expr;
+  // Call
+  std::vector<ExprPtr> call_args;
+};
+
+struct Subroutine {
+  std::string name;
+  std::vector<std::string> params;  // scalars by value; array names bind by reference
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::string name;  // PROGRAM name, or empty
+  std::vector<StmtPtr> body;
+  std::vector<Subroutine> subroutines;
+};
+
+}  // namespace fxpar::lang

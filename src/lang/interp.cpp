@@ -1,0 +1,597 @@
+#include "lang/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fx.hpp"
+#include "lang/parser.hpp"
+
+namespace fxpar::lang {
+
+namespace {
+
+using machine::Context;
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("fxlang:" + std::to_string(line) + ": " + what);
+}
+
+/// Host-shared PRINT sink; the simulation is single-threaded, ordering is
+/// by (virtual time, arrival sequence).
+struct OutputSink {
+  struct Line {
+    double time;
+    std::uint64_t seq;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  std::uint64_t next_seq = 0;
+
+  void add(double time, std::string text) {
+    lines.push_back(Line{time, next_seq++, std::move(text)});
+  }
+  std::vector<std::string> sorted() const {
+    auto copy = lines;
+    std::sort(copy.begin(), copy.end(), [](const Line& a, const Line& b) {
+      return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    });
+    std::vector<std::string> out;
+    out.reserve(copy.size());
+    for (auto& l : copy) out.push_back(std::move(l.text));
+    return out;
+  }
+};
+
+/// Approximate flop weight of an expression (for time charging).
+int expr_ops(const Expr& e) {
+  int ops = 1;
+  for (const auto& a : e.args) ops += expr_ops(*a);
+  return ops;
+}
+
+class Interp {
+ public:
+  Interp(Context& ctx, const Program& prog, OutputSink& sink)
+      : ctx_(ctx), prog_(prog), sink_(sink) {
+    for (const auto& sub : prog.subroutines) {
+      if (!subs_.emplace(sub.name, &sub).second) {
+        fail(sub.line, "subroutine redeclared: " + sub.name);
+      }
+    }
+  }
+
+  void run() { exec_block(prog_.body); }
+
+ private:
+  struct ArrayVar {
+    std::vector<std::int64_t> shape;
+    std::string subgroup;                 // empty: current group at materialization
+    std::vector<dist::DimDist> dists;     // empty until DISTRIBUTE (default BLOCK dim 0)
+    std::unique_ptr<dist::DistArray<double>> data;
+    int decl_line = 0;
+  };
+
+  struct ElemCtx {
+    std::span<const std::int64_t> gidx;
+  };
+
+  // ---- execution ----
+
+  void exec_block(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) exec(*s);
+  }
+
+  void exec(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::DeclScalar:
+        for (const auto& n : s.names) {
+          if (scalars_.count(n) || arrays_.count(n)) fail(s.line, "redeclared: " + n);
+          scalars_[n] = 0.0;
+        }
+        return;
+      case StmtKind::DeclArray:
+        for (const auto& d : s.arrays) {
+          if (scalars_.count(d.name) || arrays_.count(d.name)) {
+            fail(s.line, "redeclared: " + d.name);
+          }
+          auto v = std::make_shared<ArrayVar>();
+          v->decl_line = s.line;
+          for (const auto& e : d.extents) {
+            v->shape.push_back(static_cast<std::int64_t>(eval(*e, nullptr)));
+          }
+          arrays_.emplace(d.name, std::move(v));
+        }
+        return;
+      case StmtKind::DeclPartition: {
+        if (partitions_.count(s.partition_name)) {
+          fail(s.line, "partition redeclared: " + s.partition_name);
+        }
+        std::vector<SubgroupSpec> specs;
+        for (const auto& sg : s.subgroups) {
+          specs.push_back({sg.name, static_cast<int>(eval(*sg.size, nullptr))});
+          subgroup_partition_[sg.name] = s.partition_name;
+        }
+        partitions_.emplace(s.partition_name,
+                            std::make_unique<core::TaskPartition>(ctx_, std::move(specs),
+                                                                  s.partition_name));
+        return;
+      }
+      case StmtKind::MapSubgroup:
+        for (const auto& n : s.names) {
+          auto it = arrays_.find(n);
+          if (it == arrays_.end()) fail(s.line, "SUBGROUP of undeclared array: " + n);
+          if (it->second->data) fail(s.line, "SUBGROUP after first use of: " + n);
+          it->second->subgroup = s.subgroup_name;
+        }
+        return;
+      case StmtKind::Distribute:
+        for (const auto& d : s.dists) {
+          auto it = arrays_.find(d.array);
+          if (it == arrays_.end()) fail(s.line, "DISTRIBUTE of undeclared array: " + d.array);
+          if (it->second->data) fail(s.line, "DISTRIBUTE after first use of: " + d.array);
+          if (d.dims.size() != it->second->shape.size()) {
+            fail(s.line, "DISTRIBUTE arity mismatch for: " + d.array);
+          }
+          std::vector<dist::DimDist> dists;
+          for (std::size_t k = 0; k < d.dims.size(); ++k) {
+            const std::string& kind = d.dims[k];
+            if (kind == "*") {
+              dists.push_back(dist::DimDist::collapsed());
+            } else if (kind == "BLOCK") {
+              dists.push_back(dist::DimDist::block());
+            } else if (kind == "CYCLIC" && d.cyclic_blocks[k] > 0) {
+              dists.push_back(dist::DimDist::block_cyclic(d.cyclic_blocks[k]));
+            } else if (kind == "CYCLIC") {
+              dists.push_back(dist::DimDist::cyclic());
+            } else {
+              fail(s.line, "unknown distribution: " + kind);
+            }
+          }
+          it->second->dists = std::move(dists);
+        }
+        return;
+      case StmtKind::TaskRegion: {
+        const core::TaskPartition& part = find_partition(s.partition_name, s.line);
+        core::TaskRegion region(ctx_, part);
+        region_stack_.push_back(&region);
+        try {
+          exec_block(s.body);
+        } catch (...) {
+          region_stack_.pop_back();
+          throw;
+        }
+        region_stack_.pop_back();
+        return;
+      }
+      case StmtKind::OnSubgroup: {
+        if (region_stack_.empty()) fail(s.line, "ON SUBGROUP outside a task region");
+        core::TaskRegion& region = *region_stack_.back();
+        bool threw = false;
+        std::exception_ptr eptr;
+        region.on(s.subgroup_name, [&] {
+          try {
+            exec_block(s.body);
+          } catch (...) {
+            threw = true;
+            eptr = std::current_exception();
+          }
+        });
+        if (threw) std::rethrow_exception(eptr);
+        return;
+      }
+      case StmtKind::Do: {
+        const double from = eval(*s.from, nullptr);
+        const double to = eval(*s.to, nullptr);
+        double& var = scalar_ref(s.loop_var, s.line);
+        for (double i = from; i <= to + 1e-12; i += 1.0) {
+          var = i;
+          ctx_.charge_int_ops(2);  // replicated loop control
+          exec_block(s.body);
+        }
+        return;
+      }
+      case StmtKind::If: {
+        const double c = eval(*s.expr, nullptr);
+        ctx_.charge_int_ops(1);
+        if (c != 0.0) {
+          exec_block(s.body);
+        } else {
+          exec_block(s.else_body);
+        }
+        return;
+      }
+      case StmtKind::Assign:
+        exec_assign(s);
+        return;
+      case StmtKind::Print: {
+        const double v = eval(*s.expr, nullptr);
+        if (ctx_.vrank() == 0) {
+          std::ostringstream oss;
+          oss.precision(12);
+          oss << v;
+          sink_.add(ctx_.now(), oss.str());
+        }
+        return;
+      }
+      case StmtKind::Barrier:
+        ctx_.barrier();
+        return;
+      case StmtKind::Call:
+        exec_call_stmt(s);
+        return;
+    }
+    fail(s.line, "unhandled statement");
+  }
+
+  void exec_call_stmt(const Stmt& s) {
+    auto it = subs_.find(s.lhs);
+    if (it == subs_.end()) fail(s.line, "undeclared subroutine: " + s.lhs);
+    const Subroutine& sub = *it->second;
+    if (s.call_args.size() != sub.params.size()) {
+      fail(s.line, "CALL " + s.lhs + ": expected " + std::to_string(sub.params.size()) +
+                       " arguments");
+    }
+    if (++call_depth_ > 64) {
+      --call_depth_;
+      fail(s.line, "subroutine recursion too deep");
+    }
+    // Bind arguments: a bare identifier naming an array binds the array by
+    // reference (the Fortran convention the paper's Figure 4 relies on);
+    // anything else is evaluated and bound as a value scalar.
+    Frame callee;
+    for (std::size_t k = 0; k < sub.params.size(); ++k) {
+      const Expr& arg = *s.call_args[k];
+      if (arg.kind == ExprKind::ScalarRef && arrays_.count(arg.name)) {
+        callee.arrays[sub.params[k]] = arrays_.at(arg.name);
+      } else {
+        callee.scalars[sub.params[k]] = eval(arg, nullptr);
+      }
+    }
+    // Swap in the callee frame (flat Fortran scoping: no caller locals).
+    Frame saved{std::move(scalars_), std::move(arrays_), std::move(partitions_),
+                std::move(subgroup_partition_), std::move(region_stack_)};
+    scalars_ = std::move(callee.scalars);
+    arrays_ = std::move(callee.arrays);
+    partitions_.clear();
+    subgroup_partition_.clear();
+    region_stack_.clear();
+    try {
+      exec_block(sub.body);
+    } catch (...) {
+      scalars_ = std::move(saved.scalars);
+      arrays_ = std::move(saved.arrays);
+      partitions_ = std::move(saved.partitions);
+      subgroup_partition_ = std::move(saved.subgroup_partition);
+      region_stack_ = std::move(saved.region_stack);
+      --call_depth_;
+      throw;
+    }
+    scalars_ = std::move(saved.scalars);
+    arrays_ = std::move(saved.arrays);
+    partitions_ = std::move(saved.partitions);
+    subgroup_partition_ = std::move(saved.subgroup_partition);
+    region_stack_ = std::move(saved.region_stack);
+    --call_depth_;
+  }
+
+  std::vector<std::int64_t> eval_indices(const std::vector<ExprPtr>& idx, const ElemCtx* ec,
+                                         const ArrayVar& v, int line) {
+    if (idx.size() != v.shape.size()) fail(line, "index arity mismatch");
+    std::vector<std::int64_t> out;
+    for (const auto& e : idx) {
+      out.push_back(static_cast<std::int64_t>(eval(*e, ec)));
+    }
+    for (std::size_t d = 0; d < out.size(); ++d) {
+      if (out[d] < 0 || out[d] >= v.shape[d]) {
+        fail(line, "index out of range");
+      }
+    }
+    return out;
+  }
+
+  void exec_assign(const Stmt& s) {
+    // Element assignment a(i[, j]) = expr: all current processors evaluate
+    // the (replicated) indices and value; the owners store.
+    if (!s.lhs_indices.empty()) {
+      auto ait = arrays_.find(s.lhs);
+      if (ait == arrays_.end()) fail(s.line, "element assignment to non-array: " + s.lhs);
+      ArrayVar& dst = *ait->second;
+      materialize(dst, s.line);
+      const auto idx = eval_indices(s.lhs_indices, nullptr, dst, s.line);
+      const double v = eval(*s.rhs, nullptr);
+      ctx_.charge_int_ops(expr_ops(*s.rhs));
+      if (dst.data->is_member() && dst.data->owns(idx)) {
+        dst.data->at_global(idx) = v;
+      }
+      return;
+    }
+    if (scalars_.count(s.lhs)) {
+      scalar_ref(s.lhs, s.line) = eval(*s.rhs, nullptr);
+      ctx_.charge_int_ops(expr_ops(*s.rhs));
+      return;
+    }
+    auto it = arrays_.find(s.lhs);
+    if (it == arrays_.end()) fail(s.line, "assignment to undeclared variable: " + s.lhs);
+    ArrayVar& dst = *it->second;
+
+    // Whole-array copy `a = b` with a differently mapped b: redistribution
+    // with minimal participating sets (the paper's parent-scope statement).
+    if (s.rhs->kind == ExprKind::ScalarRef && arrays_.count(s.rhs->name)) {
+      ArrayVar& src = *arrays_.at(s.rhs->name);
+      materialize(src, s.line);
+      materialize(dst, s.line);
+      if (!(src.data->layout() == dst.data->layout())) {
+        check_scope_contains(dst, s.line);
+        check_scope_contains(src, s.line);
+        dist::assign(ctx_, *dst.data, *src.data);
+        return;
+      }
+      // Identically mapped: plain local copy.
+      if (dst.data->is_member()) {
+        auto from = src.data->local();
+        auto to = dst.data->local();
+        std::copy(from.begin(), from.end(), to.begin());
+        ctx_.charge_mem_bytes(static_cast<double>(from.size_bytes()));
+      }
+      return;
+    }
+
+    // Elementwise assignment over the owned elements.
+    materialize(dst, s.line);
+    if (!dst.data->is_member()) {
+      fail(s.line, "elementwise assignment to '" + s.lhs +
+                       "' outside its subgroup (the ON-block locality rule)");
+    }
+    const int ops = expr_ops(*s.rhs);
+    validate_elementwise_operands(*s.rhs, dst, s.line);
+    std::int64_t count = 0;
+    dst.data->for_each_owned([&](std::span<const std::int64_t> gidx, double& v) {
+      ElemCtx ec{gidx};
+      v = eval(*s.rhs, &ec);
+      count += 1;
+    });
+    ctx_.charge_flops(static_cast<double>(ops) * static_cast<double>(count));
+  }
+
+  // ---- environment helpers ----
+
+  double& scalar_ref(const std::string& name, int line) {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end()) fail(line, "undeclared scalar: " + name);
+    return it->second;
+  }
+
+  const core::TaskPartition& find_partition(const std::string& name, int line) {
+    if (!name.empty()) {
+      auto it = partitions_.find(name);
+      if (it == partitions_.end()) fail(line, "undeclared partition: " + name);
+      return *it->second;
+    }
+    if (partitions_.size() != 1) {
+      fail(line, "partition name required (not exactly one declared)");
+    }
+    return *partitions_.begin()->second;
+  }
+
+  void materialize(ArrayVar& v, int line) {
+    if (v.data) return;
+    pgroup::ProcessorGroup group = ctx_.group();
+    if (!v.subgroup.empty()) {
+      auto it = subgroup_partition_.find(v.subgroup);
+      if (it == subgroup_partition_.end()) fail(line, "unknown subgroup: " + v.subgroup);
+      group = partitions_.at(it->second)->subgroup(v.subgroup);
+    }
+    std::vector<dist::DimDist> dists = v.dists;
+    if (dists.empty()) {
+      dists.assign(v.shape.size(), dist::DimDist::collapsed());
+      dists[0] = dist::DimDist::block();
+    }
+    v.data = std::make_unique<dist::DistArray<double>>(
+        ctx_, dist::Layout(group, v.shape, std::move(dists)), "fx.array");
+  }
+
+  /// Subgroup-scope locality: the owner groups of statement operands must
+  /// be contained in the current group... unless we are in parent scope
+  /// (the current group contains them anyway only when they are subsets).
+  void check_scope_contains(ArrayVar& v, int line) {
+    for (int member : v.data->group().members()) {
+      if (!ctx_.group().contains(member)) {
+        // Legal only in parent scope, i.e. when the *whole* union will be
+        // reached by this statement; approximate the paper's static rule:
+        // the array's owners must all be current processors.
+        fail(line, "array mapped outside the current processor scope");
+      }
+    }
+  }
+
+  void validate_elementwise_operands(const Expr& e, const ArrayVar& dst, int line) {
+    if (e.kind == ExprKind::ScalarRef && arrays_.count(e.name)) {
+      ArrayVar& src = *arrays_.at(e.name);
+      materialize(src, line);
+      if (!(src.data->layout() == dst.data->layout())) {
+        fail(line, "elementwise operand '" + e.name +
+                       "' is not aligned with the assignment target");
+      }
+    }
+    for (const auto& a : e.args) validate_elementwise_operands(*a, dst, line);
+  }
+
+  // ---- evaluation ----
+
+  double eval(const Expr& e, const ElemCtx* ec) {
+    switch (e.kind) {
+      case ExprKind::Number:
+        return e.number;
+      case ExprKind::ScalarRef: {
+        auto it = scalars_.find(e.name);
+        if (it != scalars_.end()) return it->second;
+        auto ai = arrays_.find(e.name);
+        if (ai != arrays_.end()) {
+          if (ec == nullptr) {
+            fail(e.line, "whole-array '" + e.name + "' used in scalar context");
+          }
+          materialize(*ai->second, e.line);
+          return ai->second->data->at_global(ec->gidx);
+        }
+        fail(e.line, "undeclared identifier: " + e.name);
+      }
+      case ExprKind::Unary:
+        return -eval(*e.args[0], ec);
+      case ExprKind::Binary: {
+        const double a = eval(*e.args[0], ec);
+        const double b = eval(*e.args[1], ec);
+        switch (e.op) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div: return a / b;
+          case BinOp::Eq: return a == b ? 1.0 : 0.0;
+          case BinOp::Ne: return a != b ? 1.0 : 0.0;
+          case BinOp::Lt: return a < b ? 1.0 : 0.0;
+          case BinOp::Le: return a <= b ? 1.0 : 0.0;
+          case BinOp::Gt: return a > b ? 1.0 : 0.0;
+          case BinOp::Ge: return a >= b ? 1.0 : 0.0;
+        }
+        fail(e.line, "bad operator");
+      }
+      case ExprKind::Call:
+        return eval_call(e, ec);
+      case ExprKind::ArrayRef:
+        break;
+    }
+    fail(e.line, "bad expression");
+  }
+
+  double eval_call(const Expr& e, const ElemCtx* ec) {
+    // Indexed array access a(i[, j]).
+    if (auto ait = arrays_.find(e.name); ait != arrays_.end()) {
+      ArrayVar& v = *ait->second;
+      materialize(v, e.line);
+      const auto idx = eval_indices(e.args, ec, v, e.line);
+      if (ec != nullptr) {
+        // Elementwise context: the referenced element must be local.
+        if (!v.data->is_member() || !v.data->owns(idx)) {
+          fail(e.line, "remote element access in elementwise expression");
+        }
+        return v.data->at_global(idx);
+      }
+      // Scalar context: the owner broadcasts within the current group (the
+      // owner-computes pattern; every current processor must be executing
+      // this statement).
+      std::vector<std::int64_t> ownspan(idx.begin(), idx.end());
+      const int owner_v = v.data->layout().owner_of(ownspan);
+      const int owner_phys = v.data->group().physical(owner_v);
+      const int root = ctx_.group().virtual_of(owner_phys);
+      if (root < 0) {
+        fail(e.line, "element owner is outside the current processor scope");
+      }
+      double value = 0.0;
+      if (ctx_.phys_rank() == owner_phys) value = v.data->at_global(idx);
+      if (ctx_.nprocs() == 1) return value;
+      return comm::broadcast(ctx_, ctx_.group(), root, value);
+    }
+    auto need_args = [&](std::size_t n) {
+      if (e.args.size() != n) fail(e.line, e.name + ": wrong number of arguments");
+    };
+    if (e.name == "NPROCS") {
+      need_args(0);
+      return static_cast<double>(ctx_.nprocs());
+    }
+    if (e.name == "MYRANK") {
+      need_args(0);
+      return static_cast<double>(ctx_.vrank());
+    }
+    if (e.name == "MOD") {
+      need_args(2);
+      return std::fmod(eval(*e.args[0], ec), eval(*e.args[1], ec));
+    }
+    if (e.name == "INDEX") {
+      need_args(1);
+      if (ec == nullptr) fail(e.line, "INDEX() outside an elementwise expression");
+      const int d = static_cast<int>(eval(*e.args[0], nullptr)) - 1;  // 1-based
+      if (d < 0 || d >= static_cast<int>(ec->gidx.size())) fail(e.line, "INDEX: bad dimension");
+      return static_cast<double>(ec->gidx[static_cast<std::size_t>(d)]);
+    }
+    if (e.name == "SUM" || e.name == "MINVAL" || e.name == "MAXVAL") {
+      need_args(1);
+      if (e.args[0]->kind != ExprKind::ScalarRef || !arrays_.count(e.args[0]->name)) {
+        fail(e.line, e.name + ": argument must be an array");
+      }
+      ArrayVar& v = *arrays_.at(e.args[0]->name);
+      materialize(v, e.line);
+      if (!(v.data->group() == ctx_.group())) {
+        fail(e.line, e.name + ": array must be mapped to the current processors");
+      }
+      double local;
+      std::function<double(double, double)> op;
+      if (e.name == "SUM") {
+        local = 0.0;
+        op = [](double a, double b) { return a + b; };
+      } else if (e.name == "MINVAL") {
+        local = std::numeric_limits<double>::infinity();
+        op = [](double a, double b) { return std::min(a, b); };
+      } else {
+        local = -std::numeric_limits<double>::infinity();
+        op = [](double a, double b) { return std::max(a, b); };
+      }
+      // Fully replicated arrays: every member holds everything; reduce
+      // locally on each member without communication.
+      if (v.data->layout().fully_replicated()) {
+        for (double x : v.data->local()) local = op(local, x);
+        ctx_.charge_flops(static_cast<double>(v.data->local().size()));
+        return local;
+      }
+      for (double x : v.data->local()) local = op(local, x);
+      ctx_.charge_flops(static_cast<double>(v.data->local().size()));
+      return comm::allreduce(ctx_, ctx_.group(), local, op);
+    }
+    fail(e.line, "unknown intrinsic: " + e.name);
+  }
+
+  /// One procedure activation's environment. Subroutines see only their
+  /// parameters and local declarations (Fortran-style flat scoping), so a
+  /// CALL swaps in a fresh frame and restores the caller's afterwards.
+  struct Frame {
+    std::map<std::string, double> scalars;
+    std::map<std::string, std::shared_ptr<ArrayVar>> arrays;
+    std::map<std::string, std::unique_ptr<core::TaskPartition>> partitions;
+    std::map<std::string, std::string> subgroup_partition;
+    std::vector<core::TaskRegion*> region_stack;
+  };
+
+  Context& ctx_;
+  const Program& prog_;
+  OutputSink& sink_;
+  std::map<std::string, const Subroutine*> subs_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::shared_ptr<ArrayVar>> arrays_;
+  std::map<std::string, std::unique_ptr<core::TaskPartition>> partitions_;
+  std::map<std::string, std::string> subgroup_partition_;
+  std::vector<core::TaskRegion*> region_stack_;
+  int call_depth_ = 0;
+};
+
+}  // namespace
+
+FxRunResult run_program(const machine::MachineConfig& config, const Program& program) {
+  FxRunResult res;
+  OutputSink sink;
+  machine::Machine machine(config);
+  res.machine_result = machine.run([&](Context& ctx) {
+    Interp interp(ctx, program, sink);
+    interp.run();
+  });
+  res.output = sink.sorted();
+  return res;
+}
+
+FxRunResult run_source(const machine::MachineConfig& config, const std::string& source) {
+  return run_program(config, parse_program(source));
+}
+
+}  // namespace fxpar::lang

@@ -1,0 +1,37 @@
+// fxlang: SPMD interpreter for the Fx-like directive language.
+//
+// A parsed Program executes once per simulated processor (SPMD), against
+// the same runtime the C++ DSL uses: TASK_PARTITION creates a
+// core::TaskPartition of the current group, BEGIN TASK_REGION opens a
+// core::TaskRegion, ON SUBGROUP bodies run on their subgroup only, array
+// assignment between differently mapped arrays is a dist::assign with the
+// minimal participating set, and scalars are replicated per the paper's
+// execution model. Time is charged per evaluated expression node.
+//
+// Model legality is enforced dynamically: code in subgroup scope may only
+// touch arrays whose owner group is contained in the current group (the
+// paper's ON-block locality assertion), elementwise operands must be
+// identically mapped (alignment), and ON is only legal inside a task
+// region.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "machine/machine.hpp"
+
+namespace fxpar::lang {
+
+struct FxRunResult {
+  machine::RunResult machine_result;
+  std::vector<std::string> output;  ///< PRINT lines, ordered by virtual time
+};
+
+/// Executes a parsed program on a simulated machine.
+FxRunResult run_program(const machine::MachineConfig& config, const Program& program);
+
+/// Parses and executes source text.
+FxRunResult run_source(const machine::MachineConfig& config, const std::string& source);
+
+}  // namespace fxpar::lang

@@ -1,0 +1,109 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fxpar::lang {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("fxlang:" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  auto push = [&](Tok k) { out.push_back(Token{k, "", 0, line}); };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '!') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      char* end = nullptr;
+      const double v = std::strtod(source.c_str() + i, &end);
+      Token t{Tok::Number, "", v, line};
+      i = static_cast<std::size_t>(end - source.c_str());
+      out.push_back(t);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) || source[j] == '_')) {
+        ++j;
+      }
+      std::string word = source.substr(i, j - i);
+      for (char& ch : word) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      out.push_back(Token{Tok::Ident, std::move(word), 0, line});
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && source[i + 1] == b;
+    };
+    if (two(':', ':')) {
+      push(Tok::ColonColon);
+      i += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      push(Tok::Eq);
+      i += 2;
+      continue;
+    }
+    if (two('<', '>')) {
+      push(Tok::Ne);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(Tok::Le);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(Tok::Ge);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case ',': push(Tok::Comma); break;
+      case '=': push(Tok::Assign); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '<': push(Tok::Lt); break;
+      case '>': push(Tok::Gt); break;
+      default:
+        fail(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+  out.push_back(Token{Tok::End, "", 0, line});
+  return out;
+}
+
+}  // namespace fxpar::lang

@@ -1,0 +1,56 @@
+// fxlang: tokenizer for the Fx-like directive language.
+//
+// The surface syntax is a line-oriented, case-insensitive, Fortran-
+// flavoured mini-language carrying exactly the paper's directives:
+//
+//   TASK_PARTITION part :: g1(2), g2(NPROCS() - 2)
+//   SUBGROUP(g1) :: a
+//   DISTRIBUTE a(BLOCK)
+//   BEGIN TASK_REGION part
+//   ON SUBGROUP g1 ... END ON
+//   END TASK_REGION
+//
+// plus scalar/array declarations, DO loops, IF blocks, assignments, PRINT
+// and BARRIER. Comments start with '!'. Statements end at a newline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fxpar::lang {
+
+enum class Tok {
+  End,        // end of input
+  Newline,    // statement separator
+  Ident,      // identifier / keyword (normalized to upper case)
+  Number,     // numeric literal
+  LParen,
+  RParen,
+  Comma,
+  ColonColon,  // ::
+  Assign,      // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Eq,   // ==
+  Ne,   // !=  (also .NE.-free spelling <>)
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier text (upper-cased) for Ident
+  double number = 0;  // value for Number
+  int line = 0;       // 1-based source line
+};
+
+/// Lexes the whole source. Throws std::invalid_argument with a line number
+/// on an unexpected character. Consecutive newlines are collapsed.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace fxpar::lang

@@ -1,0 +1,455 @@
+#include "lang/parser.hpp"
+
+#include <stdexcept>
+
+#include "lang/lexer.hpp"
+
+namespace fxpar::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parse() {
+    Program prog;
+    skip_newlines();
+    if (is_kw("PROGRAM")) {
+      next();
+      prog.name = expect_ident("program name");
+      expect(Tok::Newline);
+    }
+    prog.body = statements({"END", "SUBROUTINE"});
+    if (is_kw("END")) {
+      next();
+      skip_newlines();
+    }
+    while (is_kw("SUBROUTINE")) {
+      prog.subroutines.push_back(subroutine());
+      skip_newlines();
+    }
+    if (cur().kind != Tok::End) fail("trailing input after END");
+    return prog;
+  }
+
+  Subroutine subroutine() {
+    Subroutine sub;
+    sub.line = cur().line;
+    expect_kw("SUBROUTINE");
+    sub.name = expect_ident("subroutine name");
+    if (cur().kind == Tok::LParen) {
+      next();
+      if (cur().kind != Tok::RParen) {
+        sub.params.push_back(expect_ident("parameter name"));
+        while (cur().kind == Tok::Comma) {
+          next();
+          sub.params.push_back(expect_ident("parameter name"));
+        }
+      }
+      expect(Tok::RParen);
+    }
+    end_of_statement();
+    sub.body = statements({"END"});
+    expect_kw("END");
+    expect_kw("SUBROUTINE");
+    end_of_statement();
+    return sub;
+  }
+
+ private:
+  // ---- token plumbing ----
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(int k = 1) const {
+    return toks_[std::min(pos_ + static_cast<std::size_t>(k), toks_.size() - 1)];
+  }
+  void next() {
+    if (cur().kind != Tok::End) ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("fxlang:" + std::to_string(cur().line) + ": " + what);
+  }
+  bool is_kw(const char* kw) const { return cur().kind == Tok::Ident && cur().text == kw; }
+  bool peek_kw(const char* kw, int k = 1) const {
+    return peek(k).kind == Tok::Ident && peek(k).text == kw;
+  }
+  void expect_kw(const char* kw) {
+    if (!is_kw(kw)) fail(std::string("expected '") + kw + "'");
+    next();
+  }
+  void expect(Tok k) {
+    if (cur().kind != k) fail("unexpected token");
+    next();
+  }
+  std::string expect_ident(const char* what) {
+    if (cur().kind != Tok::Ident) fail(std::string("expected ") + what);
+    std::string s = cur().text;
+    next();
+    return s;
+  }
+  void skip_newlines() {
+    while (cur().kind == Tok::Newline) next();
+  }
+  void end_of_statement() {
+    if (cur().kind == Tok::End) return;
+    expect(Tok::Newline);
+    skip_newlines();
+  }
+
+  // ---- statements ----
+
+  /// Parses statements until one of `terminators` (keyword of the *current*
+  /// token) is reached; the terminator is not consumed.
+  std::vector<StmtPtr> statements(const std::vector<std::string>& terminators) {
+    std::vector<StmtPtr> out;
+    skip_newlines();
+    for (;;) {
+      if (cur().kind == Tok::End) return out;
+      if (cur().kind == Tok::Ident) {
+        for (const auto& t : terminators) {
+          if (cur().text == t) return out;
+        }
+      }
+      out.push_back(statement());
+      skip_newlines();
+    }
+  }
+
+  StmtPtr statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = cur().line;
+    if (is_kw("INTEGER") || is_kw("REAL") || is_kw("SCALAR")) {
+      next();
+      stmt->kind = StmtKind::DeclScalar;
+      stmt->names.push_back(expect_ident("variable name"));
+      while (cur().kind == Tok::Comma) {
+        next();
+        stmt->names.push_back(expect_ident("variable name"));
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("ARRAY")) {
+      next();
+      stmt->kind = StmtKind::DeclArray;
+      for (;;) {
+        ArrayDecl d;
+        d.name = expect_ident("array name");
+        expect(Tok::LParen);
+        d.extents.push_back(expression());
+        while (cur().kind == Tok::Comma) {
+          next();
+          d.extents.push_back(expression());
+        }
+        expect(Tok::RParen);
+        stmt->arrays.push_back(std::move(d));
+        if (cur().kind != Tok::Comma) break;
+        next();
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("TASK_PARTITION")) {
+      next();
+      stmt->kind = StmtKind::DeclPartition;
+      stmt->partition_name = expect_ident("partition name");
+      expect(Tok::ColonColon);
+      for (;;) {
+        SubgroupSpecAst s;
+        s.name = expect_ident("subgroup name");
+        expect(Tok::LParen);
+        s.size = expression();
+        expect(Tok::RParen);
+        stmt->subgroups.push_back(std::move(s));
+        if (cur().kind != Tok::Comma) break;
+        next();
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("SUBGROUP")) {
+      next();
+      stmt->kind = StmtKind::MapSubgroup;
+      expect(Tok::LParen);
+      stmt->subgroup_name = expect_ident("subgroup name");
+      expect(Tok::RParen);
+      expect(Tok::ColonColon);
+      stmt->names.push_back(expect_ident("array name"));
+      while (cur().kind == Tok::Comma) {
+        next();
+        stmt->names.push_back(expect_ident("array name"));
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("DISTRIBUTE")) {
+      next();
+      stmt->kind = StmtKind::Distribute;
+      for (;;) {
+        DistSpec d;
+        d.array = expect_ident("array name");
+        expect(Tok::LParen);
+        for (;;) {
+          if (cur().kind == Tok::Star) {
+            d.dims.push_back("*");
+            d.cyclic_blocks.push_back(0);
+            next();
+          } else {
+            std::string kind = expect_ident("distribution kind");
+            std::int64_t block = 0;
+            if (kind == "CYCLIC" && cur().kind == Tok::LParen) {
+              next();
+              if (cur().kind != Tok::Number) fail("expected block size");
+              block = static_cast<std::int64_t>(cur().number);
+              next();
+              expect(Tok::RParen);
+            }
+            d.dims.push_back(kind);
+            d.cyclic_blocks.push_back(block);
+          }
+          if (cur().kind != Tok::Comma) break;
+          next();
+        }
+        expect(Tok::RParen);
+        stmt->dists.push_back(std::move(d));
+        if (cur().kind != Tok::Comma) break;
+        next();
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("BEGIN")) {
+      next();
+      expect_kw("TASK_REGION");
+      stmt->kind = StmtKind::TaskRegion;
+      if (cur().kind == Tok::Ident) stmt->partition_name = expect_ident("partition name");
+      end_of_statement();
+      stmt->body = statements({"END"});
+      expect_kw("END");
+      expect_kw("TASK_REGION");
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("ON")) {
+      next();
+      expect_kw("SUBGROUP");
+      stmt->kind = StmtKind::OnSubgroup;
+      stmt->subgroup_name = expect_ident("subgroup name");
+      end_of_statement();
+      stmt->body = statements({"END"});
+      expect_kw("END");
+      expect_kw("ON");
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("DO")) {
+      next();
+      stmt->kind = StmtKind::Do;
+      stmt->loop_var = expect_ident("loop variable");
+      expect(Tok::Assign);
+      stmt->from = expression();
+      expect(Tok::Comma);
+      stmt->to = expression();
+      end_of_statement();
+      stmt->body = statements({"END"});
+      expect_kw("END");
+      expect_kw("DO");
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("IF")) {
+      next();
+      stmt->kind = StmtKind::If;
+      stmt->expr = expression();
+      expect_kw("THEN");
+      end_of_statement();
+      stmt->body = statements({"ELSE", "END"});
+      if (is_kw("ELSE")) {
+        next();
+        end_of_statement();
+        stmt->else_body = statements({"END"});
+      }
+      expect_kw("END");
+      expect_kw("IF");
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("CALL")) {
+      next();
+      stmt->kind = StmtKind::Call;
+      stmt->lhs = expect_ident("subroutine name");
+      if (cur().kind == Tok::LParen) {
+        next();
+        if (cur().kind != Tok::RParen) {
+          stmt->call_args.push_back(expression());
+          while (cur().kind == Tok::Comma) {
+            next();
+            stmt->call_args.push_back(expression());
+          }
+        }
+        expect(Tok::RParen);
+      }
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("PRINT")) {
+      next();
+      stmt->kind = StmtKind::Print;
+      stmt->expr = expression();
+      end_of_statement();
+      return stmt;
+    }
+    if (is_kw("BARRIER")) {
+      next();
+      stmt->kind = StmtKind::Barrier;
+      end_of_statement();
+      return stmt;
+    }
+    // Assignment: IDENT [(indices)] = expr
+    if (cur().kind == Tok::Ident &&
+        (peek().kind == Tok::Assign || peek().kind == Tok::LParen)) {
+      stmt->kind = StmtKind::Assign;
+      stmt->lhs = expect_ident("assignment target");
+      if (cur().kind == Tok::LParen) {
+        next();
+        stmt->lhs_indices.push_back(expression());
+        while (cur().kind == Tok::Comma) {
+          next();
+          stmt->lhs_indices.push_back(expression());
+        }
+        expect(Tok::RParen);
+      }
+      expect(Tok::Assign);
+      stmt->rhs = expression();
+      end_of_statement();
+      return stmt;
+    }
+    fail("unrecognized statement");
+  }
+
+  // ---- expressions: comparison > additive > multiplicative > unary ----
+
+  ExprPtr expression() { return comparison(); }
+
+  ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = op;
+    e->line = line;
+    e->args.push_back(std::move(a));
+    e->args.push_back(std::move(b));
+    return e;
+  }
+
+  ExprPtr comparison() {
+    ExprPtr e = additive();
+    for (;;) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::Eq: op = BinOp::Eq; break;
+        case Tok::Ne: op = BinOp::Ne; break;
+        case Tok::Lt: op = BinOp::Lt; break;
+        case Tok::Le: op = BinOp::Le; break;
+        case Tok::Gt: op = BinOp::Gt; break;
+        case Tok::Ge: op = BinOp::Ge; break;
+        default: return e;
+      }
+      const int line = cur().line;
+      next();
+      e = make_binary(op, std::move(e), additive(), line);
+    }
+  }
+
+  ExprPtr additive() {
+    ExprPtr e = multiplicative();
+    for (;;) {
+      if (cur().kind == Tok::Plus) {
+        const int line = cur().line;
+        next();
+        e = make_binary(BinOp::Add, std::move(e), multiplicative(), line);
+      } else if (cur().kind == Tok::Minus) {
+        const int line = cur().line;
+        next();
+        e = make_binary(BinOp::Sub, std::move(e), multiplicative(), line);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr e = unary();
+    for (;;) {
+      if (cur().kind == Tok::Star) {
+        const int line = cur().line;
+        next();
+        e = make_binary(BinOp::Mul, std::move(e), unary(), line);
+      } else if (cur().kind == Tok::Slash) {
+        const int line = cur().line;
+        next();
+        e = make_binary(BinOp::Div, std::move(e), unary(), line);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr unary() {
+    if (cur().kind == Tok::Minus) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Unary;
+      e->line = cur().line;
+      next();
+      e->args.push_back(unary());
+      return e;
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (cur().kind == Tok::Number) {
+      e->kind = ExprKind::Number;
+      e->number = cur().number;
+      next();
+      return e;
+    }
+    if (cur().kind == Tok::LParen) {
+      next();
+      ExprPtr inner = expression();
+      expect(Tok::RParen);
+      return inner;
+    }
+    if (cur().kind == Tok::Ident) {
+      e->name = cur().text;
+      next();
+      if (cur().kind == Tok::LParen) {
+        e->kind = ExprKind::Call;
+        next();
+        if (cur().kind != Tok::RParen) {
+          e->args.push_back(expression());
+          while (cur().kind == Tok::Comma) {
+            next();
+            e->args.push_back(expression());
+          }
+        }
+        expect(Tok::RParen);
+        return e;
+      }
+      // Scalar vs array is resolved by the interpreter's environment.
+      e->kind = ExprKind::ScalarRef;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) { return Parser(lex(source)).parse(); }
+
+}  // namespace fxpar::lang

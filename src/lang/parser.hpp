@@ -1,0 +1,14 @@
+// fxlang: recursive-descent parser.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace fxpar::lang {
+
+/// Parses a whole program. Throws std::invalid_argument with a line number
+/// on syntax errors.
+Program parse_program(const std::string& source);
+
+}  // namespace fxpar::lang

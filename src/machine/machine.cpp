@@ -1,0 +1,154 @@
+#include "machine/machine.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "machine/context.hpp"
+
+namespace fxpar::machine {
+
+double RunResult::efficiency() const {
+  if (clocks.empty() || finish_time <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& c : clocks) busy += c.busy;
+  return busy / (finish_time * static_cast<double>(clocks.size()));
+}
+
+std::uint64_t RunResult::traffic_between(int src, int dst) const {
+  const int P = static_cast<int>(clocks.size());
+  if (traffic.empty() || src < 0 || dst < 0 || src >= P || dst >= P) return 0;
+  return traffic[static_cast<std::size_t>(src) * static_cast<std::size_t>(P) +
+                 static_cast<std::size_t>(dst)];
+}
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  config_.validate();
+  sim_ = std::make_unique<runtime::Simulator>(config_.num_procs, config_.stack_bytes);
+  mailboxes_.resize(static_cast<std::size_t>(config_.num_procs));
+  waits_.resize(static_cast<std::size_t>(config_.num_procs));
+  if (config_.record_traffic) {
+    stat_traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
+                             static_cast<std::size_t>(config_.num_procs),
+                         0);
+  }
+}
+
+Machine::~Machine() = default;
+
+RunResult Machine::run(const std::function<void(Context&)>& program) {
+  if (!program) throw std::invalid_argument("Machine::run: empty program");
+  std::vector<std::unique_ptr<Context>> contexts;
+  contexts.reserve(static_cast<std::size_t>(num_procs()));
+  for (int r = 0; r < num_procs(); ++r) {
+    contexts.push_back(std::make_unique<Context>(*this, r));
+  }
+  for (int r = 0; r < num_procs(); ++r) {
+    Context* ctx = contexts[static_cast<std::size_t>(r)].get();
+    sim_->spawn(r, [program, ctx] { program(*ctx); });
+  }
+  sim_->run();
+
+  RunResult res;
+  res.finish_time = sim_->finish_time();
+  res.clocks.reserve(static_cast<std::size_t>(num_procs()));
+  for (int r = 0; r < num_procs(); ++r) res.clocks.push_back(sim_->clock(r));
+  res.messages = stat_messages_;
+  res.bytes = stat_bytes_;
+  res.barriers = stat_barriers_;
+  res.traffic = stat_traffic_;
+  return res;
+}
+
+void Machine::deposit(int src, int dst, std::uint64_t tag, Payload data) {
+  if (dst < 0 || dst >= num_procs()) {
+    throw std::out_of_range("Machine::deposit: bad destination " + std::to_string(dst));
+  }
+  const std::size_t bytes = data.size();
+  // Sender-side costs: software overhead plus wire serialization.
+  sim_->advance(config_.send_overhead + static_cast<double>(bytes) * config_.byte_time);
+  const runtime::SimTime arrival = sim_->now() + config_.latency;
+
+  Message msg{std::move(data), arrival};
+  const MailKey key{src, tag};
+  mailboxes_[static_cast<std::size_t>(dst)][key].push_back(std::move(msg));
+  stat_messages_ += 1;
+  stat_bytes_ += bytes;
+  if (!stat_traffic_.empty()) {
+    stat_traffic_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_procs()) +
+                  static_cast<std::size_t>(dst)] += bytes;
+  }
+
+  WaitState& w = waits_[static_cast<std::size_t>(dst)];
+  if (w.waiting && w.key == key && sim_->is_blocked(dst)) {
+    w.waiting = false;
+    sim_->wake(dst, arrival);
+  }
+}
+
+Payload Machine::receive(int dst, int src, std::uint64_t tag) {
+  if (src < 0 || src >= num_procs()) {
+    throw std::out_of_range("Machine::receive: bad source " + std::to_string(src));
+  }
+  const MailKey key{src, tag};
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+  for (;;) {
+    auto it = box.find(key);
+    if (it != box.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) box.erase(it);
+      sim_->advance_to(msg.arrival);
+      sim_->advance(config_.recv_overhead);
+      return std::move(msg.data);
+    }
+    WaitState& w = waits_[static_cast<std::size_t>(dst)];
+    w.waiting = true;
+    w.key = key;
+    sim_->block("recv from proc " + std::to_string(src) + " tag " + std::to_string(tag));
+    // Re-check: wakeups are edge-triggered on the matching deposit, but the
+    // loop guards against future conservative wake policies.
+  }
+}
+
+void Machine::barrier(const pgroup::ProcessorGroup& group) {
+  const int me = sim_->current_rank();
+  if (!group.contains(me)) {
+    throw std::logic_error("Machine::barrier: proc " + std::to_string(me) +
+                           " is not a member of group " + group.to_string());
+  }
+  stat_barriers_ += 1;
+  const int n = group.size();
+  const double cost =
+      config_.barrier_base +
+      config_.barrier_stage * std::ceil(std::log2(static_cast<double>(std::max(n, 2))));
+  if (n == 1) {
+    sim_->advance(config_.barrier_base);
+    return;
+  }
+  BarrierState& st = barriers_[group.key()];
+  st.arrived += 1;
+  st.max_arrival = std::max(st.max_arrival, sim_->now());
+  if (st.arrived < n) {
+    st.waiting.push_back(me);
+    sim_->block("barrier on group " + group.to_string());
+    return;  // woken by the last arriver with the clock already advanced
+  }
+  // Last arriver: release everyone.
+  const runtime::SimTime release = st.max_arrival + cost;
+  std::vector<int> waiting = std::move(st.waiting);
+  barriers_.erase(group.key());
+  for (int r : waiting) sim_->wake(r, release);
+  sim_->advance_to(release);
+}
+
+void Machine::io_operation(std::size_t bytes) {
+  const double start = std::max(sim_->now(), io_available_);
+  const double done = start + config_.io_latency +
+                      static_cast<double>(bytes) * config_.io_byte_time;
+  io_available_ = done;
+  sim_->advance_to(done);
+}
+
+}  // namespace fxpar::machine

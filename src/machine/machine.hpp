@@ -1,0 +1,114 @@
+// fxpar machine: the simulated SPMD multicomputer.
+//
+// Machine owns the discrete-event Simulator, one mailbox per physical
+// processor, the subset-barrier manager and the sequential I/O device, and
+// launches an SPMD program body on every processor. User code never touches
+// Machine directly while running; it receives a Context (see context.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "pgroup/group.hpp"
+#include "runtime/simulator.hpp"
+
+namespace fxpar::machine {
+
+class Context;
+
+/// Raw bytes exchanged by the direct-deposit layer.
+using Payload = std::vector<std::byte>;
+
+/// Aggregate results of one simulated run.
+struct RunResult {
+  runtime::SimTime finish_time = 0.0;  ///< completion time of the slowest processor
+  std::vector<runtime::ProcClock> clocks;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers = 0;
+
+  /// Per-pair traffic: traffic[src * P + dst] bytes sent from src to dst.
+  /// Populated only when MachineConfig::record_traffic is set.
+  std::vector<std::uint64_t> traffic;
+
+  /// Machine efficiency: mean busy fraction over processors.
+  double efficiency() const;
+
+  /// Bytes sent from src to dst (0 if traffic recording was off).
+  std::uint64_t traffic_between(int src, int dst) const;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const noexcept { return config_; }
+  int num_procs() const noexcept { return config_.num_procs; }
+
+  /// Runs `program` SPMD on all processors and returns timing statistics.
+  /// The Context passed to each instance is private to that processor.
+  RunResult run(const std::function<void(Context&)>& program);
+
+  // ---- internal services used by Context (public for the comm layer) ----
+
+  /// Deposits a message from physical `src` (the current processor) into the
+  /// mailbox of physical `dst`. Charges sender costs and computes arrival.
+  void deposit(int src, int dst, std::uint64_t tag, Payload data);
+
+  /// Receives the next message from (`src`, `tag`); blocks until available.
+  Payload receive(int dst, int src, std::uint64_t tag);
+
+  /// Subset barrier over `group`; the calling processor must be a member.
+  /// Matched across members by content (group key) and per-group epoch.
+  void barrier(const pgroup::ProcessorGroup& group);
+
+  /// Sequential I/O device: performs an operation of `bytes` bytes for the
+  /// current processor; operations from all processors serialize.
+  void io_operation(std::size_t bytes);
+
+  runtime::Simulator& sim() { return *sim_; }
+
+ private:
+  struct MailKey {
+    int src;
+    std::uint64_t tag;
+    friend auto operator<=>(const MailKey&, const MailKey&) = default;
+  };
+  struct Message {
+    Payload data;
+    runtime::SimTime arrival = 0.0;
+  };
+  struct WaitState {
+    bool waiting = false;
+    MailKey key{};
+  };
+  struct BarrierState {
+    int arrived = 0;
+    runtime::SimTime max_arrival = 0.0;
+    std::vector<int> waiting;  ///< physical ranks blocked in this barrier
+  };
+
+  MachineConfig config_;
+  std::unique_ptr<runtime::Simulator> sim_;
+  std::vector<std::map<MailKey, std::deque<Message>>> mailboxes_;
+  std::vector<WaitState> waits_;
+  std::map<std::uint64_t, BarrierState> barriers_;  ///< keyed by group key
+  runtime::SimTime io_available_ = 0.0;
+
+  std::uint64_t stat_messages_ = 0;
+  std::uint64_t stat_bytes_ = 0;
+  std::uint64_t stat_barriers_ = 0;
+  std::vector<std::uint64_t> stat_traffic_;  ///< src * P + dst, if recording
+};
+
+}  // namespace fxpar::machine

@@ -1,0 +1,109 @@
+#include "machine/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fxpar::machine {
+
+UtilizationSummary summarize(const RunResult& result) {
+  UtilizationSummary s;
+  s.makespan = result.finish_time;
+  s.messages = result.messages;
+  s.bytes = result.bytes;
+  s.barriers = result.barriers;
+  if (result.clocks.empty() || result.finish_time <= 0.0) {
+    s.mean_busy_fraction = s.min_busy_fraction = s.max_busy_fraction = 0.0;
+    return s;
+  }
+  double total = 0.0;
+  s.min_busy_fraction = 2.0;
+  s.max_busy_fraction = -1.0;
+  for (std::size_t r = 0; r < result.clocks.size(); ++r) {
+    const double f = result.clocks[r].busy / result.finish_time;
+    total += f;
+    if (f < s.min_busy_fraction) {
+      s.min_busy_fraction = f;
+      s.least_busy_proc = static_cast<int>(r);
+    }
+    if (f > s.max_busy_fraction) {
+      s.max_busy_fraction = f;
+      s.most_busy_proc = static_cast<int>(r);
+    }
+  }
+  s.mean_busy_fraction = total / static_cast<double>(result.clocks.size());
+  return s;
+}
+
+std::string utilization_report(const RunResult& result, int max_rows) {
+  const UtilizationSummary s = summarize(result);
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(4);
+  oss << "machine utilization: makespan " << s.makespan << " s, mean busy "
+      << static_cast<int>(100.0 * s.mean_busy_fraction + 0.5) << "%\n";
+  const int P = static_cast<int>(result.clocks.size());
+  if (P > 0 && s.makespan > 0.0 && max_rows > 0) {
+    const int group = std::max(1, (P + max_rows - 1) / max_rows);
+    constexpr int kWidth = 40;
+    for (int first = 0; first < P; first += group) {
+      const int last = std::min(P, first + group);
+      double busy = 0.0;
+      for (int r = first; r < last; ++r) busy += result.clocks[static_cast<std::size_t>(r)].busy;
+      const double frac = busy / (s.makespan * static_cast<double>(last - first));
+      const int bar = static_cast<int>(std::lround(frac * kWidth));
+      oss << "  proc";
+      if (group == 1) {
+        oss << " " << first << "      ";
+      } else {
+        oss << "s " << first << "-" << (last - 1) << "  ";
+      }
+      oss << "[";
+      for (int i = 0; i < kWidth; ++i) oss << (i < bar ? '#' : '.');
+      oss << "] " << static_cast<int>(100.0 * frac + 0.5) << "%\n";
+    }
+  }
+  oss << "  messages " << s.messages << " (" << s.bytes << " bytes), barriers " << s.barriers
+      << "\n";
+  return oss.str();
+}
+
+std::string traffic_report(const RunResult& result, int max_cells) {
+  std::ostringstream oss;
+  const int P = static_cast<int>(result.clocks.size());
+  if (result.traffic.empty() || P == 0) {
+    return "communication matrix: not recorded (set MachineConfig::record_traffic)\n";
+  }
+  const int group = std::max(1, (P + max_cells - 1) / max_cells);
+  const int cells = (P + group - 1) / group;
+  // Aggregate into blocks.
+  std::vector<std::uint64_t> blocks(static_cast<std::size_t>(cells) * cells, 0);
+  std::uint64_t peak = 0;
+  for (int s = 0; s < P; ++s) {
+    for (int d = 0; d < P; ++d) {
+      auto& cell = blocks[static_cast<std::size_t>(s / group) * cells +
+                          static_cast<std::size_t>(d / group)];
+      cell += result.traffic[static_cast<std::size_t>(s) * P + static_cast<std::size_t>(d)];
+      peak = std::max(peak, cell);
+    }
+  }
+  oss << "communication matrix (rows: sender blocks of " << group
+      << ", cols: receivers; log scale, '9' = " << peak << " bytes)\n";
+  for (int r = 0; r < cells; ++r) {
+    oss << "  ";
+    for (int c = 0; c < cells; ++c) {
+      const std::uint64_t v = blocks[static_cast<std::size_t>(r) * cells + c];
+      char ch = '.';
+      if (v > 0 && peak > 0) {
+        const double frac = std::log2(static_cast<double>(v) + 1.0) /
+                            std::log2(static_cast<double>(peak) + 1.0);
+        ch = static_cast<char>('0' + std::min(9, static_cast<int>(frac * 9.0 + 0.5)));
+      }
+      oss << ch;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace fxpar::machine

@@ -1,0 +1,83 @@
+#include "pgroup/grid.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxpar::pgroup {
+
+Grid::Grid(std::vector<int> extents) : extents_(std::move(extents)) {
+  if (extents_.empty()) throw std::invalid_argument("Grid: no dimensions");
+  size_ = 1;
+  for (int e : extents_) {
+    if (e <= 0) throw std::invalid_argument("Grid: non-positive extent");
+    size_ *= e;
+  }
+  strides_.assign(extents_.size(), 1);
+  for (int d = rank() - 2; d >= 0; --d) {
+    strides_[static_cast<std::size_t>(d)] =
+        strides_[static_cast<std::size_t>(d + 1)] * extents_[static_cast<std::size_t>(d + 1)];
+  }
+}
+
+int Grid::extent(int dim) const {
+  if (dim < 0 || dim >= rank()) throw std::out_of_range("Grid::extent: bad dim");
+  return extents_[static_cast<std::size_t>(dim)];
+}
+
+std::vector<int> Grid::coords_of(int v) const {
+  if (v < 0 || v >= size_) throw std::out_of_range("Grid::coords_of: bad rank");
+  std::vector<int> c(extents_.size());
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    c[d] = (v / strides_[d]) % extents_[d];
+  }
+  return c;
+}
+
+int Grid::rank_at(const std::vector<int>& coords) const {
+  if (coords.size() != extents_.size()) throw std::invalid_argument("Grid::rank_at: bad arity");
+  int v = 0;
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    if (coords[d] < 0 || coords[d] >= extents_[d]) {
+      throw std::out_of_range("Grid::rank_at: coordinate out of range");
+    }
+    v += coords[d] * strides_[d];
+  }
+  return v;
+}
+
+std::string Grid::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    if (d) oss << "x";
+    oss << extents_[d];
+  }
+  return oss.str();
+}
+
+Grid Grid::balanced(int p, int dims) {
+  if (p <= 0) throw std::invalid_argument("Grid::balanced: p must be positive");
+  if (dims <= 0) throw std::invalid_argument("Grid::balanced: dims must be positive");
+  if (dims == 1) return Grid({p});
+  if (dims != 2) {
+    // Recursive peel: pick the factor for dim 0, balance the rest.
+    int best = 1;
+    const int target = static_cast<int>(std::round(std::pow(double(p), 1.0 / dims)));
+    for (int f = 1; f <= p; ++f) {
+      if (p % f == 0 && std::abs(f - target) < std::abs(best - target)) best = f;
+    }
+    Grid rest = balanced(p / best, dims - 1);
+    std::vector<int> e;
+    e.push_back(best);
+    e.insert(e.end(), rest.extents().begin(), rest.extents().end());
+    return Grid(std::move(e));
+  }
+  // dims == 2: factor pair closest to square, larger extent first.
+  int r = 1;
+  for (int f = 1; f * f <= p; ++f) {
+    if (p % f == 0) r = f;
+  }
+  return Grid({p / r, r});
+}
+
+}  // namespace fxpar::pgroup

@@ -1,0 +1,42 @@
+// fxpar pgroup: logical process grids for multi-dimensional distributions.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace fxpar::pgroup {
+
+/// A logical d-dimensional arrangement of the virtual processors of a group
+/// (HPF PROCESSORS arrangement). Virtual rank <-> grid coordinates use
+/// row-major order (last dimension fastest).
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(std::vector<int> extents);
+
+  int rank() const noexcept { return static_cast<int>(extents_.size()); }
+  int extent(int dim) const;
+  int size() const noexcept { return size_; }
+  const std::vector<int>& extents() const noexcept { return extents_; }
+
+  /// Grid coordinates of virtual rank `v`.
+  std::vector<int> coords_of(int v) const;
+
+  /// Virtual rank at the given grid coordinates.
+  int rank_at(const std::vector<int>& coords) const;
+
+  std::string to_string() const;
+
+  /// Near-square factorization of `p` into `dims` extents, largest extent
+  /// first, matching the usual default HPF processor arrangement. For
+  /// dims == 1 this is just {p}.
+  static Grid balanced(int p, int dims);
+
+ private:
+  std::vector<int> extents_;
+  std::vector<int> strides_;
+  int size_ = 0;
+};
+
+}  // namespace fxpar::pgroup

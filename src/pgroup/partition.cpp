@@ -1,0 +1,127 @@
+#include "pgroup/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fxpar::pgroup {
+
+PartitionTemplate::PartitionTemplate(std::vector<SubgroupSpec> subgroups)
+    : specs_(std::move(subgroups)) {
+  if (specs_.empty()) throw std::invalid_argument("PartitionTemplate: no subgroups");
+  std::unordered_set<std::string> names;
+  offsets_.reserve(specs_.size());
+  for (const SubgroupSpec& s : specs_) {
+    if (s.size <= 0) {
+      throw std::invalid_argument("PartitionTemplate: subgroup '" + s.name +
+                                  "' has non-positive size " + std::to_string(s.size));
+    }
+    if (!names.insert(s.name).second) {
+      throw std::invalid_argument("PartitionTemplate: duplicate subgroup name '" + s.name + "'");
+    }
+    offsets_.push_back(total_);
+    total_ += s.size;
+  }
+}
+
+const SubgroupSpec& PartitionTemplate::spec(int i) const {
+  if (i < 0 || i >= num_subgroups()) {
+    throw std::out_of_range("PartitionTemplate::spec: index " + std::to_string(i));
+  }
+  return specs_[static_cast<std::size_t>(i)];
+}
+
+int PartitionTemplate::index_of(const std::string& name) const {
+  for (int i = 0; i < num_subgroups(); ++i) {
+    if (specs_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  throw std::invalid_argument("PartitionTemplate: unknown subgroup '" + name + "'");
+}
+
+int PartitionTemplate::offset_of(int i) const {
+  if (i < 0 || i >= num_subgroups()) {
+    throw std::out_of_range("PartitionTemplate::offset_of: index " + std::to_string(i));
+  }
+  return offsets_[static_cast<std::size_t>(i)];
+}
+
+int PartitionTemplate::subgroup_of_virtual(int v) const {
+  if (v < 0 || v >= total_) {
+    throw std::out_of_range("PartitionTemplate::subgroup_of_virtual: rank " + std::to_string(v));
+  }
+  // offsets_ is sorted; find the last offset <= v.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), v);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+ProcessorGroup PartitionTemplate::materialize(const ProcessorGroup& parent, int i) const {
+  if (parent.size() != total_) {
+    throw std::invalid_argument(
+        "PartitionTemplate: template covers " + std::to_string(total_) +
+        " processors but the current group has " + std::to_string(parent.size()));
+  }
+  return parent.slice(offset_of(i), spec(i).size);
+}
+
+std::string PartitionTemplate::to_string() const {
+  std::ostringstream oss;
+  for (int i = 0; i < num_subgroups(); ++i) {
+    if (i) oss << ", ";
+    oss << specs_[static_cast<std::size_t>(i)].name << "("
+        << specs_[static_cast<std::size_t>(i)].size << ")";
+  }
+  return oss.str();
+}
+
+std::vector<int> proportional_split(int total, const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  if (n == 0) throw std::invalid_argument("proportional_split: no weights");
+  if (total < n) {
+    throw std::invalid_argument("proportional_split: " + std::to_string(total) +
+                                " processors cannot cover " + std::to_string(n) + " shares");
+  }
+  double wsum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("proportional_split: weights must be finite and non-negative");
+    }
+    wsum += w;
+  }
+  std::vector<int> out(static_cast<std::size_t>(n), 1);
+  int remaining = total - n;
+  if (remaining == 0 || wsum == 0.0) {
+    // Equal split of any remainder by round-robin for the zero-weight case.
+    for (int i = 0; remaining > 0; i = (i + 1) % n, --remaining) {
+      out[static_cast<std::size_t>(i)] += 1;
+    }
+    return out;
+  }
+  // Largest-remainder apportionment of the processors beyond the 1 floor.
+  std::vector<double> exact(static_cast<std::size_t>(n));
+  std::vector<int> base(static_cast<std::size_t>(n));
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    exact[static_cast<std::size_t>(i)] =
+        remaining * weights[static_cast<std::size_t>(i)] / wsum;
+    base[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::floor(exact[static_cast<std::size_t>(i)]));
+    assigned += base[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = exact[static_cast<std::size_t>(a)] - base[static_cast<std::size_t>(a)];
+    const double rb = exact[static_cast<std::size_t>(b)] - base[static_cast<std::size_t>(b)];
+    return ra > rb;
+  });
+  for (int k = 0; k < remaining - assigned; ++k) {
+    base[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] += 1;
+  }
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] += base[static_cast<std::size_t>(i)];
+  return out;
+}
+
+}  // namespace fxpar::pgroup

@@ -1,0 +1,67 @@
+// fxpar pgroup: TASK_PARTITION templates.
+//
+// A PartitionTemplate mirrors the paper's TASK_PARTITION directive: it
+// names subgroups and assigns each a processor count; activating it against
+// a parent group yields one ProcessorGroup per subgroup. As in the Fx
+// implementation, subgroups are assigned *contiguous* virtual-rank ranges of
+// the parent, which minimizes remapping cost and keeps collective
+// communication inside a subgroup contiguous on the physical machine when
+// the parent itself is contiguous.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgroup/group.hpp"
+
+namespace fxpar::pgroup {
+
+/// One named subgroup of a TASK_PARTITION declaration.
+struct SubgroupSpec {
+  std::string name;
+  int size = 0;  ///< number of processors assigned
+};
+
+class PartitionTemplate {
+ public:
+  PartitionTemplate() = default;
+
+  /// Declares a partition. Every size must be positive; the template is
+  /// checked against a concrete parent group at activation time.
+  explicit PartitionTemplate(std::vector<SubgroupSpec> subgroups);
+
+  int num_subgroups() const noexcept { return static_cast<int>(specs_.size()); }
+  int total_size() const noexcept { return total_; }
+
+  const SubgroupSpec& spec(int i) const;
+
+  /// Index of the named subgroup; throws std::invalid_argument if unknown.
+  int index_of(const std::string& name) const;
+
+  /// First virtual rank (in the parent group) of subgroup `i`.
+  int offset_of(int i) const;
+
+  /// Which subgroup the parent-virtual rank `v` belongs to.
+  int subgroup_of_virtual(int v) const;
+
+  /// Materializes subgroup `i` against a parent group. Throws
+  /// std::invalid_argument if the template's total size differs from the
+  /// parent's size (the paper requires the partition to cover the current
+  /// processors exactly).
+  ProcessorGroup materialize(const ProcessorGroup& parent, int i) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<SubgroupSpec> specs_;
+  std::vector<int> offsets_;  ///< prefix sums of sizes
+  int total_ = 0;
+};
+
+/// Splits `total` processors proportionally to `weights` with every share at
+/// least 1 (requires total >= weights.size()). Used by the recursive
+/// examples (quicksort, Barnes-Hut) to size subgroups from data sizes, e.g.
+/// compute_subgroup_sizes in Figure 4 of the paper.
+std::vector<int> proportional_split(int total, const std::vector<double>& weights);
+
+}  // namespace fxpar::pgroup

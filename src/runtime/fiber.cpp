@@ -1,0 +1,81 @@
+#include "runtime/fiber.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace fxpar::runtime {
+
+namespace {
+// Single-threaded simulator: a plain static suffices and avoids TLS costs.
+Fiber* g_current_fiber = nullptr;
+// Handoff slot for the makecontext trampoline (no portable pointer args).
+Fiber* g_starting_fiber = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return g_current_fiber; }
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(stack_bytes) {
+  if (!body_) throw std::invalid_argument("Fiber: empty body");
+  if (::getcontext(&context_) != 0) throw std::runtime_error("getcontext failed");
+  context_.uc_stack.ss_sp = stack_.base();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // trampoline never falls off the end
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber abandons its stack frame; that is legal for
+  // our usage only after the simulation drained, which the Simulator ensures.
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting_fiber;
+  g_starting_fiber = nullptr;
+  assert(self != nullptr);
+  try {
+    self->body_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->state_ = State::Finished;
+  g_current_fiber = nullptr;
+  ::swapcontext(&self->context_, &self->owner_context_);
+  // Unreachable: a finished fiber is never resumed.
+  assert(false && "resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  assert(g_current_fiber == nullptr && "resume() called from inside a fiber");
+  if (state_ == State::Finished) throw std::logic_error("Fiber::resume: already finished");
+  if (state_ == State::Running) throw std::logic_error("Fiber::resume: already running");
+
+  const bool first = (state_ == State::Created);
+  state_ = State::Running;
+  g_current_fiber = this;
+  if (first) g_starting_fiber = this;
+  if (::swapcontext(&owner_context_, &context_) != 0) {
+    g_current_fiber = nullptr;
+    throw std::runtime_error("swapcontext failed");
+  }
+  // Back in the owner. The fiber either yielded or finished.
+  g_current_fiber = nullptr;
+  if (exception_) {
+    std::exception_ptr e = std::exchange(exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield_to_owner() {
+  assert(g_current_fiber == this && "yield_to_owner() from a non-running fiber");
+  state_ = State::Suspended;
+  g_current_fiber = nullptr;
+  if (::swapcontext(&context_, &owner_context_) != 0) {
+    throw std::runtime_error("swapcontext failed");
+  }
+  // Resumed again.
+  g_current_fiber = this;
+  state_ = State::Running;
+}
+
+}  // namespace fxpar::runtime

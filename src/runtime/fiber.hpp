@@ -1,0 +1,60 @@
+// fxpar runtime: cooperative fibers built on POSIX ucontext.
+//
+// A Fiber is a resumable single-shot coroutine with its own guarded stack.
+// Fibers never run concurrently: the owner (the Simulator) resumes exactly
+// one fiber at a time on the host thread, and a running fiber returns
+// control only via yield_to_owner() or by finishing its body.
+#pragma once
+
+#include <ucontext.h>
+
+#include <functional>
+#include <stdexcept>
+
+#include "runtime/stack.hpp"
+
+namespace fxpar::runtime {
+
+class Fiber {
+ public:
+  /// State machine: Created -> Running <-> Suspended -> ... -> Finished.
+  enum class State { Created, Running, Suspended, Finished };
+
+  /// Creates a fiber executing `body` on a fresh stack of `stack_bytes`.
+  Fiber(std::function<void()> body, std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfers control from the owner to the fiber. Returns when the fiber
+  /// yields or finishes. Must not be called from inside any fiber.
+  void resume();
+
+  /// Transfers control from the currently running fiber back to its owner.
+  /// Must be called from inside the fiber.
+  void yield_to_owner();
+
+  State state() const noexcept { return state_; }
+  bool finished() const noexcept { return state_ == State::Finished; }
+
+  /// If the fiber body exited with an exception it is rethrown in the owner
+  /// context by resume(); this tells whether one is pending.
+  bool has_exception() const noexcept { return static_cast<bool>(exception_); }
+
+  /// The fiber currently executing on this thread, or nullptr when the owner
+  /// context is running.
+  static Fiber* current() noexcept;
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  FiberStack stack_;
+  ucontext_t context_{};
+  ucontext_t owner_context_{};
+  State state_ = State::Created;
+  std::exception_ptr exception_;
+};
+
+}  // namespace fxpar::runtime

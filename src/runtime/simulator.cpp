@@ -1,0 +1,137 @@
+#include "runtime/simulator.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace fxpar::runtime {
+
+Simulator::Simulator(int num_procs, std::size_t stack_bytes)
+    : stack_bytes_(stack_bytes) {
+  if (num_procs <= 0) throw std::invalid_argument("Simulator: num_procs must be positive");
+  procs_.resize(static_cast<std::size_t>(num_procs));
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::check_rank(int rank) const {
+  if (rank < 0 || rank >= num_procs()) {
+    throw std::out_of_range("Simulator: rank " + std::to_string(rank) +
+                            " out of range [0," + std::to_string(num_procs()) + ")");
+  }
+}
+
+void Simulator::spawn(int rank, std::function<void()> body) {
+  check_rank(rank);
+  if (procs_[rank].fiber) throw std::logic_error("Simulator::spawn: rank already spawned");
+  procs_[rank].fiber = std::make_unique<Fiber>(std::move(body), stack_bytes_);
+}
+
+bool Simulator::is_finished(int rank) const {
+  check_rank(rank);
+  const auto& f = procs_[rank].fiber;
+  return f && f->finished();
+}
+
+int Simulator::pick_next() const {
+  int best = -1;
+  SimTime best_time = std::numeric_limits<SimTime>::infinity();
+  for (int r = 0; r < num_procs(); ++r) {
+    const Proc& p = procs_[r];
+    if (!p.fiber || p.fiber->finished() || p.blocked) continue;
+    if (p.clk.now < best_time) {
+      best_time = p.clk.now;
+      best = r;  // ties broken by lowest rank because of strict <
+    }
+  }
+  return best;
+}
+
+void Simulator::run() {
+  for (int r = 0; r < num_procs(); ++r) {
+    if (!procs_[r].fiber) {
+      throw std::logic_error("Simulator::run: rank " + std::to_string(r) + " never spawned");
+    }
+  }
+  for (;;) {
+    const int next = pick_next();
+    if (next < 0) {
+      bool all_done = true;
+      for (int r = 0; r < num_procs(); ++r) all_done &= is_finished(r);
+      if (all_done) return;
+      std::ostringstream oss;
+      oss << "simulated deadlock: all unfinished processors are blocked\n";
+      for (int r = 0; r < num_procs(); ++r) {
+        if (!is_finished(r)) {
+          oss << "  proc " << r << " @t=" << procs_[r].clk.now << ": "
+              << (procs_[r].blocked ? procs_[r].block_reason : "<runnable?>") << "\n";
+        }
+      }
+      throw DeadlockError(oss.str());
+    }
+    running_rank_ = next;
+    procs_[next].fiber->resume();  // rethrows fiber exceptions
+    running_rank_ = -1;
+  }
+}
+
+int Simulator::current_rank() const {
+  if (running_rank_ < 0) {
+    throw std::logic_error("Simulator: no processor fiber is executing");
+  }
+  return running_rank_;
+}
+
+Simulator::Proc& Simulator::current_proc() { return procs_[current_rank()]; }
+
+void Simulator::advance(SimTime dt) {
+  if (dt < 0) throw std::invalid_argument("Simulator::advance: negative time");
+  Proc& p = current_proc();
+  p.clk.now += dt;
+  p.clk.busy += dt;
+}
+
+void Simulator::advance_to(SimTime t) {
+  Proc& p = current_proc();
+  if (t > p.clk.now) {
+    p.clk.idle += t - p.clk.now;
+    p.clk.now = t;
+  }
+}
+
+void Simulator::block(std::string why) {
+  Proc& p = current_proc();
+  p.blocked = true;
+  p.block_reason = std::move(why);
+  p.clk.blocks += 1;
+  p.fiber->yield_to_owner();
+  assert(!p.blocked && "resumed while still marked blocked");
+}
+
+void Simulator::yield() {
+  Proc& p = current_proc();
+  p.fiber->yield_to_owner();
+}
+
+void Simulator::wake(int rank, SimTime not_before) {
+  check_rank(rank);
+  Proc& p = procs_[rank];
+  if (!p.blocked) {
+    throw std::logic_error("Simulator::wake: proc " + std::to_string(rank) +
+                           " is not blocked");
+  }
+  p.blocked = false;
+  p.block_reason.clear();
+  if (not_before > p.clk.now) {
+    p.clk.idle += not_before - p.clk.now;
+    p.clk.now = not_before;
+  }
+}
+
+SimTime Simulator::finish_time() const {
+  SimTime t = 0.0;
+  for (const Proc& p : procs_) t = std::max(t, p.clk.now);
+  return t;
+}
+
+}  // namespace fxpar::runtime

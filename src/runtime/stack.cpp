@@ -1,0 +1,64 @@
+#include "runtime/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+#include <utility>
+
+namespace fxpar::runtime {
+
+std::size_t FiberStack::page_size() noexcept {
+  static const std::size_t kPage = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+FiberStack::FiberStack(std::size_t usable_bytes) {
+  const std::size_t page = page_size();
+  const std::size_t usable = ((usable_bytes + page - 1) / page) * page;
+  const std::size_t total = usable + page;  // +1 guard page at the low end
+
+  void* mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc{};
+  // Low addresses fault: stacks grow downwards on all supported targets.
+  if (::mprotect(mem, page, PROT_NONE) != 0) {
+    ::munmap(mem, total);
+    throw std::bad_alloc{};
+  }
+  map_base_ = mem;
+  map_size_ = total;
+  usable_base_ = static_cast<char*>(mem) + page;
+  usable_size_ = usable;
+}
+
+FiberStack::~FiberStack() { release(); }
+
+FiberStack::FiberStack(FiberStack&& other) noexcept
+    : map_base_(std::exchange(other.map_base_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      usable_base_(std::exchange(other.usable_base_, nullptr)),
+      usable_size_(std::exchange(other.usable_size_, 0)) {}
+
+FiberStack& FiberStack::operator=(FiberStack&& other) noexcept {
+  if (this != &other) {
+    release();
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    usable_base_ = std::exchange(other.usable_base_, nullptr);
+    usable_size_ = std::exchange(other.usable_size_, 0);
+  }
+  return *this;
+}
+
+void FiberStack::release() noexcept {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_size_);
+    map_base_ = nullptr;
+    map_size_ = 0;
+    usable_base_ = nullptr;
+    usable_size_ = 0;
+  }
+}
+
+}  // namespace fxpar::runtime

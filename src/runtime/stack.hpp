@@ -1,0 +1,39 @@
+// fxpar runtime: mmap-backed fiber stacks with a guard page.
+#pragma once
+
+#include <cstddef>
+
+namespace fxpar::runtime {
+
+/// An execution stack for a fiber, allocated with mmap and protected by a
+/// guard page at the low end so that stack overflow faults loudly instead of
+/// corrupting a neighbouring fiber's stack.
+class FiberStack {
+ public:
+  /// Allocates a stack of at least `usable_bytes` (rounded up to whole pages)
+  /// plus one guard page. Throws std::bad_alloc on failure.
+  explicit FiberStack(std::size_t usable_bytes);
+  ~FiberStack();
+
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+  FiberStack(FiberStack&& other) noexcept;
+  FiberStack& operator=(FiberStack&& other) noexcept;
+
+  /// Base of the usable region (just above the guard page).
+  void* base() const noexcept { return usable_base_; }
+  /// Size of the usable region in bytes.
+  std::size_t size() const noexcept { return usable_size_; }
+
+  static std::size_t page_size() noexcept;
+
+ private:
+  void release() noexcept;
+
+  void* map_base_ = nullptr;    // start of the whole mapping (guard page)
+  std::size_t map_size_ = 0;    // total mapped bytes including guard
+  void* usable_base_ = nullptr; // first usable byte
+  std::size_t usable_size_ = 0;
+};
+
+}  // namespace fxpar::runtime

@@ -1,0 +1,211 @@
+#include "sched/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxpar::sched {
+
+double PipelineModel::stage_time(int i, int p) const {
+  if (i < 0 || i >= num_stages()) throw std::out_of_range("PipelineModel::stage_time");
+  if (p < 1) throw std::invalid_argument("PipelineModel::stage_time: p < 1");
+  return stages[static_cast<std::size_t>(i)].time_on(p);
+}
+
+double PipelineModel::transfer_time(int boundary, int p_up, int p_down) const {
+  if (!transfer) return 0.0;
+  return transfer(boundary, p_up, p_down);
+}
+
+double PipelineModel::module_time(int first, int last, int p) const {
+  if (first < 0 || last < first || last >= num_stages()) {
+    throw std::out_of_range("PipelineModel::module_time: bad stage range");
+  }
+  double t = 0.0;
+  for (int i = first; i <= last; ++i) {
+    t += stage_time(i, p);
+    if (i < last) t += transfer_time(i, p, p);
+  }
+  return t;
+}
+
+bool PipelineModel::module_fits(int first, int last, int p) const {
+  if (!stage_memory || node_memory <= 0.0) return true;
+  double bytes = 0.0;
+  for (int i = first; i <= last; ++i) bytes += stage_memory(i, p);
+  return bytes <= node_memory;
+}
+
+double PipelineModel::service_time(int first, int last, int p) const {
+  double t = module_time(first, last, p);
+  if (first > 0) t += transfer_time(first - 1, p, p);
+  if (last < num_stages() - 1) t += transfer_time(last, p, p);
+  return t;
+}
+
+int PipelineMapping::total_procs() const {
+  int t = 0;
+  for (const ModuleAssignment& m : modules) t += m.total_procs();
+  return t;
+}
+
+std::string PipelineMapping::to_string(const PipelineModel& model) const {
+  std::ostringstream oss;
+  for (std::size_t k = 0; k < modules.size(); ++k) {
+    const ModuleAssignment& m = modules[k];
+    if (k) oss << " | ";
+    oss << "[";
+    for (int i = m.first_stage; i <= m.last_stage; ++i) {
+      if (i > m.first_stage) oss << "+";
+      oss << model.stages[static_cast<std::size_t>(i)].name;
+    }
+    oss << "] p=" << m.procs;
+    if (m.instances > 1) oss << " x" << m.instances;
+  }
+  return oss.str();
+}
+
+void evaluate(const PipelineModel& model, PipelineMapping& mapping) {
+  if (mapping.modules.empty()) {
+    mapping.throughput = 0.0;
+    mapping.latency = 0.0;
+    return;
+  }
+  double latency = 0.0;
+  double min_rate = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < mapping.modules.size(); ++k) {
+    const ModuleAssignment& m = mapping.modules[k];
+    const double T = model.module_time(m.first_stage, m.last_stage, m.procs);
+    latency += T;
+    if (k + 1 < mapping.modules.size()) {
+      latency += model.transfer_time(m.last_stage, m.procs,
+                                     mapping.modules[k + 1].procs);
+    }
+    const double service = model.service_time(m.first_stage, m.last_stage, m.procs);
+    min_rate = std::min(min_rate, static_cast<double>(m.instances) / service);
+  }
+  mapping.latency = latency;
+  mapping.throughput = min_rate;
+}
+
+PipelineMapping data_parallel_mapping(const PipelineModel& model, int P) {
+  PipelineMapping m;
+  m.modules.push_back(ModuleAssignment{0, model.num_stages() - 1, P, 1});
+  evaluate(model, m);
+  return m;
+}
+
+PipelineMapping max_throughput_mapping(const PipelineModel& model, int P) {
+  const int S = model.num_stages();
+  if (S == 0 || P <= 0) throw std::invalid_argument("max_throughput_mapping: empty problem");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[i][q]: minimal bottleneck module time covering stages [0..i) with
+  // exactly at most q processors. choice records (j, p): last module is
+  // stages [j..i) on p processors.
+  std::vector<std::vector<double>> best(static_cast<std::size_t>(S + 1),
+                                        std::vector<double>(static_cast<std::size_t>(P + 1), kInf));
+  struct Choice {
+    int j = -1, p = 0;
+  };
+  std::vector<std::vector<Choice>> choice(static_cast<std::size_t>(S + 1),
+                                          std::vector<Choice>(static_cast<std::size_t>(P + 1)));
+  for (int q = 0; q <= P; ++q) best[0][static_cast<std::size_t>(q)] = 0.0;
+  for (int i = 1; i <= S; ++i) {
+    for (int q = 1; q <= P; ++q) {
+      for (int j = 0; j < i; ++j) {
+        for (int p = 1; p <= q; ++p) {
+          if (best[static_cast<std::size_t>(j)][static_cast<std::size_t>(q - p)] == kInf) continue;
+          if (!model.module_fits(j, i - 1, p)) continue;
+          const double t = model.service_time(j, i - 1, p);
+          const double bottleneck =
+              std::max(best[static_cast<std::size_t>(j)][static_cast<std::size_t>(q - p)], t);
+          if (bottleneck < best[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)]) {
+            best[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)] = bottleneck;
+            choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)] = Choice{j, p};
+          }
+        }
+      }
+    }
+  }
+  // Recover the best assignment over any processor budget <= P.
+  int bq = P;
+  PipelineMapping mapping;
+  int i = S, q = bq;
+  std::vector<ModuleAssignment> rev;
+  while (i > 0) {
+    const Choice c = choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
+    if (c.j < 0) throw std::logic_error("max_throughput_mapping: no feasible mapping");
+    rev.push_back(ModuleAssignment{c.j, i - 1, c.p, 1});
+    i = c.j;
+    q -= c.p;
+  }
+  mapping.modules.assign(rev.rbegin(), rev.rend());
+  evaluate(model, mapping);
+  return mapping;
+}
+
+PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput) {
+  const int S = model.num_stages();
+  if (S == 0 || P <= 0) throw std::invalid_argument("min_latency_mapping: empty problem");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // lat[i][q]: minimal latency covering stages [0..i) with at most q
+  // processors such that every module sustains rate >= min_throughput.
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(S + 1),
+                                       std::vector<double>(static_cast<std::size_t>(P + 1), kInf));
+  struct Choice {
+    int j = -1, p = 0, r = 0;
+  };
+  std::vector<std::vector<Choice>> choice(static_cast<std::size_t>(S + 1),
+                                          std::vector<Choice>(static_cast<std::size_t>(P + 1)));
+  for (int q = 0; q <= P; ++q) lat[0][static_cast<std::size_t>(q)] = 0.0;
+  for (int i = 1; i <= S; ++i) {
+    for (int q = 1; q <= P; ++q) {
+      double& cell = lat[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
+      for (int j = 0; j < i; ++j) {
+        for (int p = 1; p <= q; ++p) {
+          if (!model.module_fits(j, i - 1, p)) continue;
+          // Rate is limited by full processor occupancy (incl. handoffs);
+          // latency accumulates compute time plus one transfer per boundary.
+          const double service = model.service_time(j, i - 1, p);
+          const double T = model.module_time(j, i - 1, p) +
+                           (j > 0 ? model.transfer_time(j - 1, p, p) : 0.0);
+          // Smallest replication meeting the rate; more instances never
+          // reduce latency, so only the minimal feasible r is considered.
+          int r = 1;
+          if (min_throughput > 0.0 && service * min_throughput > 1.0) {
+            const double rd = std::ceil(service * min_throughput - 1e-12);
+            if (rd > static_cast<double>(q)) continue;  // cannot fit (guards int overflow)
+            r = static_cast<int>(rd);
+          }
+          if (static_cast<long long>(p) * r > q) continue;
+          const double prev =
+              lat[static_cast<std::size_t>(j)][static_cast<std::size_t>(q - p * r)];
+          if (prev == kInf) continue;
+          if (prev + T < cell) {
+            cell = prev + T;
+            choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)] = Choice{j, p, r};
+          }
+        }
+      }
+    }
+  }
+  PipelineMapping mapping;
+  if (lat[static_cast<std::size_t>(S)][static_cast<std::size_t>(P)] == kInf) {
+    return mapping;  // infeasible: empty modules, throughput 0
+  }
+  int i = S, q = P;
+  std::vector<ModuleAssignment> rev;
+  while (i > 0) {
+    const Choice c = choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
+    if (c.j < 0) throw std::logic_error("min_latency_mapping: broken backtrack");
+    rev.push_back(ModuleAssignment{c.j, i - 1, c.p, c.r});
+    i = c.j;
+    q -= c.p * c.r;
+  }
+  mapping.modules.assign(rev.rbegin(), rev.rend());
+  evaluate(model, mapping);
+  return mapping;
+}
+
+}  // namespace fxpar::sched

@@ -1,0 +1,109 @@
+// fxpar sched: automatic mapping of data parallel task chains.
+//
+// The paper obtains its Table 1 / Figure 5 mappings "along with the use of
+// mapping algorithms presented in [21, 22]" (Subhlok & Vondran): given a
+// chain of data parallel stages with known cost functions t_i(p), choose a
+// grouping of contiguous stages into modules, a processor allocation per
+// module, and a replication factor per module, optimizing either pure
+// throughput or latency under a minimum-throughput constraint.
+//
+// Model. A module covering stages [f..l] on p processors has service time
+// T(f,l,p) = sum of stage times + internal boundary transfer times. A
+// module replicated over r instances (each of p processors, processing
+// every r-th data set round-robin, the paper's Section 3.3 replication)
+// accepts data sets at rate r / T. The pipeline's throughput is the
+// minimum module rate; its latency is the sum of module service times plus
+// inter-module transfers (charged at equal processor counts — see
+// DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fxpar::sched {
+
+/// One data parallel stage of the chain.
+struct StageModel {
+  std::string name;
+  /// Time to process one data set on p processors (p >= 1). Implementations
+  /// should saturate beyond the stage's available parallelism.
+  std::function<double(int)> time_on;
+};
+
+/// Cost model of the whole chain.
+struct PipelineModel {
+  std::vector<StageModel> stages;
+  /// Transfer time across the boundary after stage `b` (between stage b and
+  /// b+1) when the producer runs on p_up and the consumer on p_down
+  /// processors. May be empty (free transfers).
+  std::function<double(int b, int p_up, int p_down)> transfer;
+
+  /// Optional memory model (the paper's companion work [20] maps task/data
+  /// parallel programs from communication *and memory* requirements): bytes
+  /// needed per processor when stage `i` runs on p processors. Together
+  /// with node_memory it makes small-p modules infeasible — small data
+  /// parallel groups may simply not fit a stage's working set.
+  std::function<double(int i, int p)> stage_memory;
+  double node_memory = 0.0;  ///< per-node capacity in bytes; 0 = unconstrained
+
+  int num_stages() const noexcept { return static_cast<int>(stages.size()); }
+
+  double stage_time(int i, int p) const;
+
+  /// Compute time of a module covering stages [first..last] inclusive on p
+  /// processors, including transfers internal to the module.
+  double module_time(int first, int last, int p) const;
+
+  /// Full per-data-set occupancy of the module's processors: module_time
+  /// plus the boundary transfers into and out of the module (estimated at
+  /// equal processor counts). This is what bounds the module's service rate
+  /// — on the real machine the processors are busy sending/receiving during
+  /// handoffs, so a pipeline stage cannot accept data sets faster than
+  /// 1 / service_time.
+  double service_time(int first, int last, int p) const;
+
+  double transfer_time(int boundary, int p_up, int p_down) const;
+
+  /// Whether a module covering [first..last] on p processors fits the
+  /// per-node memory capacity (true when no memory model is configured).
+  bool module_fits(int first, int last, int p) const;
+};
+
+/// One module of a mapping.
+struct ModuleAssignment {
+  int first_stage = 0;
+  int last_stage = 0;
+  int procs = 1;      ///< processors per instance
+  int instances = 1;  ///< replication factor (paper Section 3.3)
+
+  int total_procs() const noexcept { return procs * instances; }
+};
+
+struct PipelineMapping {
+  std::vector<ModuleAssignment> modules;
+  double throughput = 0.0;  ///< data sets per second (steady state)
+  double latency = 0.0;     ///< seconds per data set
+
+  int total_procs() const;
+  std::string to_string(const PipelineModel& model) const;
+};
+
+/// Evaluates throughput and latency of a mapping under the model.
+void evaluate(const PipelineModel& model, PipelineMapping& mapping);
+
+/// The pure data parallel mapping: all stages in one module on all P
+/// processors, no pipelining, no replication (the paper's baseline).
+PipelineMapping data_parallel_mapping(const PipelineModel& model, int P);
+
+/// Ref [21]: contiguous grouping + allocation maximizing throughput
+/// (no replication). Dynamic program over (stage prefix, processors).
+PipelineMapping max_throughput_mapping(const PipelineModel& model, int P);
+
+/// Ref [22]: latency-minimal mapping subject to throughput >= min_throughput,
+/// with per-module replication. Returns an empty-module mapping with
+/// throughput 0 if the constraint is infeasible on P processors.
+PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput);
+
+}  // namespace fxpar::sched

@@ -1,0 +1,60 @@
+#include "sched/tradeoff.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxpar::sched {
+
+namespace {
+
+bool same_modules(const PipelineMapping& a, const PipelineMapping& b) {
+  if (a.modules.size() != b.modules.size()) return false;
+  for (std::size_t i = 0; i < a.modules.size(); ++i) {
+    const auto& x = a.modules[i];
+    const auto& y = b.modules[i];
+    if (x.first_stage != y.first_stage || x.last_stage != y.last_stage ||
+        x.procs != y.procs || x.instances != y.instances) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> latency_throughput_curve(const PipelineModel& model, int P,
+                                                    int num_points) {
+  if (num_points < 2) throw std::invalid_argument("latency_throughput_curve: need >= 2 points");
+  const PipelineMapping dp = data_parallel_mapping(model, P);
+  const PipelineMapping fastest = max_throughput_mapping(model, P);
+  const double lo = dp.throughput;
+  const double hi = fastest.throughput;
+
+  std::vector<TradeoffPoint> curve;
+  for (int k = 0; k < num_points; ++k) {
+    const double demand =
+        lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(num_points - 1);
+    PipelineMapping m = min_latency_mapping(model, P, demand);
+    if (m.modules.empty()) continue;  // demand infeasible (numerical edge)
+    if (!curve.empty() && same_modules(curve.back().mapping, m)) {
+      continue;  // identical mapping, just a softer demand
+    }
+    curve.push_back(TradeoffPoint{demand, std::move(m)});
+  }
+  // Drop dominated points: throughput must strictly rise along the curve
+  // and latency must not decrease backwards (keep the Pareto frontier).
+  std::vector<TradeoffPoint> pareto;
+  for (auto& p : curve) {
+    while (!pareto.empty() &&
+           pareto.back().mapping.throughput >= p.mapping.throughput &&
+           pareto.back().mapping.latency >= p.mapping.latency) {
+      pareto.pop_back();
+    }
+    if (pareto.empty() || p.mapping.throughput > pareto.back().mapping.throughput) {
+      pareto.push_back(std::move(p));
+    }
+  }
+  return pareto;
+}
+
+}  // namespace fxpar::sched

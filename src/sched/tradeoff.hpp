@@ -1,0 +1,31 @@
+// fxpar sched: latency-throughput tradeoff curves (ref [22] of the paper:
+// Subhlok & Vondran, "Optimal latency-throughput tradeoffs for data
+// parallel pipelines", SPAA'96).
+//
+// For a stage chain and machine size, the Pareto frontier of (throughput,
+// latency): each point is the latency-optimal mapping meeting some
+// throughput demand. This is the machinery behind the paper's claim that
+// the model "allows us to target the development of such applications to
+// specific performance goals" (Section 5.1, Figure 5).
+#pragma once
+
+#include <vector>
+
+#include "sched/pipeline.hpp"
+
+namespace fxpar::sched {
+
+struct TradeoffPoint {
+  double demand = 0.0;      ///< throughput demand that produced this mapping
+  PipelineMapping mapping;  ///< latency-optimal mapping meeting the demand
+};
+
+/// Sweeps throughput demands from the data parallel rate up to the
+/// machine's maximum achievable rate and returns the distinct mappings on
+/// the latency-throughput frontier, in increasing-demand order. Mappings
+/// that repeat across adjacent demands are deduplicated; dominated points
+/// (higher latency without higher throughput) are dropped.
+std::vector<TradeoffPoint> latency_throughput_curve(const PipelineModel& model, int P,
+                                                    int num_points = 16);
+
+}  // namespace fxpar::sched

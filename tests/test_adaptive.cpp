@@ -1,0 +1,82 @@
+// Tests for dynamic processor reassignment (Section 6: "dynamic load
+// management by reassigning processors to different tasks").
+#include <gtest/gtest.h>
+
+#include "apps/adaptive.hpp"
+
+namespace ap = fxpar::apps;
+using fxpar::MachineConfig;
+
+namespace {
+ap::AdaptiveConfig base() {
+  ap::AdaptiveConfig c;
+  c.total_procs = 16;
+  c.batches = 6;
+  c.sets_per_batch = 6;
+  c.n = 1 << 16;
+  // Compute-dominated stages (the transfer between them is ~35 ms/set on
+  // the Paragon balance; rebalancing compute only pays when compute is the
+  // larger term).
+  c.stage0_flops_per_elem = 16.0;
+  c.stage1_flops_per_elem = 64.0;
+  return c;
+}
+MachineConfig mach(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 512 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(Adaptive, ConvergesTowardsWorkProportionalSplit) {
+  auto cfg = base();  // stage work ratio 4 : 16 -> s0 should get ~1/5
+  const auto res = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  ASSERT_EQ(static_cast<int>(res.stage0_procs_per_batch.size()), cfg.batches);
+  EXPECT_EQ(res.stage0_procs_per_batch.front(), 8);  // initial 50/50
+  const int final_split = res.stage0_procs_per_batch.back();
+  EXPECT_GE(final_split, 2);
+  EXPECT_LE(final_split, 5);  // ~16/5 with comm noise
+}
+
+TEST(Adaptive, ThroughputImprovesAcrossBatches) {
+  auto cfg = base();
+  const auto res = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  ASSERT_GE(res.batch_throughput.size(), 2u);
+  EXPECT_GT(res.batch_throughput.back(), 1.1 * res.batch_throughput.front());
+}
+
+TEST(Adaptive, BeatsStaticMapping) {
+  auto cfg = base();
+  const auto adaptive = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  cfg.adapt = false;
+  const auto fixed = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  EXPECT_LT(adaptive.makespan, fixed.makespan);
+  // The static run never moves off the initial split.
+  for (int p : fixed.stage0_procs_per_batch) EXPECT_EQ(p, cfg.total_procs / 2);
+}
+
+TEST(Adaptive, BalancedStagesKeepTheEvenSplit) {
+  auto cfg = base();
+  cfg.stage1_flops_per_elem = cfg.stage0_flops_per_elem;
+  const auto res = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  // Equal work: the split should stay near 50/50 throughout.
+  for (int p : res.stage0_procs_per_batch) {
+    EXPECT_GE(p, 6);
+    EXPECT_LE(p, 10);
+  }
+}
+
+TEST(Adaptive, Deterministic) {
+  auto cfg = base();
+  const auto a = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  const auto b = ap::run_adaptive_pipeline(mach(cfg.total_procs), cfg);
+  EXPECT_EQ(a.stage0_procs_per_batch, b.stage0_procs_per_batch);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Adaptive, RejectsBadConfiguration) {
+  auto cfg = base();
+  EXPECT_THROW(ap::run_adaptive_pipeline(mach(8), cfg), std::invalid_argument);
+  cfg.total_procs = 1;
+  EXPECT_THROW(ap::run_adaptive_pipeline(mach(1), cfg), std::invalid_argument);
+}

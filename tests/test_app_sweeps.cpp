@@ -1,0 +1,95 @@
+// Cross-application property sweeps: every legal mapping shape of every
+// stream application must reproduce the sequential reference exactly,
+// across machine sizes — the model's sequential-equivalence promise, tested
+// wholesale.
+#include <gtest/gtest.h>
+
+#include "apps/ffthist.hpp"
+#include "apps/radar.hpp"
+#include "apps/stereo.hpp"
+
+namespace ap = fxpar::apps;
+using fxpar::MachineConfig;
+
+namespace {
+
+MachineConfig paragon(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+/// Mapping shapes to sweep, parameterized by a total processor budget P
+/// (P is always a multiple of 4) and the stage count S.
+std::vector<std::vector<ap::StreamModule>> mapping_shapes(int P, int S) {
+  std::vector<std::vector<ap::StreamModule>> shapes;
+  shapes.push_back({{0, S - 1, P, 1}});          // data parallel
+  shapes.push_back({{0, S - 1, P / 2, 2}});      // replicated x2
+  shapes.push_back({{0, S - 1, P / 4, 4}});      // replicated x4
+  shapes.push_back({{0, 0, P / 2, 1}, {1, S - 1, P / 2, 1}});  // 2-module pipe
+  shapes.push_back({{0, 0, P / 4, 1}, {1, S - 1, P / 4, 3}});  // hybrid
+  return shapes;
+}
+
+}  // namespace
+
+class MappingSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int procs() const { return std::get<0>(GetParam()); }
+  int shape_id() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(MappingSweep, FftHistAlwaysMatchesReference) {
+  ap::FftHistConfig cfg;
+  cfg.n = 16;
+  cfg.bins = 8;
+  cfg.num_sets = 5;
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  const auto shapes = mapping_shapes(procs(), 3);
+  ap::run_stream_pipeline<ap::Complex>(paragon(procs()), stages,
+                                       shapes[static_cast<std::size_t>(shape_id())],
+                                       cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    ASSERT_EQ(sink[static_cast<std::size_t>(k)], ap::ffthist_reference(cfg, k))
+        << "set " << k << " procs " << procs() << " shape " << shape_id();
+  }
+}
+
+TEST_P(MappingSweep, RadarAlwaysMatchesReference) {
+  ap::RadarConfig cfg;
+  cfg.samples = 32;
+  cfg.channels = 5;
+  cfg.num_sets = 4;
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::radar_stages(cfg, &sink);
+  const auto shapes = mapping_shapes(procs(), 4);
+  ap::run_stream_pipeline<ap::Complex>(paragon(procs()), stages,
+                                       shapes[static_cast<std::size_t>(shape_id())],
+                                       cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    ASSERT_EQ(sink[static_cast<std::size_t>(k)], ap::radar_reference(cfg, k))
+        << "dwell " << k << " procs " << procs() << " shape " << shape_id();
+  }
+}
+
+TEST_P(MappingSweep, StereoAlwaysMatchesReference) {
+  ap::StereoConfig cfg;
+  cfg.height = 12;
+  cfg.width = 10;
+  cfg.disparities = 4;
+  cfg.num_sets = 3;
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::stereo_stages(cfg, &sink);
+  const auto shapes = mapping_shapes(procs(), 4);
+  ap::run_stream_pipeline<float>(paragon(procs()), stages,
+                                 shapes[static_cast<std::size_t>(shape_id())], cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    ASSERT_EQ(sink[static_cast<std::size_t>(k)], ap::stereo_reference(cfg, k))
+        << "frame " << k << " procs " << procs() << " shape " << shape_id();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcsByShapes, MappingSweep,
+                         ::testing::Combine(::testing::Values(4, 8, 12),
+                                            ::testing::Values(0, 1, 2, 3, 4)));

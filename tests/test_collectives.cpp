@@ -1,0 +1,215 @@
+// Tests for group collectives: broadcast, reduce, allreduce, gather,
+// scatter, alltoall — over whole machines and over subgroups.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "comm/collectives.hpp"
+#include "machine/context.hpp"
+
+namespace mx = fxpar::machine;
+namespace pg = fxpar::pgroup;
+namespace cm = fxpar::comm;
+
+namespace {
+
+mx::MachineConfig fast_config(int p) {
+  auto c = mx::MachineConfig::ideal(p);
+  c.stack_bytes = 128 * 1024;
+  return c;
+}
+
+}  // namespace
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BroadcastReachesEveryMember) {
+  const int p = GetParam();
+  mx::Machine m(fast_config(p));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    const int v = cm::broadcast(ctx, g, 0, ctx.phys_rank() == 0 ? 424242 : -1);
+    EXPECT_EQ(v, 424242);
+  });
+}
+
+TEST_P(CollectiveSizes, BroadcastFromNonzeroRoot) {
+  const int p = GetParam();
+  mx::Machine m(fast_config(p));
+  const int root = p - 1;
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    const double v =
+        cm::broadcast(ctx, g, root, ctx.phys_rank() == root ? 2.75 : 0.0);
+    EXPECT_DOUBLE_EQ(v, 2.75);
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceSumsAllRanks) {
+  const int p = GetParam();
+  mx::Machine m(fast_config(p));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    const long v = cm::reduce(ctx, g, 0, static_cast<long>(ctx.phys_rank() + 1),
+                              std::plus<long>{});
+    if (ctx.phys_rank() == 0) {
+      EXPECT_EQ(v, static_cast<long>(p) * (p + 1) / 2);
+    } else {
+      EXPECT_EQ(v, 0L);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceMax) {
+  const int p = GetParam();
+  mx::Machine m(fast_config(p));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    const int v = cm::allreduce(ctx, g, (ctx.phys_rank() * 13) % p,
+                                [](int a, int b) { return std::max(a, b); });
+    int expect = 0;
+    for (int r = 0; r < p; ++r) expect = std::max(expect, (r * 13) % p);
+    EXPECT_EQ(v, expect);
+  });
+}
+
+TEST_P(CollectiveSizes, GatherOrdersByVirtualRank) {
+  const int p = GetParam();
+  mx::Machine m(fast_config(p));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    const auto out = cm::gather(ctx, g, 0, ctx.phys_rank() * 10);
+    if (ctx.phys_rank() == 0) {
+      ASSERT_EQ(static_cast<int>(out.size()), p);
+      for (int r = 0; r < p; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], r * 10);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes, ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33));
+
+TEST(Collectives, BroadcastVectorVariableLength) {
+  mx::Machine m(fast_config(4));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(4);
+    std::vector<double> data;
+    if (ctx.phys_rank() == 0) data = {1.0, 2.5, -3.0};
+    const auto out = cm::broadcast_vector(ctx, g, 0, data);
+    EXPECT_EQ(out, (std::vector<double>{1.0, 2.5, -3.0}));
+  });
+}
+
+TEST(Collectives, GatherVectorsConcatenates) {
+  mx::Machine m(fast_config(3));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(3);
+    // Rank r contributes r copies of r (rank 0 contributes nothing).
+    std::vector<int> mine(static_cast<std::size_t>(ctx.phys_rank()), ctx.phys_rank());
+    const auto out = cm::gather_vectors(ctx, g, 0, mine);
+    if (ctx.phys_rank() == 0) {
+      EXPECT_EQ(out, (std::vector<int>{1, 2, 2}));
+    }
+  });
+}
+
+TEST(Collectives, ScatterVectorsDistributesParts) {
+  mx::Machine m(fast_config(3));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(3);
+    std::vector<std::vector<int>> parts;
+    if (ctx.phys_rank() == 1) {
+      parts = {{10}, {20, 21}, {30, 31, 32}};
+    }
+    const auto mine = cm::scatter_vectors(ctx, g, 1, parts);
+    switch (ctx.phys_rank()) {
+      case 0: EXPECT_EQ(mine, (std::vector<int>{10})); break;
+      case 1: EXPECT_EQ(mine, (std::vector<int>{20, 21})); break;
+      case 2: EXPECT_EQ(mine, (std::vector<int>{30, 31, 32})); break;
+      default: FAIL();
+    }
+  });
+}
+
+TEST(Collectives, AlltoallExchangesAllPairs) {
+  constexpr int kP = 4;
+  mx::Machine m(fast_config(kP));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(kP);
+    const int me = ctx.phys_rank();
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(kP));
+    for (int d = 0; d < kP; ++d) {
+      send[static_cast<std::size_t>(d)] = {me * 100 + d};
+    }
+    const auto got = cm::alltoall_vectors(ctx, g, send);
+    ASSERT_EQ(static_cast<int>(got.size()), kP);
+    for (int s = 0; s < kP; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(s)], (std::vector<int>{s * 100 + me}));
+    }
+  });
+}
+
+TEST(Collectives, SubgroupCollectiveLeavesOthersUntouched) {
+  mx::Machine m(fast_config(6));
+  const pg::ProcessorGroup sub({1, 3, 5});
+  m.run([&](mx::Context& ctx) {
+    if (!sub.contains(ctx.phys_rank())) {
+      // Non-members do not participate and are not delayed.
+      EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+      return;
+    }
+    const int root_val = (ctx.phys_rank() == 1) ? 55 : 0;
+    EXPECT_EQ(cm::broadcast(ctx, sub, 0, root_val), 55);
+    const int sum = cm::allreduce(ctx, sub, 1, std::plus<int>{});
+    EXPECT_EQ(sum, 3);
+  });
+}
+
+TEST(Collectives, TwoDisjointSubgroupsRunConcurrently) {
+  mx::Machine m(fast_config(4));
+  const pg::ProcessorGroup a({0, 1});
+  const pg::ProcessorGroup b({2, 3});
+  m.run([&](mx::Context& ctx) {
+    const auto& mine = (ctx.phys_rank() < 2) ? a : b;
+    const int base = (ctx.phys_rank() < 2) ? 100 : 200;
+    const int root_val = (mine.virtual_of(ctx.phys_rank()) == 0) ? base : -1;
+    EXPECT_EQ(cm::broadcast(ctx, mine, 0, root_val), base);
+  });
+}
+
+TEST(Collectives, NonMemberCallRejected) {
+  mx::Machine m(fast_config(2));
+  const pg::ProcessorGroup sub({0});
+  EXPECT_THROW(m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 1) cm::broadcast(ctx, sub, 0, 1);
+  }),
+               std::logic_error);
+}
+
+TEST(Collectives, BadRootRejected) {
+  mx::Machine m(fast_config(2));
+  EXPECT_THROW(m.run([&](mx::Context& ctx) {
+    cm::broadcast(ctx, pg::ProcessorGroup::identity(2), 5, 1);
+  }),
+               std::out_of_range);
+}
+
+TEST(Collectives, ReduceIsDeterministicForFloats) {
+  // Same schedule -> bit-identical floating point reduction results.
+  auto run_once = [] {
+    mx::Machine m(fast_config(8));
+    double result = 0.0;
+    m.run([&](mx::Context& ctx) {
+      const auto g = pg::ProcessorGroup::identity(8);
+      const double mine = 0.1 * static_cast<double>(ctx.phys_rank() + 1);
+      const double s = cm::allreduce(ctx, g, mine, std::plus<double>{});
+      if (ctx.phys_rank() == 0) result = s;
+    });
+    return result;
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);  // exact bit equality
+}

@@ -1,0 +1,292 @@
+// Tests for the paper's model itself: TASK_PARTITION declarations,
+// TASK_REGION / ON SUBGROUP execution semantics, replicated scalars, and
+// dynamic nested partitioning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fx.hpp"
+
+using namespace fxpar;
+namespace ds = fxpar::dist;
+
+namespace {
+MachineConfig cfg(int p) {
+  auto c = MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(TaskPartition, SplitsCurrentProcessors) {
+  Machine m(cfg(8));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"some", 5}, {"many", ctx.nprocs() - 5}}, "myPart");
+    EXPECT_EQ(part.num_subgroups(), 2);
+    EXPECT_EQ(part.subgroup("some").size(), 5);
+    EXPECT_EQ(part.subgroup("many").size(), 3);
+    EXPECT_EQ(part.subgroup(0).members(), (std::vector<int>{0, 1, 2, 3, 4}));
+    const int mine = part.my_subgroup(ctx);
+    EXPECT_EQ(mine, ctx.phys_rank() < 5 ? 0 : 1);
+  });
+}
+
+TEST(TaskPartition, WrongTotalRejected) {
+  Machine m(cfg(4));
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"a", 2}, {"b", 3}});
+  }),
+               std::invalid_argument);
+}
+
+TEST(TaskRegion, OnRunsOnlyOnMembers) {
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"left", 2}, {"right", 4}});
+    core::TaskRegion region(ctx, part);
+    bool ran_left = false, ran_right = false;
+    region.on("left", [&] {
+      ran_left = true;
+      EXPECT_EQ(ctx.nprocs(), 2);
+      EXPECT_LT(ctx.phys_rank(), 2);
+    });
+    region.on("right", [&](const ProcessorGroup& g) {
+      ran_right = true;
+      EXPECT_EQ(g.size(), 4);
+      EXPECT_GE(ctx.phys_rank(), 2);
+    });
+    EXPECT_EQ(ran_left, ctx.phys_rank() < 2);
+    EXPECT_EQ(ran_right, ctx.phys_rank() >= 2);
+    EXPECT_EQ(ctx.nprocs(), 6);  // back to parent scope
+  });
+}
+
+TEST(TaskRegion, NonMembersSkipWithoutWaiting) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"busy", 2}, {"free", 2}});
+    core::TaskRegion region(ctx, part);
+    region.on("busy", [&] { ctx.charge(50.0); });
+    if (ctx.phys_rank() >= 2) {
+      EXPECT_DOUBLE_EQ(ctx.now(), 0.0);  // skipped past the ON block
+    }
+  });
+}
+
+TEST(TaskRegion, LexicalNestingOfOnRejected) {
+  Machine m(cfg(2));
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"all", 2}});
+    core::TaskRegion region(ctx, part);
+    region.on("all", [&] { region.on("all", [&] {}); });
+  }),
+               std::logic_error);
+}
+
+TEST(TaskRegion, PartitionMustMatchCurrentGroup) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"a", 2}, {"b", 2}});
+    // Enter a subgroup manually: the current group is no longer the
+    // partition's parent, so activating the region must fail.
+    const auto& mine = part.subgroup(ctx.phys_rank() < 2 ? "a" : "b");
+    ctx.push_group(mine);
+    EXPECT_THROW(core::TaskRegion region(ctx, part), std::logic_error);
+    ctx.pop_group();
+    // Back at parent scope the activation succeeds.
+    core::TaskRegion ok(ctx, part);
+  });
+}
+
+TEST(TaskRegion, DynamicNestingDividesSubgroup) {
+  Machine m(cfg(8));
+  m.run([&](Context& ctx) {
+    std::set<int> innermost_sizes;
+    core::TaskPartition part(ctx, {{"half1", 4}, {"half2", 4}});
+    core::TaskRegion region(ctx, part);
+    auto recurse = [&](auto&& self) -> void {
+      if (ctx.nprocs() == 1) {
+        innermost_sizes.insert(ctx.nprocs());
+        return;
+      }
+      const int h = ctx.nprocs() / 2;
+      core::TaskPartition p2(ctx, {{"lo", h}, {"hi", ctx.nprocs() - h}});
+      core::TaskRegion r2(ctx, p2);
+      r2.on("lo", [&] { self(self); });
+      r2.on("hi", [&] { self(self); });
+    };
+    region.on("half1", [&] { recurse(recurse); });
+    region.on("half2", [&] { recurse(recurse); });
+    EXPECT_EQ(ctx.nprocs(), 8);
+    EXPECT_EQ(innermost_sizes, (std::set<int>{1}));
+  });
+}
+
+TEST(TaskRegion, ParentScopeStatementUsesAllProcessors) {
+  // Reproduces the Section 2.1 example: many_low = some_low runs on the
+  // union of both subgroups (all current processors owning either side).
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"some", 2}, {"many", 4}});
+    auto some_low = core::subgroup_array<double>(ctx, part, "some", {8},
+                                                 {ds::DimDist::block()}, "some_low");
+    auto many_low = core::subgroup_array<double>(ctx, part, "many", {8},
+                                                 {ds::DimDist::block()}, "many_low");
+    core::TaskRegion region(ctx, part);
+    region.on("some", [&] {
+      some_low.fill([](std::span<const std::int64_t> g) {
+        return static_cast<double>(g[0] * 2);
+      });
+    });
+    ds::assign(ctx, many_low, some_low);  // parent scope
+    region.on("many", [&] {
+      many_low.for_each_owned([](std::span<const std::int64_t> g, double& v) {
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(g[0] * 2));
+      });
+    });
+  });
+}
+
+TEST(Replicated, LocalUpdateNeedsNoCommunication) {
+  Machine m(cfg(4));
+  auto res = m.run([&](Context& ctx) {
+    core::Replicated<int> i(ctx, 0);
+    for (int k = 0; k < 10; ++k) i.increment();
+    EXPECT_EQ(i.value(), 10);
+  });
+  EXPECT_EQ(res.messages, 0u);
+  EXPECT_EQ(res.barriers, 0u);
+}
+
+TEST(Replicated, OwnerBroadcastCommunicates) {
+  Machine m(cfg(4));
+  auto res = m.run([&](Context& ctx) {
+    core::Replicated<int> i(ctx, 0, core::ReplicationMode::OwnerBroadcast);
+    i.increment();
+    i.increment();
+    EXPECT_EQ(i.value(), 2);
+  });
+  EXPECT_GT(res.messages, 0u);
+}
+
+TEST(Replicated, SetPropagatesValue) {
+  Machine m(cfg(3));
+  m.run([&](Context& ctx) {
+    core::Replicated<double> x(ctx, 1.0);
+    x.set(6.5);
+    EXPECT_DOUBLE_EQ(x.value(), 6.5);
+  });
+}
+
+TEST(Replicated, ScopeIsCurrentGroupAtConstruction) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"a", 2}, {"b", 2}});
+    core::TaskRegion region(ctx, part);
+    region.on(ctx.phys_rank() < 2 ? "a" : "b", [&](const ProcessorGroup& g) {
+      core::Replicated<int> local(ctx, 0, core::ReplicationMode::OwnerBroadcast);
+      EXPECT_EQ(local.scope(), g);
+      local.increment();
+      EXPECT_EQ(local.value(), 1);
+    });
+  });
+}
+
+TEST(SubgroupVar, DistributionRelativeToSubgroup) {
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"g1", 2}, {"g2", 4}});
+    auto a = core::subgroup_array<int>(ctx, part, "g2", {8}, {ds::DimDist::block()});
+    if (ctx.phys_rank() >= 2) {
+      EXPECT_TRUE(a.is_member());
+      EXPECT_EQ(a.local().size(), 2u);  // 8 elements over 4 procs
+    } else {
+      EXPECT_FALSE(a.is_member());
+    }
+  });
+}
+
+TEST(Integration, PipelineSkeletonOverlapsStages) {
+  // Two-stage pipeline: stage A (procs 0..1) produces, stage B (procs 2..3)
+  // consumes; with non-participating processors skipping assignments, both
+  // stages overlap across iterations: makespan << serialized sum.
+  Machine m(cfg(4));
+  const double kStage = 10.0;
+  const int kIters = 8;
+  auto res = m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"A", 2}, {"B", 2}});
+    auto buf_a = core::subgroup_array<int>(ctx, part, "A", {4}, {ds::DimDist::block()});
+    auto buf_b = core::subgroup_array<int>(ctx, part, "B", {4}, {ds::DimDist::block()});
+    core::TaskRegion region(ctx, part);
+    core::Replicated<int> i(ctx, 0);
+    for (int k = 0; k < kIters; ++k) {
+      region.on("A", [&] {
+        buf_a.fill_value(k);
+        ctx.charge(kStage);
+      });
+      ds::assign(ctx, buf_b, buf_a);
+      region.on("B", [&] { ctx.charge(kStage); });
+      i.increment();
+    }
+    EXPECT_EQ(i.value(), kIters);
+  });
+  // Serialized would be ~2 * kIters * kStage = 160; pipelined ~ (kIters+1)*kStage.
+  EXPECT_LT(res.finish_time, 1.5 * (kIters + 1) * kStage);
+  EXPECT_GT(res.finish_time, kIters * kStage * 0.9);
+}
+
+TEST(TaskPartition, MultipleTemplatesPerScope) {
+  // The paper: "A subprogram unit can have multiple task partition
+  // directives to declare multiple templates for partitioning".
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition by_two(ctx, {{"a", 2}, {"b", 4}}, "byTwo");
+    core::TaskPartition by_three(ctx, {{"x", 3}, {"y", 3}}, "byThree");
+    {
+      core::TaskRegion region(ctx, by_two);
+      int n = 0;
+      region.on(ctx.phys_rank() < 2 ? "a" : "b", [&] { n = ctx.nprocs(); });
+      EXPECT_EQ(n, ctx.phys_rank() < 2 ? 2 : 4);
+    }
+    {
+      core::TaskRegion region(ctx, by_three);
+      int n = 0;
+      region.on(ctx.phys_rank() < 3 ? "x" : "y", [&] { n = ctx.nprocs(); });
+      EXPECT_EQ(n, 3);
+    }
+  });
+}
+
+TEST(TaskRegion, SequentialRegionsOverSamePartition) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"l", 2}, {"r", 2}});
+    for (int round = 0; round < 3; ++round) {
+      core::TaskRegion region(ctx, part);
+      int hits = 0;
+      region.on("l", [&] { ++hits; });
+      region.on("r", [&] { ++hits; });
+      EXPECT_EQ(hits, 1);  // each proc belongs to exactly one subgroup
+    }
+  });
+}
+
+TEST(TaskRegion, ExceptionInsideOnRestoresScope) {
+  Machine m(cfg(2));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"all", 2}});
+    const int depth = ctx.group_depth();
+    try {
+      core::TaskRegion region(ctx, part);
+      region.on("all", [&] { throw std::runtime_error("body failed"); });
+      FAIL();
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(ctx.group_depth(), depth);
+    // The model remains usable afterwards.
+    core::TaskRegion again(ctx, part);
+    bool ran = false;
+    again.on("all", [&] { ran = true; });
+    EXPECT_TRUE(ran);
+  });
+}

@@ -1,0 +1,187 @@
+// Unit and property tests for the per-dimension distribution algebra.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dist/dim_dist.hpp"
+
+namespace ds = fxpar::dist;
+
+TEST(DimDist, BlockBasics) {
+  const auto d = ds::DimDist::block();
+  // n=10, p=3 -> block size 4: [0,4) [4,8) [8,10).
+  EXPECT_EQ(d.block_size(10, 3), 4);
+  EXPECT_EQ(d.owner(0, 10, 3), 0);
+  EXPECT_EQ(d.owner(3, 10, 3), 0);
+  EXPECT_EQ(d.owner(4, 10, 3), 1);
+  EXPECT_EQ(d.owner(9, 10, 3), 2);
+  EXPECT_EQ(d.local_count(0, 10, 3), 4);
+  EXPECT_EQ(d.local_count(1, 10, 3), 4);
+  EXPECT_EQ(d.local_count(2, 10, 3), 2);
+  EXPECT_EQ(d.global_to_local(5, 10, 3), 1);
+  EXPECT_EQ(d.local_to_global(2, 1, 10, 3), 9);
+}
+
+TEST(DimDist, CyclicBasics) {
+  const auto d = ds::DimDist::cyclic();
+  EXPECT_EQ(d.block_size(10, 3), 1);
+  EXPECT_EQ(d.owner(0, 10, 3), 0);
+  EXPECT_EQ(d.owner(1, 10, 3), 1);
+  EXPECT_EQ(d.owner(5, 10, 3), 2);
+  EXPECT_EQ(d.local_count(0, 10, 3), 4);  // 0,3,6,9
+  EXPECT_EQ(d.local_count(2, 10, 3), 3);  // 2,5,8
+  EXPECT_EQ(d.global_to_local(6, 10, 3), 2);
+  EXPECT_EQ(d.local_to_global(1, 2, 10, 3), 7);
+}
+
+TEST(DimDist, BlockCyclicBasics) {
+  const auto d = ds::DimDist::block_cyclic(2);
+  // n=10, p=2, b=2: courses 0..4, owners 0,1,0,1,0.
+  EXPECT_EQ(d.owner(0, 10, 2), 0);
+  EXPECT_EQ(d.owner(2, 10, 2), 1);
+  EXPECT_EQ(d.owner(4, 10, 2), 0);
+  EXPECT_EQ(d.local_count(0, 10, 2), 6);
+  EXPECT_EQ(d.local_count(1, 10, 2), 4);
+  EXPECT_EQ(d.global_to_local(5, 10, 2), 3);   // course 2 is owner 0; (5 in course 2)
+  EXPECT_EQ(d.local_to_global(1, 3, 10, 2), 7);
+}
+
+TEST(DimDist, CollapsedOwnsEverything) {
+  const auto d = ds::DimDist::collapsed();
+  EXPECT_FALSE(d.distributed());
+  EXPECT_EQ(d.owner(7, 10, 3), 0);
+  EXPECT_EQ(d.local_count(0, 10, 3), 10);
+  EXPECT_EQ(d.global_to_local(7, 10, 3), 7);
+  const auto runs = d.owned_runs(0, 10, 3);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (ds::IndexRun{0, 10}));
+}
+
+TEST(DimDist, PartialLastBlock) {
+  const auto d = ds::DimDist::block();
+  // n=7, p=4 -> b=2: [0,2)[2,4)[4,6)[6,7).
+  EXPECT_EQ(d.local_count(3, 7, 4), 1);
+  EXPECT_EQ(d.owner(6, 7, 4), 3);
+  // n=5, p=4 -> b=2: coords 0,1,2 own 2,2,1; coord 3 owns nothing.
+  EXPECT_EQ(d.local_count(3, 5, 4), 0);
+  EXPECT_TRUE(d.owned_runs(3, 5, 4).empty());
+}
+
+TEST(DimDist, BlockCyclicRejectsBadBlock) {
+  EXPECT_THROW(ds::DimDist::block_cyclic(0), std::invalid_argument);
+  EXPECT_THROW(ds::DimDist::block_cyclic(-3), std::invalid_argument);
+}
+
+TEST(DimDist, OutOfRangeIndices) {
+  const auto d = ds::DimDist::block();
+  EXPECT_THROW(d.owner(10, 10, 2), std::out_of_range);
+  EXPECT_THROW(d.owner(-1, 10, 2), std::out_of_range);
+  EXPECT_THROW(d.global_to_local(10, 10, 2), std::out_of_range);
+  EXPECT_THROW(d.local_to_global(0, 5, 10, 2), std::out_of_range);
+  EXPECT_THROW(d.local_count(2, 10, 2), std::out_of_range);
+}
+
+TEST(IntersectRuns, BasicOverlaps) {
+  using R = ds::IndexRun;
+  const std::vector<R> a{{0, 4}, {8, 4}};
+  const std::vector<R> b{{2, 8}};
+  const auto c = ds::intersect_runs(a, b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (R{2, 2}));
+  EXPECT_EQ(c[1], (R{8, 2}));
+  EXPECT_EQ(ds::total_length(c), 4);
+}
+
+TEST(IntersectRuns, DisjointGivesEmpty) {
+  EXPECT_TRUE(ds::intersect_runs({{0, 2}}, {{5, 2}}).empty());
+  EXPECT_TRUE(ds::intersect_runs({}, {{0, 5}}).empty());
+}
+
+// ---- property sweeps over (kind, n, p) ----
+
+struct SweepCase {
+  ds::DimDist dist;
+  std::int64_t n;
+  int p;
+};
+
+class DimDistSweep : public ::testing::TestWithParam<std::tuple<int, std::int64_t, int>> {
+ protected:
+  ds::DimDist make_dist() const {
+    switch (std::get<0>(GetParam())) {
+      case 0: return ds::DimDist::block();
+      case 1: return ds::DimDist::cyclic();
+      case 2: return ds::DimDist::block_cyclic(3);
+      default: return ds::DimDist::collapsed();
+    }
+  }
+  std::int64_t n() const { return std::get<1>(GetParam()); }
+  int p() const { return std::get<2>(GetParam()); }
+  int coords() const { return make_dist().distributed() ? p() : 1; }
+};
+
+TEST_P(DimDistSweep, EveryIndexHasExactlyOneOwner) {
+  const auto d = make_dist();
+  for (std::int64_t i = 0; i < n(); ++i) {
+    const int o = d.owner(i, n(), p());
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, coords());
+  }
+}
+
+TEST_P(DimDistSweep, LocalCountsSumToExtent) {
+  const auto d = make_dist();
+  std::int64_t total = 0;
+  for (int c = 0; c < coords(); ++c) total += d.local_count(c, n(), p());
+  EXPECT_EQ(total, n());
+}
+
+TEST_P(DimDistSweep, GlobalLocalRoundTrip) {
+  const auto d = make_dist();
+  for (std::int64_t i = 0; i < n(); ++i) {
+    const int o = d.owner(i, n(), p());
+    const std::int64_t l = d.global_to_local(i, n(), p());
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, d.local_count(o, n(), p()));
+    EXPECT_EQ(d.local_to_global(o, l, n(), p()), i);
+  }
+}
+
+TEST_P(DimDistSweep, OwnedRunsMatchOwnership) {
+  const auto d = make_dist();
+  for (int c = 0; c < coords(); ++c) {
+    const auto runs = d.owned_runs(c, n(), p());
+    std::int64_t covered = 0;
+    std::int64_t prev_end = -1;
+    for (const auto& r : runs) {
+      EXPECT_GT(r.len, 0);
+      EXPECT_GT(r.start, prev_end);  // increasing, non-overlapping
+      prev_end = r.start + r.len - 1;
+      covered += r.len;
+      for (std::int64_t i = r.start; i < r.start + r.len; ++i) {
+        EXPECT_EQ(d.owner(i, n(), p()), c);
+      }
+    }
+    EXPECT_EQ(covered, d.local_count(c, n(), p()));
+  }
+}
+
+TEST_P(DimDistSweep, LocalOrderFollowsGlobalOrder) {
+  // local_to_global must be strictly increasing in the local index.
+  const auto d = make_dist();
+  for (int c = 0; c < coords(); ++c) {
+    const std::int64_t cnt = d.local_count(c, n(), p());
+    std::int64_t prev = -1;
+    for (std::int64_t l = 0; l < cnt; ++l) {
+      const std::int64_t g = d.local_to_global(c, l, n(), p());
+      EXPECT_GT(g, prev);
+      prev = g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsByShapes, DimDistSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),        // kind
+                       ::testing::Values<std::int64_t>(1, 2, 7, 16, 31, 64, 100),  // n
+                       ::testing::Values(1, 2, 3, 5, 8)));   // p

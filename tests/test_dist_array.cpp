@@ -1,0 +1,120 @@
+// Tests for the DistArray container (SPMD storage, access legality,
+// iteration, fill).
+#include <gtest/gtest.h>
+
+#include "dist/dist_array.hpp"
+#include "machine/context.hpp"
+
+namespace ds = fxpar::dist;
+namespace mx = fxpar::machine;
+namespace pg = fxpar::pgroup;
+
+namespace {
+mx::MachineConfig cfg(int p) {
+  auto c = mx::MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(DistArray, MembersAllocateNonMembersDont) {
+  mx::Machine m(cfg(4));
+  const pg::ProcessorGroup sub({1, 2});
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<int> a(ctx, ds::Layout(sub, {8}, {ds::DimDist::block()}), "a");
+    if (sub.contains(ctx.phys_rank())) {
+      EXPECT_TRUE(a.is_member());
+      EXPECT_EQ(a.local().size(), 4u);
+    } else {
+      EXPECT_FALSE(a.is_member());
+      EXPECT_THROW(a.local(), std::logic_error);
+      EXPECT_THROW(a.my_vrank(), std::logic_error);
+    }
+  });
+}
+
+TEST(DistArray, GlobalAccessOnOwnerOnly) {
+  mx::Machine m(cfg(2));
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<int> a(
+        ctx, ds::Layout(pg::ProcessorGroup::identity(2), {8}, {ds::DimDist::block()}), "a");
+    if (ctx.phys_rank() == 0) {
+      a.at(3) = 33;
+      EXPECT_EQ(a.at(3), 33);
+      EXPECT_THROW(a.at(4), std::logic_error);  // owned by proc 1
+    } else {
+      a.at(4) = 44;
+      EXPECT_THROW(a.at(3), std::logic_error);
+    }
+  });
+}
+
+TEST(DistArray, FillAndForEachCoverExactlyOwned) {
+  mx::Machine m(cfg(3));
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<std::int64_t> a(
+        ctx, ds::Layout(pg::ProcessorGroup::identity(3), {5, 4},
+                        {ds::DimDist::block(), ds::DimDist::collapsed()}),
+        "grid");
+    a.fill([](std::span<const std::int64_t> g) { return g[0] * 100 + g[1]; });
+    std::int64_t seen = 0;
+    a.for_each_owned([&](std::span<const std::int64_t> g, std::int64_t& v) {
+      EXPECT_EQ(v, g[0] * 100 + g[1]);
+      seen += 1;
+    });
+    EXPECT_EQ(seen, static_cast<std::int64_t>(a.local().size()));
+  });
+}
+
+TEST(DistArray, TwoDimAccessMatchesLayout) {
+  mx::Machine m(cfg(4));
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<double> a(
+        ctx, ds::Layout(pg::ProcessorGroup::identity(4), {4, 4},
+                        {ds::DimDist::block(), ds::DimDist::block()}),
+        "m");
+    a.fill([](std::span<const std::int64_t> g) {
+      return static_cast<double>(g[0] * 10 + g[1]);
+    });
+    // Each proc owns a 2x2 quadrant on a 2x2 grid.
+    const int v = a.my_vrank();
+    const std::int64_t r0 = (v / 2) * 2, c0 = (v % 2) * 2;
+    EXPECT_DOUBLE_EQ(a.at(r0 + 1, c0 + 1), static_cast<double>((r0 + 1) * 10 + c0 + 1));
+  });
+}
+
+TEST(DistArray, ReplicatedEveryMemberHoldsAll) {
+  mx::Machine m(cfg(3));
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<int> a(
+        ctx, ds::Layout(pg::ProcessorGroup::identity(3), {6},
+                        {ds::DimDist::collapsed()}),
+        "rep");
+    EXPECT_EQ(a.local().size(), 6u);
+    a.fill([](std::span<const std::int64_t> g) { return static_cast<int>(g[0] * 2); });
+    EXPECT_EQ(a.at(5), 10);  // every member owns every element
+  });
+}
+
+TEST(DistArray, FillValueSetsAllLocal) {
+  mx::Machine m(cfg(2));
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<float> a(
+        ctx, ds::Layout(pg::ProcessorGroup::identity(2), {10}, {ds::DimDist::cyclic()}), "f");
+    a.fill_value(2.5f);
+    for (float x : a.local()) EXPECT_FLOAT_EQ(x, 2.5f);
+  });
+}
+
+TEST(DistArray, NonMemberFillIsNoop) {
+  mx::Machine m(cfg(2));
+  const pg::ProcessorGroup solo({0});
+  m.run([&](mx::Context& ctx) {
+    ds::DistArray<int> a(ctx, ds::Layout(solo, {4}, {ds::DimDist::block()}), "solo");
+    a.fill_value(7);                                  // no-op off-group
+    a.fill([](std::span<const std::int64_t>) { return 9; });  // no-op off-group
+    if (ctx.phys_rank() == 0) {
+      for (int x : a.local()) EXPECT_EQ(x, 9);
+    }
+  });
+}

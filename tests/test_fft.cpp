@@ -1,0 +1,142 @@
+// Tests for the sequential FFT / histogram kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/fft.hpp"
+
+namespace ap = fxpar::apps;
+using ap::Complex;
+
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<Complex> v(n);
+  for (auto& z : v) z = Complex(d(rng), d(rng));
+  return v;
+}
+
+double max_abs_diff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> v(8, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  ap::fft_inplace(v);
+  for (const auto& z : v) {
+    EXPECT_NEAR(z.real(), 1.0, 1e-12);
+    EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantGivesDelta) {
+  std::vector<Complex> v(16, Complex(1, 0));
+  ap::fft_inplace(v);
+  EXPECT_NEAR(v[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 64;
+  constexpr int kTone = 5;
+  std::vector<Complex> v(kN);
+  for (std::size_t t = 0; t < kN; ++t) {
+    const double ang = 2.0 * M_PI * kTone * static_cast<double>(t) / kN;
+    v[t] = Complex(std::cos(ang), std::sin(ang));
+  }
+  ap::fft_inplace(v);
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(std::abs(v[k]), k == kTone ? 64.0 : 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesNaiveDft) {
+  const auto sig = random_signal(GetParam(), 42);
+  auto fast = sig;
+  ap::fft_inplace(fast);
+  const auto slow = ap::naive_dft(sig);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-9);
+}
+
+TEST_P(FftVsDft, InverseRoundTrips) {
+  const auto sig = random_signal(GetParam(), 7);
+  auto v = sig;
+  ap::fft_inplace(v, false);
+  ap::fft_inplace(v, true);
+  EXPECT_LT(max_abs_diff(v, sig), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftVsDft, ::testing::Values(1, 2, 4, 8, 32, 128, 256));
+
+TEST(Fft, NonPow2Rejected) {
+  std::vector<Complex> v(12);
+  EXPECT_THROW(ap::fft_inplace(v), std::invalid_argument);
+}
+
+TEST(Fft, StridedMatchesContiguous) {
+  constexpr std::size_t kRows = 8, kCols = 4;
+  auto mat = random_signal(kRows * kCols, 3);
+  auto expect = mat;
+  // Column FFT via explicit copy.
+  for (std::size_t c = 0; c < kCols; ++c) {
+    std::vector<Complex> col(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) col[r] = expect[r * kCols + c];
+    ap::fft_inplace(col);
+    for (std::size_t r = 0; r < kRows; ++r) expect[r * kCols + c] = col[r];
+  }
+  for (std::size_t c = 0; c < kCols; ++c) {
+    ap::fft_strided(mat, c, kCols, kRows);
+  }
+  EXPECT_LT(max_abs_diff(mat, expect), 1e-12);
+}
+
+TEST(Fft, StridedBoundsChecked) {
+  std::vector<Complex> v(8);
+  EXPECT_THROW(ap::fft_strided(v, 0, 0, 4), std::invalid_argument);
+  EXPECT_THROW(ap::fft_strided(v, 4, 2, 4), std::out_of_range);
+}
+
+TEST(Fft, FlopModelScalesNLogN) {
+  EXPECT_DOUBLE_EQ(ap::fft_flops(1), 0.0);
+  EXPECT_DOUBLE_EQ(ap::fft_flops(8), 5.0 * 8 * 3);
+  EXPECT_GT(ap::fft_flops(1024), ap::fft_flops(512) * 2.0);
+}
+
+TEST(Histogram, CountsFallInRightBuckets) {
+  std::vector<Complex> v{{0.1, 0.0}, {0.9, 0.0}, {1.9, 0.0}, {5.0, 0.0}};
+  const auto h = ap::magnitude_histogram(v, 2, 2.0);
+  // bins: [0,1) and [1,2); 5.0 clamps into the last bin.
+  EXPECT_EQ(h, (std::vector<std::int64_t>{2, 2}));
+}
+
+TEST(Histogram, TotalAlwaysMatchesInput) {
+  const auto sig = random_signal(1000, 11);
+  const auto h = ap::magnitude_histogram(sig, 16, 1.5);
+  std::int64_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(Histogram, Errors) {
+  std::vector<Complex> v(4);
+  EXPECT_THROW(ap::magnitude_histogram(v, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ap::magnitude_histogram(v, 4, 0.0), std::invalid_argument);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_TRUE(ap::is_pow2(1));
+  EXPECT_TRUE(ap::is_pow2(1024));
+  EXPECT_FALSE(ap::is_pow2(0));
+  EXPECT_FALSE(ap::is_pow2(-8));
+  EXPECT_FALSE(ap::is_pow2(12));
+}

@@ -1,0 +1,160 @@
+// End-to-end tests of the FFT-Hist application under different task/data
+// parallel mappings: pure data parallel, 3-stage pipeline (Figure 2),
+// replicated (Figure 3), and hybrid — all must produce the sequential
+// reference histograms, and their timing must show the expected
+// pipelining/replication behaviour.
+#include <gtest/gtest.h>
+
+#include "apps/ffthist.hpp"
+
+namespace ap = fxpar::apps;
+namespace sched = fxpar::sched;
+using fxpar::MachineConfig;
+
+namespace {
+
+MachineConfig paragon(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+ap::FftHistConfig small_cfg() {
+  ap::FftHistConfig c;
+  c.n = 16;
+  c.bins = 8;
+  c.num_sets = 6;
+  return c;
+}
+
+void expect_all_reference(const ap::FftHistConfig& cfg,
+                          const std::vector<std::vector<std::int64_t>>& sink) {
+  ASSERT_EQ(static_cast<int>(sink.size()), cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::ffthist_reference(cfg, k))
+        << "data set " << k;
+  }
+}
+
+}  // namespace
+
+TEST(FftHist, ReferenceHistogramCountsAllElements) {
+  const auto cfg = small_cfg();
+  const auto h = ap::ffthist_reference(cfg, 0);
+  std::int64_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, cfg.n * cfg.n);
+}
+
+TEST(FftHist, DataParallelMatchesReference) {
+  const auto cfg = small_cfg();
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  // One module, all stages, 4 procs.
+  const auto stats = ap::run_stream_pipeline<ap::Complex>(
+      paragon(4), stages, {{0, 2, 4, 1}}, cfg.num_sets);
+  expect_all_reference(cfg, sink);
+  EXPECT_GT(stats.makespan, 0.0);
+}
+
+TEST(FftHist, ThreeStagePipelineMatchesReference) {
+  const auto cfg = small_cfg();
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  // Figure 2: G1(2), G2(2), G3(2).
+  const auto stats = ap::run_stream_pipeline<ap::Complex>(
+      paragon(6), stages, {{0, 0, 2, 1}, {1, 1, 2, 1}, {2, 2, 2, 1}}, cfg.num_sets);
+  expect_all_reference(cfg, sink);
+  EXPECT_GT(stats.throughput(), 0.0);
+}
+
+TEST(FftHist, ReplicatedMatchesReference) {
+  const auto cfg = small_cfg();
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  // Figure 3: two instances of the whole computation.
+  ap::run_stream_pipeline<ap::Complex>(paragon(8), stages, {{0, 2, 4, 2}}, cfg.num_sets);
+  expect_all_reference(cfg, sink);
+}
+
+TEST(FftHist, HybridPipelineWithReplicationMatchesReference) {
+  const auto cfg = small_cfg();
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  // Two replicated FFT modules feeding one hist module.
+  ap::run_stream_pipeline<ap::Complex>(paragon(10), stages,
+                                       {{0, 1, 4, 2}, {2, 2, 2, 1}}, cfg.num_sets);
+  expect_all_reference(cfg, sink);
+}
+
+TEST(FftHist, SingleProcessorModulesWork) {
+  const auto cfg = small_cfg();
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  ap::run_stream_pipeline<ap::Complex>(paragon(3), stages,
+                                       {{0, 0, 1, 1}, {1, 1, 1, 1}, {2, 2, 1, 1}},
+                                       cfg.num_sets);
+  expect_all_reference(cfg, sink);
+}
+
+TEST(FftHist, PipeliningOverlapsStages) {
+  // Isolate the overlap effect: three 2-processor stage modules pipelined
+  // against the same three stages serialized on one 2-processor module.
+  // Overlap must deliver well over the serial rate (ideally ~3x).
+  auto cfg = small_cfg();
+  cfg.n = 128;
+  cfg.num_sets = 10;
+  const auto stages = ap::ffthist_stages(cfg);
+  const auto serial = ap::run_stream_pipeline<ap::Complex>(paragon(6), stages, {{0, 2, 2, 1}},
+                                                           cfg.num_sets);
+  const auto pipe = ap::run_stream_pipeline<ap::Complex>(
+      paragon(6), stages, {{0, 0, 2, 1}, {1, 1, 2, 1}, {2, 2, 2, 1}}, cfg.num_sets);
+  EXPECT_GT(pipe.steady_throughput(), 1.5 * serial.steady_throughput());
+  // Pipelining adds handoffs to the critical path: per-set latency rises.
+  EXPECT_GT(pipe.avg_latency(), serial.avg_latency());
+}
+
+TEST(FftHist, ReplicationScalesThroughputForSmallSets) {
+  auto cfg = small_cfg();
+  cfg.num_sets = 12;
+  const auto stages = ap::ffthist_stages(cfg);
+  const auto one = ap::run_stream_pipeline<ap::Complex>(paragon(8), stages, {{0, 2, 4, 1}},
+                                                        cfg.num_sets);
+  const auto two = ap::run_stream_pipeline<ap::Complex>(paragon(8), stages, {{0, 2, 4, 2}},
+                                                        cfg.num_sets);
+  EXPECT_GT(two.steady_throughput(), 1.4 * one.steady_throughput());
+  EXPECT_NEAR(two.avg_latency(), one.avg_latency(), one.avg_latency());  // same order
+}
+
+TEST(FftHist, MappingValidationRejectsBadModules) {
+  const auto cfg = small_cfg();
+  const auto stages = ap::ffthist_stages(cfg);
+  EXPECT_THROW(ap::run_stream_pipeline<ap::Complex>(paragon(4), stages, {{0, 1, 2, 1}}, 2),
+               std::invalid_argument);  // does not cover stage 2
+  EXPECT_THROW(ap::run_stream_pipeline<ap::Complex>(paragon(4), stages, {{0, 2, 8, 1}}, 2),
+               std::invalid_argument);  // too many procs
+  EXPECT_THROW(ap::run_stream_pipeline<ap::Complex>(paragon(4), stages, {}, 2),
+               std::invalid_argument);
+}
+
+TEST(FftHist, ModelRanksMappingsLikeTheMachine) {
+  // The analytic model must agree with the simulator about which of two
+  // mappings has higher steady-state throughput.
+  auto cfg = small_cfg();
+  cfg.n = 32;
+  cfg.num_sets = 10;
+  const auto stages = ap::ffthist_stages(cfg);
+  const auto mcfg = paragon(8);
+  const auto model = ap::ffthist_model(mcfg, cfg);
+
+  sched::PipelineMapping a;
+  a.modules = {{0, 2, 8, 1}};
+  sched::PipelineMapping b;
+  b.modules = {{0, 2, 4, 2}};
+  fxpar::sched::evaluate(model, a);
+  fxpar::sched::evaluate(model, b);
+
+  const auto sa = ap::run_stream_pipeline<ap::Complex>(mcfg, stages, a.modules, cfg.num_sets);
+  const auto sb = ap::run_stream_pipeline<ap::Complex>(mcfg, stages, b.modules, cfg.num_sets);
+  EXPECT_EQ(a.throughput > b.throughput, sa.steady_throughput() > sb.steady_throughput());
+}

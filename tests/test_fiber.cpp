@@ -1,0 +1,141 @@
+// Unit tests for the fiber substrate: guarded stacks and ucontext fibers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+#include "runtime/stack.hpp"
+
+namespace rt = fxpar::runtime;
+
+TEST(FiberStack, AllocatesRequestedSize) {
+  rt::FiberStack s(64 * 1024);
+  EXPECT_NE(s.base(), nullptr);
+  EXPECT_GE(s.size(), 64u * 1024u);
+  EXPECT_EQ(s.size() % rt::FiberStack::page_size(), 0u);
+}
+
+TEST(FiberStack, RoundsUpToPageSize) {
+  rt::FiberStack s(1);
+  EXPECT_EQ(s.size(), rt::FiberStack::page_size());
+}
+
+TEST(FiberStack, MoveTransfersOwnership) {
+  rt::FiberStack a(64 * 1024);
+  void* base = a.base();
+  rt::FiberStack b(std::move(a));
+  EXPECT_EQ(b.base(), base);
+  EXPECT_EQ(a.base(), nullptr);
+  rt::FiberStack c(16 * 1024);
+  c = std::move(b);
+  EXPECT_EQ(c.base(), base);
+}
+
+TEST(FiberStack, StackIsWritable) {
+  rt::FiberStack s(64 * 1024);
+  auto* p = static_cast<char*>(s.base());
+  p[0] = 'a';
+  p[s.size() - 1] = 'z';
+  EXPECT_EQ(p[0], 'a');
+  EXPECT_EQ(p[s.size() - 1], 'z');
+}
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int x = 0;
+  rt::Fiber f([&] { x = 42; }, 64 * 1024);
+  EXPECT_EQ(f.state(), rt::Fiber::State::Created);
+  f.resume();
+  EXPECT_EQ(x, 42);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  rt::Fiber* self = nullptr;
+  rt::Fiber f(
+      [&] {
+        order.push_back(1);
+        self->yield_to_owner();
+        order.push_back(3);
+        self->yield_to_owner();
+        order.push_back(5);
+      },
+      64 * 1024);
+  self = &f;
+  f.resume();
+  order.push_back(2);
+  EXPECT_EQ(f.state(), rt::Fiber::State::Suspended);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksRunningFiber) {
+  EXPECT_EQ(rt::Fiber::current(), nullptr);
+  rt::Fiber* observed = reinterpret_cast<rt::Fiber*>(1);
+  rt::Fiber f([&] { observed = rt::Fiber::current(); }, 64 * 1024);
+  f.resume();
+  EXPECT_EQ(observed, &f);
+  EXPECT_EQ(rt::Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ExceptionPropagatesToOwner) {
+  rt::Fiber f([] { throw std::runtime_error("boom"); }, 64 * 1024);
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ResumeAfterFinishThrows) {
+  rt::Fiber f([] {}, 64 * 1024);
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, EmptyBodyRejected) {
+  EXPECT_THROW(rt::Fiber(std::function<void()>{}, 64 * 1024), std::invalid_argument);
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 32;
+  std::vector<std::unique_ptr<rt::Fiber>> fibers;
+  std::vector<int> counters(kFibers, 0);
+  std::vector<rt::Fiber*> handles(kFibers, nullptr);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(std::make_unique<rt::Fiber>(
+        [&, i] {
+          for (int k = 0; k < 3; ++k) {
+            counters[static_cast<std::size_t>(i)] += 1;
+            handles[static_cast<std::size_t>(i)]->yield_to_owner();
+          }
+        },
+        64 * 1024));
+    handles[static_cast<std::size_t>(i)] = fibers.back().get();
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto& f : fibers) {
+      if (!f->finished()) f->resume();
+    }
+  }
+  for (int i = 0; i < kFibers; ++i) {
+    EXPECT_EQ(counters[static_cast<std::size_t>(i)], 3) << "fiber " << i;
+    EXPECT_TRUE(fibers[static_cast<std::size_t>(i)]->finished());
+  }
+}
+
+TEST(Fiber, DeepStackUsageWorks) {
+  // Recursion that touches a few hundred KB of stack must not fault with a
+  // 1 MiB stack.
+  std::function<int(int)> rec = [&](int d) -> int {
+    char pad[1024];
+    pad[0] = static_cast<char>(1 + (d & 0x3f));  // always non-zero
+    if (d == 0) return 0;
+    return rec(d - 1) + (pad[0] ? 1 : 0);
+  };
+  int result = -1;
+  rt::Fiber f([&] { result = rec(300); }, 1 << 20);
+  f.resume();
+  EXPECT_EQ(result, 300);
+}

@@ -1,0 +1,373 @@
+// End-to-end tests of the fxlang interpreter: the paper's directives
+// executed from source text on the simulated machine.
+#include <gtest/gtest.h>
+
+#include "lang/interp.hpp"
+#include "machine/config.hpp"
+
+namespace lg = fxpar::lang;
+namespace mx = fxpar::machine;
+
+namespace {
+
+mx::MachineConfig cfg(int p) {
+  auto c = mx::MachineConfig::ideal(p);
+  c.stack_bytes = 512 * 1024;
+  return c;
+}
+
+lg::FxRunResult run(int procs, const std::string& src) { return lg::run_source(cfg(procs), src); }
+
+}  // namespace
+
+TEST(FxLang, ScalarArithmeticAndPrint) {
+  const auto res = run(2, "INTEGER x\nx = 2 + 3 * 4\nPRINT x\n");
+  ASSERT_EQ(res.output.size(), 1u);
+  EXPECT_EQ(res.output[0], "14");
+}
+
+TEST(FxLang, DoLoopAccumulates) {
+  const auto res = run(2, R"(
+INTEGER i, s
+s = 0
+DO i = 1, 10
+  s = s + i
+END DO
+PRINT s
+)");
+  ASSERT_EQ(res.output.size(), 1u);
+  EXPECT_EQ(res.output[0], "55");
+}
+
+TEST(FxLang, IfElse) {
+  const auto res = run(1, R"(
+INTEGER x
+x = 7
+IF x > 5 THEN
+  PRINT 1
+ELSE
+  PRINT 0
+END IF
+IF x == 7 THEN
+  PRINT 2
+END IF
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  EXPECT_EQ(res.output[0], "1");
+  EXPECT_EQ(res.output[1], "2");
+}
+
+TEST(FxLang, ElementwiseArrayAssignAndSum) {
+  const auto res = run(4, R"(
+ARRAY a(10)
+DISTRIBUTE a(BLOCK)
+a = INDEX(1) * 2
+PRINT SUM(a)
+)");
+  ASSERT_EQ(res.output.size(), 1u);
+  EXPECT_EQ(res.output[0], "90");  // 2 * (0+..+9)
+}
+
+TEST(FxLang, MinvalMaxval) {
+  const auto res = run(3, R"(
+ARRAY a(7)
+DISTRIBUTE a(CYCLIC)
+a = 10 - INDEX(1)
+PRINT MINVAL(a)
+PRINT MAXVAL(a)
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  EXPECT_EQ(res.output[0], "4");
+  EXPECT_EQ(res.output[1], "10");
+}
+
+TEST(FxLang, TwoDimensionalArrays) {
+  const auto res = run(4, R"(
+ARRAY m(4, 6)
+DISTRIBUTE m(BLOCK, *)
+m = INDEX(1) * 100 + INDEX(2)
+PRINT SUM(m)
+PRINT MAXVAL(m)
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  // sum = 100*6*(0+1+2+3) + 4*(0+..+5) = 3600 + 60.
+  EXPECT_EQ(res.output[0], "3660");
+  EXPECT_EQ(res.output[1], "305");
+}
+
+TEST(FxLang, TaskPartitionAndOnSubgroup) {
+  const auto res = run(6, R"(
+TASK_PARTITION part :: small(2), big(NPROCS() - 2)
+BEGIN TASK_REGION part
+ON SUBGROUP small
+  PRINT 100 + NPROCS()
+END ON
+ON SUBGROUP big
+  PRINT 200 + NPROCS()
+END ON
+END TASK_REGION
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  // Both subgroup leaders print; order by virtual time is deterministic.
+  EXPECT_NE(std::find(res.output.begin(), res.output.end(), "102"), res.output.end());
+  EXPECT_NE(std::find(res.output.begin(), res.output.end(), "204"), res.output.end());
+}
+
+TEST(FxLang, SubgroupArraysAndRedistribution) {
+  // The Section 2.1 example, in the language itself.
+  const auto res = run(6, R"(
+PROGRAM section21
+  TASK_PARTITION mypart :: some(2), many(NPROCS() - 2)
+  ARRAY some_low(12), many_low(12), many_high(12)
+  SUBGROUP(some) :: some_low
+  SUBGROUP(many) :: many_low, many_high
+  DISTRIBUTE some_low(BLOCK), many_low(BLOCK), many_high(BLOCK)
+  BEGIN TASK_REGION mypart
+    ON SUBGROUP some
+      some_low = INDEX(1) * 3
+    END ON
+    many_low = some_low
+    ON SUBGROUP many
+      many_high = many_low + 1
+      PRINT SUM(many_high)
+    END ON
+  END TASK_REGION
+END
+)");
+  ASSERT_EQ(res.output.size(), 1u);
+  // sum(3i + 1, i=0..11) = 3*66 + 12 = 210.
+  EXPECT_EQ(res.output[0], "210");
+}
+
+TEST(FxLang, PipelinedLoopOverlapsSubgroups) {
+  // A two-stage pipeline in the language: with ON-block skipping and the
+  // minimal-subset assignment, the makespan is far below the serial sum.
+  auto pcfg = mx::MachineConfig::ideal(4);
+  pcfg.stack_bytes = 512 * 1024;
+  pcfg.flop_time = 1e-3;  // make stage work visible
+  const std::string src = R"(
+INTEGER i
+TASK_PARTITION part :: pa(2), pb(2)
+ARRAY a(64), b(64)
+SUBGROUP(pa) :: a
+SUBGROUP(pb) :: b
+DISTRIBUTE a(BLOCK), b(BLOCK)
+BEGIN TASK_REGION part
+DO i = 1, 8
+  ON SUBGROUP pa
+    a = INDEX(1) + i
+  END ON
+  b = a
+  ON SUBGROUP pb
+    b = b * 2
+  END ON
+END DO
+END TASK_REGION
+)";
+  const auto res = lg::run_source(pcfg, src);
+  // Each stage does 32 elements x ~3 ops x 1ms = ~0.1 s per iteration side;
+  // serialized would be ~2x that per iteration. Overlap must show.
+  const double serial_estimate = 8 * 2 * 32 * 3 * 1e-3;
+  EXPECT_LT(res.machine_result.finish_time, 0.8 * serial_estimate);
+}
+
+TEST(FxLang, NestedPartitionInsideOnBlock) {
+  // Dynamic nesting: a partition of the current subgroup declared inside an
+  // ON block (the paper's recursive pattern).
+  const auto res = run(8, R"(
+TASK_PARTITION outer :: left(4), right(4)
+BEGIN TASK_REGION outer
+ON SUBGROUP left
+  TASK_PARTITION inner :: a(2), b(2)
+  BEGIN TASK_REGION inner
+  ON SUBGROUP a
+    PRINT 10 + NPROCS()
+  END ON
+  END TASK_REGION
+END ON
+END TASK_REGION
+)");
+  ASSERT_EQ(res.output.size(), 1u);
+  EXPECT_EQ(res.output[0], "12");
+}
+
+TEST(FxLang, BarrierStatementRuns) {
+  const auto res = run(3, "BARRIER\nPRINT 1\n");
+  ASSERT_EQ(res.output.size(), 1u);
+}
+
+TEST(FxLang, ModelViolationsAreDiagnosed) {
+  // ON outside a task region.
+  EXPECT_THROW(run(4, "TASK_PARTITION p :: a(2), b(2)\nON SUBGROUP a\nEND ON\n"),
+               std::runtime_error);
+  // Elementwise use of an unaligned array.
+  EXPECT_THROW(run(4, R"(
+ARRAY x(8), y(8)
+DISTRIBUTE x(BLOCK), y(CYCLIC)
+x = y + 1
+)"),
+               std::runtime_error);
+  // Cross-subgroup assignment from inside an ON block (locality rule).
+  EXPECT_THROW(run(4, R"(
+TASK_PARTITION p :: g1(2), g2(2)
+ARRAY a(8), b(8)
+SUBGROUP(g1) :: a
+SUBGROUP(g2) :: b
+BEGIN TASK_REGION p
+ON SUBGROUP g1
+  b = a
+END ON
+END TASK_REGION
+)"),
+               std::runtime_error);
+  // Undeclared identifier.
+  EXPECT_THROW(run(2, "PRINT nope\n"), std::runtime_error);
+  // Whole array in scalar context.
+  EXPECT_THROW(run(2, "ARRAY a(4)\nPRINT a\n"), std::runtime_error);
+}
+
+TEST(FxLang, PartitionSizesMustCoverProcessors) {
+  EXPECT_THROW(run(4, "TASK_PARTITION p :: a(2), b(3)\n"), std::invalid_argument);
+}
+
+TEST(FxLang, DeterministicOutputOrder) {
+  const std::string src = R"(
+TASK_PARTITION p :: g1(2), g2(2)
+BEGIN TASK_REGION p
+ON SUBGROUP g1
+  PRINT 1
+END ON
+ON SUBGROUP g2
+  PRINT 2
+END ON
+END TASK_REGION
+)";
+  const auto a = run(4, src);
+  const auto b = run(4, src);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_DOUBLE_EQ(a.machine_result.finish_time, b.machine_result.finish_time);
+}
+
+TEST(FxLang, SubroutineCallWithScalarArgs) {
+  const auto res = run(2, R"(
+INTEGER x
+x = 5
+CALL double_it(x + 1)
+PRINT x
+END
+SUBROUTINE double_it(v)
+  PRINT v * 2
+END SUBROUTINE
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  EXPECT_EQ(res.output[0], "12");  // subroutine prints first
+  EXPECT_EQ(res.output[1], "5");   // caller's x untouched (by value)
+}
+
+TEST(FxLang, SubroutineArraysPassByReference) {
+  const auto res = run(4, R"(
+ARRAY a(8)
+DISTRIBUTE a(BLOCK)
+a = 1
+CALL scale(a, 3)
+PRINT SUM(a)
+END
+SUBROUTINE scale(arr, factor)
+  arr = arr * factor
+END SUBROUTINE
+)");
+  ASSERT_EQ(res.output.size(), 1u);
+  EXPECT_EQ(res.output[0], "24");  // 8 elements x 3
+}
+
+TEST(FxLang, RecursiveNestedPartitions) {
+  // Figure 4's skeleton: a subroutine recursively halves its processor
+  // group with its own TASK_PARTITION until one processor remains.
+  const auto res = run(8, R"(
+CALL recurse(0)
+END
+SUBROUTINE recurse(depth)
+  IF NPROCS() == 1 THEN
+    PRINT depth
+  ELSE
+    TASK_PARTITION half :: lo(NPROCS()/2), hi(NPROCS() - NPROCS()/2)
+    BEGIN TASK_REGION half
+    ON SUBGROUP lo
+      CALL recurse(depth + 1)
+    END ON
+    ON SUBGROUP hi
+      CALL recurse(depth + 1)
+    END ON
+    END TASK_REGION
+  END IF
+END SUBROUTINE
+)");
+  ASSERT_EQ(res.output.size(), 8u);  // every leaf processor prints
+  for (const auto& line : res.output) EXPECT_EQ(line, "3");  // log2(8) levels
+}
+
+TEST(FxLang, ElementAssignmentAndIndexedRead) {
+  const auto res = run(4, R"(
+ARRAY a(8)
+INTEGER i
+DISTRIBUTE a(BLOCK)
+a = 0
+DO i = 0, 7
+  a(i) = i * i
+END DO
+PRINT a(5)
+PRINT a(0) + a(7)
+)");
+  ASSERT_EQ(res.output.size(), 2u);
+  EXPECT_EQ(res.output[0], "25");
+  EXPECT_EQ(res.output[1], "49");
+}
+
+TEST(FxLang, IndexedReadInElementwiseContextMustBeLocal) {
+  // a(INDEX(1)) is local (same layout); a(0) generally is not.
+  const auto ok = run(4, R"(
+ARRAY a(8), b(8)
+DISTRIBUTE a(BLOCK), b(BLOCK)
+a = INDEX(1) + 1
+b = a(INDEX(1)) * 2
+PRINT SUM(b)
+)");
+  ASSERT_EQ(ok.output.size(), 1u);
+  EXPECT_EQ(ok.output[0], "72");  // 2 * sum(1..8)
+  EXPECT_THROW(run(4, R"(
+ARRAY a(8), b(8)
+DISTRIBUTE a(BLOCK), b(BLOCK)
+a = 1
+b = a(0)
+)"),
+               std::runtime_error);
+}
+
+TEST(FxLang, SubroutineSeesOnlyItsParameters) {
+  EXPECT_THROW(run(2, R"(
+INTEGER hidden
+hidden = 3
+CALL peek()
+END
+SUBROUTINE peek()
+  PRINT hidden
+END SUBROUTINE
+)"),
+               std::runtime_error);
+}
+
+TEST(FxLang, RunawayRecursionDiagnosed) {
+  EXPECT_THROW(run(2, R"(
+CALL forever(0)
+END
+SUBROUTINE forever(x)
+  CALL forever(x + 1)
+END SUBROUTINE
+)"),
+               std::runtime_error);
+}
+
+TEST(FxLang, CallArityChecked) {
+  EXPECT_THROW(run(2, "CALL f(1, 2)\nEND\nSUBROUTINE f(a)\nPRINT a\nEND SUBROUTINE\n"),
+               std::runtime_error);
+}

@@ -1,0 +1,139 @@
+// Tests for the fxlang lexer and parser.
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+
+namespace lg = fxpar::lang;
+
+TEST(Lexer, TokenizesDirectives) {
+  const auto toks = lg::lex("TASK_PARTITION p :: g1(2), g2(NPROCS() - 2)\n");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, lg::Tok::Ident);
+  EXPECT_EQ(toks[0].text, "TASK_PARTITION");
+  EXPECT_EQ(toks[2].kind, lg::Tok::ColonColon);
+}
+
+TEST(Lexer, CaseInsensitiveIdentifiers) {
+  const auto toks = lg::lex("Begin task_region myPart\n");
+  EXPECT_EQ(toks[0].text, "BEGIN");
+  EXPECT_EQ(toks[1].text, "TASK_REGION");
+  EXPECT_EQ(toks[2].text, "MYPART");
+}
+
+TEST(Lexer, NumbersAndOperators) {
+  const auto toks = lg::lex("x = 2.5 * (3 - 1) / 4\n");
+  EXPECT_EQ(toks[1].kind, lg::Tok::Assign);
+  EXPECT_DOUBLE_EQ(toks[2].number, 2.5);
+  EXPECT_EQ(toks[3].kind, lg::Tok::Star);
+  EXPECT_EQ(toks[4].kind, lg::Tok::LParen);
+}
+
+TEST(Lexer, CommentsIgnored) {
+  const auto toks = lg::lex("x = 1 ! the answer\ny = 2\n");
+  int idents = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lg::Tok::Ident) ++idents;
+  }
+  EXPECT_EQ(idents, 2);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto toks = lg::lex("a == b <> c <= d >= e < f > g\n");
+  std::vector<lg::Tok> ops;
+  for (const auto& t : toks) {
+    if (t.kind != lg::Tok::Ident && t.kind != lg::Tok::Newline && t.kind != lg::Tok::End) {
+      ops.push_back(t.kind);
+    }
+  }
+  EXPECT_EQ(ops, (std::vector<lg::Tok>{lg::Tok::Eq, lg::Tok::Ne, lg::Tok::Le, lg::Tok::Ge,
+                                       lg::Tok::Lt, lg::Tok::Gt}));
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lg::lex("x = @\n"), std::invalid_argument);
+}
+
+TEST(Parser, ParsesFullProgramStructure) {
+  const char* src = R"(
+PROGRAM demo
+  INTEGER i
+  ARRAY a(16), b(16)
+  TASK_PARTITION part :: g1(2), g2(NPROCS() - 2)
+  SUBGROUP(g1) :: a
+  SUBGROUP(g2) :: b
+  DISTRIBUTE a(BLOCK), b(CYCLIC)
+  BEGIN TASK_REGION part
+    DO i = 1, 3
+      ON SUBGROUP g1
+        a = i * 2
+      END ON
+      b = a
+    END DO
+  END TASK_REGION
+  PRINT i
+END
+)";
+  const auto prog = lg::parse_program(src);
+  EXPECT_EQ(prog.name, "DEMO");
+  ASSERT_EQ(prog.body.size(), 8u);
+  EXPECT_EQ(prog.body[0]->kind, lg::StmtKind::DeclScalar);
+  EXPECT_EQ(prog.body[1]->kind, lg::StmtKind::DeclArray);
+  EXPECT_EQ(prog.body[2]->kind, lg::StmtKind::DeclPartition);
+  EXPECT_EQ(prog.body[2]->subgroups.size(), 2u);
+  EXPECT_EQ(prog.body[5]->kind, lg::StmtKind::Distribute);
+  const auto& region = *prog.body[6];
+  EXPECT_EQ(region.kind, lg::StmtKind::TaskRegion);
+  EXPECT_EQ(region.partition_name, "PART");
+  ASSERT_EQ(region.body.size(), 1u);
+  const auto& loop = *region.body[0];
+  EXPECT_EQ(loop.kind, lg::StmtKind::Do);
+  ASSERT_EQ(loop.body.size(), 2u);
+  EXPECT_EQ(loop.body[0]->kind, lg::StmtKind::OnSubgroup);
+  EXPECT_EQ(loop.body[1]->kind, lg::StmtKind::Assign);
+}
+
+TEST(Parser, IfElseBlocks) {
+  const auto prog = lg::parse_program("INTEGER x\nIF x > 2 THEN\nx = 1\nELSE\nx = 0\nEND IF\n");
+  ASSERT_EQ(prog.body.size(), 2u);
+  const auto& iff = *prog.body[1];
+  EXPECT_EQ(iff.kind, lg::StmtKind::If);
+  EXPECT_EQ(iff.body.size(), 1u);
+  EXPECT_EQ(iff.else_body.size(), 1u);
+}
+
+TEST(Parser, DistributeWithBlockCyclic) {
+  const auto prog = lg::parse_program("ARRAY a(10, 10)\nDISTRIBUTE a(CYCLIC(3), *)\n");
+  const auto& d = prog.body[1]->dists[0];
+  EXPECT_EQ(d.dims[0], "CYCLIC");
+  EXPECT_EQ(d.cyclic_blocks[0], 3);
+  EXPECT_EQ(d.dims[1], "*");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const auto prog = lg::parse_program("INTEGER x\nx = 1 + 2 * 3\n");
+  const auto& rhs = *prog.body[1]->rhs;
+  ASSERT_EQ(rhs.kind, lg::ExprKind::Binary);
+  EXPECT_EQ(rhs.op, lg::BinOp::Add);
+  EXPECT_EQ(rhs.args[1]->op, lg::BinOp::Mul);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    lg::parse_program("INTEGER x\nDO x = 1\nEND DO\n");  // missing ', to'
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fxlang:2"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnterminatedBlockRejected) {
+  EXPECT_THROW(lg::parse_program("DO i = 1, 3\nPRINT i\n"), std::invalid_argument);
+  EXPECT_THROW(lg::parse_program("BEGIN TASK_REGION p\n"), std::invalid_argument);
+}
+
+TEST(Parser, BareStatementListWithoutProgram) {
+  const auto prog = lg::parse_program("INTEGER x\nx = 3\nPRINT x\n");
+  EXPECT_TRUE(prog.name.empty());
+  EXPECT_EQ(prog.body.size(), 3u);
+}

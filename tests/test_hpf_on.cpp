@@ -1,0 +1,138 @@
+// Tests for the HPF 2.0 style general ON construct (paper Section 6) and
+// its interplay with the Fx-style task regions.
+#include <gtest/gtest.h>
+
+#include "core/fx.hpp"
+#include "core/hpf_on.hpp"
+
+using namespace fxpar;
+namespace ds = fxpar::dist;
+namespace hpf = fxpar::core::hpf;
+
+namespace {
+MachineConfig cfg(int p) {
+  auto c = MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(HpfOn, RunsOnComputedSubset) {
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    // The subset is computed at runtime — no declaration needed.
+    std::vector<int> odd;
+    for (int r = 1; r < ctx.nprocs(); r += 2) odd.push_back(r);
+    bool ran = false;
+    hpf::on(ctx, ProcessorGroup(odd), [&](const ProcessorGroup& g) {
+      ran = true;
+      EXPECT_EQ(ctx.nprocs(), g.size());
+    });
+    EXPECT_EQ(ran, ctx.phys_rank() % 2 == 1);
+    EXPECT_EQ(ctx.nprocs(), 6);
+  });
+}
+
+TEST(HpfOn, RangeFormSelectsRectilinearSubset) {
+  Machine m(cfg(8));
+  m.run([&](Context& ctx) {
+    int seen = -1;
+    hpf::on_range(ctx, 2, 3, [&] { seen = ctx.vrank(); });
+    if (ctx.phys_rank() >= 2 && ctx.phys_rank() <= 4) {
+      EXPECT_EQ(seen, ctx.phys_rank() - 2);
+    } else {
+      EXPECT_EQ(seen, -1);
+    }
+  });
+}
+
+TEST(HpfOn, NonSubsetRejected) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    // Enter a subgroup, then name processors outside it.
+    const ProcessorGroup sub({0, 1});
+    if (!sub.contains(ctx.phys_rank())) return;
+    ctx.push_group(sub);
+    EXPECT_THROW(hpf::on(ctx, ProcessorGroup({2}), [] {}), std::logic_error);
+    ctx.pop_group();
+  });
+}
+
+TEST(HpfOn, NestsDirectly) {
+  // Unlike Fx's ON (which requires a procedure call with a new task region
+  // to nest), the HPF construct composes freely.
+  Machine m(cfg(8));
+  m.run([&](Context& ctx) {
+    int depth = 0;
+    hpf::on_range(ctx, 0, 4, [&] {
+      depth = ctx.group_depth();
+      hpf::on_range(ctx, 0, 2, [&] {
+        depth = ctx.group_depth();
+        EXPECT_EQ(ctx.nprocs(), 2);
+      });
+    });
+    if (ctx.phys_rank() < 2) {
+      EXPECT_EQ(depth, 3);
+    }
+  });
+}
+
+TEST(HpfOn, SkippersPayNothing) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    hpf::on_range(ctx, 0, 1, [&] { ctx.charge(10.0); });
+    if (ctx.phys_rank() != 0) {
+      EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+    }
+  });
+}
+
+TEST(HpfOn, ExceptionRestoresGroupStack) {
+  Machine m(cfg(2));
+  m.run([&](Context& ctx) {
+    const int before = ctx.group_depth();
+    try {
+      hpf::on_range(ctx, 0, 2, [&] { throw std::runtime_error("body"); });
+      FAIL();
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(ctx.group_depth(), before);
+  });
+}
+
+TEST(HpfOn, WorksWithDistributedArraysAndAssignment) {
+  // The HPF style still composes with subgroup-mapped data: map arrays onto
+  // computed groups and exchange through the minimal-subset assignment.
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    const ProcessorGroup left = ctx.group().slice(0, 3);
+    const ProcessorGroup right = ctx.group().slice(3, 3);
+    ds::DistArray<int> a(ctx, ds::Layout(left, {9}, {ds::DimDist::block()}), "a");
+    ds::DistArray<int> b(ctx, ds::Layout(right, {9}, {ds::DimDist::cyclic()}), "b");
+    hpf::on(ctx, left, [&] {
+      a.fill([](std::span<const std::int64_t> g) { return static_cast<int>(g[0] * 2); });
+    });
+    ds::assign(ctx, b, a);
+    hpf::on(ctx, right, [&] {
+      b.for_each_owned([](std::span<const std::int64_t> g, int& v) {
+        EXPECT_EQ(v, static_cast<int>(g[0] * 2));
+      });
+    });
+  });
+}
+
+TEST(HpfOn, EquivalentToFxOnForPartitionSubgroups) {
+  // For a subgroup that does come from a partition, both styles give the
+  // same execution.
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"x", 2}, {"y", 2}});
+    int fx_count = 0, hpf_count = 0;
+    {
+      core::TaskRegion region(ctx, part);
+      region.on("x", [&] { fx_count = ctx.nprocs(); });
+    }
+    hpf::on(ctx, part.subgroup("x"), [&] { hpf_count = ctx.nprocs(); });
+    EXPECT_EQ(fx_count, hpf_count);
+  });
+}

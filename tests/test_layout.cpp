@@ -1,0 +1,132 @@
+// Tests for multi-dimensional layouts over processor groups.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "dist/layout.hpp"
+
+namespace ds = fxpar::dist;
+namespace pg = fxpar::pgroup;
+
+namespace {
+std::array<std::int64_t, 2> idx2(std::int64_t i, std::int64_t j) { return {i, j}; }
+}  // namespace
+
+TEST(Layout, OneDimBlock) {
+  ds::Layout l(pg::ProcessorGroup::identity(4), {16}, {ds::DimDist::block()});
+  EXPECT_EQ(l.ndims(), 1);
+  EXPECT_FALSE(l.fully_replicated());
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(l.local_size(v), 4);
+    const auto runs = l.owned_runs(v, 0);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].start, v * 4);
+  }
+  const std::array<std::int64_t, 1> i{9};
+  EXPECT_EQ(l.owner_of(i), 2);
+  EXPECT_TRUE(l.owns(2, i));
+  EXPECT_FALSE(l.owns(1, i));
+  EXPECT_EQ(l.local_offset(2, i), 1);
+}
+
+TEST(Layout, TwoDimBlockBlockGrid) {
+  // 4 procs over (8,8) with (BLOCK, BLOCK): 2x2 grid.
+  ds::Layout l(pg::ProcessorGroup::identity(4), {8, 8},
+               {ds::DimDist::block(), ds::DimDist::block()});
+  EXPECT_EQ(l.grid().extents(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(l.procs_along(0), 2);
+  EXPECT_EQ(l.procs_along(1), 2);
+  // vrank 3 = grid (1,1): rows 4..7, cols 4..7.
+  EXPECT_EQ(l.owner_of(idx2(5, 6)), 3);
+  EXPECT_EQ(l.owner_of(idx2(0, 0)), 0);
+  EXPECT_EQ(l.owner_of(idx2(0, 7)), 1);
+  EXPECT_EQ(l.owner_of(idx2(7, 0)), 2);
+  EXPECT_EQ(l.local_extents(3), (std::vector<std::int64_t>{4, 4}));
+  EXPECT_EQ(l.local_offset(3, idx2(5, 6)), 1 * 4 + 2);
+}
+
+TEST(Layout, RowsBlockColsCollapsed) {
+  // (BLOCK, *) over 4 procs: whole rows per processor.
+  ds::Layout l(pg::ProcessorGroup::identity(4), {8, 5},
+               {ds::DimDist::block(), ds::DimDist::collapsed()});
+  EXPECT_EQ(l.grid().extents(), (std::vector<int>{4}));
+  EXPECT_EQ(l.procs_along(0), 4);
+  EXPECT_EQ(l.procs_along(1), 1);
+  EXPECT_EQ(l.local_extents(1), (std::vector<std::int64_t>{2, 5}));
+  EXPECT_EQ(l.owner_of(idx2(3, 4)), 1);
+  EXPECT_EQ(l.local_offset(1, idx2(3, 4)), 1 * 5 + 4);
+}
+
+TEST(Layout, FullyReplicated) {
+  ds::Layout l(pg::ProcessorGroup::identity(3), {4, 4},
+               {ds::DimDist::collapsed(), ds::DimDist::collapsed()});
+  EXPECT_TRUE(l.fully_replicated());
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_TRUE(l.owns(v, idx2(2, 2)));
+    EXPECT_EQ(l.local_size(v), 16);
+  }
+  EXPECT_EQ(l.owner_of(idx2(2, 2)), 0);  // canonical
+}
+
+TEST(Layout, ExplicitGridExtents) {
+  ds::Layout l(pg::ProcessorGroup::identity(6), {6, 6},
+               {ds::DimDist::block(), ds::DimDist::block()}, {2, 3});
+  EXPECT_EQ(l.procs_along(0), 2);
+  EXPECT_EQ(l.procs_along(1), 3);
+  EXPECT_THROW(ds::Layout(pg::ProcessorGroup::identity(6), {6, 6},
+                          {ds::DimDist::block(), ds::DimDist::block()}, {2, 2}),
+               std::invalid_argument);
+}
+
+TEST(Layout, SubgroupRelativeDistribution) {
+  // Distribution is relative to the owning subgroup, not the machine.
+  const pg::ProcessorGroup sub({4, 5, 6, 7});
+  ds::Layout l(sub, {8}, {ds::DimDist::block()});
+  EXPECT_EQ(l.owner_of(std::array<std::int64_t, 1>{0}), 0);  // virtual rank 0 == phys 4
+  EXPECT_EQ(l.group().physical(l.owner_of(std::array<std::int64_t, 1>{7})), 7);
+}
+
+TEST(Layout, LocalToGlobalRoundTrip) {
+  ds::Layout l(pg::ProcessorGroup::identity(4), {6, 10},
+               {ds::DimDist::cyclic(), ds::DimDist::block()});
+  for (int v = 0; v < 4; ++v) {
+    const auto ext = l.local_extents(v);
+    for (std::int64_t a = 0; a < ext[0]; ++a) {
+      for (std::int64_t b = 0; b < ext[1]; ++b) {
+        const auto g = l.local_to_global(v, std::array<std::int64_t, 2>{a, b});
+        EXPECT_TRUE(l.owns(v, g));
+        EXPECT_EQ(l.local_offset(v, g), a * ext[1] + b);
+        EXPECT_EQ(l.owner_of(g), v);
+      }
+    }
+  }
+}
+
+TEST(Layout, TotalElementsPartitioned) {
+  // Sum of local sizes equals the global element count when distributed.
+  ds::Layout l(pg::ProcessorGroup::identity(5), {7, 9},
+               {ds::DimDist::block(), ds::DimDist::cyclic()});
+  std::int64_t total = 0;
+  for (int v = 0; v < 5; ++v) total += l.local_size(v);
+  EXPECT_EQ(total, l.total_elements());
+}
+
+TEST(Layout, Errors) {
+  EXPECT_THROW(ds::Layout(pg::ProcessorGroup::identity(2), {}, {}), std::invalid_argument);
+  EXPECT_THROW(ds::Layout(pg::ProcessorGroup::identity(2), {4}, {}), std::invalid_argument);
+  EXPECT_THROW(ds::Layout(pg::ProcessorGroup::identity(2), {0}, {ds::DimDist::block()}),
+               std::invalid_argument);
+  ds::Layout l(pg::ProcessorGroup::identity(2), {4}, {ds::DimDist::block()});
+  EXPECT_THROW(l.owner_of(idx2(0, 0)), std::invalid_argument);
+  EXPECT_THROW(l.owned_runs(0, 1), std::out_of_range);
+  EXPECT_THROW(l.grid_coord(2, 0), std::out_of_range);
+}
+
+TEST(Layout, EqualityIsStructural) {
+  const auto g = pg::ProcessorGroup::identity(4);
+  ds::Layout a(g, {8}, {ds::DimDist::block()});
+  ds::Layout b(g, {8}, {ds::DimDist::block()});
+  ds::Layout c(g, {8}, {ds::DimDist::cyclic()});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}

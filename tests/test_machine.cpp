@@ -1,0 +1,275 @@
+// Tests for the simulated machine: messaging costs, subset barriers,
+// sequential I/O, and the Context group stack.
+#include <gtest/gtest.h>
+
+#include "comm/serialize.hpp"
+#include "machine/context.hpp"
+#include "machine/machine.hpp"
+
+namespace mx = fxpar::machine;
+namespace pg = fxpar::pgroup;
+namespace cm = fxpar::comm;
+
+namespace {
+
+mx::MachineConfig test_config(int p) {
+  mx::MachineConfig c;
+  c.num_procs = p;
+  c.send_overhead = 1.0;  // easy-to-check round numbers
+  c.recv_overhead = 2.0;
+  c.latency = 10.0;
+  c.byte_time = 0.5;
+  c.barrier_base = 1.0;
+  c.barrier_stage = 1.0;
+  c.io_latency = 100.0;
+  c.io_byte_time = 1.0;
+  c.stack_bytes = 128 * 1024;
+  return c;
+}
+
+}  // namespace
+
+TEST(Machine, MessageTimingFollowsModel) {
+  mx::Machine m(test_config(2));
+  double recv_done = -1.0;
+  m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      // send 4 bytes: sender busy = 1 + 4*0.5 = 3; arrival = 3 + 10 = 13.
+      ctx.send_phys(1, 7, mx::Payload(4));
+      EXPECT_DOUBLE_EQ(ctx.now(), 3.0);
+    } else {
+      mx::Payload p = ctx.recv_phys(0, 7);
+      EXPECT_EQ(p.size(), 4u);
+      // receiver waits to arrival 13, then +2 recv overhead.
+      EXPECT_DOUBLE_EQ(ctx.now(), 15.0);
+      recv_done = ctx.now();
+    }
+  });
+  EXPECT_DOUBLE_EQ(recv_done, 15.0);
+}
+
+TEST(Machine, LateReceiverPaysNoWait) {
+  mx::Machine m(test_config(2));
+  m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, mx::Payload(2));
+    } else {
+      ctx.charge(100.0);  // message (arrival 12) is long since there
+      ctx.recv_phys(0, 1);
+      EXPECT_DOUBLE_EQ(ctx.now(), 102.0);  // only recv overhead added
+    }
+  });
+}
+
+TEST(Machine, FifoPerSenderAndTag) {
+  mx::Machine m(test_config(2));
+  m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 5, cm::pack_value<int>(111));
+      ctx.send_phys(1, 5, cm::pack_value<int>(222));
+    } else {
+      EXPECT_EQ(cm::unpack_value<int>(ctx.recv_phys(0, 5)), 111);
+      EXPECT_EQ(cm::unpack_value<int>(ctx.recv_phys(0, 5)), 222);
+    }
+  });
+}
+
+TEST(Machine, TagsKeepStreamsSeparate) {
+  mx::Machine m(test_config(2));
+  m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, cm::pack_value<int>(1));
+      ctx.send_phys(1, 2, cm::pack_value<int>(2));
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(cm::unpack_value<int>(ctx.recv_phys(0, 2)), 2);
+      EXPECT_EQ(cm::unpack_value<int>(ctx.recv_phys(0, 1)), 1);
+    }
+  });
+}
+
+TEST(Machine, BarrierReleasesAtMaxArrivalPlusCost) {
+  auto cfg = test_config(4);
+  mx::Machine m(cfg);
+  m.run([&](mx::Context& ctx) {
+    ctx.charge(static_cast<double>(ctx.phys_rank()));  // arrive at t = rank
+    ctx.barrier();
+    // release = max arrival (3) + base 1 + stage 1 * ceil(log2 4)=2 -> 6.
+    EXPECT_DOUBLE_EQ(ctx.now(), 6.0);
+  });
+}
+
+TEST(Machine, SubsetBarrierOnlyAffectsMembers) {
+  mx::Machine m(test_config(4));
+  const pg::ProcessorGroup sub({0, 1});
+  m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() <= 1) {
+      ctx.charge(ctx.phys_rank() == 0 ? 1.0 : 5.0);
+      ctx.barrier(sub);
+      // release = 5 + 1 + 1*1 = 7
+      EXPECT_DOUBLE_EQ(ctx.now(), 7.0);
+    } else {
+      // Non-members never see the barrier.
+      EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+    }
+  });
+}
+
+TEST(Machine, BarrierOnNonMemberThrows) {
+  mx::Machine m(test_config(2));
+  const pg::ProcessorGroup sub({0});
+  EXPECT_THROW(m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 1) ctx.barrier(sub);
+  }),
+               std::logic_error);
+}
+
+TEST(Machine, SingleProcBarrierIsCheap) {
+  mx::Machine m(test_config(1));
+  m.run([&](mx::Context& ctx) {
+    ctx.barrier();
+    EXPECT_DOUBLE_EQ(ctx.now(), 1.0);  // barrier_base only
+  });
+}
+
+TEST(Machine, RepeatedBarriersMatchGenerations) {
+  mx::Machine m(test_config(3));
+  m.run([&](mx::Context& ctx) {
+    for (int k = 0; k < 5; ++k) {
+      ctx.charge(1.0);
+      ctx.barrier();
+    }
+  });
+  // No deadlock and all clocks equal at the end is the assertion.
+}
+
+TEST(Machine, SequentialIoSerializesAcrossProcs) {
+  mx::Machine m(test_config(2));
+  double t0 = -1, t1 = -1;
+  m.run([&](mx::Context& ctx) {
+    ctx.io(10);  // 100 + 10*1 = 110 per op
+    (ctx.phys_rank() == 0 ? t0 : t1) = ctx.now();
+  });
+  // One proc finishes at 110, the other waits for the device: 220.
+  EXPECT_DOUBLE_EQ(std::min(t0, t1), 110.0);
+  EXPECT_DOUBLE_EQ(std::max(t0, t1), 220.0);
+}
+
+TEST(Machine, RunResultAggregatesStats) {
+  mx::Machine m(test_config(2));
+  auto res = m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 3, mx::Payload(8));
+    } else {
+      ctx.recv_phys(0, 3);
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(res.messages, 1u);
+  EXPECT_EQ(res.bytes, 8u);
+  EXPECT_EQ(res.barriers, 2u);  // both procs count their barrier call
+  EXPECT_GT(res.finish_time, 0.0);
+  EXPECT_EQ(res.clocks.size(), 2u);
+}
+
+TEST(Machine, UnmatchedRecvDeadlocks) {
+  mx::Machine m(test_config(2));
+  EXPECT_THROW(m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) ctx.recv_phys(1, 9);
+  }),
+               fxpar::runtime::DeadlockError);
+}
+
+TEST(Context, GroupStackPushPop) {
+  mx::Machine m(test_config(4));
+  const pg::ProcessorGroup sub({1, 2});
+  m.run([&](mx::Context& ctx) {
+    EXPECT_EQ(ctx.nprocs(), 4);
+    EXPECT_EQ(ctx.vrank(), ctx.phys_rank());
+    if (sub.contains(ctx.phys_rank())) {
+      ctx.push_group(sub);
+      EXPECT_EQ(ctx.nprocs(), 2);
+      EXPECT_EQ(ctx.vrank(), ctx.phys_rank() - 1);
+      ctx.pop_group();
+      EXPECT_EQ(ctx.nprocs(), 4);
+    } else {
+      EXPECT_THROW(ctx.push_group(sub), std::logic_error);
+    }
+    EXPECT_THROW(ctx.pop_group(), std::logic_error);
+  });
+}
+
+TEST(Context, ChargeHelpersScaleByConfig) {
+  auto cfg = test_config(1);
+  cfg.flop_time = 2.0;
+  cfg.int_op_time = 3.0;
+  cfg.mem_byte_time = 0.25;
+  mx::Machine m(cfg);
+  m.run([&](mx::Context& ctx) {
+    ctx.charge_flops(2);
+    EXPECT_DOUBLE_EQ(ctx.now(), 4.0);
+    ctx.charge_int_ops(1);
+    EXPECT_DOUBLE_EQ(ctx.now(), 7.0);
+    ctx.charge_mem_bytes(8);
+    EXPECT_DOUBLE_EQ(ctx.now(), 9.0);
+  });
+}
+
+TEST(Context, SendRecvUseVirtualRanksOfCurrentGroup) {
+  mx::Machine m(test_config(4));
+  const pg::ProcessorGroup sub({2, 3});
+  m.run([&](mx::Context& ctx) {
+    if (!sub.contains(ctx.phys_rank())) return;
+    ctx.push_group(sub);
+    if (ctx.vrank() == 0) {
+      ctx.send(1, 11, cm::pack_value<int>(99));  // virtual 1 == physical 3
+    } else {
+      EXPECT_EQ(cm::unpack_value<int>(ctx.recv(0, 11)), 99);
+    }
+    ctx.pop_group();
+  });
+}
+
+TEST(Machine, CollectiveTagsAdvancePerGroup) {
+  mx::Machine m(test_config(2));
+  m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(2);
+    const auto t1 = ctx.collective_tag(g);
+    const auto t2 = ctx.collective_tag(g);
+    EXPECT_NE(t1, t2);
+    EXPECT_TRUE(t1 & (1ull << 63));
+  });
+}
+
+TEST(Machine, TrafficMatrixRecordsPerPairBytes) {
+  auto cfg = test_config(3);
+  cfg.record_traffic = true;
+  mx::Machine m(cfg);
+  auto res = m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, mx::Payload(10));
+      ctx.send_phys(2, 1, mx::Payload(20));
+      ctx.send_phys(2, 2, mx::Payload(5));
+    } else {
+      ctx.recv_phys(0, 1);
+      if (ctx.phys_rank() == 2) ctx.recv_phys(0, 2);
+    }
+  });
+  EXPECT_EQ(res.traffic_between(0, 1), 10u);
+  EXPECT_EQ(res.traffic_between(0, 2), 25u);
+  EXPECT_EQ(res.traffic_between(1, 0), 0u);
+  EXPECT_EQ(res.traffic_between(9, 0), 0u);  // out of range -> 0
+}
+
+TEST(Machine, TrafficMatrixOffByDefault) {
+  mx::Machine m(test_config(2));
+  auto res = m.run([&](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, mx::Payload(8));
+    } else {
+      ctx.recv_phys(0, 1);
+    }
+  });
+  EXPECT_TRUE(res.traffic.empty());
+  EXPECT_EQ(res.traffic_between(0, 1), 0u);
+}

@@ -1,0 +1,73 @@
+// Tests for the multiblock parallel-sections application (Figure 1).
+#include <gtest/gtest.h>
+
+#include "apps/multiblock.hpp"
+
+namespace ap = fxpar::apps;
+using fxpar::MachineConfig;
+
+namespace {
+MachineConfig paragon(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(Multiblock, DataParallelMatchesReference) {
+  ap::MultiblockConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 12;
+  cfg.iterations = 5;
+  const double ref = ap::multiblock_reference(cfg);
+  for (int p : {1, 2, 4}) {
+    const auto res = ap::run_multiblock(paragon(p), cfg, /*task_parallel=*/false);
+    EXPECT_DOUBLE_EQ(res.checksum, ref) << "p=" << p;
+  }
+}
+
+TEST(Multiblock, TaskParallelMatchesReference) {
+  ap::MultiblockConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 12;
+  cfg.iterations = 5;
+  const double ref = ap::multiblock_reference(cfg);
+  for (int p : {2, 3, 4, 8}) {
+    const auto res = ap::run_multiblock(paragon(p), cfg, /*task_parallel=*/true);
+    EXPECT_DOUBLE_EQ(res.checksum, ref) << "p=" << p;
+  }
+}
+
+TEST(Multiblock, MoreProcsThanRowsStillCorrect) {
+  ap::MultiblockConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 6;
+  cfg.iterations = 3;
+  const double ref = ap::multiblock_reference(cfg);
+  const auto res = ap::run_multiblock(paragon(12), cfg, true);
+  EXPECT_DOUBLE_EQ(res.checksum, ref);
+}
+
+TEST(Multiblock, ParallelSectionsOverlapTheTwoBlocks) {
+  // Task parallel: proca and procb run concurrently on half the processors
+  // each; in this compute-dominated regime that beats running both on all
+  // processors back to back only when per-processor overheads matter, but
+  // it must always beat the *same* subgroup sizes run serially. Check the
+  // direct property: task parallel completes in less time than data
+  // parallel when the meshes are small (overhead-bound).
+  ap::MultiblockConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.iterations = 10;
+  const auto dp = ap::run_multiblock(paragon(16), cfg, false);
+  const auto tp = ap::run_multiblock(paragon(16), cfg, true);
+  EXPECT_LT(tp.makespan, dp.makespan);
+}
+
+TEST(Multiblock, DeterministicTiming) {
+  ap::MultiblockConfig cfg;
+  const auto a = ap::run_multiblock(paragon(6), cfg, true);
+  const auto b = ap::run_multiblock(paragon(6), cfg, true);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}

@@ -1,0 +1,122 @@
+// Tests for the Fx do&merge parallel loop construct and the replicated
+// scalar coherence assertion.
+#include <gtest/gtest.h>
+
+#include "core/fx.hpp"
+
+using namespace fxpar;
+
+namespace {
+MachineConfig cfg(int p) {
+  auto c = MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+TEST(ParallelFor, CoversEveryIterationExactlyOnce) {
+  Machine m(cfg(4));
+  std::vector<int> hits(37, 0);
+  m.run([&](Context& ctx) {
+    core::parallel_for(ctx, 0, 37, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)] += 1;
+    });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  Machine m(cfg(3));
+  m.run([&](Context& ctx) {
+    core::parallel_for(ctx, 5, 5, [&](std::int64_t) { FAIL(); });
+    core::parallel_for(ctx, 7, 3, [&](std::int64_t) { FAIL(); });
+  });
+}
+
+TEST(ParallelReduce, SumsAcrossGroup) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    const auto sum = core::parallel_reduce<std::int64_t>(
+        ctx, 1, 101, [](std::int64_t i) { return i; }, std::plus<std::int64_t>{}, 0);
+    EXPECT_EQ(sum, 5050);
+  });
+}
+
+TEST(ParallelReduce, MaxWithInit) {
+  Machine m(cfg(5));
+  m.run([&](Context& ctx) {
+    const int best = core::parallel_reduce<int>(
+        ctx, 0, 50, [](std::int64_t i) { return static_cast<int>((i * 37) % 23); },
+        [](int a, int b) { return std::max(a, b); }, -1);
+    EXPECT_EQ(best, 22);
+  });
+}
+
+TEST(ParallelReduce, WorksInsideSubgroupScope) {
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"a", 2}, {"b", 4}});
+    core::TaskRegion region(ctx, part);
+    region.on("b", [&] {
+      const auto sum = core::parallel_reduce<std::int64_t>(
+          ctx, 0, 16, [](std::int64_t i) { return i; }, std::plus<std::int64_t>{}, 0);
+      EXPECT_EQ(sum, 120);
+      EXPECT_EQ(ctx.nprocs(), 4);
+    });
+  });
+}
+
+TEST(ParallelReduce, SingleProcessorNeedsNoCommunication) {
+  Machine m(cfg(1));
+  auto res = m.run([&](Context& ctx) {
+    const auto sum = core::parallel_reduce<int>(
+        ctx, 0, 10, [](std::int64_t i) { return static_cast<int>(i); }, std::plus<int>{}, 0);
+    EXPECT_EQ(sum, 45);
+  });
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(ParallelReduce, MoreProcsThanIterations) {
+  Machine m(cfg(8));
+  m.run([&](Context& ctx) {
+    const auto sum = core::parallel_reduce<int>(
+        ctx, 0, 3, [](std::int64_t i) { return static_cast<int>(i + 1); }, std::plus<int>{},
+        0);
+    EXPECT_EQ(sum, 6);
+  });
+}
+
+TEST(ParallelReduce, DeterministicFloatMergeOrder) {
+  auto run_once = [] {
+    Machine m(cfg(7));
+    double out = 0.0;
+    m.run([&](Context& ctx) {
+      out = core::parallel_reduce<double>(
+          ctx, 0, 1000, [](std::int64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+          std::plus<double>{}, 0.0);
+    });
+    return out;
+  };
+  EXPECT_EQ(run_once(), run_once());  // bit-identical
+}
+
+TEST(ReplicatedCoherence, PassesWhenIdentical) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    core::Replicated<int> i(ctx, 3);
+    i.increment();
+    i.assert_coherent();
+    SUCCEED();
+  });
+}
+
+TEST(ReplicatedCoherence, DetectsDivergence) {
+  Machine m(cfg(4));
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    core::Replicated<int> i(ctx, 0);
+    // Violate the model: a rank-dependent "replicated" update.
+    i.update([&](int) { return ctx.phys_rank(); });
+    i.assert_coherent();
+  }),
+               std::logic_error);
+}

@@ -1,0 +1,168 @@
+// Unit and property tests for processor groups, partitions, and grids.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pgroup/grid.hpp"
+#include "pgroup/group.hpp"
+#include "pgroup/partition.hpp"
+
+namespace pg = fxpar::pgroup;
+
+TEST(ProcessorGroup, IdentityMapsRankToItself) {
+  const auto g = pg::ProcessorGroup::identity(8);
+  EXPECT_EQ(g.size(), 8);
+  for (int v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.physical(v), v);
+    EXPECT_EQ(g.virtual_of(v), v);
+    EXPECT_TRUE(g.contains(v));
+  }
+  EXPECT_FALSE(g.contains(8));
+  EXPECT_EQ(g.virtual_of(100), -1);
+}
+
+TEST(ProcessorGroup, ExplicitMembersKeepOrder) {
+  const pg::ProcessorGroup g({5, 2, 9});
+  EXPECT_EQ(g.physical(0), 5);
+  EXPECT_EQ(g.physical(1), 2);
+  EXPECT_EQ(g.physical(2), 9);
+  EXPECT_EQ(g.virtual_of(9), 2);
+}
+
+TEST(ProcessorGroup, RejectsBadMemberLists) {
+  EXPECT_THROW(pg::ProcessorGroup(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(pg::ProcessorGroup({1, 1}), std::invalid_argument);
+  EXPECT_THROW(pg::ProcessorGroup({-1}), std::invalid_argument);
+}
+
+TEST(ProcessorGroup, SliceSelectsSubrange) {
+  const auto g = pg::ProcessorGroup::identity(10);
+  const auto s = g.slice(3, 4);
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_EQ(s.physical(0), 3);
+  EXPECT_EQ(s.physical(3), 6);
+  EXPECT_THROW(g.slice(8, 3), std::out_of_range);
+  EXPECT_THROW(g.slice(-1, 2), std::out_of_range);
+}
+
+TEST(ProcessorGroup, KeyMatchesOnEqualContent) {
+  const pg::ProcessorGroup a({1, 2, 3});
+  const pg::ProcessorGroup b({1, 2, 3});
+  const pg::ProcessorGroup c({3, 2, 1});
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_TRUE(a == b);
+  EXPECT_NE(a.key(), c.key());  // order matters: virtual ranks differ
+}
+
+TEST(ProcessorGroup, PhysicalOutOfRangeThrows) {
+  const auto g = pg::ProcessorGroup::identity(4);
+  EXPECT_THROW(g.physical(4), std::out_of_range);
+  EXPECT_THROW(g.physical(-1), std::out_of_range);
+}
+
+TEST(PartitionTemplate, BasicSplit) {
+  pg::PartitionTemplate t({{"some", 5}, {"many", 11}});
+  EXPECT_EQ(t.num_subgroups(), 2);
+  EXPECT_EQ(t.total_size(), 16);
+  EXPECT_EQ(t.index_of("some"), 0);
+  EXPECT_EQ(t.index_of("many"), 1);
+  EXPECT_EQ(t.offset_of(0), 0);
+  EXPECT_EQ(t.offset_of(1), 5);
+  EXPECT_THROW(t.index_of("nope"), std::invalid_argument);
+}
+
+TEST(PartitionTemplate, SubgroupOfVirtual) {
+  pg::PartitionTemplate t({{"a", 2}, {"b", 3}, {"c", 1}});
+  EXPECT_EQ(t.subgroup_of_virtual(0), 0);
+  EXPECT_EQ(t.subgroup_of_virtual(1), 0);
+  EXPECT_EQ(t.subgroup_of_virtual(2), 1);
+  EXPECT_EQ(t.subgroup_of_virtual(4), 1);
+  EXPECT_EQ(t.subgroup_of_virtual(5), 2);
+  EXPECT_THROW(t.subgroup_of_virtual(6), std::out_of_range);
+}
+
+TEST(PartitionTemplate, MaterializeAgainstParent) {
+  pg::PartitionTemplate t({{"a", 2}, {"b", 2}});
+  const pg::ProcessorGroup parent({10, 11, 12, 13});
+  const auto a = t.materialize(parent, 0);
+  const auto b = t.materialize(parent, 1);
+  EXPECT_EQ(a.members(), (std::vector<int>{10, 11}));
+  EXPECT_EQ(b.members(), (std::vector<int>{12, 13}));
+  const pg::ProcessorGroup wrong = pg::ProcessorGroup::identity(5);
+  EXPECT_THROW(t.materialize(wrong, 0), std::invalid_argument);
+}
+
+TEST(PartitionTemplate, RejectsBadSpecs) {
+  EXPECT_THROW(pg::PartitionTemplate(std::vector<pg::SubgroupSpec>{}), std::invalid_argument);
+  EXPECT_THROW(pg::PartitionTemplate({{"a", 0}}), std::invalid_argument);
+  EXPECT_THROW(pg::PartitionTemplate({{"a", 1}, {"a", 2}}), std::invalid_argument);
+}
+
+TEST(ProportionalSplit, ExactProportions) {
+  const auto s = pg::proportional_split(10, {1.0, 1.0});
+  EXPECT_EQ(s, (std::vector<int>{5, 5}));
+  const auto t = pg::proportional_split(12, {1.0, 2.0});
+  EXPECT_EQ(t, (std::vector<int>{4, 8}));
+}
+
+TEST(ProportionalSplit, EveryShareAtLeastOne) {
+  const auto s = pg::proportional_split(4, {0.0, 1000.0, 0.0});
+  EXPECT_EQ(static_cast<int>(s.size()), 3);
+  for (int v : s) EXPECT_GE(v, 1);
+  EXPECT_EQ(std::accumulate(s.begin(), s.end(), 0), 4);
+}
+
+TEST(ProportionalSplit, ZeroWeightsSplitEvenly) {
+  const auto s = pg::proportional_split(7, {0.0, 0.0, 0.0});
+  EXPECT_EQ(std::accumulate(s.begin(), s.end(), 0), 7);
+  for (int v : s) EXPECT_GE(v, 2);
+}
+
+TEST(ProportionalSplit, Errors) {
+  EXPECT_THROW(pg::proportional_split(1, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(pg::proportional_split(4, {}), std::invalid_argument);
+  EXPECT_THROW(pg::proportional_split(4, {-1.0, 2.0}), std::invalid_argument);
+}
+
+// Property sweep: sums always match, shares track weights.
+class ProportionalSplitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProportionalSplitSweep, SumsToTotalAndOrdersByWeight) {
+  const int total = GetParam();
+  const std::vector<double> weights{1.0, 4.0, 2.0, 9.0};
+  if (total < static_cast<int>(weights.size())) GTEST_SKIP();
+  const auto s = pg::proportional_split(total, weights);
+  EXPECT_EQ(std::accumulate(s.begin(), s.end(), 0), total);
+  // Heaviest weight gets at least as many processors as the lightest.
+  EXPECT_GE(s[3], s[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, ProportionalSplitSweep,
+                         ::testing::Values(4, 5, 7, 8, 16, 33, 64, 100));
+
+TEST(Grid, RowMajorCoordinates) {
+  pg::Grid g({2, 3});
+  EXPECT_EQ(g.size(), 6);
+  EXPECT_EQ(g.coords_of(0), (std::vector<int>{0, 0}));
+  EXPECT_EQ(g.coords_of(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.coords_of(3), (std::vector<int>{1, 0}));
+  EXPECT_EQ(g.rank_at({1, 2}), 5);
+  for (int v = 0; v < g.size(); ++v) EXPECT_EQ(g.rank_at(g.coords_of(v)), v);
+}
+
+TEST(Grid, BalancedFactorizations) {
+  EXPECT_EQ(pg::Grid::balanced(64, 2).extents(), (std::vector<int>{8, 8}));
+  EXPECT_EQ(pg::Grid::balanced(12, 2).extents(), (std::vector<int>{4, 3}));
+  EXPECT_EQ(pg::Grid::balanced(7, 2).extents(), (std::vector<int>{7, 1}));
+  EXPECT_EQ(pg::Grid::balanced(5, 1).extents(), (std::vector<int>{5}));
+  EXPECT_EQ(pg::Grid::balanced(8, 3).size(), 8);
+}
+
+TEST(Grid, Errors) {
+  EXPECT_THROW(pg::Grid({0}), std::invalid_argument);
+  EXPECT_THROW(pg::Grid(std::vector<int>{}), std::invalid_argument);
+  pg::Grid g({2, 2});
+  EXPECT_THROW(g.coords_of(4), std::out_of_range);
+  EXPECT_THROW(g.rank_at({2, 0}), std::out_of_range);
+  EXPECT_THROW(g.rank_at({0}), std::invalid_argument);
+}

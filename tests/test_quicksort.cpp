@@ -1,0 +1,105 @@
+// Tests for the nested task parallel quicksort (Figure 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/quicksort.hpp"
+
+namespace ap = fxpar::apps;
+using fxpar::MachineConfig;
+
+namespace {
+
+MachineConfig paragon(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 512 * 1024;  // recursive task regions need headroom
+  return c;
+}
+
+void expect_sorted_matches(const std::vector<std::int64_t>& input, int procs) {
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  const auto res = ap::run_parallel_qsort(paragon(procs), input);
+  EXPECT_EQ(res.sorted, expect) << "p=" << procs << " n=" << input.size();
+}
+
+}  // namespace
+
+TEST(Quicksort, SingleProcessorSorts) {
+  expect_sorted_matches(ap::qsort_input(100, 1), 1);
+}
+
+class QsortSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QsortSweep, SortsRandomInput) {
+  const int procs = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  expect_sorted_matches(ap::qsort_input(n, static_cast<unsigned>(n + procs)), procs);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcsBySizes, QsortSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                                            ::testing::Values(1, 2, 17, 100, 513)));
+
+TEST(Quicksort, AlreadySortedInput) {
+  std::vector<std::int64_t> v(200);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<std::int64_t>(i);
+  expect_sorted_matches(v, 4);
+}
+
+TEST(Quicksort, ReverseSortedInput) {
+  std::vector<std::int64_t> v(200);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<std::int64_t>(200 - i);
+  expect_sorted_matches(v, 4);
+}
+
+TEST(Quicksort, AllEqualKeys) {
+  std::vector<std::int64_t> v(128, 42);
+  expect_sorted_matches(v, 4);
+}
+
+TEST(Quicksort, FewDistinctKeys) {
+  std::vector<std::int64_t> v;
+  for (int i = 0; i < 300; ++i) v.push_back(i % 3);
+  expect_sorted_matches(v, 8);
+}
+
+TEST(Quicksort, FewerElementsThanProcessors) {
+  expect_sorted_matches(ap::qsort_input(5, 7), 8);
+}
+
+TEST(Quicksort, NegativeAndDuplicateValues) {
+  std::vector<std::int64_t> v{5, -3, 0, -3, 12, 5, 5, -100, 7, 0};
+  expect_sorted_matches(v, 4);
+}
+
+TEST(Quicksort, ProcessorsSubdivideProportionally) {
+  // Smoke check that parallel runs use communication (the redistribution
+  // and merge phases) and stay deterministic.
+  const auto input = ap::qsort_input(400, 9);
+  const auto a = ap::run_parallel_qsort(paragon(8), input);
+  const auto b = ap::run_parallel_qsort(paragon(8), input);
+  EXPECT_GT(a.machine_result.messages, 0u);
+  EXPECT_EQ(a.sorted, b.sorted);
+  EXPECT_EQ(a.machine_result.messages, b.machine_result.messages);
+  EXPECT_DOUBLE_EQ(a.machine_result.finish_time, b.machine_result.finish_time);
+}
+
+TEST(Quicksort, ParallelIsFasterThanSingleProcessorInModel) {
+  // Communication overheads dominate at small n (a real machine property);
+  // at 1M keys the parallel version wins clearly.
+  const auto input = ap::qsort_input(1 << 20, 3);
+  const auto p1 = ap::run_parallel_qsort(paragon(1), input);
+  const auto p8 = ap::run_parallel_qsort(paragon(8), input);
+  EXPECT_LT(p8.machine_result.finish_time, p1.machine_result.finish_time);
+}
+
+TEST(Quicksort, SmallProblemsAreCommunicationBound) {
+  // The flip side: on tiny inputs the single processor wins, because the
+  // redistribution latency cannot be amortized. This is the same effect
+  // Table 1 shows for small data sets.
+  const auto input = ap::qsort_input(256, 5);
+  const auto p1 = ap::run_parallel_qsort(paragon(1), input);
+  const auto p8 = ap::run_parallel_qsort(paragon(8), input);
+  EXPECT_LT(p1.machine_result.finish_time, p8.machine_result.finish_time);
+}

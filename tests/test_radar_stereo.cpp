@@ -1,0 +1,172 @@
+// End-to-end tests for the radar and multibaseline stereo pipelines.
+#include <gtest/gtest.h>
+
+#include "apps/radar.hpp"
+#include "apps/stereo.hpp"
+
+namespace ap = fxpar::apps;
+namespace sched = fxpar::sched;
+using fxpar::MachineConfig;
+
+namespace {
+
+MachineConfig paragon(int p) {
+  auto c = MachineConfig::paragon(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+ap::RadarConfig small_radar() {
+  ap::RadarConfig c;
+  c.samples = 64;
+  c.channels = 6;
+  c.num_sets = 5;
+  return c;
+}
+
+ap::StereoConfig small_stereo() {
+  ap::StereoConfig c;
+  c.height = 24;
+  c.width = 16;
+  c.disparities = 4;
+  c.num_sets = 4;
+  return c;
+}
+
+}  // namespace
+
+TEST(Radar, ReferenceDetectsTones) {
+  const auto cfg = small_radar();
+  const auto det = ap::radar_reference(cfg, 0);
+  // One strong tone per channel must be detected; clutter must not swamp.
+  EXPECT_GE(det, cfg.channels);
+  EXPECT_LT(det, cfg.channels * 4);
+}
+
+TEST(Radar, DataParallelMatchesReference) {
+  const auto cfg = small_radar();
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::radar_stages(cfg, &sink);
+  ap::run_stream_pipeline<ap::Complex>(paragon(4), stages, {{0, 3, 4, 1}}, cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::radar_reference(cfg, k)) << "dwell " << k;
+  }
+}
+
+TEST(Radar, PipelinedAndReplicatedMatchReference) {
+  const auto cfg = small_radar();
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::radar_stages(cfg, &sink);
+  // cturn | rffts+scale | thresh, middle module replicated.
+  ap::run_stream_pipeline<ap::Complex>(paragon(10), stages,
+                                       {{0, 0, 2, 1}, {1, 2, 3, 2}, {3, 3, 2, 1}},
+                                       cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::radar_reference(cfg, k)) << "dwell " << k;
+  }
+}
+
+TEST(Radar, ParallelismCapLimitsDataParallelScaling) {
+  // With more processors than channels, the FFT stage stops speeding up:
+  // extra processors own no channels (the paper's structural bottleneck).
+  auto cfg = small_radar();
+  cfg.num_sets = 6;
+  const auto stages = ap::radar_stages(cfg);
+  const auto at_cap = ap::run_stream_pipeline<ap::Complex>(
+      paragon(static_cast<int>(cfg.channels)), stages,
+      {{0, 3, static_cast<int>(cfg.channels), 1}}, cfg.num_sets);
+  const auto beyond = ap::run_stream_pipeline<ap::Complex>(
+      paragon(static_cast<int>(cfg.channels) * 2), stages,
+      {{0, 3, static_cast<int>(cfg.channels) * 2, 1}}, cfg.num_sets);
+  // Throughput gain from doubling processors past the cap is marginal.
+  EXPECT_LT(beyond.steady_throughput(), 1.3 * at_cap.steady_throughput());
+  // Replication, in contrast, nearly doubles it.
+  const auto repl = ap::run_stream_pipeline<ap::Complex>(
+      paragon(static_cast<int>(cfg.channels) * 2), stages,
+      {{0, 3, static_cast<int>(cfg.channels), 2}}, cfg.num_sets);
+  EXPECT_GT(repl.steady_throughput(), 1.5 * at_cap.steady_throughput());
+}
+
+TEST(Radar, ModelStageTimesSaturateAtChannelCap) {
+  const auto cfg = small_radar();
+  const auto model = ap::radar_model(paragon(64), cfg);
+  const double t6 = model.stage_time(1, static_cast<int>(cfg.channels));
+  const double t12 = model.stage_time(1, static_cast<int>(cfg.channels) * 2);
+  EXPECT_DOUBLE_EQ(t6, t12);
+}
+
+TEST(Stereo, ReferenceRecoverOnTrueDisparities) {
+  const auto cfg = small_stereo();
+  const auto sum = ap::stereo_reference(cfg, 0);
+  // True disparities are in [1,4]; the mean recovered disparity must land
+  // inside that band.
+  const double mean = static_cast<double>(sum) / static_cast<double>(cfg.height * cfg.width);
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LT(mean, 4.1);
+}
+
+TEST(Stereo, DataParallelMatchesReference) {
+  const auto cfg = small_stereo();
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::stereo_stages(cfg, &sink);
+  ap::run_stream_pipeline<float>(paragon(4), stages, {{0, 3, 4, 1}}, cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::stereo_reference(cfg, k)) << "frame " << k;
+  }
+}
+
+TEST(Stereo, SingleProcessorMatchesReference) {
+  const auto cfg = small_stereo();
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::stereo_stages(cfg, &sink);
+  ap::run_stream_pipeline<float>(paragon(1), stages, {{0, 3, 1, 1}}, cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::stereo_reference(cfg, k));
+  }
+}
+
+TEST(Stereo, HaloExchangeCorrectAcrossManyProcCounts) {
+  // The windowed-sum stage needs ghost rows; sweep processor counts so
+  // blocks smaller than the halo (1-row blocks with a 2-row halo) are
+  // exercised too.
+  const auto cfg = small_stereo();
+  for (int p : {2, 3, 5, 8, 16, 24}) {
+    std::vector<std::int64_t> sink;
+    const auto stages = ap::stereo_stages(cfg, &sink);
+    ap::run_stream_pipeline<float>(paragon(p), stages, {{0, 3, p, 1}}, 2);
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::stereo_reference(cfg, k))
+          << "p=" << p << " frame " << k;
+    }
+  }
+}
+
+TEST(Stereo, PipelinedMappingMatchesReference) {
+  const auto cfg = small_stereo();
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::stereo_stages(cfg, &sink);
+  ap::run_stream_pipeline<float>(paragon(9), stages,
+                                 {{0, 1, 3, 1}, {2, 2, 2, 2}, {3, 3, 2, 1}}, cfg.num_sets);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(k)], ap::stereo_reference(cfg, k)) << "frame " << k;
+  }
+}
+
+TEST(Stereo, ModelAndMachineAgreeOnReplicationGain) {
+  auto cfg = small_stereo();
+  cfg.num_sets = 8;
+  const auto mcfg = paragon(8);
+  const auto model = ap::stereo_model(mcfg, cfg);
+  sched::PipelineMapping one;
+  one.modules = {{0, 3, 4, 1}};
+  sched::PipelineMapping two;
+  two.modules = {{0, 3, 4, 2}};
+  fxpar::sched::evaluate(model, one);
+  fxpar::sched::evaluate(model, two);
+  EXPECT_GT(two.throughput, 1.5 * one.throughput);
+
+  const auto stages = ap::stereo_stages(cfg);
+  const auto s1 = ap::run_stream_pipeline<float>(mcfg, stages, one.modules, cfg.num_sets);
+  const auto s2 = ap::run_stream_pipeline<float>(mcfg, stages, two.modules, cfg.num_sets);
+  EXPECT_GT(s2.steady_throughput(), 1.5 * s1.steady_throughput());
+}

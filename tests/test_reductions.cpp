@@ -1,0 +1,141 @@
+// Tests for scan/exscan collectives and whole-array reductions.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/fx.hpp"
+
+using namespace fxpar;
+namespace ds = fxpar::dist;
+
+namespace {
+MachineConfig cfg(int p) {
+  auto c = MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+}  // namespace
+
+class ScanSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSizes, InclusiveScanPrefixSums) {
+  const int p = GetParam();
+  Machine m(cfg(p));
+  m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(p);
+    const int me = ctx.phys_rank();
+    const int got = comm::scan(ctx, g, me + 1, std::plus<int>{});
+    EXPECT_EQ(got, (me + 1) * (me + 2) / 2);
+  });
+}
+
+TEST_P(ScanSizes, ExclusiveScanShiftsByOne) {
+  const int p = GetParam();
+  Machine m(cfg(p));
+  m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(p);
+    const int me = ctx.phys_rank();
+    const int got = comm::exscan(ctx, g, me + 1, std::plus<int>{}, 0);
+    EXPECT_EQ(got, me * (me + 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Scan, SubgroupScanIsGroupRelative) {
+  Machine m(cfg(6));
+  const ProcessorGroup sub({2, 4, 5});
+  m.run([&](Context& ctx) {
+    if (!sub.contains(ctx.phys_rank())) return;
+    const int got = comm::scan(ctx, sub, 10, std::plus<int>{});
+    EXPECT_EQ(got, 10 * (sub.virtual_of(ctx.phys_rank()) + 1));
+  });
+}
+
+TEST(Scan, MaxScanIsMonotone) {
+  Machine m(cfg(5));
+  m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(5);
+    const int mine = (ctx.phys_rank() * 37) % 11;
+    const int got = comm::scan(ctx, g, mine, [](int a, int b) { return std::max(a, b); });
+    int expect = 0;
+    for (int r = 0; r <= ctx.phys_rank(); ++r) expect = std::max(expect, (r * 37) % 11);
+    EXPECT_EQ(got, expect);
+  });
+}
+
+TEST(ArrayReductions, SumMinMaxCount) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(4);
+    ds::DistArray<std::int64_t> a(ctx, ds::Layout(g, {20}, {ds::DimDist::cyclic()}), "a");
+    a.fill([](std::span<const std::int64_t> gi) { return gi[0] - 5; });  // -5..14
+    EXPECT_EQ(ds::array_sum(ctx, a), 90);
+    EXPECT_EQ(ds::array_min(ctx, a), -5);
+    EXPECT_EQ(ds::array_max(ctx, a), 14);
+    EXPECT_EQ(ds::array_count(ctx, a, [](std::int64_t v) { return v < 0; }), 5);
+  });
+}
+
+TEST(ArrayReductions, TwoDimensional) {
+  Machine m(cfg(4));
+  m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(4);
+    ds::DistArray<double> a(
+        ctx, ds::Layout(g, {6, 4}, {ds::DimDist::block(), ds::DimDist::block()}), "a");
+    a.fill([](std::span<const std::int64_t> gi) {
+      return static_cast<double>(gi[0] * 4 + gi[1]);
+    });
+    EXPECT_DOUBLE_EQ(ds::array_sum(ctx, a), 23.0 * 24.0 / 2.0);
+    EXPECT_DOUBLE_EQ(ds::array_max(ctx, a), 23.0);
+  });
+}
+
+TEST(ArrayReductions, ReplicatedArrayNeedsNoCommunication) {
+  Machine m(cfg(3));
+  auto res = m.run([&](Context& ctx) {
+    const auto g = ProcessorGroup::identity(3);
+    ds::DistArray<int> a(ctx, ds::Layout(g, {8}, {ds::DimDist::collapsed()}), "rep");
+    a.fill([](std::span<const std::int64_t> gi) { return static_cast<int>(gi[0]); });
+    EXPECT_EQ(ds::array_sum(ctx, a), 28);
+  });
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(ArrayReductions, SubgroupArrayReducedBySubgroup) {
+  Machine m(cfg(6));
+  m.run([&](Context& ctx) {
+    core::TaskPartition part(ctx, {{"g1", 2}, {"g2", 4}});
+    auto a = core::subgroup_array<int>(ctx, part, "g2", {10}, {ds::DimDist::block()});
+    core::TaskRegion region(ctx, part);
+    region.on("g2", [&] {
+      a.fill([](std::span<const std::int64_t> gi) { return static_cast<int>(gi[0] + 1); });
+      EXPECT_EQ(ds::array_sum(ctx, a), 55);
+    });
+  });
+}
+
+TEST(ArrayReductions, NonMemberRejected) {
+  Machine m(cfg(4));
+  const ProcessorGroup sub({0, 1});
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    ds::DistArray<int> a(ctx, ds::Layout(sub, {4}, {ds::DimDist::block()}), "a");
+    if (ctx.phys_rank() >= 2) ds::array_sum(ctx, a);
+  }),
+               std::logic_error);
+}
+
+TEST(Scan, DeterministicFloatOrder) {
+  auto once = [] {
+    Machine m(cfg(6));
+    double out = 0.0;
+    m.run([&](Context& ctx) {
+      const auto g = ProcessorGroup::identity(6);
+      const double got =
+          comm::scan(ctx, g, 0.1 * (ctx.phys_rank() + 1), std::plus<double>{});
+      if (ctx.phys_rank() == 5) out = got;
+    });
+    return out;
+  };
+  EXPECT_EQ(once(), once());
+}

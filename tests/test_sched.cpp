@@ -1,0 +1,316 @@
+// Tests for the mapping algorithms of refs [21][22]: data parallel
+// baseline, max-throughput grouping, and latency-optimal mapping under a
+// throughput constraint (with replication), checked against brute force on
+// small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/pipeline.hpp"
+
+namespace sc = fxpar::sched;
+
+namespace {
+
+// Amdahl-ish stage: work w with parallel fraction f and per-proc overhead.
+sc::StageModel stage(std::string name, double w, double overhead_per_proc = 0.0,
+                     int cap = 1 << 30) {
+  return sc::StageModel{
+      std::move(name), [=](int p) {
+        const int q = std::min(p, cap);
+        return w / static_cast<double>(q) + overhead_per_proc * static_cast<double>(q);
+      }};
+}
+
+sc::PipelineModel three_stage_model() {
+  sc::PipelineModel m;
+  m.stages = {stage("s0", 12.0), stage("s1", 24.0), stage("s2", 6.0)};
+  m.transfer = [](int, int, int) { return 0.5; };
+  return m;
+}
+
+}  // namespace
+
+TEST(PipelineModel, ModuleTimeSumsStagesAndInternalTransfers) {
+  const auto m = three_stage_model();
+  EXPECT_DOUBLE_EQ(m.stage_time(0, 4), 3.0);
+  EXPECT_DOUBLE_EQ(m.module_time(0, 0, 4), 3.0);
+  // Stages 0..1 on 4 procs: 3 + 0.5 + 6 = 9.5.
+  EXPECT_DOUBLE_EQ(m.module_time(0, 1, 4), 9.5);
+  // All stages on 2 procs: 6 + .5 + 12 + .5 + 3 = 22.
+  EXPECT_DOUBLE_EQ(m.module_time(0, 2, 2), 22.0);
+}
+
+TEST(PipelineModel, Errors) {
+  const auto m = three_stage_model();
+  EXPECT_THROW(m.stage_time(3, 1), std::out_of_range);
+  EXPECT_THROW(m.stage_time(0, 0), std::invalid_argument);
+  EXPECT_THROW(m.module_time(1, 0, 1), std::out_of_range);
+}
+
+TEST(DataParallelMapping, OneModuleAllProcs) {
+  const auto m = three_stage_model();
+  const auto dp = sc::data_parallel_mapping(m, 8);
+  ASSERT_EQ(dp.modules.size(), 1u);
+  EXPECT_EQ(dp.modules[0].procs, 8);
+  EXPECT_EQ(dp.modules[0].instances, 1);
+  // latency = 12/8 + .5 + 24/8 + .5 + 6/8 = 6.25; throughput = 1/6.25.
+  EXPECT_DOUBLE_EQ(dp.latency, 6.25);
+  EXPECT_DOUBLE_EQ(dp.throughput, 1.0 / 6.25);
+}
+
+TEST(MaxThroughput, BeatsDataParallelOnOverheadyStages) {
+  // With per-proc overhead, DP on all procs is slow; pipelining wins.
+  sc::PipelineModel m;
+  m.stages = {stage("a", 10.0, 0.4), stage("b", 10.0, 0.4)};
+  const auto dp = sc::data_parallel_mapping(m, 16);
+  const auto best = sc::max_throughput_mapping(m, 16);
+  EXPECT_GE(best.throughput, dp.throughput);
+  EXPECT_GT(best.modules.size(), 1u);
+}
+
+TEST(MaxThroughput, MatchesBruteForceSmall) {
+  const auto m = three_stage_model();
+  const int P = 6;
+  const auto best = sc::max_throughput_mapping(m, P);
+  // Brute force over all contiguous groupings and allocations.
+  double brute = 0.0;
+  for (int cut1 = 0; cut1 <= 2; ++cut1) {      // module boundaries after stage cut
+    for (int cut2 = cut1; cut2 <= 2; ++cut2) {
+      // modules: [0..cut1], (cut1..cut2], (cut2..2] (degenerate when equal)
+      std::vector<std::pair<int, int>> mods;
+      mods.push_back({0, cut1});
+      if (cut2 > cut1) mods.push_back({cut1 + 1, cut2});
+      if (2 > cut2) mods.push_back({cut2 + 1, 2});
+      // enumerate allocations
+      const int k = static_cast<int>(mods.size());
+      std::vector<int> alloc(static_cast<std::size_t>(k), 1);
+      auto enumerate = [&](auto&& self, int idx, int left) -> void {
+        if (idx == k - 1) {
+          alloc[static_cast<std::size_t>(idx)] = left;
+          double bottleneck = 0.0;
+          for (int j = 0; j < k; ++j) {
+            bottleneck = std::max(
+                bottleneck, m.service_time(mods[static_cast<std::size_t>(j)].first,
+                                           mods[static_cast<std::size_t>(j)].second,
+                                           alloc[static_cast<std::size_t>(j)]));
+          }
+          brute = std::max(brute, 1.0 / bottleneck);
+          return;
+        }
+        for (int p = 1; p <= left - (k - idx - 1); ++p) {
+          alloc[static_cast<std::size_t>(idx)] = p;
+          self(self, idx + 1, left - p);
+        }
+      };
+      enumerate(enumerate, 0, P);
+    }
+  }
+  EXPECT_NEAR(best.throughput, brute, 1e-12);
+}
+
+TEST(MinLatency, UnconstrainedEqualsDataParallel) {
+  // With no throughput requirement the latency-optimal mapping is the pure
+  // data parallel one (all processors on every stage).
+  const auto m = three_stage_model();
+  const auto opt = sc::min_latency_mapping(m, 8, 0.0);
+  const auto dp = sc::data_parallel_mapping(m, 8);
+  EXPECT_NEAR(opt.latency, dp.latency, 1e-12);
+}
+
+TEST(MinLatency, ConstraintForcesReplicationOrPipelining) {
+  sc::PipelineModel m;
+  m.stages = {stage("a", 10.0, 0.5, 4), stage("b", 10.0, 0.5, 4)};  // cap 4
+  const auto dp = sc::data_parallel_mapping(m, 16);
+  // Demand twice the DP throughput; only replication can deliver it.
+  const auto opt = sc::min_latency_mapping(m, 16, 2.0 * dp.throughput);
+  ASSERT_FALSE(opt.modules.empty());
+  EXPECT_GE(opt.throughput, 2.0 * dp.throughput - 1e-9);
+  int total_instances = 0;
+  for (const auto& mod : opt.modules) total_instances += mod.instances;
+  EXPECT_GT(total_instances, static_cast<int>(opt.modules.size()));  // some replication
+}
+
+TEST(MinLatency, InfeasibleConstraintReturnsEmpty) {
+  const auto m = three_stage_model();
+  const auto opt = sc::min_latency_mapping(m, 2, 1e9);
+  EXPECT_TRUE(opt.modules.empty());
+  EXPECT_EQ(opt.throughput, 0.0);
+}
+
+TEST(MinLatency, RespectsProcessorBudget) {
+  const auto m = three_stage_model();
+  for (double rate : {0.1, 0.3, 0.6, 1.0}) {
+    const auto opt = sc::min_latency_mapping(m, 10, rate);
+    if (opt.modules.empty()) continue;
+    EXPECT_LE(opt.total_procs(), 10);
+    EXPECT_GE(opt.throughput, rate - 1e-9);
+  }
+}
+
+TEST(MinLatency, LatencyMonotoneInConstraint) {
+  // Stronger throughput demands can only increase (or keep) optimal latency.
+  sc::PipelineModel m;
+  m.stages = {stage("a", 8.0, 0.2), stage("b", 16.0, 0.2), stage("c", 4.0, 0.2)};
+  m.transfer = [](int, int, int) { return 0.25; };
+  double prev = 0.0;
+  for (double rate = 0.05; rate < 2.0; rate *= 2.0) {
+    const auto opt = sc::min_latency_mapping(m, 12, rate);
+    if (opt.modules.empty()) break;
+    EXPECT_GE(opt.latency + 1e-9, prev);
+    prev = opt.latency;
+  }
+}
+
+TEST(Mapping, EvaluateComputesThroughputAsBottleneck) {
+  const auto m = three_stage_model();
+  sc::PipelineMapping mp;
+  mp.modules = {{0, 0, 2, 1}, {1, 1, 4, 2}, {2, 2, 1, 1}};
+  sc::evaluate(m, mp);
+  // Service times (compute + boundary handoffs): 6.5, 7, 6.5 ->
+  // rates 1/6.5, 2/7, 1/6.5 -> throughput 1/6.5.
+  EXPECT_DOUBLE_EQ(mp.throughput, 1.0 / 6.5);
+  // Latency: 6 + .5 + 6 + .5 + 6 = 19 (transfers counted once).
+  EXPECT_DOUBLE_EQ(mp.latency, 19.0);
+}
+
+TEST(Mapping, ServiceTimeAddsBoundaryTransfers) {
+  const auto m = three_stage_model();
+  // Middle stage on 4 procs: 6 compute + in/out transfers of 0.5 each.
+  EXPECT_DOUBLE_EQ(m.service_time(1, 1, 4), 7.0);
+  // First module: only the outgoing boundary.
+  EXPECT_DOUBLE_EQ(m.service_time(0, 0, 4), 3.5);
+  // Whole chain: no external boundaries.
+  EXPECT_DOUBLE_EQ(m.service_time(0, 2, 4), m.module_time(0, 2, 4));
+}
+
+TEST(Mapping, ToStringListsModules) {
+  const auto m = three_stage_model();
+  sc::PipelineMapping mp;
+  mp.modules = {{0, 1, 4, 2}, {2, 2, 1, 1}};
+  const std::string s = mp.to_string(m);
+  EXPECT_NE(s.find("s0+s1"), std::string::npos);
+  EXPECT_NE(s.find("x2"), std::string::npos);
+}
+
+namespace {
+
+// Exhaustive search over contiguous groupings, allocations and replication
+// factors for small instances, mirroring the DP's cost accounting.
+double brute_force_min_latency(const sc::PipelineModel& m, int P, double rate) {
+  const int S = m.num_stages();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate groupings via bitmask of boundaries after each stage.
+  for (int cuts = 0; cuts < (1 << (S - 1)); ++cuts) {
+    std::vector<std::pair<int, int>> mods;
+    int start = 0;
+    for (int s = 0; s < S; ++s) {
+      if (s == S - 1 || (cuts >> s) & 1) {
+        mods.push_back({start, s});
+        start = s + 1;
+      }
+    }
+    const int k = static_cast<int>(mods.size());
+    // Enumerate (procs, instances) per module recursively.
+    std::vector<std::pair<int, int>> alloc(static_cast<std::size_t>(k));
+    auto rec = [&](auto&& self, int idx, int left) -> void {
+      if (idx == k) {
+        double latency = 0.0;
+        for (int j = 0; j < k; ++j) {
+          const auto [f, l] = mods[static_cast<std::size_t>(j)];
+          const auto [p, r] = alloc[static_cast<std::size_t>(j)];
+          const double service = m.service_time(f, l, p);
+          if (rate > 0.0 && static_cast<double>(r) / service + 1e-12 < rate) return;
+          latency += m.module_time(f, l, p) + (j > 0 ? m.transfer_time(f - 1, p, p) : 0.0);
+        }
+        best = std::min(best, latency);
+        return;
+      }
+      for (int p = 1; p <= left; ++p) {
+        for (int r = 1; p * r <= left; ++r) {
+          alloc[static_cast<std::size_t>(idx)] = {p, r};
+          self(self, idx + 1, left - p * r);
+        }
+      }
+    };
+    rec(rec, 0, P);
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(MinLatency, MatchesBruteForceSmall) {
+  sc::PipelineModel m;
+  m.stages = {stage("x", 6.0, 0.3), stage("y", 10.0, 0.3)};
+  m.transfer = [](int, int, int) { return 0.4; };
+  for (int P : {3, 5, 6}) {
+    const double dp_rate = sc::data_parallel_mapping(m, P).throughput;
+    for (double factor : {0.5, 1.0, 1.5, 2.0}) {
+      const double rate = factor * dp_rate;
+      const auto opt = sc::min_latency_mapping(m, P, rate);
+      const double brute = brute_force_min_latency(m, P, rate);
+      if (opt.modules.empty()) {
+        EXPECT_TRUE(std::isinf(brute)) << "P=" << P << " rate=" << rate;
+      } else {
+        EXPECT_NEAR(opt.latency, brute, 1e-9) << "P=" << P << " rate=" << rate;
+      }
+    }
+  }
+}
+
+TEST(MinLatency, ThreeStageBruteForce) {
+  const auto m = three_stage_model();
+  const int P = 5;
+  const double dp_rate = sc::data_parallel_mapping(m, P).throughput;
+  for (double factor : {1.0, 1.3}) {
+    const auto opt = sc::min_latency_mapping(m, P, factor * dp_rate);
+    const double brute = brute_force_min_latency(m, P, factor * dp_rate);
+    if (opt.modules.empty()) {
+      EXPECT_TRUE(std::isinf(brute));
+    } else {
+      EXPECT_NEAR(opt.latency, brute, 1e-9) << "factor=" << factor;
+    }
+  }
+}
+
+TEST(MemoryConstraint, UnconstrainedByDefault) {
+  const auto m = three_stage_model();
+  EXPECT_TRUE(m.module_fits(0, 2, 1));
+}
+
+TEST(MemoryConstraint, SmallModulesBecomeInfeasible) {
+  sc::PipelineModel m = three_stage_model();
+  // Each stage needs 100/p MB per node; nodes hold 60 MB: a module of k
+  // stages needs p >= ceil(k * 100 / 60).
+  m.stage_memory = [](int, int p) { return 100.0 / static_cast<double>(p); };
+  m.node_memory = 60.0;
+  EXPECT_FALSE(m.module_fits(0, 0, 1));
+  EXPECT_TRUE(m.module_fits(0, 0, 2));
+  EXPECT_FALSE(m.module_fits(0, 2, 4));
+  EXPECT_TRUE(m.module_fits(0, 2, 5));
+}
+
+TEST(MemoryConstraint, MappingsRespectCapacity) {
+  sc::PipelineModel m = three_stage_model();
+  m.stage_memory = [](int, int p) { return 100.0 / static_cast<double>(p); };
+  m.node_memory = 60.0;
+  const auto best = sc::max_throughput_mapping(m, 12);
+  for (const auto& mod : best.modules) {
+    EXPECT_TRUE(m.module_fits(mod.first_stage, mod.last_stage, mod.procs));
+  }
+  const auto opt = sc::min_latency_mapping(m, 12, 0.01);
+  ASSERT_FALSE(opt.modules.empty());
+  for (const auto& mod : opt.modules) {
+    EXPECT_TRUE(m.module_fits(mod.first_stage, mod.last_stage, mod.procs));
+  }
+}
+
+TEST(MemoryConstraint, ImpossibleCapacityMakesEverythingInfeasible) {
+  sc::PipelineModel m = three_stage_model();
+  m.stage_memory = [](int, int) { return 100.0; };  // does not shrink with p
+  m.node_memory = 10.0;
+  EXPECT_THROW(sc::max_throughput_mapping(m, 8), std::logic_error);
+  const auto opt = sc::min_latency_mapping(m, 8, 0.0);
+  EXPECT_TRUE(opt.modules.empty());
+}

@@ -1,0 +1,66 @@
+// Tests for the byte-packing helpers of the communication layer.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "comm/serialize.hpp"
+
+namespace cm = fxpar::comm;
+
+TEST(Serialize, ValueRoundTrip) {
+  EXPECT_EQ(cm::unpack_value<int>(cm::pack_value(42)), 42);
+  EXPECT_DOUBLE_EQ(cm::unpack_value<double>(cm::pack_value(3.25)), 3.25);
+  const std::complex<double> z(1.5, -2.5);
+  EXPECT_EQ(cm::unpack_value<std::complex<double>>(cm::pack_value(z)), z);
+}
+
+namespace {
+struct Pod {
+  int a;
+  double b;
+  char c;
+  friend bool operator==(const Pod&, const Pod&) = default;
+};
+}  // namespace
+
+TEST(Serialize, StructRoundTrip) {
+  const Pod p{7, 2.5, 'x'};
+  EXPECT_EQ(cm::unpack_value<Pod>(cm::pack_value(p)), p);
+}
+
+TEST(Serialize, ValueSizeMismatchThrows) {
+  auto p = cm::pack_value<int>(1);
+  EXPECT_THROW(cm::unpack_value<double>(p), std::invalid_argument);
+}
+
+TEST(Serialize, SpanRoundTrip) {
+  const std::vector<float> v{1.0f, -2.0f, 3.5f};
+  const auto p = cm::pack_span(std::span<const float>(v));
+  EXPECT_EQ(p.size(), 3 * sizeof(float));
+  EXPECT_EQ(cm::unpack_vector<float>(p), v);
+}
+
+TEST(Serialize, EmptySpanGivesEmptyVector) {
+  const std::vector<int> v;
+  const auto p = cm::pack_span(std::span<const int>(v));
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(cm::unpack_vector<int>(p).empty());
+}
+
+TEST(Serialize, VectorSizeMismatchThrows) {
+  fxpar::machine::Payload p(7);  // not a multiple of sizeof(int)
+  EXPECT_THROW(cm::unpack_vector<int>(p), std::invalid_argument);
+}
+
+TEST(Serialize, AppendAndReadSequence) {
+  fxpar::machine::Payload p;
+  cm::append_value(p, 11);
+  cm::append_value(p, 2.5);
+  cm::append_value(p, 'z');
+  std::size_t off = 0;
+  EXPECT_EQ(cm::read_value<int>(p, off), 11);
+  EXPECT_DOUBLE_EQ(cm::read_value<double>(p, off), 2.5);
+  EXPECT_EQ(cm::read_value<char>(p, off), 'z');
+  EXPECT_EQ(off, p.size());
+  EXPECT_THROW(cm::read_value<int>(p, off), std::out_of_range);
+}

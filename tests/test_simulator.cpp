@@ -1,0 +1,183 @@
+// Unit tests for the deterministic discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace rt = fxpar::runtime;
+
+namespace {
+constexpr std::size_t kStack = 128 * 1024;
+}
+
+TEST(Simulator, RunsAllProcsToCompletion) {
+  rt::Simulator sim(4, kStack);
+  std::vector<bool> ran(4, false);
+  for (int r = 0; r < 4; ++r) {
+    sim.spawn(r, [&, r] { ran[static_cast<std::size_t>(r)] = true; });
+  }
+  sim.run();
+  for (int r = 0; r < 4; ++r) EXPECT_TRUE(ran[static_cast<std::size_t>(r)]);
+  EXPECT_EQ(sim.finish_time(), 0.0);
+}
+
+TEST(Simulator, AdvanceAccumulatesBusyTime) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] {
+    sim.advance(1.5);
+    sim.advance(0.5);
+  });
+  sim.spawn(1, [&] { sim.advance(3.0); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.clock(0).now, 2.0);
+  EXPECT_DOUBLE_EQ(sim.clock(0).busy, 2.0);
+  EXPECT_DOUBLE_EQ(sim.clock(1).now, 3.0);
+  EXPECT_DOUBLE_EQ(sim.finish_time(), 3.0);
+}
+
+TEST(Simulator, AdvanceToSkipsForwardAsIdle) {
+  rt::Simulator sim(1, kStack);
+  sim.spawn(0, [&] {
+    sim.advance(1.0);
+    sim.advance_to(5.0);
+    sim.advance_to(2.0);  // never moves backwards
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.clock(0).now, 5.0);
+  EXPECT_DOUBLE_EQ(sim.clock(0).busy, 1.0);
+  EXPECT_DOUBLE_EQ(sim.clock(0).idle, 4.0);
+}
+
+TEST(Simulator, NegativeAdvanceRejected) {
+  rt::Simulator sim(1, kStack);
+  sim.spawn(0, [&] { sim.advance(-1.0); });
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(Simulator, SchedulesSmallestClockFirst) {
+  // Procs yield after each step; the interleaving must follow virtual time.
+  rt::Simulator sim(3, kStack);
+  std::vector<int> order;
+  // Proc r advances by (r+1) per step, 3 steps each.
+  for (int r = 0; r < 3; ++r) {
+    sim.spawn(r, [&, r] {
+      for (int s = 0; s < 3; ++s) {
+        order.push_back(r);
+        sim.advance(static_cast<double>(r + 1));
+        sim.yield();
+      }
+    });
+  }
+  sim.run();
+  // Expected: events sorted by (time-before-step, rank):
+  // t=0:0,1,2; t=1:0; t=2:0,1; t=3:2(wait, proc2 at t=2? no t=2 after first)
+  // Compute manually: p0 steps at 0,1,2 ; p1 at 0,2,4 ; p2 at 0,3,6.
+  // Sorted by (t, rank): (0,0)(0,1)(0,2)(1,0)(2,0)(2,1)(3,2)(4,1)(6,2)
+  const std::vector<int> expect{0, 1, 2, 0, 0, 1, 2, 1, 2};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Simulator, BlockAndWakeTransfersTime) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] {
+    sim.block("waiting for proc 1");
+    // Woken at t=7 by proc 1.
+    EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  });
+  sim.spawn(1, [&] {
+    sim.advance(5.0);
+    sim.wake(0, 7.0);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.clock(0).idle, 7.0);
+  EXPECT_EQ(sim.clock(0).blocks, 1u);
+}
+
+TEST(Simulator, WakeNeverMovesClockBackwards) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] {
+    sim.advance(10.0);
+    sim.block("waiting");
+    EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // wake time 3 < current 10
+  });
+  sim.spawn(1, [&] {
+    // Let proc 0 reach its block first: it blocks at t=10 but is scheduled
+    // before us only while runnable; force ordering via yields.
+    while (!sim.is_blocked(0)) sim.yield();
+    sim.wake(0, 3.0);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.clock(0).now, 10.0);
+}
+
+TEST(Simulator, DeadlockDetected) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] { sim.block("never woken (0)"); });
+  sim.spawn(1, [&] { sim.block("never woken (1)"); });
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const rt::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("never woken (0)"), std::string::npos);
+    EXPECT_NE(what.find("never woken (1)"), std::string::npos);
+  }
+}
+
+TEST(Simulator, PartialDeadlockStillDetected) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] { /* finishes immediately */ });
+  sim.spawn(1, [&] { sim.block("stuck"); });
+  EXPECT_THROW(sim.run(), rt::DeadlockError);
+}
+
+TEST(Simulator, ExceptionInProcPropagates) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [] { throw std::runtime_error("proc failure"); });
+  sim.spawn(1, [] {});
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, WakeOfRunnableProcRejected) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [&] { sim.yield(); });
+  sim.spawn(1, [&] { sim.wake(0, 1.0); });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, MissingSpawnRejected) {
+  rt::Simulator sim(2, kStack);
+  sim.spawn(0, [] {});
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, DoubleSpawnRejected) {
+  rt::Simulator sim(1, kStack);
+  sim.spawn(0, [] {});
+  EXPECT_THROW(sim.spawn(0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, CurrentRankOutsideFiberThrows) {
+  rt::Simulator sim(1, kStack);
+  EXPECT_THROW(sim.current_rank(), std::logic_error);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    rt::Simulator sim(5, kStack);
+    std::vector<int> order;
+    for (int r = 0; r < 5; ++r) {
+      sim.spawn(r, [&, r] {
+        for (int s = 0; s < 4; ++s) {
+          order.push_back(r);
+          sim.advance(static_cast<double>((r * 7 + s * 3) % 5) + 0.25);
+          sim.yield();
+        }
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

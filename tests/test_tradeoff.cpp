@@ -1,0 +1,144 @@
+// Tests for the latency-throughput tradeoff curve (ref [22]) and the
+// utilization reporting helpers.
+#include <gtest/gtest.h>
+
+#include "machine/context.hpp"
+#include "machine/report.hpp"
+#include "sched/tradeoff.hpp"
+
+namespace sc = fxpar::sched;
+namespace mx = fxpar::machine;
+
+namespace {
+
+sc::PipelineModel overheady_model() {
+  sc::PipelineModel m;
+  auto stage = [](std::string name, double w, double o) {
+    return sc::StageModel{std::move(name), [w, o](int p) {
+                            return w / static_cast<double>(p) +
+                                   o * static_cast<double>(p);
+                          }};
+  };
+  m.stages = {stage("a", 12.0, 0.05), stage("b", 20.0, 0.05), stage("c", 8.0, 0.05)};
+  m.transfer = [](int, int, int) { return 0.3; };
+  return m;
+}
+
+}  // namespace
+
+TEST(Tradeoff, CurveIsParetoOrdered) {
+  const auto m = overheady_model();
+  const auto curve = sc::latency_throughput_curve(m, 16, 20);
+  ASSERT_GE(curve.size(), 2u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].mapping.throughput, curve[i - 1].mapping.throughput);
+    EXPECT_GE(curve[i].mapping.latency + 1e-12, curve[i - 1].mapping.latency);
+  }
+}
+
+TEST(Tradeoff, StartsAtDataParallelAndReachesMaxThroughput) {
+  const auto m = overheady_model();
+  const auto dp = sc::data_parallel_mapping(m, 16);
+  const auto fastest = sc::max_throughput_mapping(m, 16);
+  const auto curve = sc::latency_throughput_curve(m, 16, 20);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_NEAR(curve.front().mapping.latency, dp.latency, 1e-9);
+  EXPECT_NEAR(curve.back().mapping.throughput, fastest.throughput,
+              0.05 * fastest.throughput);
+}
+
+TEST(Tradeoff, EveryPointMeetsItsDemand) {
+  const auto m = overheady_model();
+  for (const auto& pt : sc::latency_throughput_curve(m, 12, 16)) {
+    EXPECT_GE(pt.mapping.throughput + 1e-9, pt.demand);
+    EXPECT_LE(pt.mapping.total_procs(), 12);
+  }
+}
+
+TEST(Tradeoff, TooFewPointsRejected) {
+  const auto m = overheady_model();
+  EXPECT_THROW(sc::latency_throughput_curve(m, 8, 1), std::invalid_argument);
+}
+
+TEST(Report, SummarizeComputesBusyFractions) {
+  mx::RunResult r;
+  r.finish_time = 10.0;
+  r.clocks.resize(2);
+  r.clocks[0].busy = 10.0;
+  r.clocks[1].busy = 5.0;
+  r.messages = 3;
+  r.bytes = 100;
+  r.barriers = 2;
+  const auto s = mx::summarize(r);
+  EXPECT_DOUBLE_EQ(s.mean_busy_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(s.max_busy_fraction, 1.0);
+  EXPECT_EQ(s.most_busy_proc, 0);
+  EXPECT_DOUBLE_EQ(s.min_busy_fraction, 0.5);
+  EXPECT_EQ(s.least_busy_proc, 1);
+  EXPECT_EQ(s.messages, 3u);
+}
+
+TEST(Report, EmptyRunIsSafe) {
+  mx::RunResult r;
+  const auto s = mx::summarize(r);
+  EXPECT_DOUBLE_EQ(s.mean_busy_fraction, 0.0);
+  EXPECT_FALSE(mx::utilization_report(r).empty());
+}
+
+TEST(Report, RendersOneBarPerProcessor) {
+  mx::RunResult r;
+  r.finish_time = 4.0;
+  r.clocks.resize(3);
+  r.clocks[0].busy = 4.0;
+  r.clocks[1].busy = 2.0;
+  r.clocks[2].busy = 0.0;
+  const auto text = mx::utilization_report(r);
+  EXPECT_NE(text.find("proc 0"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+  EXPECT_NE(text.find("50%"), std::string::npos);
+  EXPECT_NE(text.find("0%"), std::string::npos);
+}
+
+TEST(Report, GroupsRowsForLargeMachines) {
+  mx::RunResult r;
+  r.finish_time = 1.0;
+  r.clocks.resize(64);
+  for (auto& c : r.clocks) c.busy = 0.5;
+  const auto text = mx::utilization_report(r, 8);
+  EXPECT_NE(text.find("procs 0-7"), std::string::npos);
+  EXPECT_EQ(text.find("proc 0 "), std::string::npos);  // no per-proc rows
+}
+
+TEST(Report, FromRealRun) {
+  mx::Machine m(mx::MachineConfig::ideal(4));
+  auto res = m.run([](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) ctx.charge(2.0);
+    ctx.barrier();
+  });
+  const auto s = mx::summarize(res);
+  EXPECT_GT(s.max_busy_fraction, 0.9);
+  EXPECT_LT(s.min_busy_fraction, 0.1);
+  EXPECT_EQ(s.barriers, 4u);
+}
+
+TEST(Report, TrafficHeatMapRendersBlocks) {
+  auto cfg = mx::MachineConfig::ideal(4);
+  cfg.record_traffic = true;
+  mx::Machine m(cfg);
+  auto res = m.run([](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, fxpar::machine::Payload(1000));
+    } else if (ctx.phys_rank() == 1) {
+      ctx.recv_phys(0, 1);
+    }
+  });
+  const auto text = mx::traffic_report(res);
+  EXPECT_NE(text.find("communication matrix"), std::string::npos);
+  EXPECT_NE(text.find("9"), std::string::npos);  // the peak cell
+}
+
+TEST(Report, TrafficNoteWhenNotRecorded) {
+  mx::Machine m(mx::MachineConfig::ideal(2));
+  auto res = m.run([](mx::Context&) {});
+  EXPECT_NE(mx::traffic_report(res).find("not recorded"), std::string::npos);
+}
