@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_barneshut.dir/bench_fig7_barneshut.cpp.o"
+  "CMakeFiles/bench_fig7_barneshut.dir/bench_fig7_barneshut.cpp.o.d"
+  "bench_fig7_barneshut"
+  "bench_fig7_barneshut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_barneshut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fxlang.dir/bench_fxlang.cpp.o"
+  "CMakeFiles/bench_fxlang.dir/bench_fxlang.cpp.o.d"
+  "bench_fxlang"
+  "bench_fxlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fxlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

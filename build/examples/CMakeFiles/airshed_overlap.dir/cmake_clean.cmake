@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airshed_overlap.dir/airshed_overlap.cpp.o"
+  "CMakeFiles/airshed_overlap.dir/airshed_overlap.cpp.o.d"
+  "airshed_overlap"
+  "airshed_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airshed_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barneshut_nbody.dir/barneshut_nbody.cpp.o"
+  "CMakeFiles/barneshut_nbody.dir/barneshut_nbody.cpp.o.d"
+  "barneshut_nbody"
+  "barneshut_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barneshut_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

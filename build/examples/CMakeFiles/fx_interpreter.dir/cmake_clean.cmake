@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx_interpreter.dir/fx_interpreter.cpp.o"
+  "CMakeFiles/fx_interpreter.dir/fx_interpreter.cpp.o.d"
+  "fx_interpreter"
+  "fx_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

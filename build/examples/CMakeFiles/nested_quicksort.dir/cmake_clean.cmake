@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_quicksort.dir/nested_quicksort.cpp.o"
+  "CMakeFiles/nested_quicksort.dir/nested_quicksort.cpp.o.d"
+  "nested_quicksort"
+  "nested_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

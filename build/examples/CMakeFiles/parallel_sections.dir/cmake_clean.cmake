@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sections.dir/parallel_sections.cpp.o"
+  "CMakeFiles/parallel_sections.dir/parallel_sections.cpp.o.d"
+  "parallel_sections"
+  "parallel_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

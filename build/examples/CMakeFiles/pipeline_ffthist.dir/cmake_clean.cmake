@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_ffthist.dir/pipeline_ffthist.cpp.o"
+  "CMakeFiles/pipeline_ffthist.dir/pipeline_ffthist.cpp.o.d"
+  "pipeline_ffthist"
+  "pipeline_ffthist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_ffthist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_pipelines.dir/sensor_pipelines.cpp.o"
+  "CMakeFiles/sensor_pipelines.dir/sensor_pipelines.cpp.o.d"
+  "sensor_pipelines"
+  "sensor_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adaptive.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/adaptive.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/adaptive.cpp.o.d"
+  "/root/repo/src/apps/airshed.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/airshed.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/airshed.cpp.o.d"
+  "/root/repo/src/apps/barneshut.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/barneshut.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/barneshut.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/ffthist.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/ffthist.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/ffthist.cpp.o.d"
+  "/root/repo/src/apps/multiblock.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/multiblock.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/multiblock.cpp.o.d"
+  "/root/repo/src/apps/quicksort.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/quicksort.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/quicksort.cpp.o.d"
+  "/root/repo/src/apps/radar.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/radar.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/radar.cpp.o.d"
+  "/root/repo/src/apps/stereo.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/stereo.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/stereo.cpp.o.d"
+  "/root/repo/src/apps/stream_pipeline.cpp" "src/apps/CMakeFiles/fxpar_apps.dir/stream_pipeline.cpp.o" "gcc" "src/apps/CMakeFiles/fxpar_apps.dir/stream_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fxpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fxpar_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/fxpar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fxpar_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fxpar_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxpar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgroup/CMakeFiles/fxpar_pgroup.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

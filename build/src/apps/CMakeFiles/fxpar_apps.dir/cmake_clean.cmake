@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_apps.dir/adaptive.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/adaptive.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/airshed.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/airshed.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/barneshut.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/barneshut.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/fft.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/ffthist.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/ffthist.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/multiblock.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/multiblock.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/quicksort.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/quicksort.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/radar.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/radar.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/stereo.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/stereo.cpp.o.d"
+  "CMakeFiles/fxpar_apps.dir/stream_pipeline.cpp.o"
+  "CMakeFiles/fxpar_apps.dir/stream_pipeline.cpp.o.d"
+  "libfxpar_apps.a"
+  "libfxpar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_comm.dir/collectives.cpp.o"
+  "CMakeFiles/fxpar_comm.dir/collectives.cpp.o.d"
+  "libfxpar_comm.a"
+  "libfxpar_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/task_partition.cpp" "src/core/CMakeFiles/fxpar_core.dir/task_partition.cpp.o" "gcc" "src/core/CMakeFiles/fxpar_core.dir/task_partition.cpp.o.d"
+  "/root/repo/src/core/task_region.cpp" "src/core/CMakeFiles/fxpar_core.dir/task_region.cpp.o" "gcc" "src/core/CMakeFiles/fxpar_core.dir/task_region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/fxpar_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fxpar_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/fxpar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgroup/CMakeFiles/fxpar_pgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxpar_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_core.dir/task_partition.cpp.o"
+  "CMakeFiles/fxpar_core.dir/task_partition.cpp.o.d"
+  "CMakeFiles/fxpar_core.dir/task_region.cpp.o"
+  "CMakeFiles/fxpar_core.dir/task_region.cpp.o.d"
+  "libfxpar_core.a"
+  "libfxpar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_dist.dir/dim_dist.cpp.o"
+  "CMakeFiles/fxpar_dist.dir/dim_dist.cpp.o.d"
+  "CMakeFiles/fxpar_dist.dir/layout.cpp.o"
+  "CMakeFiles/fxpar_dist.dir/layout.cpp.o.d"
+  "libfxpar_dist.a"
+  "libfxpar_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_lang.dir/interp.cpp.o"
+  "CMakeFiles/fxpar_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/fxpar_lang.dir/lexer.cpp.o"
+  "CMakeFiles/fxpar_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/fxpar_lang.dir/parser.cpp.o"
+  "CMakeFiles/fxpar_lang.dir/parser.cpp.o.d"
+  "libfxpar_lang.a"
+  "libfxpar_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

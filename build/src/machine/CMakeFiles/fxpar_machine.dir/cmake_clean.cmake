@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_machine.dir/context.cpp.o"
+  "CMakeFiles/fxpar_machine.dir/context.cpp.o.d"
+  "CMakeFiles/fxpar_machine.dir/machine.cpp.o"
+  "CMakeFiles/fxpar_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/fxpar_machine.dir/report.cpp.o"
+  "CMakeFiles/fxpar_machine.dir/report.cpp.o.d"
+  "libfxpar_machine.a"
+  "libfxpar_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pgroup/grid.cpp" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/grid.cpp.o" "gcc" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/grid.cpp.o.d"
+  "/root/repo/src/pgroup/group.cpp" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/group.cpp.o" "gcc" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/group.cpp.o.d"
+  "/root/repo/src/pgroup/partition.cpp" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/partition.cpp.o" "gcc" "src/pgroup/CMakeFiles/fxpar_pgroup.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_pgroup.dir/grid.cpp.o"
+  "CMakeFiles/fxpar_pgroup.dir/grid.cpp.o.d"
+  "CMakeFiles/fxpar_pgroup.dir/group.cpp.o"
+  "CMakeFiles/fxpar_pgroup.dir/group.cpp.o.d"
+  "CMakeFiles/fxpar_pgroup.dir/partition.cpp.o"
+  "CMakeFiles/fxpar_pgroup.dir/partition.cpp.o.d"
+  "libfxpar_pgroup.a"
+  "libfxpar_pgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_pgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

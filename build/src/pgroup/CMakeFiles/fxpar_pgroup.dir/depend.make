@@ -1,0 +1,2 @@
+# Empty dependencies file for fxpar_pgroup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_runtime.dir/fiber.cpp.o"
+  "CMakeFiles/fxpar_runtime.dir/fiber.cpp.o.d"
+  "CMakeFiles/fxpar_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/fxpar_runtime.dir/simulator.cpp.o.d"
+  "CMakeFiles/fxpar_runtime.dir/stack.cpp.o"
+  "CMakeFiles/fxpar_runtime.dir/stack.cpp.o.d"
+  "libfxpar_runtime.a"
+  "libfxpar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

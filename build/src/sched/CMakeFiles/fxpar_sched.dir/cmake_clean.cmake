@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxpar_sched.dir/pipeline.cpp.o"
+  "CMakeFiles/fxpar_sched.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fxpar_sched.dir/tradeoff.cpp.o"
+  "CMakeFiles/fxpar_sched.dir/tradeoff.cpp.o.d"
+  "libfxpar_sched.a"
+  "libfxpar_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxpar_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airshed.dir/test_airshed.cpp.o"
+  "CMakeFiles/test_airshed.dir/test_airshed.cpp.o.d"
+  "test_airshed"
+  "test_airshed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airshed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_sweeps.dir/test_app_sweeps.cpp.o"
+  "CMakeFiles/test_app_sweeps.dir/test_app_sweeps.cpp.o.d"
+  "test_app_sweeps"
+  "test_app_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

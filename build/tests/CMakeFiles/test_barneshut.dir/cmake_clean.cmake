@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barneshut.dir/test_barneshut.cpp.o"
+  "CMakeFiles/test_barneshut.dir/test_barneshut.cpp.o.d"
+  "test_barneshut"
+  "test_barneshut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barneshut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dim_dist.dir/test_dim_dist.cpp.o"
+  "CMakeFiles/test_dim_dist.dir/test_dim_dist.cpp.o.d"
+  "test_dim_dist"
+  "test_dim_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dim_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

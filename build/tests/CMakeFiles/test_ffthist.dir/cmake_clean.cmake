@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ffthist.dir/test_ffthist.cpp.o"
+  "CMakeFiles/test_ffthist.dir/test_ffthist.cpp.o.d"
+  "test_ffthist"
+  "test_ffthist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ffthist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

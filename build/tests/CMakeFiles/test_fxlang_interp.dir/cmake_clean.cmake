@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxlang_interp.dir/test_fxlang_interp.cpp.o"
+  "CMakeFiles/test_fxlang_interp.dir/test_fxlang_interp.cpp.o.d"
+  "test_fxlang_interp"
+  "test_fxlang_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxlang_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxlang_programs.dir/test_fxlang_programs.cpp.o"
+  "CMakeFiles/test_fxlang_programs.dir/test_fxlang_programs.cpp.o.d"
+  "test_fxlang_programs"
+  "test_fxlang_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxlang_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

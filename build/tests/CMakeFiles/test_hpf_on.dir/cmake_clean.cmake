@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpf_on.dir/test_hpf_on.cpp.o"
+  "CMakeFiles/test_hpf_on.dir/test_hpf_on.cpp.o.d"
+  "test_hpf_on"
+  "test_hpf_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpf_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_like.dir/test_mpi_like.cpp.o"
+  "CMakeFiles/test_mpi_like.dir/test_mpi_like.cpp.o.d"
+  "test_mpi_like"
+  "test_mpi_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pgroup.dir/test_pgroup.cpp.o"
+  "CMakeFiles/test_pgroup.dir/test_pgroup.cpp.o.d"
+  "test_pgroup"
+  "test_pgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

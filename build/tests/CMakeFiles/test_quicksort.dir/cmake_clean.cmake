@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quicksort.dir/test_quicksort.cpp.o"
+  "CMakeFiles/test_quicksort.dir/test_quicksort.cpp.o.d"
+  "test_quicksort"
+  "test_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radar_stereo.dir/test_radar_stereo.cpp.o"
+  "CMakeFiles/test_radar_stereo.dir/test_radar_stereo.cpp.o.d"
+  "test_radar_stereo"
+  "test_radar_stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radar_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

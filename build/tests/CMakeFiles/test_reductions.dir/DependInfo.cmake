@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reductions.cpp" "tests/CMakeFiles/test_reductions.dir/test_reductions.cpp.o" "gcc" "tests/CMakeFiles/test_reductions.dir/test_reductions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fxpar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fxpar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fxpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fxpar_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/fxpar_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fxpar_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fxpar_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgroup/CMakeFiles/fxpar_pgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxpar_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_pipeline.dir/test_stream_pipeline.cpp.o"
+  "CMakeFiles/test_stream_pipeline.dir/test_stream_pipeline.cpp.o.d"
+  "test_stream_pipeline"
+  "test_stream_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
