@@ -1,13 +1,169 @@
-// Shared helpers for the table/figure reproduction benches.
+// Shared helpers for the table/figure reproduction benches: the Table 1
+// driver, a tiny CLI (--json-out / --trace-out / --trace-report), one-line
+// JSON result records, and trace reporting for traced runs (see
+// docs/observability.md).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/stream_pipeline.hpp"
 #include "sched/pipeline.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/phase_report.hpp"
 
 namespace fxbench {
+
+/// Options shared by all benches; populated by init().
+struct Options {
+  std::string json_out;      ///< --json-out FILE|-  : one-line JSON records
+  std::string trace_out;     ///< --trace-out FILE   : chrome trace of the last traced run
+  bool trace_report = false; ///< --trace-report     : print phase + critical-path reports
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+/// Parses the shared bench flags; unknown arguments are ignored so benches
+/// can add their own. Call at the top of main().
+inline void init(int argc, char** argv) {
+  Options& o = options();
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return {};
+      }
+      return argv[++i];
+    };
+    if (a == "--json-out") {
+      o.json_out = value("--json-out");
+    } else if (a == "--trace-out") {
+      o.trace_out = value("--trace-out");
+    } else if (a == "--trace-report") {
+      o.trace_report = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf("common bench flags:\n"
+                  "  --json-out FILE|-   append one-line JSON result records\n"
+                  "  --trace-out FILE    write chrome://tracing / Perfetto JSON of the\n"
+                  "                      last traced machine run\n"
+                  "  --trace-report      print per-phase and critical-path reports\n");
+    }
+  }
+}
+
+/// True when any tracing output was requested on the command line.
+inline bool tracing_requested() {
+  return options().trace_report || !options().trace_out.empty();
+}
+
+/// Copy of `cfg` with tracing enabled iff requested via the CLI.
+inline fxpar::machine::MachineConfig maybe_traced(fxpar::machine::MachineConfig cfg) {
+  if (tracing_requested()) cfg.trace = true;
+  return cfg;
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::ostream* json_stream() {
+  const std::string& path = options().json_out;
+  if (path.empty()) return nullptr;
+  if (path == "-") return &std::cout;
+  static std::ofstream file;
+  static bool warned = false;
+  if (!file.is_open()) file.open(path, std::ios::app);
+  if (!file) {
+    if (!warned) {
+      warned = true;
+      std::cerr << "--json-out: cannot write '" << path << "', records dropped\n";
+    }
+    return nullptr;
+  }
+  return &file;
+}
+
+}  // namespace detail
+
+/// Appends one JSON line {"name":..., "params":{...}, "time_s":...,
+/// "efficiency":..., "comm_bytes":...} to the --json-out sink. No-op when
+/// --json-out was not given.
+inline void json_record(const std::string& name,
+                        const std::vector<std::pair<std::string, std::string>>& params,
+                        double time_s, double efficiency, std::uint64_t comm_bytes) {
+  std::ostream* out = detail::json_stream();
+  if (!out) return;
+  char num[64];
+  *out << "{\"name\":\"" << detail::json_escape(name) << "\",\"params\":{";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) *out << ',';
+    *out << '"' << detail::json_escape(params[i].first) << "\":\""
+         << detail::json_escape(params[i].second) << '"';
+  }
+  std::snprintf(num, sizeof(num), "%.9g", time_s);
+  *out << "},\"time_s\":" << num;
+  std::snprintf(num, sizeof(num), "%.6g", efficiency);
+  *out << ",\"efficiency\":" << num;
+  *out << ",\"comm_bytes\":" << comm_bytes << "}\n";
+  out->flush();
+}
+
+/// Convenience overload taking the machine counters directly.
+inline void json_record(const std::string& name,
+                        const std::vector<std::pair<std::string, std::string>>& params,
+                        const fxpar::machine::RunResult& res) {
+  json_record(name, params, res.finish_time, res.efficiency(), res.bytes);
+}
+
+/// Reports on a traced run according to the CLI options: prints the phase
+/// and critical-path summaries under `label` (--trace-report) and writes the
+/// chrome trace JSON (--trace-out; the last reported run wins). No-op for
+/// untraced runs.
+inline void report_trace(const fxpar::machine::RunResult& res, const std::string& label) {
+  if (!res.trace) return;
+  if (options().trace_report) {
+    std::printf("--- trace report: %s ---\n", label.c_str());
+    std::fputs(fxpar::trace::phase_report(*res.trace).to_string().c_str(), stdout);
+    std::fputs(fxpar::trace::critical_path(*res.trace).to_string().c_str(), stdout);
+  }
+  if (!options().trace_out.empty()) {
+    try {
+      fxpar::trace::write_chrome_trace(*res.trace, options().trace_out);
+    } catch (const std::exception& e) {
+      std::cerr << "--trace-out: " << e.what() << '\n';
+    }
+  }
+}
 
 /// Runs the mapping algorithm's choice and the DP baseline for one stream
 /// application, reproducing one row of Table 1. The throughput constraint
@@ -25,8 +181,9 @@ void table1_row(const char* name, const char* size_desc,
   namespace sched = fxpar::sched;
 
   const int S = static_cast<int>(stages.size());
+  const auto run_cfg = maybe_traced(mcfg);
   const auto dp_stats = run_stream_pipeline<T>(
-      mcfg, stages, {{0, S - 1, mcfg.num_procs, 1}}, num_sets);
+      run_cfg, stages, {{0, S - 1, mcfg.num_procs, 1}}, num_sets);
   const double dp_thr = dp_stats.steady_throughput();
   const double dp_lat = dp_stats.avg_latency();
 
@@ -41,7 +198,7 @@ void table1_row(const char* name, const char* size_desc,
     mapping = sched::max_throughput_mapping(model, mcfg.num_procs);
   }
   const auto best_stats =
-      run_stream_pipeline<T>(mcfg, stages, mapping.modules, num_sets);
+      run_stream_pipeline<T>(run_cfg, stages, mapping.modules, num_sets);
 
   std::printf("%-10s %-12s | %8.3f %8.4f | %6.2fx | %8.3f %8.4f | %5.2fx %+6.0f%% | %s\n",
               name, size_desc, dp_thr, dp_lat, rel_constraint,
@@ -49,6 +206,22 @@ void table1_row(const char* name, const char* size_desc,
               best_stats.steady_throughput() / dp_thr,
               100.0 * (best_stats.avg_latency() - dp_lat) / dp_lat,
               mapping.to_string(model).c_str());
+
+  const std::string base = std::string(name) + "/" + size_desc;
+  json_record(base + "/dp",
+              {{"app", name}, {"size", size_desc},
+               {"procs", std::to_string(mcfg.num_procs)},
+               {"num_sets", std::to_string(num_sets)},
+               {"mapping", "data-parallel"}},
+              dp_stats.machine_result);
+  json_record(base + "/mapped",
+              {{"app", name}, {"size", size_desc},
+               {"procs", std::to_string(mcfg.num_procs)},
+               {"num_sets", std::to_string(num_sets)},
+               {"constraint", std::to_string(rel_constraint)},
+               {"mapping", mapping.to_string(model)}},
+              best_stats.machine_result);
+  report_trace(best_stats.machine_result, base);
 }
 
 }  // namespace fxbench

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "apps/ffthist.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace fxpar;
 namespace ap = fxpar::apps;
@@ -36,8 +37,12 @@ void run_case(const char* title, const ap::FftHistConfig& cfg, const MachineConf
               const std::vector<ap::PipelineStage<ap::Complex>>& stages,
               sc::PipelineMapping mapping) {
   sc::evaluate(model, mapping);
+  // Always trace: Figure 5 is the observability show-case (phase report and
+  // critical path per mapping; chrome trace of the last case via --trace-out).
+  MachineConfig traced = mcfg;
+  traced.trace = true;
   const auto stats =
-      ap::run_stream_pipeline<ap::Complex>(mcfg, stages, mapping.modules, cfg.num_sets);
+      ap::run_stream_pipeline<ap::Complex>(traced, stages, mapping.modules, cfg.num_sets);
   std::printf("  %s (uses %d of %d processors)\n", title, mapping.total_procs(),
               mcfg.num_procs);
   draw_mapping(model, mapping);
@@ -45,11 +50,32 @@ void run_case(const char* title, const ap::FftHistConfig& cfg, const MachineConf
               mapping.latency);
   std::printf("    simulated: throughput %6.2f /s, latency %6.4f s\n\n",
               stats.steady_throughput(), stats.avg_latency());
+  const auto& res = stats.machine_result;
+  if (res.trace) {
+    const auto phases = fxpar::trace::phase_report(*res.trace);
+    const auto path = fxpar::trace::critical_path(*res.trace);
+    std::fputs(phases.to_string(8).c_str(), stdout);
+    std::fputs(path.to_string(8).c_str(), stdout);
+    std::printf("\n");
+    if (!fxbench::options().trace_out.empty()) {
+      try {
+        fxpar::trace::write_chrome_trace(*res.trace, fxbench::options().trace_out);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--trace-out: %s\n", e.what());
+      }
+    }
+  }
+  fxbench::json_record(std::string("fig5/") + title,
+                       {{"n", std::to_string(cfg.n)},
+                        {"num_sets", std::to_string(cfg.num_sets)},
+                        {"procs", std::to_string(mcfg.num_procs)}},
+                       res);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fxbench::init(argc, argv);
   const int P = 64;
   const auto mcfg = MachineConfig::paragon(P);
   ap::FftHistConfig cfg;

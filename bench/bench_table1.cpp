@@ -19,7 +19,8 @@
 using namespace fxpar;
 namespace ap = fxpar::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  fxbench::init(argc, argv);
   const int P = 64;
   const auto mcfg = MachineConfig::paragon(P);
   const int sets = 12;

@@ -126,6 +126,7 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
     struct StageBufs {
       std::unique_ptr<DistArray<T>> in, out;
     };
+    trace::ScopedSpan setup_span = ctx.span("setup", "stream");
     std::vector<std::vector<std::vector<StageBufs>>> bufs(modules.size());
     for (std::size_t m = 0; m < modules.size(); ++m) {
       bufs[m].resize(static_cast<std::size_t>(modules[m].instances));
@@ -143,6 +144,8 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
         }
       }
     }
+
+    setup_span.close();
 
     core::TaskRegion region(ctx, part);
     core::Replicated<int> k(ctx, 0);
@@ -168,6 +171,11 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
               dist::assign(ctx, *per_stage[s].in, *per_stage[s - 1].out);
             }
             const int abs_stage = modules[m].first_stage + static_cast<int>(s);
+            trace::ScopedSpan stage_span;
+            if (ctx.tracer()) {
+              stage_span =
+                  ctx.span(stages[static_cast<std::size_t>(abs_stage)].name, "stage");
+            }
             stages[static_cast<std::size_t>(abs_stage)].run(ctx, *per_stage[s].in,
                                                             *per_stage[s].out, set);
           }

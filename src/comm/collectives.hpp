@@ -17,6 +17,7 @@
 #include "comm/serialize.hpp"
 #include "machine/context.hpp"
 #include "pgroup/group.hpp"
+#include "trace/trace.hpp"
 
 namespace fxpar::comm {
 
@@ -65,6 +66,7 @@ std::vector<T> broadcast_vector(Context& ctx, const ProcessorGroup& g, int root,
 template <TriviallyPackable T, typename Op>
 T reduce(Context& ctx, const ProcessorGroup& g, int root, T value, Op op) {
   detail::check_member_root(ctx, g, root);
+  trace::ScopedSpan sp_ = ctx.span("reduce", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const int rel = detail::relative_rank(me, root, n);
@@ -102,6 +104,7 @@ template <TriviallyPackable T, typename Op>
 std::vector<T> reduce_vector(Context& ctx, const ProcessorGroup& g, int root,
                              std::vector<T> value, Op op) {
   detail::check_member_root(ctx, g, root);
+  trace::ScopedSpan sp_ = ctx.span("reduce_vector", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const int rel = detail::relative_rank(me, root, n);
@@ -147,6 +150,7 @@ T scan(Context& ctx, const ProcessorGroup& g, T value, Op op) {
   if (!g.contains(ctx.phys_rank())) {
     throw std::logic_error("scan: calling processor is not a group member");
   }
+  trace::ScopedSpan sp_ = ctx.span("scan", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -168,6 +172,7 @@ T exscan(Context& ctx, const ProcessorGroup& g, T value, Op op, T identity) {
   if (!g.contains(ctx.phys_rank())) {
     throw std::logic_error("exscan: calling processor is not a group member");
   }
+  trace::ScopedSpan sp_ = ctx.span("exscan", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -187,6 +192,7 @@ T exscan(Context& ctx, const ProcessorGroup& g, T value, Op op, T identity) {
 template <TriviallyPackable T>
 std::vector<T> gather(Context& ctx, const ProcessorGroup& g, int root, const T& value) {
   detail::check_member_root(ctx, g, root);
+  trace::ScopedSpan sp_ = ctx.span("gather", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -211,6 +217,7 @@ template <TriviallyPackable T>
 std::vector<T> gather_vectors(Context& ctx, const ProcessorGroup& g, int root,
                               const std::vector<T>& value) {
   detail::check_member_root(ctx, g, root);
+  trace::ScopedSpan sp_ = ctx.span("gather_vectors", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -234,6 +241,7 @@ template <TriviallyPackable T>
 std::vector<T> scatter_vectors(Context& ctx, const ProcessorGroup& g, int root,
                                const std::vector<std::vector<T>>& parts) {
   detail::check_member_root(ctx, g, root);
+  trace::ScopedSpan sp_ = ctx.span("scatter_vectors", "collective");
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -269,6 +277,7 @@ std::vector<std::vector<T>> alltoall_vectors(Context& ctx, const ProcessorGroup&
   if (static_cast<int>(send_parts.size()) != n) {
     throw std::invalid_argument("alltoall_vectors: need one part per member");
   }
+  trace::ScopedSpan sp_ = ctx.span("alltoall_vectors", "collective");
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
   ctx.push_group(g);

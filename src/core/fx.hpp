@@ -14,6 +14,16 @@
 //     region.on("some", [&] { /* runs on 5 processors */ });
 //     region.on("many", [&] { /* runs on the rest    */ });
 //   });
+//
+// Traced run (see docs/observability.md):
+//
+//   MachineConfig cfg = MachineConfig::paragon(8);
+//   cfg.trace = true;                       // off by default, ~zero cost when off
+//   Machine machine(cfg);
+//   RunResult res = machine.run(program);
+//   std::cout << trace::phase_report(*res.trace).to_string();     // per-phase time
+//   std::cout << trace::critical_path(*res.trace).to_string();    // longest chain
+//   trace::write_chrome_trace(*res.trace, "run.trace.json");      // Perfetto/chrome
 #pragma once
 
 #include "comm/collectives.hpp"
@@ -33,6 +43,10 @@
 #include "pgroup/grid.hpp"
 #include "pgroup/group.hpp"
 #include "pgroup/partition.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/phase_report.hpp"
+#include "trace/trace.hpp"
 
 namespace fxpar {
 

@@ -46,6 +46,7 @@ inline std::pair<std::int64_t, std::int64_t> iteration_block(std::int64_t lo, st
 /// touch, as in the paper's execution model).
 template <typename Body>
 void parallel_for(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body) {
+  trace::ScopedSpan sp = ctx.span("parallel_for", "loop");
   const auto [first, last] =
       detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
   for (std::int64_t i = first; i < last; ++i) body(i);
@@ -57,6 +58,7 @@ void parallel_for(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&
 template <typename T, typename Body, typename Merge>
 T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body,
                   Merge&& merge, T init) {
+  trace::ScopedSpan sp = ctx.span("parallel_reduce", "loop");
   T local = init;
   const auto [first, last] =
       detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());

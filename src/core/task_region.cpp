@@ -14,6 +14,11 @@ TaskRegion::TaskRegion(Context& ctx, const TaskPartition& part)
                            " was not declared against the current processor group " +
                            ctx_.group().to_string());
   }
+  if (ctx_.tracer()) {
+    region_span_ = ctx_.span(
+        part_.name().empty() ? std::string("region") : "region:" + part_.name(),
+        "task_region");
+  }
 }
 
 TaskRegion::~TaskRegion() {
@@ -35,9 +40,13 @@ void TaskRegion::enter_on(int subgroup_index) {
   }
   ctx_.push_group(part_.subgroup(subgroup_index));
   in_on_ = true;
+  if (ctx_.tracer()) {
+    on_span_ = ctx_.span("on:" + part_.subgroup_name(subgroup_index), "subgroup");
+  }
 }
 
 void TaskRegion::leave_on() {
+  on_span_.close();
   ctx_.pop_group();
   in_on_ = false;
 }

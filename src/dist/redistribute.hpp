@@ -31,6 +31,7 @@
 #include "comm/serialize.hpp"
 #include "dist/dist_array.hpp"
 #include "machine/context.hpp"
+#include "trace/trace.hpp"
 
 namespace fxpar::dist {
 
@@ -223,6 +224,8 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
   const pgroup::ProcessorGroup ug = union_group(sl.group(), dl.group());
   const int me = ctx.phys_rank();
   if (!ug.contains(me)) return;
+  trace::ScopedSpan sp_;
+  if (ctx.tracer()) sp_ = ctx.span("assign:" + dst.name(), "redistribute");
   const std::uint64_t tag = ctx.collective_tag(ug);
   if (sync == AssignSync::SubsetBarrier) ctx.barrier(ug);
 

@@ -48,6 +48,12 @@ struct MachineConfig {
   std::size_t stack_bytes = 1u << 20;  ///< fiber stack size (host memory)
   bool record_traffic = false;         ///< keep a per-(src,dst) byte matrix
 
+  /// Record a structured event trace (spans, waits, messages, barriers) of
+  /// the run; see src/trace/ and docs/observability.md. Off by default:
+  /// when false no recorder exists and every tracing hook is a single null
+  /// pointer test. Tracing never changes modeled time.
+  bool trace = false;
+
   /// Paragon-class preset with `p` compute nodes.
   static MachineConfig paragon(int p) {
     MachineConfig c;

@@ -81,4 +81,18 @@ std::uint64_t Context::collective_tag(const pgroup::ProcessorGroup& g) {
 
 void Context::io(std::size_t bytes) { machine_.io_operation(bytes); }
 
+trace::ScopedSpan Context::span(std::string name, const char* category) {
+  trace::TraceRecorder* t = machine_.tracer();
+  if (!t) return {};
+  t->begin_span(phys_, std::move(name), category);
+  return {t, phys_};
+}
+
+trace::ScopedSpan Context::span(const char* name, const char* category) {
+  trace::TraceRecorder* t = machine_.tracer();
+  if (!t) return {};
+  t->begin_span(phys_, name, category);
+  return {t, phys_};
+}
+
 }  // namespace fxpar::machine

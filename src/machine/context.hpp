@@ -12,8 +12,11 @@
 #include <map>
 #include <vector>
 
+#include <string>
+
 #include "machine/machine.hpp"
 #include "pgroup/group.hpp"
+#include "trace/trace.hpp"
 
 namespace fxpar::machine {
 
@@ -76,6 +79,18 @@ class Context {
 
   /// Blocking operation on the machine's sequential I/O device.
   void io(std::size_t bytes);
+
+  // ---- tracing ----
+
+  /// The machine's event recorder, or nullptr when tracing is disabled.
+  /// Call sites that build dynamic span names should test this first to
+  /// keep the disabled path allocation-free.
+  trace::TraceRecorder* tracer() noexcept { return machine_.tracer(); }
+
+  /// Opens a named span on this processor's timeline; the returned guard
+  /// closes it. Inert (and cheap) when tracing is disabled.
+  trace::ScopedSpan span(std::string name, const char* category);
+  trace::ScopedSpan span(const char* name, const char* category);
 
  private:
   Machine& machine_;

@@ -33,6 +33,12 @@ Machine::Machine(MachineConfig config) : config_(config) {
                              static_cast<std::size_t>(config_.num_procs),
                          0);
   }
+  if (config_.trace) {
+    tracer_ = std::make_shared<trace::TraceRecorder>(config_.num_procs);
+    tracer_->set_clock(
+        [this](int rank) { return sim_->clock(rank).now; });
+    sim_->set_tracer(tracer_.get());
+  }
 }
 
 Machine::~Machine() = default;
@@ -44,9 +50,16 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
   for (int r = 0; r < num_procs(); ++r) {
     contexts.push_back(std::make_unique<Context>(*this, r));
   }
+  if (tracer_) tracer_->reset();
   for (int r = 0; r < num_procs(); ++r) {
     Context* ctx = contexts[static_cast<std::size_t>(r)].get();
-    sim_->spawn(r, [program, ctx] { program(*ctx); });
+    // Each processor's whole body runs inside a root "program" span so
+    // every recorded event has an enclosing scope.
+    sim_->spawn(r, [this, program, ctx, r] {
+      if (tracer_) tracer_->begin_span(r, "program", "root");
+      program(*ctx);
+      if (tracer_) tracer_->end_span(r);
+    });
   }
   sim_->run();
 
@@ -58,6 +71,10 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
   res.bytes = stat_bytes_;
   res.barriers = stat_barriers_;
   res.traffic = stat_traffic_;
+  if (tracer_) {
+    tracer_->finalize(res.finish_time);
+    res.trace = tracer_;
+  }
   return res;
 }
 
@@ -67,10 +84,14 @@ void Machine::deposit(int src, int dst, std::uint64_t tag, Payload data) {
   }
   const std::size_t bytes = data.size();
   // Sender-side costs: software overhead plus wire serialization.
+  const runtime::SimTime send_start = sim_->now();
   sim_->advance(config_.send_overhead + static_cast<double>(bytes) * config_.byte_time);
   const runtime::SimTime arrival = sim_->now() + config_.latency;
 
   Message msg{std::move(data), arrival};
+  if (tracer_) {
+    msg.trace_id = tracer_->message_sent(src, dst, tag, bytes, send_start, sim_->now());
+  }
   const MailKey key{src, tag};
   mailboxes_[static_cast<std::size_t>(dst)][key].push_back(std::move(msg));
   stat_messages_ += 1;
@@ -93,6 +114,7 @@ Payload Machine::receive(int dst, int src, std::uint64_t tag) {
   }
   const MailKey key{src, tag};
   auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+  const runtime::SimTime recv_entry = sim_->now();
   for (;;) {
     auto it = box.find(key);
     if (it != box.end() && !it->second.empty()) {
@@ -100,6 +122,9 @@ Payload Machine::receive(int dst, int src, std::uint64_t tag) {
       it->second.pop_front();
       if (it->second.empty()) box.erase(it);
       sim_->advance_to(msg.arrival);
+      if (tracer_ && msg.trace_id != 0) {
+        tracer_->message_received(msg.trace_id, recv_entry, sim_->now());
+      }
       sim_->advance(config_.recv_overhead);
       return std::move(msg.data);
     }
@@ -128,7 +153,14 @@ void Machine::barrier(const pgroup::ProcessorGroup& group) {
     return;
   }
   BarrierState& st = barriers_[group.key()];
+  if (tracer_) {
+    if (st.arrived == 0) st.trace_id = tracer_->barrier_open(group.key());
+    tracer_->barrier_arrive(st.trace_id, me, sim_->now());
+  }
   st.arrived += 1;
+  // The happens-before cause of the release is the proc with the latest
+  // *modeled* arrival, which need not be the fiber that executes last.
+  if (st.last_arriver < 0 || sim_->now() >= st.max_arrival) st.last_arriver = me;
   st.max_arrival = std::max(st.max_arrival, sim_->now());
   if (st.arrived < n) {
     st.waiting.push_back(me);
@@ -137,6 +169,7 @@ void Machine::barrier(const pgroup::ProcessorGroup& group) {
   }
   // Last arriver: release everyone.
   const runtime::SimTime release = st.max_arrival + cost;
+  if (tracer_) tracer_->barrier_release(st.trace_id, st.last_arriver, st.max_arrival, release);
   std::vector<int> waiting = std::move(st.waiting);
   barriers_.erase(group.key());
   for (int r : waiting) sim_->wake(r, release);
@@ -144,9 +177,19 @@ void Machine::barrier(const pgroup::ProcessorGroup& group) {
 }
 
 void Machine::io_operation(std::size_t bytes) {
-  const double start = std::max(sim_->now(), io_available_);
+  const double entry = sim_->now();
+  const double start = std::max(entry, io_available_);
   const double done = start + config_.io_latency +
                       static_cast<double>(bytes) * config_.io_byte_time;
+  if (tracer_) {
+    const int me = sim_->current_rank();
+    // When queued behind an earlier operation, the happens-before edge
+    // points at its owner; otherwise the stall is the device itself.
+    const bool queued = start > entry && io_prev_proc_ >= 0;
+    tracer_->io_wait(me, entry, done, queued ? io_prev_proc_ : me,
+                     queued ? io_available_ : entry);
+    io_prev_proc_ = me;
+  }
   io_available_ = done;
   sim_->advance_to(done);
 }

@@ -17,6 +17,7 @@
 #include "machine/config.hpp"
 #include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace fxpar::machine {
 
@@ -36,6 +37,11 @@ struct RunResult {
   /// Per-pair traffic: traffic[src * P + dst] bytes sent from src to dst.
   /// Populated only when MachineConfig::record_traffic is set.
   std::vector<std::uint64_t> traffic;
+
+  /// The structured event trace of the run; null unless
+  /// MachineConfig::trace was set. Shared with the Machine: a later run()
+  /// on the same Machine resets and reuses the recorder.
+  std::shared_ptr<const trace::TraceRecorder> trace;
 
   /// Machine efficiency: mean busy fraction over processors.
   double efficiency() const;
@@ -78,6 +84,9 @@ class Machine {
 
   runtime::Simulator& sim() { return *sim_; }
 
+  /// The event recorder, or nullptr when MachineConfig::trace is off.
+  trace::TraceRecorder* tracer() noexcept { return tracer_.get(); }
+
  private:
   struct MailKey {
     int src;
@@ -87,6 +96,7 @@ class Machine {
   struct Message {
     Payload data;
     runtime::SimTime arrival = 0.0;
+    std::uint64_t trace_id = 0;  ///< TraceRecorder message id (0 = untraced)
   };
   struct WaitState {
     bool waiting = false;
@@ -95,7 +105,9 @@ class Machine {
   struct BarrierState {
     int arrived = 0;
     runtime::SimTime max_arrival = 0.0;
+    int last_arriver = -1;       ///< proc whose modeled arrival is max_arrival
     std::vector<int> waiting;  ///< physical ranks blocked in this barrier
+    std::uint64_t trace_id = 0;  ///< TraceRecorder barrier id (0 = untraced)
   };
 
   MachineConfig config_;
@@ -104,6 +116,8 @@ class Machine {
   std::vector<WaitState> waits_;
   std::map<std::uint64_t, BarrierState> barriers_;  ///< keyed by group key
   runtime::SimTime io_available_ = 0.0;
+  int io_prev_proc_ = -1;  ///< owner of the last I/O operation (for tracing)
+  std::shared_ptr<trace::TraceRecorder> tracer_;
 
   std::uint64_t stat_messages_ = 0;
   std::uint64_t stat_bytes_ = 0;

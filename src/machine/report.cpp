@@ -37,13 +37,14 @@ UtilizationSummary summarize(const RunResult& result) {
 
 std::string utilization_report(const RunResult& result, int max_rows) {
   const UtilizationSummary s = summarize(result);
+  max_rows = std::max(1, max_rows);  // a non-positive row budget means "one row"
   std::ostringstream oss;
   oss.setf(std::ios::fixed);
   oss.precision(4);
   oss << "machine utilization: makespan " << s.makespan << " s, mean busy "
       << static_cast<int>(100.0 * s.mean_busy_fraction + 0.5) << "%\n";
   const int P = static_cast<int>(result.clocks.size());
-  if (P > 0 && s.makespan > 0.0 && max_rows > 0) {
+  if (P > 0 && s.makespan > 0.0) {
     const int group = std::max(1, (P + max_rows - 1) / max_rows);
     constexpr int kWidth = 40;
     for (int first = 0; first < P; first += group) {
@@ -72,8 +73,10 @@ std::string traffic_report(const RunResult& result, int max_cells) {
   std::ostringstream oss;
   const int P = static_cast<int>(result.clocks.size());
   if (result.traffic.empty() || P == 0) {
-    return "communication matrix: not recorded (set MachineConfig::record_traffic)\n";
+    return "communication matrix: not recorded "
+           "(set MachineConfig::record_traffic = true before Machine::run)\n";
   }
+  max_cells = std::max(1, max_cells);  // a non-positive budget means "one block"
   const int group = std::max(1, (P + max_cells - 1) / max_cells);
   const int cells = (P + group - 1) / group;
   // Aggregate into blocks.

@@ -3,6 +3,10 @@
 #include <cassert>
 #include <utility>
 
+#ifdef FXPAR_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace fxpar::runtime {
 
 namespace {
@@ -14,8 +18,20 @@ Fiber* g_starting_fiber = nullptr;
 
 Fiber* Fiber::current() noexcept { return g_current_fiber; }
 
+namespace {
+// ASan's redzones and fake frames inflate stack usage severalfold; grow the
+// requested stack so depth limits tuned for plain builds still fit.
+std::size_t padded_stack_bytes(std::size_t stack_bytes) {
+#ifdef FXPAR_ASAN_FIBERS
+  return stack_bytes * 4;
+#else
+  return stack_bytes;
+#endif
+}
+}  // namespace
+
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_(stack_bytes) {
+    : body_(std::move(body)), stack_(padded_stack_bytes(stack_bytes)) {
   if (!body_) throw std::invalid_argument("Fiber: empty body");
   if (::getcontext(&context_) != 0) throw std::runtime_error("getcontext failed");
   context_.uc_stack.ss_sp = stack_.base();
@@ -33,6 +49,12 @@ void Fiber::trampoline() {
   Fiber* self = g_starting_fiber;
   g_starting_fiber = nullptr;
   assert(self != nullptr);
+#ifdef FXPAR_ASAN_FIBERS
+  // First entry on this stack: complete the switch started in resume() and
+  // remember where the owner lives for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->owner_stack_bottom_,
+                                  &self->owner_stack_size_);
+#endif
   try {
     self->body_();
   } catch (...) {
@@ -40,6 +62,11 @@ void Fiber::trampoline() {
   }
   self->state_ = State::Finished;
   g_current_fiber = nullptr;
+#ifdef FXPAR_ASAN_FIBERS
+  // Null fake-stack slot: the fiber is dying, let ASan release its state.
+  __sanitizer_start_switch_fiber(nullptr, self->owner_stack_bottom_,
+                                 self->owner_stack_size_);
+#endif
   ::swapcontext(&self->context_, &self->owner_context_);
   // Unreachable: a finished fiber is never resumed.
   assert(false && "resumed a finished fiber");
@@ -54,7 +81,15 @@ void Fiber::resume() {
   state_ = State::Running;
   g_current_fiber = this;
   if (first) g_starting_fiber = this;
-  if (::swapcontext(&owner_context_, &context_) != 0) {
+#ifdef FXPAR_ASAN_FIBERS
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, stack_.base(), stack_.size());
+#endif
+  const int rc = ::swapcontext(&owner_context_, &context_);
+#ifdef FXPAR_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#endif
+  if (rc != 0) {
     g_current_fiber = nullptr;
     throw std::runtime_error("swapcontext failed");
   }
@@ -70,7 +105,16 @@ void Fiber::yield_to_owner() {
   assert(g_current_fiber == this && "yield_to_owner() from a non-running fiber");
   state_ = State::Suspended;
   g_current_fiber = nullptr;
-  if (::swapcontext(&context_, &owner_context_) != 0) {
+#ifdef FXPAR_ASAN_FIBERS
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, owner_stack_bottom_, owner_stack_size_);
+#endif
+  const int rc = ::swapcontext(&context_, &owner_context_);
+#ifdef FXPAR_ASAN_FIBERS
+  // Back on the fiber stack; the resumer recorded our stack when switching.
+  __sanitizer_finish_switch_fiber(fake_stack, &owner_stack_bottom_, &owner_stack_size_);
+#endif
+  if (rc != 0) {
     throw std::runtime_error("swapcontext failed");
   }
   // Resumed again.

@@ -13,6 +13,18 @@
 
 #include "runtime/stack.hpp"
 
+// Under AddressSanitizer every stack switch must be announced so ASan can
+// track the active stack bounds (and exception unwinding across fibers does
+// not trip its fake-stack machinery). Detection covers GCC
+// (__SANITIZE_ADDRESS__) and Clang (__has_feature).
+#if defined(__SANITIZE_ADDRESS__)
+#define FXPAR_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FXPAR_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace fxpar::runtime {
 
 class Fiber {
@@ -55,6 +67,10 @@ class Fiber {
   ucontext_t owner_context_{};
   State state_ = State::Created;
   std::exception_ptr exception_;
+#ifdef FXPAR_ASAN_FIBERS
+  const void* owner_stack_bottom_ = nullptr;  ///< owner stack, learned on entry
+  std::size_t owner_stack_size_ = 0;
+#endif
 };
 
 }  // namespace fxpar::runtime

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace fxpar::runtime {
 
 Simulator::Simulator(int num_procs, std::size_t stack_bytes)
@@ -89,6 +91,7 @@ void Simulator::advance(SimTime dt) {
   Proc& p = current_proc();
   p.clk.now += dt;
   p.clk.busy += dt;
+  if (tracer_) tracer_->add_busy(running_rank_, dt);
 }
 
 void Simulator::advance_to(SimTime t) {

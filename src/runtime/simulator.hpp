@@ -19,6 +19,10 @@
 
 #include "runtime/fiber.hpp"
 
+namespace fxpar::trace {
+class TraceRecorder;
+}
+
 namespace fxpar::runtime {
 
 /// Virtual time in seconds of modeled machine time.
@@ -99,6 +103,11 @@ class Simulator {
   /// Completion time of the whole run: max over processors of final clocks.
   SimTime finish_time() const;
 
+  /// Installs (or clears, with nullptr) a trace recorder that observes
+  /// every advance(); the recorder never alters modeled time.
+  void set_tracer(trace::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+  trace::TraceRecorder* tracer() const noexcept { return tracer_; }
+
  private:
   struct Proc {
     std::unique_ptr<Fiber> fiber;
@@ -114,6 +123,7 @@ class Simulator {
   std::vector<Proc> procs_;
   std::size_t stack_bytes_;
   int running_rank_ = -1;  ///< rank whose fiber is executing, -1 in owner
+  trace::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace fxpar::runtime

@@ -1,0 +1,134 @@
+#include "trace/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxpar::trace {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Modeled seconds -> trace_event microseconds, with sub-ns precision kept.
+std::string us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", seconds * 1e6);
+  return buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) { os_ << "{\"traceEvents\":[\n"; }
+
+  void emit(const std::string& line) {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << line;
+  }
+
+  void finish() { os_ << "\n]}\n"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void export_chrome_trace(const TraceRecorder& rec, std::ostream& os) {
+  EventWriter w(os);
+
+  // Metadata: name the process and one thread per simulated processor.
+  w.emit(R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"fxpar simulated machine"}})");
+  for (int p = 0; p < rec.num_procs(); ++p) {
+    std::string line = R"({"ph":"M","pid":0,"tid":)" + std::to_string(p) +
+                       R"(,"name":"thread_name","args":{"name":"proc )" + std::to_string(p) +
+                       R"("}})";
+    w.emit(line);
+    line = R"({"ph":"M","pid":0,"tid":)" + std::to_string(p) +
+           R"(,"name":"thread_sort_index","args":{"sort_index":)" + std::to_string(p) + "}}";
+    w.emit(line);
+  }
+
+  // Named spans as complete events, with their inclusive accounting as args.
+  for (const Span& s : rec.spans()) {
+    std::string line = R"({"ph":"X","pid":0,"tid":)" + std::to_string(s.proc) +
+                       R"(,"ts":)" + us(s.t0) + R"(,"dur":)" + us(s.duration()) +
+                       R"(,"name":")";
+    append_escaped(line, s.name);
+    line += R"(","cat":")";
+    append_escaped(line, s.category);
+    line += R"(","args":{"busy_s":)" + std::to_string(s.busy) +
+            R"(,"recv_wait_s":)" + std::to_string(s.recv_wait) +
+            R"(,"barrier_wait_s":)" + std::to_string(s.barrier_wait) +
+            R"(,"io_wait_s":)" + std::to_string(s.io_wait) +
+            R"(,"messages":)" + std::to_string(s.messages) +
+            R"(,"bytes":)" + std::to_string(s.bytes) + "}}";
+    w.emit(line);
+  }
+
+  // Wait intervals as complete events; they nest inside the innermost span
+  // because a blocked processor cannot open or close spans.
+  for (const Wait& wt : rec.waits()) {
+    std::string line = R"({"ph":"X","pid":0,"tid":)" + std::to_string(wt.proc) +
+                       R"(,"ts":)" + us(wt.t0) + R"(,"dur":)" + us(wt.t1 - wt.t0) +
+                       R"(,"name":"wait:)" + wait_kind_name(wt.kind) +
+                       R"(","cat":"wait","args":{"cause_proc":)" +
+                       std::to_string(wt.cause_proc) + R"(,"cause_time_s":)" +
+                       std::to_string(wt.cause_time) + "}}";
+    w.emit(line);
+  }
+
+  // Message flows: deposit completion on the sender -> receive on the
+  // destination. Only messages that were actually consumed get an arrow.
+  for (const MessageRecord& m : rec.messages()) {
+    if (m.recv_t < 0.0) continue;
+    std::string line = R"({"ph":"s","id":)" + std::to_string(m.id) +
+                       R"(,"pid":0,"tid":)" + std::to_string(m.src) + R"(,"ts":)" +
+                       us(m.send_t1) + R"(,"name":"msg","cat":"comm"})";
+    w.emit(line);
+    line = R"({"ph":"f","bp":"e","id":)" + std::to_string(m.id) + R"(,"pid":0,"tid":)" +
+           std::to_string(m.dst) + R"(,"ts":)" + us(m.recv_t) +
+           R"(,"name":"msg","cat":"comm"})";
+    w.emit(line);
+  }
+
+  w.finish();
+}
+
+std::string chrome_trace_json(const TraceRecorder& rec) {
+  std::ostringstream oss;
+  export_chrome_trace(rec, oss);
+  return oss.str();
+}
+
+void write_chrome_trace(const TraceRecorder& rec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  export_chrome_trace(rec, out);
+  if (!out) throw std::runtime_error("write_chrome_trace: write failed for " + path);
+}
+
+}  // namespace fxpar::trace

@@ -1,0 +1,27 @@
+// fxpar trace: Chrome/Perfetto trace_event JSON export.
+//
+// Serializes a TraceRecorder into the Trace Event Format (the JSON dialect
+// consumed by chrome://tracing and https://ui.perfetto.dev): one thread
+// ("proc N") per simulated processor, complete ("X") events for every
+// named span and wait interval, and flow ("s"/"f") events tying each
+// message's deposit to its receive. Timestamps are microseconds of modeled
+// machine time. See docs/observability.md for how to read the result.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace fxpar::trace {
+
+/// Streams the whole trace as one JSON object {"traceEvents": [...]}.
+void export_chrome_trace(const TraceRecorder& rec, std::ostream& os);
+
+/// Convenience: the same JSON as a string.
+std::string chrome_trace_json(const TraceRecorder& rec);
+
+/// Writes the JSON to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_trace(const TraceRecorder& rec, const std::string& path);
+
+}  // namespace fxpar::trace

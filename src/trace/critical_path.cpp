@@ -1,0 +1,202 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace fxpar::trace {
+
+namespace {
+
+/// Innermost named (depth >= 1) span of `proc` containing time `t`, or -1.
+int innermost_span_at(const std::vector<const Span*>& proc_spans, double t) {
+  int best = -1;
+  int best_depth = 0;
+  for (std::size_t i = 0; i < proc_spans.size(); ++i) {
+    const Span& s = *proc_spans[i];
+    if (s.depth >= 1 && s.t0 <= t && t < s.t1 && s.depth >= best_depth) {
+      best = static_cast<int>(i);
+      best_depth = s.depth;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CriticalPathReport critical_path(const TraceRecorder& rec) {
+  CriticalPathReport r;
+  r.makespan = rec.finish_time();
+
+  const int P = rec.num_procs();
+  std::vector<std::vector<const Span*>> spans_of(static_cast<std::size_t>(P));
+  for (const Span& s : rec.spans()) {
+    spans_of[static_cast<std::size_t>(s.proc)].push_back(&s);
+  }
+  std::vector<std::vector<const Wait*>> waits_of(static_cast<std::size_t>(P));
+  for (const Wait& w : rec.waits()) {
+    waits_of[static_cast<std::size_t>(w.proc)].push_back(&w);
+  }
+  for (auto& v : waits_of) {
+    std::sort(v.begin(), v.end(),
+              [](const Wait* a, const Wait* b) { return a->t1 < b->t1; });
+  }
+
+  // Start at the processor whose recorded activity ends last. Span end
+  // times are unusable here: finalize() closes every root span at the run's
+  // finish, so the recorder's per-event activity times decide instead.
+  int cur_proc = -1;
+  double last = -1.0;
+  for (int p = 0; p < P; ++p) {
+    const double end = rec.last_activity(p);
+    if (end > last) {
+      last = end;
+      cur_proc = p;
+    }
+  }
+  if (cur_proc < 0 || last <= 0.0) return r;  // empty trace
+  double cur_t = last;
+
+  // Attributes [t0, t1] on `proc` to innermost named spans, splitting at
+  // span boundaries, and appends the resulting steps (backwards).
+  auto attribute_execute = [&](int proc, double t0, double t1) {
+    if (t1 <= t0) return;
+    const auto& ps = spans_of[static_cast<std::size_t>(proc)];
+    std::vector<double> cuts{t0, t1};
+    for (const Span* s : ps) {
+      if (s->t0 > t0 && s->t0 < t1) cuts.push_back(s->t0);
+      if (s->t1 > t0 && s->t1 < t1) cuts.push_back(s->t1);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      PathStep step;
+      step.kind = PathStep::Kind::Execute;
+      step.proc = proc;
+      step.t0 = cuts[i];
+      step.t1 = cuts[i + 1];
+      const int idx = innermost_span_at(ps, 0.5 * (cuts[i] + cuts[i + 1]));
+      if (idx >= 0) step.span = ps[static_cast<std::size_t>(idx)]->name;
+      r.steps.push_back(std::move(step));
+    }
+  };
+
+  // Backward walk: cur_t strictly decreases, so each wait is used at most
+  // once and the loop terminates.
+  const std::size_t cap = rec.waits().size() + static_cast<std::size_t>(P) + 8;
+  for (std::size_t iter = 0; iter <= cap; ++iter) {
+    const auto& wv = waits_of[static_cast<std::size_t>(cur_proc)];
+    const Wait* w = nullptr;
+    for (auto it = wv.rbegin(); it != wv.rend(); ++it) {
+      if ((*it)->t1 <= cur_t) {
+        w = *it;
+        break;
+      }
+    }
+    if (!w) {
+      attribute_execute(cur_proc, 0.0, cur_t);
+      break;
+    }
+    attribute_execute(cur_proc, w->t1, cur_t);
+    const double cause_t = std::clamp(w->cause_time, 0.0, w->t1);
+    if (w->t1 > cause_t) {
+      PathStep step;
+      step.kind = PathStep::Kind::Delay;
+      step.wait_kind = w->kind;
+      step.proc = w->proc;
+      step.t0 = cause_t;
+      step.t1 = w->t1;
+      const int idx =
+          innermost_span_at(spans_of[static_cast<std::size_t>(w->proc)], w->t0);
+      if (idx >= 0) {
+        step.span = spans_of[static_cast<std::size_t>(w->proc)]
+                        [static_cast<std::size_t>(idx)]->name;
+      }
+      r.steps.push_back(std::move(step));
+    }
+    cur_proc = (w->cause_proc >= 0 && w->cause_proc < P) ? w->cause_proc : w->proc;
+    cur_t = cause_t;
+    if (cur_t <= 0.0) break;
+  }
+  std::reverse(r.steps.begin(), r.steps.end());
+
+  // Totals and per-span shares.
+  std::map<std::string, SpanCritical> by_name;
+  for (const Span& s : rec.spans()) {
+    if (s.depth == 0) continue;
+    SpanCritical& sc = by_name[s.name];
+    sc.name = s.name;
+    sc.span_time += s.duration();
+  }
+  for (const PathStep& st : r.steps) {
+    const double d = st.duration();
+    if (st.kind == PathStep::Kind::Execute) {
+      r.execute_time += d;
+    } else {
+      switch (st.wait_kind) {
+        case WaitKind::Recv: r.recv_delay += d; break;
+        case WaitKind::Barrier: r.barrier_delay += d; break;
+        case WaitKind::Io: r.io_delay += d; break;
+      }
+    }
+    if (!st.span.empty()) {
+      SpanCritical& sc = by_name[st.span];
+      sc.name = st.span;
+      if (st.kind == PathStep::Kind::Execute) {
+        sc.execute += d;
+      } else {
+        sc.delay += d;
+      }
+    }
+  }
+  double named = 0.0;
+  for (const PathStep& st : r.steps) {
+    if (!st.span.empty()) named += st.duration();
+  }
+  const double total = r.execute_time + r.recv_delay + r.barrier_delay + r.io_delay;
+  r.attributed_fraction = total > 0.0 ? named / total : 0.0;
+
+  r.by_span.reserve(by_name.size());
+  for (auto& [name, sc] : by_name) r.by_span.push_back(std::move(sc));
+  std::stable_sort(r.by_span.begin(), r.by_span.end(),
+                   [](const SpanCritical& a, const SpanCritical& b) {
+                     return a.critical() > b.critical();
+                   });
+  return r;
+}
+
+std::string CriticalPathReport::to_string(std::size_t max_spans) const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(4);
+  const double total = execute_time + recv_delay + barrier_delay + io_delay;
+  auto pct = [&](double x) { return total > 0.0 ? 100.0 * x / total : 0.0; };
+  oss << "critical path: makespan " << makespan << " s = execute " << execute_time << " s ("
+      << static_cast<int>(pct(execute_time) + 0.5) << "%) + msg delay " << recv_delay
+      << " s (" << static_cast<int>(pct(recv_delay) + 0.5) << "%) + barrier delay "
+      << barrier_delay << " s (" << static_cast<int>(pct(barrier_delay) + 0.5)
+      << "%) + io delay " << io_delay << " s ("
+      << static_cast<int>(pct(io_delay) + 0.5) << "%)\n";
+  oss << "  attributed to named spans: "
+      << static_cast<int>(100.0 * attributed_fraction + 0.5) << "% of the path ("
+      << steps.size() << " steps)\n";
+  oss << "  span                            on-path(s)  execute(s)   delay(s)   slack(s)\n";
+  std::size_t shown = 0;
+  for (const SpanCritical& sc : by_span) {
+    if (sc.critical() <= 0.0) continue;
+    if (shown++ >= max_spans) {
+      oss << "  ...\n";
+      break;
+    }
+    char line[200];
+    std::snprintf(line, sizeof(line), "  %-30s %11.4f %11.4f %10.4f %10.4f\n",
+                  sc.name.substr(0, 30).c_str(), sc.critical(), sc.execute, sc.delay,
+                  sc.slack());
+    oss << line;
+  }
+  oss << "  (slack: span time overlapped off the critical path)\n";
+  return oss.str();
+}
+
+}  // namespace fxpar::trace

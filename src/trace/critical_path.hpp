@@ -1,0 +1,71 @@
+// fxpar trace: critical-path analysis of a recorded run.
+//
+// Walks the happens-before edges of the event log backwards from the
+// completion of the slowest processor: every wait interval names the event
+// that released it (a message deposit, the last barrier arrival, the
+// previous I/O operation), so the walk alternates between local execution
+// segments and jumps to the releasing processor. The result is the longest
+// dependence chain through the run — the quantitative version of the
+// paper's pipelining analysis: a pipeline overlaps well exactly when the
+// critical path threads through compute, and poorly when it accumulates
+// barrier or message delay.
+//
+// Every step is attributed to the innermost named span covering it, and
+// each span's `slack` — span time that was NOT on the critical path — says
+// how much of that phase was successfully overlapped with the path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace fxpar::trace {
+
+/// One step of the critical path, in increasing time order.
+struct PathStep {
+  enum class Kind {
+    Execute,  ///< local execution on `proc` over [t0, t1]
+    Delay,    ///< dependence delay (wire latency, barrier algorithm, I/O
+              ///< device time) of `wait_kind` flavour on `proc`
+  };
+  Kind kind = Kind::Execute;
+  WaitKind wait_kind = WaitKind::Recv;  ///< valid when kind == Delay
+  int proc = -1;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::string span;  ///< innermost named span, or "" when outside all spans
+
+  double duration() const { return t1 - t0; }
+};
+
+/// Per-span share of the critical path.
+struct SpanCritical {
+  std::string name;
+  double execute = 0.0;    ///< path execution time inside this span
+  double delay = 0.0;      ///< path dependence delay inside this span
+  double span_time = 0.0;  ///< total span duration across instances
+  /// Span time off the critical path: what this phase overlapped.
+  double slack() const { return span_time - execute - delay; }
+  double critical() const { return execute + delay; }
+};
+
+struct CriticalPathReport {
+  double makespan = 0.0;
+  double execute_time = 0.0;  ///< path time spent executing
+  double recv_delay = 0.0;    ///< path time waiting on message dependences
+  double barrier_delay = 0.0; ///< path time in barrier release delays
+  double io_delay = 0.0;      ///< path time serialized on the I/O device
+  /// Fraction of the makespan attributed to named (non-root) spans.
+  double attributed_fraction = 0.0;
+  std::vector<PathStep> steps;        ///< increasing time order
+  std::vector<SpanCritical> by_span;  ///< sorted by critical() descending
+
+  std::string to_string(std::size_t max_spans = 16) const;
+};
+
+/// Computes the critical path of a finalized trace. The step durations sum
+/// to the makespan (up to floating-point rounding).
+CriticalPathReport critical_path(const TraceRecorder& rec);
+
+}  // namespace fxpar::trace

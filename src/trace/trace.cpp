@@ -1,0 +1,213 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxpar::trace {
+
+const char* wait_kind_name(WaitKind k) {
+  switch (k) {
+    case WaitKind::Recv: return "recv";
+    case WaitKind::Barrier: return "barrier";
+    case WaitKind::Io: return "io";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(int num_procs) {
+  if (num_procs <= 0) throw std::invalid_argument("TraceRecorder: num_procs must be positive");
+  open_.resize(static_cast<std::size_t>(num_procs));
+  totals_.resize(static_cast<std::size_t>(num_procs));
+  last_activity_.resize(static_cast<std::size_t>(num_procs), 0.0);
+}
+
+void TraceRecorder::reset() {
+  for (auto& stack : open_) stack.clear();
+  last_activity_.assign(open_.size(), 0.0);
+  done_.clear();
+  waits_.clear();
+  messages_.clear();
+  barriers_.clear();
+  totals_.assign(open_.size(), ProcTotals{});
+  finish_ = 0.0;
+}
+
+double TraceRecorder::now(int proc) const {
+  if (!clock_) throw std::logic_error("TraceRecorder: no clock installed");
+  return clock_(proc);
+}
+
+void TraceRecorder::begin_span(int proc, std::string name, std::string category) {
+  if (proc < 0 || proc >= num_procs()) {
+    throw std::out_of_range("TraceRecorder::begin_span: bad proc");
+  }
+  auto& stack = open_[static_cast<std::size_t>(proc)];
+  Span s;
+  s.proc = proc;
+  s.depth = static_cast<int>(stack.size());
+  s.t0 = now(proc);
+  s.name = std::move(name);
+  s.category = std::move(category);
+  stack.push_back(std::move(s));
+}
+
+void TraceRecorder::end_span(int proc) {
+  if (proc < 0 || proc >= num_procs()) {
+    throw std::out_of_range("TraceRecorder::end_span: bad proc");
+  }
+  auto& stack = open_[static_cast<std::size_t>(proc)];
+  if (stack.empty()) {
+    throw std::logic_error("TraceRecorder::end_span: no open span on proc " +
+                           std::to_string(proc));
+  }
+  Span s = std::move(stack.back());
+  stack.pop_back();
+  s.t1 = std::max(s.t0, now(proc));
+  touch(proc, s.t1);
+  done_.push_back(std::move(s));
+}
+
+int TraceRecorder::open_depth(int proc) const {
+  if (proc < 0 || proc >= num_procs()) {
+    throw std::out_of_range("TraceRecorder::open_depth: bad proc");
+  }
+  return static_cast<int>(open_[static_cast<std::size_t>(proc)].size());
+}
+
+void TraceRecorder::add_busy(int proc, double dt) {
+  if (dt <= 0.0) return;
+  if (clock_) touch(proc, clock_(proc));
+  totals_[static_cast<std::size_t>(proc)].busy += dt;
+  for (Span& s : open_[static_cast<std::size_t>(proc)]) s.busy += dt;
+}
+
+std::uint64_t TraceRecorder::message_sent(int src, int dst, std::uint64_t tag,
+                                          std::uint64_t bytes, double t0, double t1) {
+  MessageRecord m;
+  m.id = static_cast<std::uint64_t>(messages_.size()) + 1;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.bytes = bytes;
+  m.send_t0 = t0;
+  m.send_t1 = t1;
+  touch(src, t1);
+  messages_.push_back(m);
+  ProcTotals& t = totals_[static_cast<std::size_t>(src)];
+  t.messages += 1;
+  t.bytes += bytes;
+  for (Span& s : open_[static_cast<std::size_t>(src)]) {
+    s.messages += 1;
+    s.bytes += bytes;
+  }
+  return m.id;
+}
+
+void TraceRecorder::message_received(std::uint64_t id, double wait_t0, double ready_t) {
+  if (id == 0 || id > messages_.size()) {
+    throw std::out_of_range("TraceRecorder::message_received: unknown message id");
+  }
+  MessageRecord& m = messages_[static_cast<std::size_t>(id - 1)];
+  m.recv_t = ready_t;
+  if (ready_t > wait_t0) {
+    add_wait(m.dst, WaitKind::Recv, wait_t0, ready_t, m.src, m.send_t1, id);
+  }
+}
+
+std::uint64_t TraceRecorder::barrier_open(std::uint64_t group_key) {
+  BarrierRecord b;
+  b.id = static_cast<std::uint64_t>(barriers_.size()) + 1;
+  b.group_key = group_key;
+  barriers_.push_back(std::move(b));
+  return barriers_.back().id;
+}
+
+void TraceRecorder::barrier_arrive(std::uint64_t id, int proc, double t) {
+  if (id == 0 || id > barriers_.size()) {
+    throw std::out_of_range("TraceRecorder::barrier_arrive: unknown barrier id");
+  }
+  BarrierRecord& b = barriers_[static_cast<std::size_t>(id - 1)];
+  b.procs.push_back(proc);
+  b.arrivals.push_back(t);
+}
+
+void TraceRecorder::barrier_release(std::uint64_t id, int last_arriver, double max_arrival,
+                                    double release) {
+  if (id == 0 || id > barriers_.size()) {
+    throw std::out_of_range("TraceRecorder::barrier_release: unknown barrier id");
+  }
+  BarrierRecord& b = barriers_[static_cast<std::size_t>(id - 1)];
+  b.release = release;
+  b.last_arriver = last_arriver;
+  for (std::size_t i = 0; i < b.procs.size(); ++i) {
+    if (release > b.arrivals[i]) {
+      add_wait(b.procs[i], WaitKind::Barrier, b.arrivals[i], release, last_arriver,
+               max_arrival, id);
+    }
+  }
+}
+
+void TraceRecorder::io_wait(int proc, double t0, double t1, int cause_proc,
+                            double cause_time) {
+  if (t1 > t0) add_wait(proc, WaitKind::Io, t0, t1, cause_proc, cause_time, 0);
+}
+
+void TraceRecorder::add_wait(int proc, WaitKind kind, double t0, double t1, int cause_proc,
+                             double cause_time, std::uint64_t ref) {
+  Wait w;
+  w.proc = proc;
+  w.kind = kind;
+  w.t0 = t0;
+  w.t1 = t1;
+  w.cause_proc = cause_proc;
+  w.cause_time = cause_time;
+  w.ref = ref;
+  touch(proc, t1);
+  waits_.push_back(w);
+  const double dt = t1 - t0;
+  ProcTotals& t = totals_[static_cast<std::size_t>(proc)];
+  auto bump = [&](Span* s) {
+    switch (kind) {
+      case WaitKind::Recv:
+        if (s) s->recv_wait += dt; else t.recv_wait += dt;
+        break;
+      case WaitKind::Barrier:
+        if (s) s->barrier_wait += dt; else t.barrier_wait += dt;
+        break;
+      case WaitKind::Io:
+        if (s) s->io_wait += dt; else t.io_wait += dt;
+        break;
+    }
+  };
+  bump(nullptr);
+  // Blocked processors cannot touch their span stack, so the stack now is
+  // the stack that was open for the whole wait.
+  for (Span& s : open_[static_cast<std::size_t>(proc)]) bump(&s);
+}
+
+void TraceRecorder::touch(int proc, double t) {
+  auto& last = last_activity_[static_cast<std::size_t>(proc)];
+  last = std::max(last, t);
+}
+
+void TraceRecorder::finalize(double finish) {
+  finish_ = finish;
+  for (int p = 0; p < num_procs(); ++p) {
+    auto& stack = open_[static_cast<std::size_t>(p)];
+    while (!stack.empty()) {
+      Span s = std::move(stack.back());
+      stack.pop_back();
+      s.t1 = std::max(s.t0, finish);
+      done_.push_back(std::move(s));
+    }
+  }
+  // Deterministic order for exporters: by processor, then open time, then
+  // deeper-first so parents precede children only via (t0, depth).
+  std::stable_sort(done_.begin(), done_.end(), [](const Span& a, const Span& b) {
+    if (a.proc != b.proc) return a.proc < b.proc;
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    return a.depth < b.depth;
+  });
+}
+
+}  // namespace fxpar::trace

@@ -1,0 +1,224 @@
+// fxpar trace: structured, sim-timestamped event recording for simulated
+// runs.
+//
+// The TraceRecorder is the substrate of the observability stack: every
+// layer of the runtime reports what it is doing in modeled time — the
+// Simulator charges busy intervals, the Machine records message, barrier
+// and I/O waits (each with the happens-before edge that ended it), and the
+// directive layer (TASK_REGION / ON / parallel loops / redistribution /
+// collectives) opens named scoped spans so all of it is attributed to the
+// directive nest that caused it. Consumers are chrome_export.hpp (Perfetto
+// timelines), phase_report.hpp (per-span busy/wait/comm aggregates) and
+// critical_path.hpp (longest happens-before chain).
+//
+// Recording never changes modeled time: the recorder only observes the
+// virtual clocks through a clock callback. When tracing is disabled
+// (MachineConfig::trace == false) no recorder exists and every hook is a
+// single null-pointer test.
+//
+// This library is dependency-free by design: the runtime links it, not the
+// other way round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fxpar::trace {
+
+/// Why a processor was off the (modeled) CPU.
+enum class WaitKind : std::uint8_t { Recv, Barrier, Io };
+
+const char* wait_kind_name(WaitKind k);
+
+/// One completed named interval on one processor's timeline. Spans nest
+/// per processor; `depth` 0 is the per-processor root ("program") span.
+/// The accounting fields are *inclusive*: time charged while any deeper
+/// span was also open is counted here too.
+struct Span {
+  int proc = -1;
+  int depth = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::string name;
+  std::string category;
+  double busy = 0.0;          ///< modeled compute while open
+  double recv_wait = 0.0;     ///< waiting for message arrivals
+  double barrier_wait = 0.0;  ///< waiting in subset barriers
+  double io_wait = 0.0;       ///< waiting on the sequential I/O device
+  std::uint64_t messages = 0; ///< messages deposited while open
+  std::uint64_t bytes = 0;    ///< bytes deposited while open
+
+  double duration() const { return t1 - t0; }
+  double wait() const { return recv_wait + barrier_wait + io_wait; }
+};
+
+/// One wait interval on one processor, with the happens-before edge that
+/// ended it: the wait could not have ended before `cause_proc` reached
+/// `cause_time` (sender finished depositing; last barrier arriver arrived;
+/// previous I/O operation drained).
+struct Wait {
+  int proc = -1;
+  WaitKind kind = WaitKind::Recv;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int cause_proc = -1;
+  double cause_time = 0.0;
+  std::uint64_t ref = 0;  ///< message id / barrier id (1-based; 0 = none)
+};
+
+/// One point-to-point message (direct deposit).
+struct MessageRecord {
+  std::uint64_t id = 0;  ///< 1-based
+  int src = -1;
+  int dst = -1;
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+  double send_t0 = 0.0;  ///< sender started the deposit
+  double send_t1 = 0.0;  ///< deposit complete on the sender
+  double recv_t = -1.0;  ///< receiver consumed it (< 0: never received)
+};
+
+/// One subset barrier instance.
+struct BarrierRecord {
+  std::uint64_t id = 0;  ///< 1-based
+  std::uint64_t group_key = 0;
+  std::vector<int> procs;        ///< arrival order
+  std::vector<double> arrivals;  ///< parallel to `procs`
+  double release = 0.0;
+  int last_arriver = -1;
+};
+
+/// Per-processor accounting totals (denominators for coverage metrics).
+struct ProcTotals {
+  double busy = 0.0;
+  double recv_wait = 0.0;
+  double barrier_wait = 0.0;
+  double io_wait = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  double active() const { return busy + recv_wait + barrier_wait + io_wait; }
+};
+
+class TraceRecorder {
+ public:
+  /// `clock(rank)` must return the current modeled time of `rank`; the
+  /// recorder never advances any clock.
+  using Clock = std::function<double(int)>;
+
+  explicit TraceRecorder(int num_procs);
+
+  int num_procs() const noexcept { return static_cast<int>(open_.size()); }
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  /// Drops all recorded state (spans, waits, messages, barriers, totals);
+  /// keeps the clock. Called at the start of every Machine::run.
+  void reset();
+
+  // ---- spans ----
+
+  void begin_span(int proc, std::string name, std::string category);
+  void end_span(int proc);
+  int open_depth(int proc) const;
+
+  // ---- accounting hooks (the Simulator / Machine call these) ----
+
+  /// Modeled compute charged to `proc` (Simulator::advance).
+  void add_busy(int proc, double dt);
+
+  /// Deposit of `bytes` from `src` to `dst`; [t0, t1] is the sender-side
+  /// send interval. Returns the message id to stash with the message.
+  std::uint64_t message_sent(int src, int dst, std::uint64_t tag, std::uint64_t bytes,
+                             double t0, double t1);
+
+  /// Message `id` consumed by its receiver: the receiver entered the
+  /// receive at `wait_t0` and the payload was available at `ready_t`.
+  void message_received(std::uint64_t id, double wait_t0, double ready_t);
+
+  /// New barrier instance over the group hashed by `group_key`.
+  std::uint64_t barrier_open(std::uint64_t group_key);
+  void barrier_arrive(std::uint64_t id, int proc, double t);
+
+  /// All members arrived; everyone is released at `release`. Emits one
+  /// BarrierWait interval per member.
+  void barrier_release(std::uint64_t id, int last_arriver, double max_arrival,
+                       double release);
+
+  /// `proc` was stalled on the sequential I/O device over [t0, t1]; if it
+  /// queued behind another operation, `cause_proc`/`cause_time` name the
+  /// previous operation's owner and completion time (else pass proc / t0).
+  void io_wait(int proc, double t0, double t1, int cause_proc, double cause_time);
+
+  /// Closes any still-open spans at `finish` and freezes the run's
+  /// completion time.
+  void finalize(double finish);
+
+  // ---- recorded data (for exporters and analyzers) ----
+
+  const std::vector<Span>& spans() const noexcept { return done_; }
+  const std::vector<Wait>& waits() const noexcept { return waits_; }
+  const std::vector<MessageRecord>& messages() const noexcept { return messages_; }
+  const std::vector<BarrierRecord>& barriers() const noexcept { return barriers_; }
+  const std::vector<ProcTotals>& proc_totals() const noexcept { return totals_; }
+  double finish_time() const noexcept { return finish_; }
+
+  /// Time of the last recorded event on `proc` (span end, busy interval,
+  /// send, or wait end) — unlike span ends, unaffected by finalize()
+  /// closing root spans at the run's finish time.
+  double last_activity(int proc) const noexcept {
+    return last_activity_[static_cast<std::size_t>(proc)];
+  }
+
+ private:
+  double now(int proc) const;
+  void add_wait(int proc, WaitKind kind, double t0, double t1, int cause_proc,
+                double cause_time, std::uint64_t ref);
+  void touch(int proc, double t);
+
+  Clock clock_;
+  std::vector<std::vector<Span>> open_;  ///< per-proc stack of open spans
+  std::vector<Span> done_;
+  std::vector<Wait> waits_;
+  std::vector<MessageRecord> messages_;
+  std::vector<BarrierRecord> barriers_;
+  std::vector<ProcTotals> totals_;
+  std::vector<double> last_activity_;  ///< per-proc time of the last event
+  double finish_ = 0.0;
+};
+
+/// RAII closer for a span opened through Context::span(). Inert when
+/// default-constructed (tracing disabled).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceRecorder* rec, int proc) : rec_(rec), proc_(proc) {}
+  ScopedSpan(ScopedSpan&& o) noexcept : rec_(o.rec_), proc_(o.proc_) { o.rec_ = nullptr; }
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    if (this != &o) {
+      close();
+      rec_ = o.rec_;
+      proc_ = o.proc_;
+      o.rec_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { close(); }
+
+  /// Ends the span now (idempotent; destruction does the same).
+  void close() {
+    if (rec_) {
+      rec_->end_span(proc_);
+      rec_ = nullptr;
+    }
+  }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  int proc_ = -1;
+};
+
+}  // namespace fxpar::trace

@@ -70,7 +70,9 @@ TEST(FxMpi, BcastReduceGather) {
     const int v = world.bcast(2, world.rank() == 2 ? 77 : -1);
     EXPECT_EQ(v, 77);
     const long total = world.reduce(0, static_cast<long>(world.rank()), std::plus<long>{});
-    if (world.rank() == 0) EXPECT_EQ(total, 6);
+    if (world.rank() == 0) {
+      EXPECT_EQ(total, 6);
+    }
     const auto all = world.allgather(world.rank() * 10);
     ASSERT_EQ(all.size(), 4u);
     for (int r = 0; r < 4; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);

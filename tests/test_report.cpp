@@ -1,0 +1,105 @@
+// Tests for the machine run reports: summarize(), utilization_report(),
+// and traffic_report() edge cases (empty runs, one processor, degenerate
+// row/cell budgets) that previously risked division by zero.
+#include <gtest/gtest.h>
+
+#include "machine/context.hpp"
+#include "machine/machine.hpp"
+#include "machine/report.hpp"
+
+namespace mx = fxpar::machine;
+
+namespace {
+
+mx::RunResult make_result(std::vector<double> busy, double finish) {
+  mx::RunResult res;
+  res.finish_time = finish;
+  for (double b : busy) {
+    fxpar::runtime::ProcClock c;
+    c.busy = b;
+    c.now = finish;
+    res.clocks.push_back(c);
+  }
+  return res;
+}
+
+}  // namespace
+
+TEST(Report, SummarizeEmptyResultIsAllZero) {
+  const mx::UtilizationSummary s = mx::summarize(mx::RunResult{});
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_busy_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.min_busy_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_busy_fraction, 0.0);
+  EXPECT_EQ(s.least_busy_proc, -1);
+  EXPECT_EQ(s.most_busy_proc, -1);
+}
+
+TEST(Report, SummarizeZeroMakespanDoesNotDivide) {
+  // Clocks exist but no time passed (empty program).
+  const mx::UtilizationSummary s = mx::summarize(make_result({0.0, 0.0}, 0.0));
+  EXPECT_DOUBLE_EQ(s.mean_busy_fraction, 0.0);
+}
+
+TEST(Report, SummarizeComputesBusyFractions) {
+  const mx::UtilizationSummary s = mx::summarize(make_result({1.0, 3.0, 2.0}, 4.0));
+  EXPECT_DOUBLE_EQ(s.mean_busy_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.min_busy_fraction, 0.25);
+  EXPECT_EQ(s.least_busy_proc, 0);
+  EXPECT_DOUBLE_EQ(s.max_busy_fraction, 0.75);
+  EXPECT_EQ(s.most_busy_proc, 1);
+}
+
+TEST(Report, UtilizationReportSingleProc) {
+  const std::string rep = mx::utilization_report(make_result({2.0}, 4.0));
+  EXPECT_NE(rep.find("mean busy 50%"), std::string::npos);
+  EXPECT_NE(rep.find("proc 0"), std::string::npos);
+}
+
+TEST(Report, UtilizationReportEmptyClocks) {
+  const std::string rep = mx::utilization_report(mx::RunResult{});
+  EXPECT_NE(rep.find("machine utilization"), std::string::npos);
+  EXPECT_NE(rep.find("messages 0"), std::string::npos);
+}
+
+TEST(Report, UtilizationReportClampsNonPositiveRowBudget) {
+  // max_rows <= 0 must not divide by zero; it degrades to one row.
+  const std::string rep = mx::utilization_report(make_result({1.0, 1.0}, 2.0), 0);
+  EXPECT_NE(rep.find("procs 0-1"), std::string::npos);
+  const std::string rep2 = mx::utilization_report(make_result({1.0, 1.0}, 2.0), -5);
+  EXPECT_FALSE(rep2.empty());
+}
+
+TEST(Report, TrafficReportNamesTheConfigFlag) {
+  const std::string rep = mx::traffic_report(make_result({1.0}, 1.0));
+  EXPECT_NE(rep.find("MachineConfig::record_traffic = true"), std::string::npos);
+}
+
+TEST(Report, TrafficReportClampsNonPositiveCellBudget) {
+  mx::RunResult res = make_result({1.0, 1.0}, 1.0);
+  res.traffic = {0, 7, 7, 0};
+  const std::string rep = mx::traffic_report(res, 0);
+  EXPECT_NE(rep.find("communication matrix"), std::string::npos);
+}
+
+TEST(Report, ReportsAgreeWithALiveRun) {
+  mx::MachineConfig cfg;
+  cfg.num_procs = 2;
+  cfg.record_traffic = true;
+  cfg.stack_bytes = 128 * 1024;
+  mx::Machine m(cfg);
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 1, mx::Payload(16));
+    } else {
+      (void)ctx.recv_phys(0, 1);
+    }
+  });
+  const mx::UtilizationSummary s = mx::summarize(res);
+  EXPECT_GT(s.makespan, 0.0);
+  EXPECT_EQ(s.messages, 1u);
+  const std::string util = mx::utilization_report(res);
+  EXPECT_NE(util.find("messages 1 (16 bytes)"), std::string::npos);
+  const std::string traffic = mx::traffic_report(res);
+  EXPECT_NE(traffic.find("communication matrix (rows"), std::string::npos);
+}

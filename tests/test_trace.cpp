@@ -1,0 +1,431 @@
+// Tests for the structured event tracer: span nesting, disabled-tracing
+// no-ops, machine-driven event capture, chrome trace export (validated with
+// a mini JSON parser), the phase report, and the critical-path analyzer on
+// a hand-built two-processor send/receive log.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "core/fx.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/phase_report.hpp"
+#include "trace/trace.hpp"
+
+namespace mx = fxpar::machine;
+namespace tr = fxpar::trace;
+
+namespace {
+
+mx::MachineConfig test_config(int p) {
+  mx::MachineConfig c;
+  c.num_procs = p;
+  c.send_overhead = 1.0;
+  c.recv_overhead = 2.0;
+  c.latency = 10.0;
+  c.byte_time = 0.5;
+  c.barrier_base = 1.0;
+  c.barrier_stage = 1.0;
+  c.io_latency = 100.0;
+  c.io_byte_time = 1.0;
+  c.stack_bytes = 128 * 1024;
+  c.trace = true;
+  return c;
+}
+
+/// Minimal recursive-descent JSON validator: accepts exactly the RFC 8259
+/// value grammar, rejects trailing garbage.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        pos_ += 2;
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character
+      } else {
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TEST(Trace, SpanNestingAndTiming) {
+  tr::TraceRecorder rec(1);
+  double t = 0.0;
+  rec.set_clock([&](int) { return t; });
+
+  rec.begin_span(0, "outer", "test");
+  EXPECT_EQ(rec.open_depth(0), 1);
+  t = 1.0;
+  rec.begin_span(0, "inner", "test");
+  EXPECT_EQ(rec.open_depth(0), 2);
+  rec.add_busy(0, 2.0);
+  t = 3.0;
+  rec.end_span(0);
+  EXPECT_EQ(rec.open_depth(0), 1);
+  t = 4.0;
+  rec.end_span(0);
+  EXPECT_EQ(rec.open_depth(0), 0);
+  rec.finalize(4.0);
+
+  ASSERT_EQ(rec.spans().size(), 2u);
+  // Sorted by (proc, t0, depth): outer first.
+  const tr::Span& outer = rec.spans()[0];
+  const tr::Span& inner = rec.spans()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_DOUBLE_EQ(outer.t0, 0.0);
+  EXPECT_DOUBLE_EQ(outer.t1, 4.0);
+  EXPECT_DOUBLE_EQ(outer.busy, 2.0);  // inclusive: inner busy counts here too
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_DOUBLE_EQ(inner.t0, 1.0);
+  EXPECT_DOUBLE_EQ(inner.t1, 3.0);
+  EXPECT_DOUBLE_EQ(inner.busy, 2.0);
+}
+
+TEST(Trace, FinalizeClosesOpenSpans) {
+  tr::TraceRecorder rec(2);
+  double t = 0.0;
+  rec.set_clock([&](int) { return t; });
+  rec.begin_span(0, "left-open", "test");
+  t = 5.0;
+  rec.finalize(7.5);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].t1, 7.5);
+  EXPECT_DOUBLE_EQ(rec.finish_time(), 7.5);
+  EXPECT_EQ(rec.open_depth(0), 0);
+}
+
+TEST(Trace, ScopedSpanIsInertWhenDefaultConstructed) {
+  tr::ScopedSpan inert;  // no recorder attached: all operations are no-ops
+  inert.close();
+
+  tr::TraceRecorder rec(1);
+  rec.set_clock([](int) { return 0.0; });
+  {
+    tr::ScopedSpan sp(&rec, 0);
+    rec.begin_span(0, "scoped", "test");
+    tr::ScopedSpan moved = std::move(sp);
+    moved.close();
+    moved.close();  // idempotent
+    EXPECT_EQ(rec.open_depth(0), 0);
+  }
+}
+
+TEST(Trace, DisabledTracingIsNoOp) {
+  mx::MachineConfig cfg = test_config(2);
+  cfg.trace = false;
+  mx::Machine m(cfg);
+  EXPECT_EQ(m.tracer(), nullptr);
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    // ctx.span must be inert, not crash, when tracing is off.
+    auto sp = ctx.span("unused", "test");
+    ctx.charge(1.0);
+    ctx.barrier(ctx.group());
+  });
+  EXPECT_EQ(res.trace, nullptr);
+
+  // Tracing never changes modeled time: same program, traced, same clock.
+  mx::Machine traced(test_config(2));
+  const mx::RunResult res2 = traced.run([](mx::Context& ctx) {
+    auto sp = ctx.span("unused", "test");
+    ctx.charge(1.0);
+    ctx.barrier(ctx.group());
+  });
+  ASSERT_NE(res2.trace, nullptr);
+  EXPECT_DOUBLE_EQ(res2.finish_time, res.finish_time);
+}
+
+TEST(Trace, MachineRunRecordsMessageEdges) {
+  mx::Machine m(test_config(2));
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 7, mx::Payload(4));  // busy [0,3], arrival 13
+    } else {
+      (void)ctx.recv_phys(0, 7);
+    }
+  });
+  ASSERT_NE(res.trace, nullptr);
+  const tr::TraceRecorder& rec = *res.trace;
+
+  ASSERT_EQ(rec.messages().size(), 1u);
+  const tr::MessageRecord& msg = rec.messages()[0];
+  EXPECT_EQ(msg.src, 0);
+  EXPECT_EQ(msg.dst, 1);
+  EXPECT_EQ(msg.bytes, 4u);
+  EXPECT_DOUBLE_EQ(msg.send_t0, 0.0);
+  EXPECT_DOUBLE_EQ(msg.send_t1, 3.0);
+  EXPECT_DOUBLE_EQ(msg.recv_t, 13.0);
+
+  // The receiver's stall is one recv wait [0, 13] caused by the send end.
+  ASSERT_EQ(rec.waits().size(), 1u);
+  const tr::Wait& w = rec.waits()[0];
+  EXPECT_EQ(w.kind, tr::WaitKind::Recv);
+  EXPECT_EQ(w.proc, 1);
+  EXPECT_DOUBLE_EQ(w.t0, 0.0);
+  EXPECT_DOUBLE_EQ(w.t1, 13.0);
+  EXPECT_EQ(w.cause_proc, 0);
+  EXPECT_DOUBLE_EQ(w.cause_time, 3.0);
+
+  EXPECT_DOUBLE_EQ(rec.proc_totals()[1].recv_wait, 13.0);
+}
+
+TEST(Trace, BarrierRecordsModeledLastArriver) {
+  mx::Machine m(test_config(3));
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    ctx.charge(ctx.phys_rank() == 1 ? 9.0 : 1.0);  // proc 1 arrives last
+    ctx.barrier(ctx.group());
+  });
+  const tr::TraceRecorder& rec = *res.trace;
+  ASSERT_EQ(rec.barriers().size(), 1u);
+  const tr::BarrierRecord& b = rec.barriers()[0];
+  EXPECT_EQ(b.last_arriver, 1);
+  EXPECT_DOUBLE_EQ(b.release, 9.0 + 1.0 + 1.0 * 2.0);  // base + stage*ceil(log2 3)
+
+  // Early arrivers wait [1, release] with the happens-before edge at the
+  // last arrival; the last arriver waits only for the barrier cost itself.
+  for (const tr::Wait& w : rec.waits()) {
+    EXPECT_EQ(w.kind, tr::WaitKind::Barrier);
+    EXPECT_EQ(w.cause_proc, 1);
+    EXPECT_DOUBLE_EQ(w.cause_time, 9.0);
+    EXPECT_DOUBLE_EQ(w.t1, b.release);
+    EXPECT_DOUBLE_EQ(w.t0, w.proc == 1 ? 9.0 : 1.0);
+  }
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  mx::Machine m(test_config(2));
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    auto sp = ctx.span("phase \"one\"\n", "test");  // needs escaping
+    if (ctx.phys_rank() == 0) {
+      ctx.send_phys(1, 3, mx::Payload(8));
+    } else {
+      (void)ctx.recv_phys(0, 3);
+    }
+    ctx.barrier(ctx.group());
+  });
+  const std::string json = tr::chrome_trace_json(*res.trace);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);  // flow end
+  EXPECT_NE(json.find("phase \\\"one\\\"\\n"), std::string::npos);
+}
+
+TEST(Trace, PhaseReportAggregatesNamedSpans) {
+  mx::Machine m(test_config(2));
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    {
+      auto sp = ctx.span("compute", "test");
+      ctx.charge(2.0);
+    }
+    auto sp = ctx.span("sync", "test");
+    ctx.barrier(ctx.group());
+  });
+  const tr::PhaseReport rep = tr::phase_report(*res.trace);
+  EXPECT_EQ(rep.num_procs, 2);
+  EXPECT_GT(rep.makespan, 0.0);
+  // All activity happens inside the two named spans.
+  EXPECT_NEAR(rep.attributed_fraction, 1.0, 1e-9);
+
+  const tr::PhaseStats* compute = nullptr;
+  const tr::PhaseStats* sync = nullptr;
+  for (const tr::PhaseStats& p : rep.phases) {
+    if (p.name == "compute") compute = &p;
+    if (p.name == "sync") sync = &p;
+  }
+  ASSERT_NE(compute, nullptr);
+  ASSERT_NE(sync, nullptr);
+  EXPECT_EQ(compute->instances, 2);
+  EXPECT_DOUBLE_EQ(compute->busy, 4.0);  // 2 procs x 2 s
+  EXPECT_DOUBLE_EQ(compute->barrier_wait, 0.0);
+  EXPECT_DOUBLE_EQ(sync->busy, 0.0);
+  EXPECT_GT(sync->barrier_wait, 0.0);
+  EXPECT_FALSE(rep.to_string().empty());
+}
+
+TEST(Trace, CriticalPathOnHandBuiltTwoProcLog) {
+  // proc 0 computes [0, 1.0], sends over [1.0, 1.1]; the message is ready
+  // at proc 1 at 1.2, which then computes [1.2, 2.2]. The critical path is
+  // proc 0's execute + the wire delay + proc 1's execute.
+  tr::TraceRecorder rec(2);
+  double clock[2] = {0.0, 0.0};
+  rec.set_clock([&](int p) { return clock[p]; });
+
+  // Mirror a machine run: a depth-0 root span per proc, named work inside.
+  rec.begin_span(0, "program", "root");
+  rec.begin_span(1, "program", "root");
+  rec.begin_span(0, "produce", "test");
+  rec.begin_span(1, "consume", "test");
+  rec.add_busy(0, 1.1);
+  clock[0] = 1.1;
+  const std::uint64_t id = rec.message_sent(0, 1, 42, 64, 1.0, 1.1);
+  rec.message_received(id, 0.0, 1.2);
+  clock[1] = 1.2;
+  rec.add_busy(1, 1.0);
+  clock[1] = 2.2;
+  rec.end_span(0);
+  rec.end_span(1);
+  rec.finalize(2.2);
+
+  const tr::CriticalPathReport cp = tr::critical_path(rec);
+  EXPECT_DOUBLE_EQ(cp.makespan, 2.2);
+  EXPECT_NEAR(cp.execute_time, 2.1, 1e-9);
+  EXPECT_NEAR(cp.recv_delay, 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(cp.barrier_delay, 0.0);
+  EXPECT_NEAR(cp.attributed_fraction, 1.0, 1e-9);
+
+  ASSERT_GE(cp.steps.size(), 3u);
+  // Steps come back in time order: produce, wire delay, consume.
+  EXPECT_EQ(cp.steps.front().kind, tr::PathStep::Kind::Execute);
+  EXPECT_EQ(cp.steps.front().proc, 0);
+  EXPECT_EQ(cp.steps.front().span, "produce");
+  EXPECT_EQ(cp.steps.back().kind, tr::PathStep::Kind::Execute);
+  EXPECT_EQ(cp.steps.back().proc, 1);
+  EXPECT_EQ(cp.steps.back().span, "consume");
+  bool saw_delay = false;
+  for (const tr::PathStep& st : cp.steps) {
+    if (st.kind == tr::PathStep::Kind::Delay) {
+      saw_delay = true;
+      EXPECT_EQ(st.wait_kind, tr::WaitKind::Recv);
+      EXPECT_NEAR(st.duration(), 0.1, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_delay);
+  EXPECT_FALSE(cp.to_string().empty());
+}
+
+TEST(Trace, CriticalPathCrossesTaskRegions) {
+  // Two subgroups; "slow" computes 4x longer, then a full barrier. The
+  // critical path must run through on:slow, not on:fast.
+  mx::MachineConfig cfg = test_config(4);
+  mx::Machine m(cfg);
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    fxpar::core::TaskPartition part(ctx, {{"fast", 2}, {"slow", 2}}, "demo");
+    fxpar::core::TaskRegion region(ctx, part);
+    region.on("fast", [&] { ctx.charge(1.0); });
+    region.on("slow", [&] { ctx.charge(4.0); });
+    ctx.barrier(ctx.group());
+  });
+  const tr::CriticalPathReport cp = tr::critical_path(*res.trace);
+  double slow_on_path = 0.0;
+  double fast_on_path = 0.0;
+  for (const tr::SpanCritical& sc : cp.by_span) {
+    if (sc.name == "on:slow") slow_on_path = sc.critical();
+    if (sc.name == "on:fast") fast_on_path = sc.critical();
+  }
+  EXPECT_NEAR(slow_on_path, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fast_on_path, 0.0);
+}
+
+TEST(Trace, IoWaitsAreSerializedAndAttributed) {
+  mx::Machine m(test_config(2));
+  const mx::RunResult res = m.run([](mx::Context& ctx) {
+    ctx.io(10);  // both procs at t=0: device serializes them
+  });
+  const tr::TraceRecorder& rec = *res.trace;
+  ASSERT_EQ(rec.waits().size(), 2u);
+  double total_io = 0.0;
+  for (const tr::Wait& w : rec.waits()) {
+    EXPECT_EQ(w.kind, tr::WaitKind::Io);
+    total_io += w.t1 - w.t0;
+  }
+  // First op: 110 s; second queues behind it: 220 s.
+  EXPECT_DOUBLE_EQ(total_io, 110.0 + 220.0);
+}
