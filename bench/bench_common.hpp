@@ -4,6 +4,7 @@
 // docs/observability.md).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -115,12 +116,32 @@ inline std::ostream* json_stream() {
 
 }  // namespace detail
 
+/// Wall-clock stopwatch for the *host* cost of a simulated run, as opposed
+/// to the modeled machine time. Construct before Machine::run, read .ms()
+/// after; the value lands in json_record's "host_ms" field.
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Appends one JSON line {"name":..., "params":{...}, "time_s":...,
 /// "efficiency":..., "comm_bytes":...} to the --json-out sink. No-op when
-/// --json-out was not given.
+/// --json-out was not given. `host_ms` >= 0 adds a "host_ms" field (host
+/// wall-clock of the run, from HostTimer); nonzero plan-cache counters add
+/// "plan_cache_hits"/"plan_cache_misses".
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
-                        double time_s, double efficiency, std::uint64_t comm_bytes) {
+                        double time_s, double efficiency, std::uint64_t comm_bytes,
+                        double host_ms = -1.0, std::uint64_t plan_hits = 0,
+                        std::uint64_t plan_misses = 0) {
   std::ostream* out = detail::json_stream();
   if (!out) return;
   char num[64];
@@ -134,15 +155,24 @@ inline void json_record(const std::string& name,
   *out << "},\"time_s\":" << num;
   std::snprintf(num, sizeof(num), "%.6g", efficiency);
   *out << ",\"efficiency\":" << num;
-  *out << ",\"comm_bytes\":" << comm_bytes << "}\n";
+  *out << ",\"comm_bytes\":" << comm_bytes;
+  if (host_ms >= 0.0) {
+    std::snprintf(num, sizeof(num), "%.6g", host_ms);
+    *out << ",\"host_ms\":" << num;
+  }
+  if (plan_hits + plan_misses > 0) {
+    *out << ",\"plan_cache_hits\":" << plan_hits << ",\"plan_cache_misses\":" << plan_misses;
+  }
+  *out << "}\n";
   out->flush();
 }
 
 /// Convenience overload taking the machine counters directly.
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
-                        const fxpar::machine::RunResult& res) {
-  json_record(name, params, res.finish_time, res.efficiency(), res.bytes);
+                        const fxpar::machine::RunResult& res, double host_ms = -1.0) {
+  json_record(name, params, res.finish_time, res.efficiency(), res.bytes, host_ms,
+              res.plan_cache_hits, res.plan_cache_misses);
 }
 
 /// Reports on a traced run according to the CLI options: prints the phase
@@ -182,8 +212,10 @@ void table1_row(const char* name, const char* size_desc,
 
   const int S = static_cast<int>(stages.size());
   const auto run_cfg = maybe_traced(mcfg);
+  const HostTimer dp_timer;
   const auto dp_stats = run_stream_pipeline<T>(
       run_cfg, stages, {{0, S - 1, mcfg.num_procs, 1}}, num_sets);
+  const double dp_host_ms = dp_timer.ms();
   const double dp_thr = dp_stats.steady_throughput();
   const double dp_lat = dp_stats.avg_latency();
 
@@ -197,8 +229,10 @@ void table1_row(const char* name, const char* size_desc,
   if (mapping.modules.empty()) {
     mapping = sched::max_throughput_mapping(model, mcfg.num_procs);
   }
+  const HostTimer best_timer;
   const auto best_stats =
       run_stream_pipeline<T>(run_cfg, stages, mapping.modules, num_sets);
+  const double best_host_ms = best_timer.ms();
 
   std::printf("%-10s %-12s | %8.3f %8.4f | %6.2fx | %8.3f %8.4f | %5.2fx %+6.0f%% | %s\n",
               name, size_desc, dp_thr, dp_lat, rel_constraint,
@@ -213,14 +247,14 @@ void table1_row(const char* name, const char* size_desc,
                {"procs", std::to_string(mcfg.num_procs)},
                {"num_sets", std::to_string(num_sets)},
                {"mapping", "data-parallel"}},
-              dp_stats.machine_result);
+              dp_stats.machine_result, dp_host_ms);
   json_record(base + "/mapped",
               {{"app", name}, {"size", size_desc},
                {"procs", std::to_string(mcfg.num_procs)},
                {"num_sets", std::to_string(num_sets)},
                {"constraint", std::to_string(rel_constraint)},
                {"mapping", mapping.to_string(model)}},
-              best_stats.machine_result);
+              best_stats.machine_result, best_host_ms);
   report_trace(best_stats.machine_result, base);
 }
 

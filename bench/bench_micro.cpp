@@ -2,9 +2,18 @@
 // fiber switching, simulated messaging, subset barriers, redistribution,
 // and the numerical kernels. These measure the *host* cost of simulation,
 // not modeled machine time.
+//
+// Besides the google-benchmark suite, `--redist-compare` runs the
+// plan-cache A/B experiment (repeated same-layout transpose, cache on vs
+// off), prints a summary and emits --json-out records; see
+// docs/performance.md.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "apps/fft.hpp"
+#include "bench_common.hpp"
 #include "core/fx.hpp"
 #include "dist/redistribute.hpp"
 #include "runtime/fiber.hpp"
@@ -115,6 +124,60 @@ void BM_FftKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_FftKernel)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Repeated same-layout redistribution inside one machine run: the case the
+// plan cache targets. range(1) toggles MachineConfig::plan_cache.
+void BM_AssignStream(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool cached = state.range(1) != 0;
+  const int procs = 8;
+  const int iters = 16;
+  auto c = MachineConfig::ideal(procs);
+  c.plan_cache = cached;
+  for (auto _ : state) {
+    Machine machine(c);
+    machine.run([&](Context& ctx) {
+      const auto g = pgroup::ProcessorGroup::identity(procs);
+      ds::DistArray<double> a(ctx, ds::Layout(g, {n}, {ds::DimDist::block()}), "a");
+      ds::DistArray<double> b(ctx, ds::Layout(g, {n}, {ds::DimDist::cyclic()}), "b");
+      a.fill_value(1.0);
+      for (int i = 0; i < iters; ++i) ds::assign(ctx, b, a);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * iters * n *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_AssignStream)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
+
+// The permuted (corner-turn) path, where the uncached executor copies
+// element by element.
+void BM_TransposeStream(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool cached = state.range(1) != 0;
+  const int procs = 8;
+  const int iters = 8;
+  auto c = MachineConfig::ideal(procs);
+  c.plan_cache = cached;
+  for (auto _ : state) {
+    Machine machine(c);
+    machine.run([&](Context& ctx) {
+      const auto g = pgroup::ProcessorGroup::identity(procs);
+      ds::DistArray<double> a(
+          ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "a");
+      ds::DistArray<double> b(
+          ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "b");
+      a.fill_value(1.0);
+      for (int i = 0; i < iters; ++i) ds::transpose(ctx, b, a);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * iters * n * n *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_TransposeStream)->Args({256, 0})->Args({256, 1});
+
 void BM_TaskRegionOnOff(benchmark::State& state) {
   const int procs = 8;
   const int rounds = 64;
@@ -133,6 +196,106 @@ void BM_TaskRegionOnOff(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskRegionOnOff);
 
+// --redist-compare: the inspector–executor A/B experiment. A 100-iteration
+// 512x512 transpose stream on 16 simulated procs, run with the plan cache
+// off and on. Modeled results must be identical; host wall-clock should
+// drop by >= 2x with the cache (asserted by the CI perf-smoke job from the
+// emitted JSON records).
+struct CompareRun {
+  machine::RunResult res;
+  double host_ms = 0.0;
+};
+
+CompareRun run_transpose_stream(bool cache_on, int procs, std::int64_t n, int iters) {
+  auto c = MachineConfig::ideal(procs);
+  c.stack_bytes = 256 * 1024;
+  c.plan_cache = cache_on;
+  Machine machine(c);
+  CompareRun out;
+  const fxbench::HostTimer timer;
+  out.res = machine.run([&](Context& ctx) {
+    const auto g = pgroup::ProcessorGroup::identity(procs);
+    ds::DistArray<double> a(
+        ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "a");
+    ds::DistArray<double> b(
+        ctx, ds::Layout(g, {n, n}, {ds::DimDist::block(), ds::DimDist::collapsed()}), "b");
+    a.fill_value(1.0);
+    for (int i = 0; i < iters; ++i) ds::transpose(ctx, b, a);
+  });
+  out.host_ms = timer.ms();
+  return out;
+}
+
+int run_redist_compare() {
+  const int procs = 16;
+  const std::int64_t n = 512;
+  const int iters = 100;
+  const std::vector<std::pair<std::string, std::string>> base_params{
+      {"procs", std::to_string(procs)},
+      {"n", std::to_string(n)},
+      {"iters", std::to_string(iters)}};
+
+  const CompareRun uncached = run_transpose_stream(false, procs, n, iters);
+  const CompareRun cached = run_transpose_stream(true, procs, n, iters);
+
+  const bool sim_identical = uncached.res.finish_time == cached.res.finish_time &&
+                             uncached.res.messages == cached.res.messages &&
+                             uncached.res.bytes == cached.res.bytes;
+  const double speedup = cached.host_ms > 0.0 ? uncached.host_ms / cached.host_ms : 0.0;
+
+  auto with = [&](const char* k, const std::string& v) {
+    auto p = base_params;
+    p.push_back({k, v});
+    return p;
+  };
+  fxbench::json_record("micro/redist/uncached", with("plan_cache", "off"), uncached.res,
+                       uncached.host_ms);
+  fxbench::json_record("micro/redist/cached", with("plan_cache", "on"), cached.res,
+                       cached.host_ms);
+  {
+    auto p = base_params;
+    p.push_back({"speedup", std::to_string(speedup)});
+    p.push_back({"sim_identical", sim_identical ? "true" : "false"});
+    fxbench::json_record("micro/redist/speedup", p, cached.res, cached.host_ms);
+  }
+
+  std::printf("redistribution plan cache A/B (%d iters of %lldx%lld transpose, %d procs)\n",
+              iters, static_cast<long long>(n), static_cast<long long>(n), procs);
+  std::printf("  uncached: host %8.1f ms   sim %.6f s\n", uncached.host_ms,
+              uncached.res.finish_time);
+  std::printf("  cached:   host %8.1f ms   sim %.6f s   (%llu hits, %llu misses)\n",
+              cached.host_ms, cached.res.finish_time,
+              static_cast<unsigned long long>(cached.res.plan_cache_hits),
+              static_cast<unsigned long long>(cached.res.plan_cache_misses));
+  std::printf("  host speedup: %.2fx, modeled results %s\n", speedup,
+              sim_identical ? "identical" : "DIFFER");
+  return sim_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  fxbench::init(argc, argv);
+  bool compare = false;
+  // Strip the fxbench flags before handing the rest to google-benchmark.
+  std::vector<char*> gb_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--redist-compare") {
+      compare = true;
+    } else if (a == "--json-out" || a == "--trace-out") {
+      ++i;
+    } else if (a == "--trace-report") {
+      // consumed by fxbench::init
+    } else {
+      gb_args.push_back(argv[i]);
+    }
+  }
+  if (compare) return run_redist_compare();
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,16 +10,23 @@
 //
 // Blocks narrower than the halo are handled: a processor may receive rows
 // from beyond its immediate neighbours.
+//
+// With MachineConfig::plan_cache set (the default) the who-needs-what
+// analysis runs once per (layout, halo) pair and is replayed from the
+// machine-wide plan cache; messages, charges and results are identical
+// either way.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "comm/serialize.hpp"
 #include "dist/dist_array.hpp"
+#include "dist/plan_cache.hpp"
 #include "machine/context.hpp"
 
 namespace fxpar::dist {
@@ -47,6 +54,55 @@ HaloRows<T> exchange_row_halo(machine::Context& ctx, const DistArray<T>& a, int 
   const std::int64_t planes = lay.extent(0), H = lay.extent(1), W = lay.extent(2);
   const int me = a.my_vrank();
   const std::uint64_t tag = ctx.collective_tag(g);
+
+  if (ctx.config().plan_cache) {
+    const auto sched = plan::PlanCache::of(ctx.machine()).halo(ctx.machine(), lay, halo);
+    const plan::HaloSchedule::Member& mp = sched->members[static_cast<std::size_t>(me)];
+    const std::int64_t rows_mine = mp.my_hi - mp.my_lo;
+    const std::size_t row_bytes = static_cast<std::size_t>(W) * sizeof(T);
+    const T* local = a.local().data();
+    for (const plan::HaloSchedule::Send& snd : mp.sends) {
+      machine::Payload buf = ctx.machine().pool_acquire(
+          snd.local_rows.size() * static_cast<std::size_t>(planes) * row_bytes);
+      std::byte* outp = buf.data();
+      for (std::int64_t lr : snd.local_rows) {
+        for (std::int64_t d = 0; d < planes; ++d) {
+          std::memcpy(outp, local + (d * rows_mine + lr) * W, row_bytes);
+          outp += row_bytes;
+        }
+      }
+      ctx.charge_mem_bytes(static_cast<double>(buf.size()));
+      ctx.send_phys(g.physical(snd.dst_vrank), tag, std::move(buf));
+    }
+
+    HaloRows<T> out;
+    if (mp.my_lo == mp.my_hi) return out;
+    out.first_above = mp.first_above;
+    out.n_above = mp.n_above;
+    out.first_below = mp.first_below;
+    out.n_below = mp.n_below;
+    out.above.assign(static_cast<std::size_t>(planes * out.n_above * W), T{});
+    out.below.assign(static_cast<std::size_t>(planes * out.n_below * W), T{});
+    for (const plan::HaloSchedule::Recv& rcv : mp.recvs) {
+      machine::Payload data = ctx.recv_phys(g.physical(rcv.src_vrank), tag);
+      if (data.size() != rcv.rows.size() * static_cast<std::size_t>(planes) * row_bytes) {
+        throw std::logic_error("exchange_row_halo: payload size does not match schedule");
+      }
+      ctx.charge_mem_bytes(static_cast<double>(data.size()));
+      const std::byte* inp = data.data();
+      for (std::int64_t r : rcv.rows) {
+        for (std::int64_t d = 0; d < planes; ++d) {
+          T* dstrow = r < mp.my_lo
+                          ? out.above.data() + (d * out.n_above + (r - out.first_above)) * W
+                          : out.below.data() + (d * out.n_below + (r - out.first_below)) * W;
+          std::memcpy(dstrow, inp, row_bytes);
+          inp += row_bytes;
+        }
+      }
+      ctx.machine().pool_release(std::move(data));
+    }
+    return out;
+  }
 
   auto rows_of = [&](int v) -> std::pair<std::int64_t, std::int64_t> {
     const auto runs = lay.owned_runs(v, 1);

@@ -21,15 +21,26 @@
 // (transpose) of the radar benchmark is one redistribution — and
 // assign_shifted writes into a rectangular offset of the destination (the
 // merge step of the quicksort example).
+//
+// Plan caching (MachineConfig::plan_cache, on by default): the
+// O(senders x receivers) run-intersection analysis below is the *inspector*
+// of an inspector–executor split. With the cache on, its output is
+// flattened once per (layouts, perm, offsets) tuple into per-pair
+// (src_offset, dst_offset, len, stride) segments shared machine-wide (see
+// plan_cache.hpp), and later calls replay it with plain memcpy loops. The
+// cached executor issues exactly the same messages and charges, so modeled
+// results are bit-identical either way.
 #pragma once
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include "comm/serialize.hpp"
 #include "dist/dist_array.hpp"
+#include "dist/plan_cache.hpp"
 #include "machine/context.hpp"
 #include "trace/trace.hpp"
 
@@ -43,87 +54,39 @@ enum class AssignSync {
   None,           ///< pure deposit; sender never waits (unbounded buffering)
 };
 
-/// Union of two groups' members, ascending by physical rank.
-inline pgroup::ProcessorGroup union_group(const pgroup::ProcessorGroup& a,
-                                          const pgroup::ProcessorGroup& b) {
-  std::vector<int> m = a.members();
-  m.insert(m.end(), b.members().begin(), b.members().end());
-  std::sort(m.begin(), m.end());
-  m.erase(std::unique(m.begin(), m.end()), m.end());
-  return pgroup::ProcessorGroup(std::move(m));
-}
-
 namespace detail {
 
-/// Per-source-dimension runs a (sender, receiver) pair exchanges, expressed
-/// in *source* global indices.
-struct TransferPlan {
-  std::vector<std::vector<IndexRun>> runs;  ///< indexed by source dimension
-  std::int64_t elements = 0;
-
-  bool empty() const noexcept { return elements == 0; }
-};
-
-/// perm maps destination dimension -> source dimension:
-/// dst_index[dd] == src_index[perm[dd]] + offsets[dd].
-inline std::vector<int> inverse_perm(const std::vector<int>& perm) {
-  std::vector<int> inv(perm.size(), -1);
-  for (std::size_t dd = 0; dd < perm.size(); ++dd) {
-    const int sd = perm[dd];
-    if (sd < 0 || sd >= static_cast<int>(perm.size()) || inv[static_cast<std::size_t>(sd)] != -1) {
-      throw std::invalid_argument("assign: perm is not a permutation");
-    }
-    inv[static_cast<std::size_t>(sd)] = static_cast<int>(dd);
+/// Executor pack over a flattened schedule: every segment is one memcpy.
+/// Byte order matches pack_plan exactly.
+template <typename T>
+void pack_flat(const DistArray<T>& src, const plan::FlatPlan& fp, Payload& buf) {
+  const T* local = src.local().data();
+  std::byte* out = buf.data();
+  std::size_t pos = 0;
+  for (const plan::TransferSeg& s : fp.segs) {
+    std::memcpy(out + pos, local + s.src_off, static_cast<std::size_t>(s.len) * sizeof(T));
+    pos += static_cast<std::size_t>(s.len) * sizeof(T);
   }
-  return inv;
 }
 
-inline std::vector<IndexRun> shift_runs(std::vector<IndexRun> runs, std::int64_t delta) {
-  for (IndexRun& r : runs) r.start += delta;
-  return runs;
-}
-
-inline TransferPlan build_plan(const Layout& src, int s_vrank, const Layout& dst, int r_vrank,
-                               const std::vector<int>& inv_perm,
-                               const std::vector<std::int64_t>& offsets) {
-  TransferPlan plan;
-  const int nd = src.ndims();
-  plan.runs.resize(static_cast<std::size_t>(nd));
-  plan.elements = 1;
-  for (int sd = 0; sd < nd; ++sd) {
-    const int dd = inv_perm[static_cast<std::size_t>(sd)];
-    // Express the receiver's owned set in source coordinates, then clip it
-    // against the source's image inside the destination.
-    std::vector<IndexRun> dst_in_src = shift_runs(
-        dst.owned_runs(r_vrank, dd), -offsets[static_cast<std::size_t>(dd)]);
-    dst_in_src = intersect_runs(dst_in_src, {IndexRun{0, src.extent(sd)}});
-    plan.runs[static_cast<std::size_t>(sd)] =
-        intersect_runs(src.owned_runs(s_vrank, sd), dst_in_src);
-    plan.elements *= total_length(plan.runs[static_cast<std::size_t>(sd)]);
-    if (plan.elements == 0) {
-      plan.elements = 0;
-      return plan;
+/// Executor unpack: contiguous segments are one memcpy; permuted
+/// (corner-turn) segments scatter at a fixed receiver stride — no
+/// per-element offset resolution either way.
+template <typename T>
+void unpack_flat(DistArray<T>& dst, const plan::FlatPlan& fp, const Payload& buf) {
+  T* local = dst.local().data();
+  const std::byte* in = buf.data();
+  std::size_t pos = 0;
+  for (const plan::TransferSeg& s : fp.segs) {
+    if (s.dst_stride == 1) {
+      std::memcpy(local + s.dst_off, in + pos, static_cast<std::size_t>(s.len) * sizeof(T));
+      pos += static_cast<std::size_t>(s.len) * sizeof(T);
+      continue;
     }
-  }
-  return plan;
-}
-
-/// Visits the plan's global indices in source-row-major order. `fn` is
-/// called once per innermost run with gidx[last] set to the run start.
-template <typename Fn>
-void visit_plan(const TransferPlan& plan, std::vector<std::int64_t>& gidx, int d, Fn&& fn) {
-  const int nd = static_cast<int>(plan.runs.size());
-  if (d == nd - 1) {
-    for (const IndexRun& r : plan.runs[static_cast<std::size_t>(d)]) {
-      gidx[static_cast<std::size_t>(d)] = r.start;
-      fn(gidx, r.len);
-    }
-    return;
-  }
-  for (const IndexRun& r : plan.runs[static_cast<std::size_t>(d)]) {
-    for (std::int64_t i = r.start; i < r.start + r.len; ++i) {
-      gidx[static_cast<std::size_t>(d)] = i;
-      visit_plan(plan, gidx, d + 1, fn);
+    T* out = local + s.dst_off;
+    for (std::int64_t k = 0; k < s.len; ++k) {
+      std::memcpy(out + k * s.dst_stride, in + pos, sizeof(T));
+      pos += sizeof(T);
     }
   }
 }
@@ -220,8 +183,18 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
   bool identity = true;
   for (int dd = 0; dd < nd; ++dd) identity &= (perm[static_cast<std::size_t>(dd)] == dd);
 
+  // Inspector: with caching on, fetch (or build once) the machine-wide
+  // flattened schedule — union group, participant sets and per-pair
+  // segments all come precomputed.
+  std::shared_ptr<const plan::RedistSchedule> sched;
+  if (ctx.config().plan_cache) {
+    sched = plan::PlanCache::of(ctx.machine()).redist(ctx.machine(), sl, dl, perm, inv, offsets);
+  }
+
   // Minimal participating set: owners of either side. Everyone else skips.
-  const pgroup::ProcessorGroup ug = union_group(sl.group(), dl.group());
+  pgroup::ProcessorGroup ug_local;
+  if (!sched) ug_local = union_group(sl.group(), dl.group());
+  const pgroup::ProcessorGroup& ug = sched ? sched->ugroup : ug_local;
   const int me = ctx.phys_rank();
   if (!ug.contains(me)) return;
   trace::ScopedSpan sp_;
@@ -237,15 +210,25 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
 
   Payload self_payload;
   bool have_self = false;
+  detail::TransferPlan self_plan;  // uncached path: reused by the receive loop
   if (i_send) {
     for (int r = 0; r < dl.group().size(); ++r) {
       const int r_phys = dl.group().physical(r);
       // With a replicated source, destination members that are themselves
       // source members serve their own copy: never message them.
       if (sl.fully_replicated() && r_phys != me && sl.group().contains(r_phys)) continue;
-      const detail::TransferPlan plan = detail::build_plan(sl, s_me, dl, r, inv, offsets);
-      if (plan.empty()) continue;
-      Payload buf = detail::pack_plan(src, s_me, plan);
+      Payload buf;
+      if (sched) {
+        const plan::FlatPlan& fp = sched->pair(s_me, r);
+        if (fp.empty()) continue;
+        buf = ctx.machine().pool_acquire(static_cast<std::size_t>(fp.elements) * sizeof(T));
+        detail::pack_flat(src, fp, buf);
+      } else {
+        detail::TransferPlan plan = detail::build_plan(sl, s_me, dl, r, inv, offsets);
+        if (plan.empty()) continue;
+        buf = detail::pack_plan(src, s_me, plan);
+        if (r_phys == me) self_plan = std::move(plan);
+      }
       ctx.charge_mem_bytes(static_cast<double>(buf.size()));
       if (r_phys == me) {
         self_payload = std::move(buf);
@@ -258,12 +241,47 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
   if (r_me >= 0) {
     for (int s = 0; s < sl.group().size(); ++s) {
       if (sl.fully_replicated() && s != (s_me >= 0 ? s_me : 0)) continue;
-      const detail::TransferPlan plan = detail::build_plan(sl, s, dl, r_me, inv, offsets);
-      if (plan.empty()) continue;
+      // Self-serve from the local replica when the canonical sender skipped
+      // us (replicated source, we are a non-canonical member).
+      const bool serve_replica = sl.fully_replicated() && s_me >= 0 && s_me != 0;
+      if (sched) {
+        const plan::FlatPlan& fp = sched->pair(s, r_me);
+        if (fp.empty()) continue;
+        Payload buf;
+        if (serve_replica) {
+          // Replicated local offsets are identical on every member, so the
+          // canonical sender slot's segments pack our own replica too.
+          buf = ctx.machine().pool_acquire(static_cast<std::size_t>(fp.elements) * sizeof(T));
+          detail::pack_flat(src, fp, buf);
+        } else if (sl.group().physical(s) == me) {
+          if (!have_self) throw std::logic_error("assign: missing self payload");
+          buf = std::move(self_payload);
+          have_self = false;
+        } else {
+          buf = ctx.recv_phys(sl.group().physical(s), tag);
+        }
+        if (buf.size() != static_cast<std::size_t>(fp.elements) * sizeof(T)) {
+          throw std::logic_error("assign: payload size does not match plan");
+        }
+        ctx.charge_mem_bytes(static_cast<double>(buf.size()));
+        detail::unpack_flat(dst, fp, buf);
+        ctx.machine().pool_release(std::move(buf));
+        continue;
+      }
+      // Uncached path. The self pair's plan was already built by the send
+      // loop above — reuse it instead of rebuilding.
+      detail::TransferPlan plan_storage;
+      const detail::TransferPlan* plan;
+      if (!serve_replica && sl.group().physical(s) == me && have_self) {
+        plan = &self_plan;
+      } else {
+        plan_storage = detail::build_plan(sl, s, dl, r_me, inv, offsets);
+        plan = &plan_storage;
+      }
+      if (plan->empty()) continue;
       Payload buf;
-      if (sl.fully_replicated() && s_me >= 0 && s_me != 0) {
-        // Self-serve from the local replica (canonical sender skipped us).
-        buf = detail::pack_plan(src, s_me, plan);
+      if (serve_replica) {
+        buf = detail::pack_plan(src, s_me, *plan);
       } else if (sl.group().physical(s) == me) {
         if (!have_self) throw std::logic_error("assign: missing self payload");
         buf = std::move(self_payload);
@@ -271,11 +289,11 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
       } else {
         buf = ctx.recv_phys(sl.group().physical(s), tag);
       }
-      if (buf.size() != static_cast<std::size_t>(plan.elements) * sizeof(T)) {
+      if (buf.size() != static_cast<std::size_t>(plan->elements) * sizeof(T)) {
         throw std::logic_error("assign: payload size does not match plan");
       }
       ctx.charge_mem_bytes(static_cast<double>(buf.size()));
-      detail::unpack_plan(dst, r_me, plan, perm, offsets, identity, buf);
+      detail::unpack_plan(dst, r_me, *plan, perm, offsets, identity, buf);
     }
   }
 }

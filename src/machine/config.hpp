@@ -54,6 +54,16 @@ struct MachineConfig {
   /// pointer test. Tracing never changes modeled time.
   bool trace = false;
 
+  /// Inspector–executor plan caching for redistribution (see
+  /// dist/plan_cache.hpp and docs/performance.md). When on, assign() and
+  /// the halo exchange precompute a flattened transfer schedule once per
+  /// (layout pair, perm, offsets) and replay it on every subsequent call,
+  /// removing the host-side plan-building cost from repeated handoffs.
+  /// Simulated results (finish times, bytes, efficiencies) are bit-identical
+  /// with the cache on or off; the switch exists for ablation and host-time
+  /// benchmarking.
+  bool plan_cache = true;
+
   /// Paragon-class preset with `p` compute nodes.
   static MachineConfig paragon(int p) {
     MachineConfig c;

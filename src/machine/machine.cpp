@@ -70,6 +70,8 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
   res.messages = stat_messages_;
   res.bytes = stat_bytes_;
   res.barriers = stat_barriers_;
+  res.plan_cache_hits = stat_plan_hits_;
+  res.plan_cache_misses = stat_plan_misses_;
   res.traffic = stat_traffic_;
   if (tracer_) {
     tracer_->finalize(res.finish_time);
@@ -174,6 +176,23 @@ void Machine::barrier(const pgroup::ProcessorGroup& group) {
   barriers_.erase(group.key());
   for (int r : waiting) sim_->wake(r, release);
   sim_->advance_to(release);
+}
+
+Payload Machine::pool_acquire(std::size_t bytes) {
+  Payload p;
+  if (!payload_pool_.empty()) {
+    p = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+  }
+  p.resize(bytes);
+  return p;
+}
+
+void Machine::pool_release(Payload&& p) {
+  if (payload_pool_.size() < kMaxPooledPayloads && p.capacity() > 0) {
+    p.clear();
+    payload_pool_.push_back(std::move(p));
+  }
 }
 
 void Machine::io_operation(std::size_t bytes) {

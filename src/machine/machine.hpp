@@ -26,6 +26,15 @@ class Context;
 /// Raw bytes exchanged by the direct-deposit layer.
 using Payload = std::vector<std::byte>;
 
+/// Base class for caches that higher layers attach to the machine (the dist
+/// layer's redistribution plan cache, see dist/plan_cache.hpp). The machine
+/// owns the storage so cached schedules are shared by all processors and
+/// survive across run() calls; the attaching layer owns the concrete type.
+class MachineCacheBase {
+ public:
+  virtual ~MachineCacheBase() = default;
+};
+
 /// Aggregate results of one simulated run.
 struct RunResult {
   runtime::SimTime finish_time = 0.0;  ///< completion time of the slowest processor
@@ -33,6 +42,12 @@ struct RunResult {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t barriers = 0;
+
+  /// Redistribution plan cache counters (see dist/plan_cache.hpp): a miss
+  /// builds a schedule, a hit replays one. Both zero when
+  /// MachineConfig::plan_cache is off or no redistribution ran.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
 
   /// Per-pair traffic: traffic[src * P + dst] bytes sent from src to dst.
   /// Populated only when MachineConfig::record_traffic is set.
@@ -87,6 +102,31 @@ class Machine {
   /// The event recorder, or nullptr when MachineConfig::trace is off.
   trace::TraceRecorder* tracer() noexcept { return tracer_.get(); }
 
+  // ---- redistribution plan cache slot (see dist/plan_cache.hpp) ----
+
+  /// The attached plan cache, or nullptr before first use.
+  MachineCacheBase* plan_cache_slot() noexcept { return plan_cache_.get(); }
+  void set_plan_cache_slot(std::unique_ptr<MachineCacheBase> cache) {
+    plan_cache_ = std::move(cache);
+  }
+  /// Bumps the hit/miss counters reported through RunResult.
+  void count_plan_cache(bool hit) noexcept {
+    (hit ? stat_plan_hits_ : stat_plan_misses_) += 1;
+  }
+
+  // ---- payload buffer pool ----
+  //
+  // Repeated handoffs move payload buffers sender -> mailbox -> receiver;
+  // returning them here after unpacking lets the next pack reuse the
+  // allocation instead of growing a fresh vector per message. The pool is
+  // host-side only and never changes modeled time.
+
+  /// A buffer of exactly `bytes` bytes, reusing a pooled allocation if any.
+  Payload pool_acquire(std::size_t bytes);
+
+  /// Returns a spent buffer to the pool (drops it once the pool is full).
+  void pool_release(Payload&& p);
+
  private:
   struct MailKey {
     int src;
@@ -122,7 +162,13 @@ class Machine {
   std::uint64_t stat_messages_ = 0;
   std::uint64_t stat_bytes_ = 0;
   std::uint64_t stat_barriers_ = 0;
+  std::uint64_t stat_plan_hits_ = 0;
+  std::uint64_t stat_plan_misses_ = 0;
   std::vector<std::uint64_t> stat_traffic_;  ///< src * P + dst, if recording
+
+  std::unique_ptr<MachineCacheBase> plan_cache_;
+  std::vector<Payload> payload_pool_;
+  static constexpr std::size_t kMaxPooledPayloads = 64;
 };
 
 }  // namespace fxpar::machine

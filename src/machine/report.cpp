@@ -12,6 +12,8 @@ UtilizationSummary summarize(const RunResult& result) {
   s.messages = result.messages;
   s.bytes = result.bytes;
   s.barriers = result.barriers;
+  s.plan_cache_hits = result.plan_cache_hits;
+  s.plan_cache_misses = result.plan_cache_misses;
   if (result.clocks.empty() || result.finish_time <= 0.0) {
     s.mean_busy_fraction = s.min_busy_fraction = s.max_busy_fraction = 0.0;
     return s;
@@ -66,6 +68,10 @@ std::string utilization_report(const RunResult& result, int max_rows) {
   }
   oss << "  messages " << s.messages << " (" << s.bytes << " bytes), barriers " << s.barriers
       << "\n";
+  if (s.plan_cache_hits + s.plan_cache_misses > 0) {
+    oss << "  redistribution plan cache: " << s.plan_cache_hits << " hits, "
+        << s.plan_cache_misses << " misses\n";
+  }
   return oss.str();
 }
 

@@ -22,6 +22,8 @@ struct UtilizationSummary {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t barriers = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
 };
 
 /// Computes the aggregate utilization of a run.

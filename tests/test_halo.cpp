@@ -84,6 +84,48 @@ INSTANTIATE_TEST_SUITE_P(ProcsByHalo, HaloSweep,
                          ::testing::Combine(::testing::Values(2, 3, 5, 8, 17, 24),
                                             ::testing::Values(1, 2, 3)));
 
+class HaloParity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HaloParity, CachedMatchesUncachedBitExactly) {
+  // The cached exchange must issue the same messages and charges and return
+  // the same ghosts as the analysis-per-call path.
+  const int p = std::get<0>(GetParam());
+  const int halo = std::get<1>(GetParam());
+  auto one = [&](bool cache_on) {
+    auto c = cfg(p);
+    c.plan_cache = cache_on;
+    std::vector<double> sums(static_cast<std::size_t>(p), 0.0);
+    mx::Machine m(c);
+    const auto res = m.run([&](mx::Context& ctx) {
+      ds::DistArray<double> a(ctx, rows_layout(pg::ProcessorGroup::identity(p), 3, 17, 4), "a");
+      a.fill([](std::span<const std::int64_t> gi) { return cell(gi[0], gi[1], gi[2]); });
+      const auto ghosts = ds::exchange_row_halo(ctx, a, halo);
+      double s = 0.0;
+      for (std::size_t i = 0; i < ghosts.above.size(); ++i) {
+        s += ghosts.above[i] * static_cast<double>(i + 1);
+      }
+      for (std::size_t i = 0; i < ghosts.below.size(); ++i) {
+        s -= ghosts.below[i] * static_cast<double>(i + 1);
+      }
+      sums[static_cast<std::size_t>(ctx.phys_rank())] = s;
+    });
+    return std::make_tuple(res.finish_time, res.messages, res.bytes, sums,
+                           res.plan_cache_hits + res.plan_cache_misses);
+  };
+  const auto cached = one(true);
+  const auto plain = one(false);
+  EXPECT_EQ(std::get<0>(cached), std::get<0>(plain));  // exact finish time
+  EXPECT_EQ(std::get<1>(cached), std::get<1>(plain));
+  EXPECT_EQ(std::get<2>(cached), std::get<2>(plain));
+  EXPECT_EQ(std::get<3>(cached), std::get<3>(plain));
+  EXPECT_GT(std::get<4>(cached), 0u);
+  EXPECT_EQ(std::get<4>(plain), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcsByHalo, HaloParity,
+                         ::testing::Combine(::testing::Values(2, 5, 8, 24),
+                                            ::testing::Values(1, 3)));
+
 TEST(Halo, WrongLayoutRejected) {
   mx::Machine m(cfg(2));
   EXPECT_THROW(m.run([&](mx::Context& ctx) {

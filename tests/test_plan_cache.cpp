@@ -1,0 +1,185 @@
+// Tests for the redistribution plan cache internals: flattened schedule
+// construction, cache keying and discrimination, eviction safety, and the
+// halo exchange schedule.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dist/plan_cache.hpp"
+#include "machine/machine.hpp"
+
+namespace ds = fxpar::dist;
+namespace mx = fxpar::machine;
+namespace pg = fxpar::pgroup;
+
+namespace {
+
+mx::MachineConfig cfg(int p) {
+  auto c = mx::MachineConfig::ideal(p);
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+std::int64_t seg_elements(const ds::plan::FlatPlan& fp) {
+  std::int64_t n = 0;
+  for (const ds::plan::TransferSeg& s : fp.segs) n += s.len;
+  return n;
+}
+
+}  // namespace
+
+TEST(PlanCache, FlattenedSegmentsCoverEveryPlanElement) {
+  const auto g = pg::ProcessorGroup::identity(4);
+  const ds::Layout src(g, {9, 7}, {ds::DimDist::block(), ds::DimDist::cyclic()});
+  const ds::Layout dst(g, {9, 7}, {ds::DimDist::cyclic(), ds::DimDist::block()});
+  const std::vector<int> perm{0, 1};
+  const auto sched = ds::plan::build_redist_schedule(src, dst, perm,
+                                                     ds::detail::inverse_perm(perm), {0, 0});
+  ASSERT_EQ(sched->nsenders, 4);
+  ASSERT_EQ(sched->nreceivers, 4);
+  std::int64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int r = 0; r < 4; ++r) {
+      const ds::plan::FlatPlan& fp = sched->pair(s, r);
+      EXPECT_EQ(seg_elements(fp), fp.elements) << "pair " << s << "->" << r;
+      // Identity perm: every segment is a contiguous memcpy.
+      for (const ds::plan::TransferSeg& sg : fp.segs) EXPECT_EQ(sg.dst_stride, 1);
+      total += fp.elements;
+    }
+  }
+  EXPECT_EQ(total, 9 * 7);  // every element handled exactly once
+}
+
+TEST(PlanCache, PermutedScheduleCoversDistinctDestinations) {
+  const auto g = pg::ProcessorGroup::identity(4);
+  const ds::Layout src(g, {6, 8}, {ds::DimDist::block(), ds::DimDist::collapsed()});
+  const ds::Layout dst(g, {8, 6}, {ds::DimDist::block(), ds::DimDist::collapsed()});
+  const std::vector<int> perm{1, 0};
+  const auto sched = ds::plan::build_redist_schedule(src, dst, perm,
+                                                     ds::detail::inverse_perm(perm), {0, 0});
+  std::int64_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    // Per receiver, no two segments may write the same local slot.
+    std::set<std::int64_t> slots;
+    for (int s = 0; s < 4; ++s) {
+      const ds::plan::FlatPlan& fp = sched->pair(s, r);
+      EXPECT_EQ(seg_elements(fp), fp.elements);
+      for (const ds::plan::TransferSeg& sg : fp.segs) {
+        for (std::int64_t k = 0; k < sg.len; ++k) {
+          EXPECT_TRUE(slots.insert(sg.dst_off + k * sg.dst_stride).second)
+              << "receiver " << r << " slot written twice";
+        }
+      }
+      total += fp.elements;
+    }
+  }
+  EXPECT_EQ(total, 6 * 8);
+}
+
+TEST(PlanCache, SameArgumentsHitAndShareTheSchedule) {
+  mx::Machine m(cfg(4));
+  auto& pc = ds::plan::PlanCache::of(m);
+  const auto g = pg::ProcessorGroup::identity(4);
+  const ds::Layout src(g, {16}, {ds::DimDist::block()});
+  const ds::Layout dst(g, {16}, {ds::DimDist::cyclic()});
+  const std::vector<int> perm{0};
+  const std::vector<int> inv{0};
+  const auto s1 = pc.redist(m, src, dst, perm, inv, {0});
+  const auto s2 = pc.redist(m, src, dst, perm, inv, {0});
+  EXPECT_EQ(s1.get(), s2.get());
+  EXPECT_EQ(pc.redist_entries(), 1u);
+}
+
+TEST(PlanCache, KeyDiscriminatesLayoutDetails) {
+  mx::Machine m(cfg(4));
+  auto& pc = ds::plan::PlanCache::of(m);
+  const auto g = pg::ProcessorGroup::identity(4);
+  const std::vector<int> perm{0};
+  const std::vector<int> inv{0};
+  const ds::Layout b16(g, {16}, {ds::DimDist::block()});
+  const ds::Layout c16(g, {16}, {ds::DimDist::cyclic()});
+  const ds::Layout bc2(g, {16}, {ds::DimDist::block_cyclic(2)});
+  const ds::Layout bc4(g, {16}, {ds::DimDist::block_cyclic(4)});
+  const ds::Layout b20(g, {20}, {ds::DimDist::block()});
+  const pg::ProcessorGroup sub({0, 1});
+  const ds::Layout bsub(sub, {16}, {ds::DimDist::block()});
+  pc.redist(m, b16, c16, perm, inv, {0});
+  pc.redist(m, b16, bc2, perm, inv, {0});   // distribution kind
+  pc.redist(m, b16, bc4, perm, inv, {0});   // block size
+  pc.redist(m, b20, c16, perm, inv, {0});   // extent (shifted assigns clip)
+  pc.redist(m, bsub, c16, perm, inv, {0});  // group membership
+  pc.redist(m, b16, c16, perm, inv, {2});   // offset
+  EXPECT_EQ(pc.redist_entries(), 6u);
+  pc.redist(m, b16, c16, perm, inv, {0});  // replay of the first
+  EXPECT_EQ(pc.redist_entries(), 6u);
+}
+
+TEST(PlanCache, EvictionKeepsOutstandingSchedulesAlive) {
+  mx::Machine m(cfg(2));
+  auto& pc = ds::plan::PlanCache::of(m);
+  const auto g = pg::ProcessorGroup::identity(2);
+  const std::vector<int> perm{0};
+  const std::vector<int> inv{0};
+  const ds::Layout src0(g, {8}, {ds::DimDist::block()});
+  const ds::Layout dst0(g, {8}, {ds::DimDist::cyclic()});
+  const auto held = pc.redist(m, src0, dst0, perm, inv, {0});
+  const std::int64_t held_elems = held->pair(0, 0).elements + held->pair(0, 1).elements +
+                                  held->pair(1, 0).elements + held->pair(1, 1).elements;
+  EXPECT_EQ(held_elems, 8);
+  // Flood the table past capacity; the wholesale eviction must not touch
+  // the schedule a (possibly blocked) caller still holds.
+  for (std::int64_t n = 9; n < 9 + 2 * static_cast<std::int64_t>(
+                                       ds::plan::PlanCache::kMaxEntries);
+       ++n) {
+    const ds::Layout s(g, {n}, {ds::DimDist::block()});
+    const ds::Layout d(g, {n}, {ds::DimDist::cyclic()});
+    pc.redist(m, s, d, perm, inv, {0});
+  }
+  EXPECT_LE(pc.redist_entries(), ds::plan::PlanCache::kMaxEntries);
+  std::int64_t again = 0;
+  for (int s = 0; s < 2; ++s) {
+    for (int r = 0; r < 2; ++r) again += held->pair(s, r).elements;
+  }
+  EXPECT_EQ(again, 8);  // still fully readable after eviction
+}
+
+TEST(PlanCache, ReplicatedSourceStoresOneSenderSlot) {
+  const auto g = pg::ProcessorGroup::identity(3);
+  const ds::Layout src(g, {9}, {ds::DimDist::collapsed()});
+  const ds::Layout dst(g, {9}, {ds::DimDist::block()});
+  const std::vector<int> perm{0};
+  const auto sched = ds::plan::build_redist_schedule(src, dst, perm,
+                                                     ds::detail::inverse_perm(perm), {0});
+  EXPECT_TRUE(sched->src_replicated);
+  EXPECT_EQ(sched->nsenders, 1);
+  EXPECT_EQ(sched->pairs.size(), 3u);
+  // pair() maps every sender vrank onto the canonical slot.
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(sched->pair(s, 1).elements, 3);
+}
+
+TEST(PlanCache, HaloScheduleBalancesSendsAndReceives) {
+  const auto g = pg::ProcessorGroup::identity(4);
+  const ds::Layout lay(g, {2, 13, 5},
+                       {ds::DimDist::collapsed(), ds::DimDist::block(), ds::DimDist::collapsed()});
+  const auto sched = ds::plan::build_halo_schedule(lay, 2);
+  ASSERT_EQ(sched->members.size(), 4u);
+  std::int64_t sent = 0, received = 0;
+  for (const auto& mp : sched->members) {
+    for (const auto& snd : mp.sends) {
+      EXPECT_FALSE(snd.local_rows.empty());
+      for (std::int64_t lr : snd.local_rows) {
+        EXPECT_GE(lr, 0);
+        EXPECT_LT(lr, mp.my_hi - mp.my_lo);
+      }
+      sent += static_cast<std::int64_t>(snd.local_rows.size());
+    }
+    EXPECT_EQ(mp.n_above + mp.n_below,
+              std::accumulate(mp.recvs.begin(), mp.recvs.end(), std::int64_t{0},
+                              [](std::int64_t acc, const auto& rcv) {
+                                return acc + static_cast<std::int64_t>(rcv.rows.size());
+                              }));
+    received += mp.n_above + mp.n_below;
+  }
+  EXPECT_EQ(sent, received);
+}

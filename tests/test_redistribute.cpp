@@ -436,6 +436,142 @@ TEST(Redistribute, ScatterThenGatherRoundTrips) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Cached vs uncached parity. The plan cache is a host-time optimization
+// only: modeled results (finish time, message count, bytes) and array
+// contents must be bit-identical with the cache on or off.
+
+namespace {
+
+struct ParityRun {
+  mx::RunResult res;
+  std::vector<std::int64_t> sums;  // per physical rank: checksum of owned dst
+};
+
+ParityRun run_parity(bool cache_on, int a_kind, int b_kind, bool swap_dims,
+                     std::int64_t off0, std::int64_t off1) {
+  constexpr int kP = 4;
+  auto c = cfg(kP);
+  c.plan_cache = cache_on;
+  const std::vector<std::int64_t> src_shape{9, 7};
+  const std::vector<int> perm = swap_dims ? std::vector<int>{1, 0} : std::vector<int>{0, 1};
+  const std::vector<std::int64_t> offsets{off0, off1};
+  std::vector<std::int64_t> dst_shape(2);
+  for (int dd = 0; dd < 2; ++dd) {
+    dst_shape[static_cast<std::size_t>(dd)] =
+        src_shape[static_cast<std::size_t>(perm[static_cast<std::size_t>(dd)])] +
+        offsets[static_cast<std::size_t>(dd)] + 2;  // slack beyond the section
+  }
+  ParityRun out;
+  out.sums.assign(kP, 0);
+  mx::Machine m(c);
+  out.res = m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(kP);
+    ds::DistArray<std::int64_t> a(
+        ctx, ds::Layout(g, src_shape, {dist_by_id(a_kind), dist_by_id((a_kind + 1) % 4)}), "a");
+    ds::DistArray<std::int64_t> b(
+        ctx, ds::Layout(g, dst_shape, {dist_by_id(b_kind), dist_by_id((b_kind + 3) % 4)}), "b");
+    a.fill([](std::span<const std::int64_t> gi) { return gi[0] * 1000 + gi[1]; });
+    b.fill_value(-7);
+    ds::assign_general(ctx, b, a, perm, offsets);
+    std::int64_t sum = 0;
+    b.for_each_owned([&](std::span<const std::int64_t> gi, std::int64_t& v) {
+      std::int64_t expected = -7;
+      bool inside = true;
+      std::array<std::int64_t, 2> s{};
+      for (int dd = 0; dd < 2; ++dd) {
+        const std::int64_t rel = gi[static_cast<std::size_t>(dd)] -
+                                 offsets[static_cast<std::size_t>(dd)];
+        const int sd = perm[static_cast<std::size_t>(dd)];
+        inside &= rel >= 0 && rel < src_shape[static_cast<std::size_t>(sd)];
+        if (inside) s[static_cast<std::size_t>(sd)] = rel;
+      }
+      if (inside) expected = s[0] * 1000 + s[1];
+      EXPECT_EQ(v, expected) << "at (" << gi[0] << "," << gi[1] << ") cache=" << cache_on;
+      sum = sum * 31 + v;
+    });
+    out.sums[static_cast<std::size_t>(ctx.phys_rank())] = sum;
+  });
+  return out;
+}
+
+}  // namespace
+
+class RedistParity : public ::testing::TestWithParam<std::tuple<int, int, bool, int>> {};
+
+TEST_P(RedistParity, CachedMatchesUncachedBitExactly) {
+  const int a_kind = std::get<0>(GetParam());
+  const int b_kind = std::get<1>(GetParam());
+  const bool swap_dims = std::get<2>(GetParam());
+  const bool shifted = std::get<3>(GetParam()) != 0;
+  const std::int64_t off0 = shifted ? 1 : 0;
+  const std::int64_t off1 = shifted ? 2 : 0;
+  const ParityRun cached = run_parity(true, a_kind, b_kind, swap_dims, off0, off1);
+  const ParityRun plain = run_parity(false, a_kind, b_kind, swap_dims, off0, off1);
+  EXPECT_EQ(cached.res.finish_time, plain.res.finish_time);  // exact, not approximate
+  EXPECT_EQ(cached.res.messages, plain.res.messages);
+  EXPECT_EQ(cached.res.bytes, plain.res.bytes);
+  EXPECT_EQ(cached.res.barriers, plain.res.barriers);
+  EXPECT_EQ(cached.sums, plain.sums);
+  EXPECT_GT(cached.res.plan_cache_hits + cached.res.plan_cache_misses, 0u);
+  EXPECT_EQ(plain.res.plan_cache_hits + plain.res.plan_cache_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RedistParity,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 3),
+                                            ::testing::Bool(),
+                                            ::testing::Values(0, 1)));
+
+TEST(RedistParity, RepeatedAssignHitsTheCache) {
+  constexpr int kP = 4;
+  constexpr int kIters = 10;
+  mx::Machine m(cfg(kP));
+  const auto res = m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(kP);
+    ds::DistArray<std::int64_t> a(ctx, ds::Layout(g, {24}, {ds::DimDist::block()}), "a");
+    ds::DistArray<std::int64_t> b(ctx, ds::Layout(g, {24}, {ds::DimDist::cyclic()}), "b");
+    a.fill([](std::span<const std::int64_t> gi) { return gi[0] * 3; });
+    for (int k = 0; k < kIters; ++k) {
+      ds::assign(ctx, b, a);
+      b.for_each_owned([](std::span<const std::int64_t> gi, std::int64_t& v) {
+        EXPECT_EQ(v, gi[0] * 3);
+      });
+    }
+  });
+  // One schedule built by the first arriving fiber; every later lookup
+  // (kIters x kP participants in total) replays it.
+  EXPECT_EQ(res.plan_cache_misses, 1u);
+  EXPECT_EQ(res.plan_cache_hits, static_cast<std::uint64_t>(kIters * kP - 1));
+}
+
+TEST(RedistParity, DistinctLayoutsDoNotAliasCacheEntries) {
+  // Layout pairs differing only in distribution kind, block size, or extent
+  // must each build their own schedule and still land every element.
+  mx::Machine m(cfg(4));
+  const auto res = m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(4);
+    auto check = [&](ds::DimDist sd, ds::DimDist dd, std::int64_t n) {
+      ds::DistArray<std::int64_t> a(ctx, ds::Layout(g, {n}, {sd}),
+                                    "a" + std::to_string(n));
+      ds::DistArray<std::int64_t> b(ctx, ds::Layout(g, {n}, {dd}),
+                                    "b" + std::to_string(n));
+      a.fill([](std::span<const std::int64_t> gi) { return gi[0] + 11; });
+      b.fill_value(-1);
+      ds::assign(ctx, b, a);
+      b.for_each_owned([](std::span<const std::int64_t> gi, std::int64_t& v) {
+        EXPECT_EQ(v, gi[0] + 11);
+      });
+    };
+    check(ds::DimDist::block(), ds::DimDist::cyclic(), 20);
+    check(ds::DimDist::block(), ds::DimDist::block_cyclic(2), 20);
+    check(ds::DimDist::block(), ds::DimDist::block_cyclic(3), 20);
+    check(ds::DimDist::block(), ds::DimDist::cyclic(), 21);  // extent changes the key
+  });
+  EXPECT_EQ(res.plan_cache_misses, 4u);
+  EXPECT_EQ(res.plan_cache_hits, 3u * 4u);
+}
+
 TEST(Redistribute, ScatterFullSizeMismatchRejected) {
   mx::Machine m(cfg(2));
   EXPECT_THROW(m.run([&](mx::Context& ctx) {
