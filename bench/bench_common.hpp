@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,6 +27,8 @@ struct Options {
   std::string json_out;      ///< --json-out FILE|-  : one-line JSON records
   std::string trace_out;     ///< --trace-out FILE   : chrome trace of the last traced run
   bool trace_report = false; ///< --trace-report     : print phase + critical-path reports
+  std::string backend = "sim";  ///< --backend sim|threads : execution engine
+  int threads = 0;           ///< --threads N        : logical processors (0 = bench default)
 };
 
 inline Options& options() {
@@ -52,14 +55,38 @@ inline void init(int argc, char** argv) {
       o.trace_out = value("--trace-out");
     } else if (a == "--trace-report") {
       o.trace_report = true;
+    } else if (a == "--backend") {
+      o.backend = value("--backend");
+      if (o.backend != "sim" && o.backend != "threads") {
+        std::fprintf(stderr, "--backend must be 'sim' or 'threads', got '%s'\n",
+                     o.backend.c_str());
+        o.backend = "sim";
+      }
+    } else if (a == "--threads") {
+      o.threads = std::atoi(value("--threads").c_str());
     } else if (a == "--help" || a == "-h") {
       std::printf("common bench flags:\n"
                   "  --json-out FILE|-   append one-line JSON result records\n"
                   "  --trace-out FILE    write chrome://tracing / Perfetto JSON of the\n"
                   "                      last traced machine run\n"
-                  "  --trace-report      print per-phase and critical-path reports\n");
+                  "  --trace-report      print per-phase and critical-path reports\n"
+                  "  --backend sim|threads\n"
+                  "                      execution engine (default sim; see docs/execution.md)\n"
+                  "  --threads N         logical processor count override (threads backend\n"
+                  "                      runs one OS thread per logical processor)\n");
     }
   }
+}
+
+/// Copy of `cfg` with the CLI's --backend / --threads selection applied.
+/// Benches that support backend selection route their MachineConfig through
+/// this before running.
+inline fxpar::machine::MachineConfig apply_backend(fxpar::machine::MachineConfig cfg) {
+  const Options& o = options();
+  cfg.backend = (o.backend == "threads") ? fxpar::exec::BackendKind::Threads
+                                         : fxpar::exec::BackendKind::Sim;
+  if (o.threads > 0) cfg.num_procs = o.threads;
+  return cfg;
 }
 
 /// True when any tracing output was requested on the command line.
@@ -141,7 +168,8 @@ inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
                         double time_s, double efficiency, std::uint64_t comm_bytes,
                         double host_ms = -1.0, std::uint64_t plan_hits = 0,
-                        std::uint64_t plan_misses = 0) {
+                        std::uint64_t plan_misses = 0, const std::string& backend = "sim",
+                        int threads = 0, double wait_ms = -1.0) {
   std::ostream* out = detail::json_stream();
   if (!out) return;
   char num[64];
@@ -156,9 +184,15 @@ inline void json_record(const std::string& name,
   std::snprintf(num, sizeof(num), "%.6g", efficiency);
   *out << ",\"efficiency\":" << num;
   *out << ",\"comm_bytes\":" << comm_bytes;
+  *out << ",\"backend\":\"" << detail::json_escape(backend) << '"';
+  if (threads > 0) *out << ",\"threads\":" << threads;
   if (host_ms >= 0.0) {
     std::snprintf(num, sizeof(num), "%.6g", host_ms);
     *out << ",\"host_ms\":" << num;
+  }
+  if (wait_ms >= 0.0) {
+    std::snprintf(num, sizeof(num), "%.6g", wait_ms);
+    *out << ",\"wait_ms\":" << num;
   }
   if (plan_hits + plan_misses > 0) {
     *out << ",\"plan_cache_hits\":" << plan_hits << ",\"plan_cache_misses\":" << plan_misses;
@@ -167,12 +201,17 @@ inline void json_record(const std::string& name,
   out->flush();
 }
 
-/// Convenience overload taking the machine counters directly.
+/// Convenience overload taking the machine counters directly. Records which
+/// backend executed the run; on the threaded backend it also records the
+/// worker-thread count and total real blocked time.
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
                         const fxpar::machine::RunResult& res, double host_ms = -1.0) {
+  const bool threaded = res.backend == "threads";
   json_record(name, params, res.finish_time, res.efficiency(), res.bytes, host_ms,
-              res.plan_cache_hits, res.plan_cache_misses);
+              res.plan_cache_hits, res.plan_cache_misses, res.backend,
+              threaded ? static_cast<int>(res.clocks.size()) : 0,
+              threaded ? res.wait_ms : -1.0);
 }
 
 /// Reports on a traced run according to the CLI options: prints the phase

@@ -108,6 +108,17 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
   stats.end.assign(static_cast<std::size_t>(num_sets),
                    -std::numeric_limits<double>::infinity());
 
+  // Per-processor timestamp scratch, merged below: each rank writes only
+  // its own row, so recording is race-free on the threaded backend too.
+  std::vector<std::vector<double>> start_pp(
+      static_cast<std::size_t>(config.num_procs),
+      std::vector<double>(static_cast<std::size_t>(num_sets),
+                          std::numeric_limits<double>::infinity()));
+  std::vector<std::vector<double>> end_pp(
+      static_cast<std::size_t>(config.num_procs),
+      std::vector<double>(static_cast<std::size_t>(num_sets),
+                          -std::numeric_limits<double>::infinity()));
+
   machine::Machine machine(config);
   stats.machine_result = machine.run([&](machine::Context& ctx) {
     // One subgroup per (module, instance); leftovers become "idle".
@@ -163,8 +174,9 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
         // Run the module's stages on its subgroup.
         region.on("m" + std::to_string(m) + ".i" + std::to_string(j), [&] {
           if (m == 0) {
-            stats.start[static_cast<std::size_t>(set)] =
-                std::min(stats.start[static_cast<std::size_t>(set)], ctx.now());
+            auto& mine = start_pp[static_cast<std::size_t>(ctx.phys_rank())];
+            mine[static_cast<std::size_t>(set)] =
+                std::min(mine[static_cast<std::size_t>(set)], ctx.now());
           }
           for (std::size_t s = 0; s < per_stage.size(); ++s) {
             if (s > 0) {
@@ -180,14 +192,25 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
                                                             *per_stage[s].out, set);
           }
           if (m + 1 == modules.size()) {
-            stats.end[static_cast<std::size_t>(set)] =
-                std::max(stats.end[static_cast<std::size_t>(set)], ctx.now());
+            auto& mine = end_pp[static_cast<std::size_t>(ctx.phys_rank())];
+            mine[static_cast<std::size_t>(set)] =
+                std::max(mine[static_cast<std::size_t>(set)], ctx.now());
           }
         });
       }
       k.increment();
     }
   });
+  for (int set = 0; set < num_sets; ++set) {
+    for (int p = 0; p < config.num_procs; ++p) {
+      stats.start[static_cast<std::size_t>(set)] =
+          std::min(stats.start[static_cast<std::size_t>(set)],
+                   start_pp[static_cast<std::size_t>(p)][static_cast<std::size_t>(set)]);
+      stats.end[static_cast<std::size_t>(set)] =
+          std::max(stats.end[static_cast<std::size_t>(set)],
+                   end_pp[static_cast<std::size_t>(p)][static_cast<std::size_t>(set)]);
+    }
+  }
   stats.makespan = stats.machine_result.finish_time;
   return stats;
 }

@@ -53,6 +53,7 @@ PlanCache::Key PlanCache::redist_key(const Layout& src, const Layout& dst,
 }
 
 PlanCache& PlanCache::of(machine::Machine& m) {
+  std::lock_guard<std::mutex> lk(m.cache_mutex());
   if (!m.plan_cache_slot()) {
     m.set_plan_cache_slot(std::make_unique<PlanCache>());
   }
@@ -65,6 +66,7 @@ std::shared_ptr<const RedistSchedule> PlanCache::redist(machine::Machine& m, con
                                                         const std::vector<int>& inv_perm,
                                                         const std::vector<std::int64_t>& offsets) {
   Key key = redist_key(src, dst, perm, offsets);
+  std::lock_guard<std::mutex> lk(mu_);
   if (auto it = redist_.find(key); it != redist_.end()) {
     m.count_plan_cache(true);
     return it->second;
@@ -81,6 +83,7 @@ std::shared_ptr<const HaloSchedule> PlanCache::halo(machine::Machine& m, const L
   Key key;
   append_layout(key.blob, layout);
   key.blob.push_back(halo);
+  std::lock_guard<std::mutex> lk(mu_);
   if (auto it = halo_.find(key); it != halo_.end()) {
     m.count_plan_cache(true);
     return it->second;

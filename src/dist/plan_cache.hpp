@@ -16,10 +16,12 @@
 //    visits, no per-element offset resolution, no per-element copies on
 //    the permuted (corner-turn) path.
 //
-// Schedules live on the Machine (one host thread runs all fibers, so no
-// locking) and are shared by every processor: the first caller builds the
-// whole pair matrix, everyone else replays it. Entries are handed out as
-// shared_ptr so an eviction during a blocked call can never dangle.
+// Schedules live on the Machine and are shared by every processor: the
+// first caller builds the whole pair matrix, everyone else replays it.
+// Lookup and build happen under one cache mutex so the scheme works
+// unchanged on the threaded backend (on the simulator the single host
+// thread never contends). Entries are handed out as shared_ptr so an
+// eviction during a blocked call can never dangle.
 //
 // Caching is purely a host-time optimization: the executor issues exactly
 // the same messages, charges and barriers as the uncached path, so modeled
@@ -30,6 +32,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
@@ -230,6 +233,11 @@ class PlanCache final : public machine::MachineCacheBase {
   static Key redist_key(const Layout& src, const Layout& dst, const std::vector<int>& perm,
                         const std::vector<std::int64_t>& offsets);
 
+  /// Held across lookup *and* build: on the threaded backend the first
+  /// worker to miss builds the schedule while the rest wait and then hit,
+  /// so hit/miss totals match the simulator's exactly (the simulator's
+  /// fibers never contend on it).
+  mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const RedistSchedule>, KeyHash> redist_;
   std::unordered_map<Key, std::shared_ptr<const HaloSchedule>, KeyHash> halo_;
 };

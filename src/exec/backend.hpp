@@ -1,0 +1,124 @@
+// fxexec: the execution-backend seam of the fxpar machine.
+//
+// The paper's execution model — per-processor mapping stacks, minimal
+// processor subsets, localized subset barriers — does not care *how* the
+// logical processors execute: the original Fx compiler targeted real
+// Paragon nodes, while this reproduction started from a deterministic
+// single-threaded fiber simulator. Backend is the seam between the two.
+// The Machine owns exactly one Backend and forwards every
+// processor-visible service to it:
+//
+//   - launching the SPMD program body on every logical processor,
+//   - direct-deposit messaging (deposit / receive),
+//   - subset barriers over the current processor group,
+//   - the sequential I/O device,
+//   - the per-processor clock (modeled time on the simulator, real
+//     elapsed time on the threaded engine).
+//
+// Implementations:
+//   sim_backend.hpp      SimBackend       — the discrete-event fiber
+//                        simulator; authoritative *modeled* machine time.
+//   threaded_backend.hpp ThreadedBackend  — one OS thread per logical
+//                        processor over real shared memory; reports real
+//                        host time, wait time and barrier counts.
+//
+// The determinism contract (docs/execution.md): a program whose outputs
+// depend only on computed values and received payloads — not on clocks —
+// produces bit-identical array contents on every backend, because
+// messages are matched by (source, tag) in per-source FIFO order and
+// barriers synchronize exactly the same groups on both engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pgroup/group.hpp"
+#include "runtime/simulator.hpp"
+
+namespace fxpar::trace {
+class TraceRecorder;
+}
+
+namespace fxpar::exec {
+
+/// Raw bytes exchanged by the direct-deposit layer (same representation on
+/// every backend; machine::Payload aliases this).
+using Payload = std::vector<std::byte>;
+
+/// Which execution engine a MachineConfig selects.
+enum class BackendKind : std::uint8_t {
+  Sim,      ///< deterministic discrete-event fiber simulator
+  Threads,  ///< one OS thread per logical processor, shared memory
+};
+
+/// "sim" / "threads" (stable spelling used by bench records and CLIs).
+const char* backend_kind_name(BackendKind k) noexcept;
+
+/// Aggregate per-run numbers a backend hands back after run(). The
+/// interpretation of the clock fields is backend-defined: modeled seconds
+/// on the simulator, real host seconds on the threaded engine.
+struct BackendStats {
+  double finish_time = 0.0;  ///< completion time of the slowest processor
+  std::vector<runtime::ProcClock> clocks;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers = 0;
+  double wait_ms = 0.0;  ///< total *real* blocked time (threaded backend only)
+  std::vector<std::uint64_t> traffic;  ///< src * P + dst, when recorded
+};
+
+/// One execution engine. A Backend instance is owned by one Machine; the
+/// operations in the "processor operations" block are legal only from
+/// inside a processor body started by run() and always act on the calling
+/// logical processor.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const noexcept = 0;
+  const char* name() const noexcept { return backend_kind_name(kind()); }
+  virtual int num_procs() const noexcept = 0;
+
+  /// Runs `body(rank)` to completion on every logical processor. Rethrows
+  /// the first exception escaping any processor body.
+  virtual void run(const std::function<void(int)>& body) = 0;
+
+  /// Installs (or clears) the trace recorder observing this backend.
+  virtual void set_tracer(trace::TraceRecorder* tracer) noexcept = 0;
+
+  /// Clock of `rank`: modeled seconds (sim) or real seconds since the
+  /// current run() started (threads). Valid for the tracer's clock
+  /// callback as well as for Context::now().
+  virtual double now(int rank) const = 0;
+
+  /// Counters of the finished (or in-flight) run.
+  virtual BackendStats stats() const = 0;
+
+  // ---- processor operations (inside a processor body only) ----
+
+  /// Logical rank of the calling processor.
+  virtual int current_rank() const = 0;
+
+  /// Charges modeled compute time to the calling processor. The simulator
+  /// advances the virtual clock; the threaded engine ignores it (real time
+  /// passes by itself).
+  virtual void charge(double seconds) = 0;
+
+  /// Deposits a message into the mailbox of `dst`.
+  virtual void deposit(int dst, std::uint64_t tag, Payload data) = 0;
+
+  /// Next message from (`src`, `tag`); blocks until available.
+  virtual Payload receive(int src, std::uint64_t tag) = 0;
+
+  /// Subset barrier over `group`; the caller must be a member. Only
+  /// members of the same group synchronize — sibling subgroups of a
+  /// TASK_PARTITION never affect each other.
+  virtual void barrier(const pgroup::ProcessorGroup& group) = 0;
+
+  /// Blocking operation on the machine's sequential I/O device.
+  virtual void io_operation(std::size_t bytes) = 0;
+};
+
+}  // namespace fxpar::exec

@@ -1,0 +1,181 @@
+#include "exec/sim_backend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace fxpar::exec {
+
+const char* backend_kind_name(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::Sim: return "sim";
+    case BackendKind::Threads: return "threads";
+  }
+  return "?";
+}
+
+SimBackend::SimBackend(const machine::MachineConfig& config) : config_(config) {
+  sim_ = std::make_unique<runtime::Simulator>(config_.num_procs, config_.stack_bytes);
+  mailboxes_.resize(static_cast<std::size_t>(config_.num_procs));
+  waits_.resize(static_cast<std::size_t>(config_.num_procs));
+  if (config_.record_traffic) {
+    stat_traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
+                             static_cast<std::size_t>(config_.num_procs),
+                         0);
+  }
+}
+
+SimBackend::~SimBackend() = default;
+
+void SimBackend::set_tracer(trace::TraceRecorder* tracer) noexcept {
+  tracer_ = tracer;
+  sim_->set_tracer(tracer);
+}
+
+double SimBackend::now(int rank) const { return sim_->clock(rank).now; }
+
+int SimBackend::current_rank() const { return sim_->current_rank(); }
+
+void SimBackend::charge(double seconds) { sim_->advance(seconds); }
+
+void SimBackend::run(const std::function<void(int)>& body) {
+  for (int r = 0; r < num_procs(); ++r) {
+    sim_->spawn(r, [&body, r] { body(r); });
+  }
+  sim_->run();
+}
+
+BackendStats SimBackend::stats() const {
+  BackendStats s;
+  s.finish_time = sim_->finish_time();
+  s.clocks.reserve(static_cast<std::size_t>(num_procs()));
+  for (int r = 0; r < num_procs(); ++r) s.clocks.push_back(sim_->clock(r));
+  s.messages = stat_messages_;
+  s.bytes = stat_bytes_;
+  s.barriers = stat_barriers_;
+  s.traffic = stat_traffic_;
+  return s;
+}
+
+void SimBackend::deposit(int dst, std::uint64_t tag, Payload data) {
+  if (dst < 0 || dst >= num_procs()) {
+    throw std::out_of_range("Machine::deposit: bad destination " + std::to_string(dst));
+  }
+  const int src = sim_->current_rank();
+  const std::size_t bytes = data.size();
+  // Sender-side costs: software overhead plus wire serialization.
+  const runtime::SimTime send_start = sim_->now();
+  sim_->advance(config_.send_overhead + static_cast<double>(bytes) * config_.byte_time);
+  const runtime::SimTime arrival = sim_->now() + config_.latency;
+
+  Message msg{std::move(data), arrival, 0};
+  if (tracer_) {
+    msg.trace_id = tracer_->message_sent(src, dst, tag, bytes, send_start, sim_->now());
+  }
+  const MailKey key{src, tag};
+  mailboxes_[static_cast<std::size_t>(dst)][key].push_back(std::move(msg));
+  stat_messages_ += 1;
+  stat_bytes_ += bytes;
+  if (!stat_traffic_.empty()) {
+    stat_traffic_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_procs()) +
+                  static_cast<std::size_t>(dst)] += bytes;
+  }
+
+  WaitState& w = waits_[static_cast<std::size_t>(dst)];
+  if (w.waiting && w.key == key && sim_->is_blocked(dst)) {
+    w.waiting = false;
+    sim_->wake(dst, arrival);
+  }
+}
+
+Payload SimBackend::receive(int src, std::uint64_t tag) {
+  if (src < 0 || src >= num_procs()) {
+    throw std::out_of_range("Machine::receive: bad source " + std::to_string(src));
+  }
+  const int dst = sim_->current_rank();
+  const MailKey key{src, tag};
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+  const runtime::SimTime recv_entry = sim_->now();
+  for (;;) {
+    auto it = box.find(key);
+    if (it != box.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) box.erase(it);
+      sim_->advance_to(msg.arrival);
+      if (tracer_ && msg.trace_id != 0) {
+        tracer_->message_received(msg.trace_id, recv_entry, sim_->now());
+      }
+      sim_->advance(config_.recv_overhead);
+      return std::move(msg.data);
+    }
+    WaitState& w = waits_[static_cast<std::size_t>(dst)];
+    w.waiting = true;
+    w.key = key;
+    sim_->block("recv from proc " + std::to_string(src) + " tag " + std::to_string(tag));
+    // Re-check: wakeups are edge-triggered on the matching deposit, but the
+    // loop guards against future conservative wake policies.
+  }
+}
+
+void SimBackend::barrier(const pgroup::ProcessorGroup& group) {
+  const int me = sim_->current_rank();
+  if (!group.contains(me)) {
+    throw std::logic_error("Machine::barrier: proc " + std::to_string(me) +
+                           " is not a member of group " + group.to_string());
+  }
+  stat_barriers_ += 1;
+  const int n = group.size();
+  const double cost =
+      config_.barrier_base +
+      config_.barrier_stage * std::ceil(std::log2(static_cast<double>(std::max(n, 2))));
+  if (n == 1) {
+    sim_->advance(config_.barrier_base);
+    return;
+  }
+  BarrierState& st = barriers_[group.key()];
+  if (tracer_) {
+    if (st.arrived == 0) st.trace_id = tracer_->barrier_open(group.key());
+    tracer_->barrier_arrive(st.trace_id, me, sim_->now());
+  }
+  st.arrived += 1;
+  // The happens-before cause of the release is the proc with the latest
+  // *modeled* arrival, which need not be the fiber that executes last.
+  if (st.last_arriver < 0 || sim_->now() >= st.max_arrival) st.last_arriver = me;
+  st.max_arrival = std::max(st.max_arrival, sim_->now());
+  if (st.arrived < n) {
+    st.waiting.push_back(me);
+    sim_->block("barrier on group " + group.to_string());
+    return;  // woken by the last arriver with the clock already advanced
+  }
+  // Last arriver: release everyone.
+  const runtime::SimTime release = st.max_arrival + cost;
+  if (tracer_) tracer_->barrier_release(st.trace_id, st.last_arriver, st.max_arrival, release);
+  std::vector<int> waiting = std::move(st.waiting);
+  barriers_.erase(group.key());
+  for (int r : waiting) sim_->wake(r, release);
+  sim_->advance_to(release);
+}
+
+void SimBackend::io_operation(std::size_t bytes) {
+  const double entry = sim_->now();
+  const double start = std::max(entry, io_available_);
+  const double done = start + config_.io_latency +
+                      static_cast<double>(bytes) * config_.io_byte_time;
+  if (tracer_) {
+    const int me = sim_->current_rank();
+    // When queued behind an earlier operation, the happens-before edge
+    // points at its owner; otherwise the stall is the device itself.
+    const bool queued = start > entry && io_prev_proc_ >= 0;
+    tracer_->io_wait(me, entry, done, queued ? io_prev_proc_ : me,
+                     queued ? io_available_ : entry);
+    io_prev_proc_ = me;
+  }
+  io_available_ = done;
+  sim_->advance_to(done);
+}
+
+}  // namespace fxpar::exec

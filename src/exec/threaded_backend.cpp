@@ -1,0 +1,494 @@
+#include "exec/threaded_backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "runtime/simulator.hpp"  // runtime::DeadlockError
+#include "trace/trace.hpp"
+
+namespace fxpar::exec {
+namespace {
+
+// Identity of the calling worker. A worker thread of at most one
+// ThreadedBackend runs on any OS thread at a time, so a (backend, rank)
+// pair is enough; the backend pointer guards against ops issued from
+// threads the backend does not own (e.g. the test driver).
+thread_local const ThreadedBackend* t_owner = nullptr;
+thread_local int t_rank = -1;
+
+constexpr int kSpinRounds = 256;  ///< brief spin before parking on the cv
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TreeBarrier
+
+ThreadedBackend::TreeBarrier::TreeBarrier(int n) : nodes(static_cast<std::size_t>(n)) {
+  arrive_t.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    int fanin = 1;  // the member itself
+    if (2 * i + 1 < n) ++fanin;
+    if (2 * i + 2 < n) ++fanin;
+    nodes[static_cast<std::size_t>(i)].fanin = fanin;
+    nodes[static_cast<std::size_t>(i)].pending.store(fanin, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / run lifecycle
+
+ThreadedBackend::ThreadedBackend(const machine::MachineConfig& config) : config_(config) {
+  workers_.reserve(static_cast<std::size_t>(config_.num_procs));
+  for (int r = 0; r < config_.num_procs; ++r) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  if (config_.record_traffic) {
+    traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
+                        static_cast<std::size_t>(config_.num_procs),
+                    0);
+  }
+  t0_ = std::chrono::steady_clock::now();
+}
+
+ThreadedBackend::~ThreadedBackend() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+double ThreadedBackend::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+double ThreadedBackend::now(int rank) const {
+  if (rank < 0 || rank >= num_procs()) {
+    throw std::out_of_range("ThreadedBackend::now: bad rank " + std::to_string(rank));
+  }
+  return now_s();  // one real clock; every processor reads the same time
+}
+
+int ThreadedBackend::current_rank() const {
+  if (t_owner != this || t_rank < 0) {
+    throw std::logic_error(
+        "ThreadedBackend: processor operation outside a processor body");
+  }
+  return t_rank;
+}
+
+ThreadedBackend::Worker& ThreadedBackend::self() {
+  return *workers_[static_cast<std::size_t>(current_rank())];
+}
+
+void ThreadedBackend::charge(double /*seconds*/) {
+  // Real time passes by itself; modeled cost parameters do not apply here.
+}
+
+void ThreadedBackend::reset_run_state() {
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    for (MsgNode* n = w.inbox.exchange(nullptr, std::memory_order_acquire); n;) {
+      MsgNode* next = n->next;
+      delete n;
+      n = next;
+    }
+    for (auto& [key, q] : w.sorted) {
+      for (MsgNode* n : q) delete n;
+    }
+    w.sorted.clear();
+    w.parked.store(false, std::memory_order_relaxed);
+    w.barrier_epoch.clear();
+    w.barrier_cache.clear();
+    w.elapsed_s = 0.0;
+    w.wait_s = 0.0;
+    w.blocks = w.messages = w.bytes = w.barriers = 0;
+    w.block_reason.store(nullptr, std::memory_order_relaxed);
+  }
+  if (!traffic_.empty()) std::fill(traffic_.begin(), traffic_.end(), 0);
+  {
+    std::lock_guard<std::mutex> lk(breg_mu_);
+    barrier_registry_.clear();
+  }
+  aborted_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  parked_n_.store(0, std::memory_order_relaxed);
+  finished_n_.store(0, std::memory_order_relaxed);
+  progress_.store(0, std::memory_order_relaxed);
+  io_prev_proc_ = -1;
+}
+
+void ThreadedBackend::fail(std::exception_ptr e) {
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (!first_error_) first_error_ = std::move(e);
+  }
+  aborted_.store(true, std::memory_order_seq_cst);
+  wake_all();
+}
+
+void ThreadedBackend::wake_all() {
+  for (auto& wp : workers_) {
+    std::lock_guard<std::mutex> lk(wp->mu);
+    wp->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lk(breg_mu_);
+  for (auto& [key, tb] : barrier_registry_) {
+    std::lock_guard<std::mutex> blk(tb->mu);
+    tb->cv.notify_all();
+  }
+}
+
+void ThreadedBackend::run(const std::function<void(int)>& body) {
+  reset_run_state();
+  const int p = num_procs();
+  t0_ = std::chrono::steady_clock::now();
+  if (tracer_) tracer_->set_concurrent(p);
+
+  for (int r = 0; r < p; ++r) {
+    Worker& w = *workers_[static_cast<std::size_t>(r)];
+    w.thread = std::thread([this, &body, &w, r] {
+      t_owner = this;
+      t_rank = r;
+      try {
+        body(r);
+      } catch (const AbortError&) {
+        // Unwound by someone else's failure; nothing more to record.
+      } catch (...) {
+        fail(std::current_exception());
+      }
+      w.elapsed_s = now_s();
+      finished_n_.fetch_add(1, std::memory_order_seq_cst);
+      // A worker that finishes may be the last thing a deadlock check is
+      // waiting on; poke every parked peer so they re-evaluate.
+      progress_.fetch_add(1, std::memory_order_seq_cst);
+      wake_all();
+      t_owner = nullptr;
+      t_rank = -1;
+    });
+  }
+  for (auto& wp : workers_) wp->thread.join();
+
+  if (tracer_) tracer_->merge_concurrent();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnosis
+
+bool ThreadedBackend::quiescent(std::uint64_t progress_snapshot) const {
+  if (progress_.load(std::memory_order_seq_cst) != progress_snapshot) return false;
+  const int done = finished_n_.load(std::memory_order_seq_cst);
+  const int parked = parked_n_.load(std::memory_order_seq_cst);
+  if (done >= num_procs()) return false;  // run is completing normally
+  if (parked + done < num_procs()) return false;  // somebody is still running
+  // Everyone alive is parked and no deposit/release happened in between. A
+  // pushed-but-undrained inbox would have bumped progress_, so this is a
+  // genuine global wait cycle.
+  return progress_.load(std::memory_order_seq_cst) == progress_snapshot;
+}
+
+void ThreadedBackend::report_deadlock() {
+  std::string detail = "deadlock: all processors blocked.";
+  for (int r = 0; r < num_procs(); ++r) {
+    const Worker& w = *workers_[static_cast<std::size_t>(r)];
+    const char* reason = w.block_reason.load(std::memory_order_acquire);
+    detail += "\n  proc " + std::to_string(r) + ": " + (reason ? reason : "finished");
+  }
+  fail(std::make_exception_ptr(runtime::DeadlockError(detail)));
+}
+
+// ---------------------------------------------------------------------------
+// Messaging
+
+void ThreadedBackend::deposit(int dst, std::uint64_t tag, Payload data) {
+  if (dst < 0 || dst >= num_procs()) {
+    throw std::out_of_range("Machine::deposit: bad destination " + std::to_string(dst));
+  }
+  if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  Worker& me = self();
+  const int src = t_rank;
+  const std::size_t bytes = data.size();
+
+  auto* node = new MsgNode{};
+  node->src = src;
+  node->tag = tag;
+  node->data = std::move(data);
+  node->sent_at = now_s();
+  if (tracer_) {
+    node->trace_id = tracer_->message_sent(src, dst, tag, bytes, node->sent_at, node->sent_at);
+  }
+
+  me.messages += 1;
+  me.bytes += bytes;
+  if (!traffic_.empty()) {
+    traffic_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_procs()) +
+             static_cast<std::size_t>(dst)] += bytes;
+  }
+
+  Worker& to = *workers_[static_cast<std::size_t>(dst)];
+  MsgNode* head = to.inbox.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!to.inbox.compare_exchange_weak(head, node, std::memory_order_release,
+                                           std::memory_order_relaxed));
+  progress_.fetch_add(1, std::memory_order_seq_cst);
+
+  // Dekker-style handshake with the receiver's park sequence: the push
+  // above is seq_cst-ordered before this load, and the receiver sets
+  // `parked` before its final inbox check. Either we see parked and
+  // notify, or the receiver's check sees our node.
+  if (to.parked.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lk(to.mu);
+    to.cv.notify_all();
+  }
+}
+
+void ThreadedBackend::drain_inbox(Worker& w) {
+  MsgNode* n = w.inbox.exchange(nullptr, std::memory_order_acquire);
+  // The Treiber stack yields newest-first; reverse to restore push order so
+  // matching stays per-source FIFO like the simulator's deques.
+  MsgNode* in_order = nullptr;
+  while (n) {
+    MsgNode* next = n->next;
+    n->next = in_order;
+    in_order = n;
+    n = next;
+  }
+  while (in_order) {
+    MsgNode* next = in_order->next;
+    in_order->next = nullptr;
+    w.sorted[MailKey{in_order->src, in_order->tag}].push_back(in_order);
+    in_order = next;
+  }
+}
+
+Payload ThreadedBackend::receive(int src, std::uint64_t tag) {
+  if (src < 0 || src >= num_procs()) {
+    throw std::out_of_range("Machine::receive: bad source " + std::to_string(src));
+  }
+  Worker& me = self();
+  const MailKey key{src, tag};
+  const double entry = now_s();
+  bool blocked = false;
+
+  for (int spin = 0;; ++spin) {
+    if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+    drain_inbox(me);
+    auto it = me.sorted.find(key);
+    if (it != me.sorted.end() && !it->second.empty()) {
+      MsgNode* node = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) me.sorted.erase(it);
+      if (blocked) {
+        me.wait_s += now_s() - entry;
+        me.blocks += 1;
+      }
+      if (tracer_ && node->trace_id != 0) {
+        tracer_->message_received_at(node->trace_id, t_rank, node->src, node->sent_at,
+                                     entry, now_s());
+      }
+      Payload data = std::move(node->data);
+      delete node;
+      return data;
+    }
+    if (spin < kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    blocked = true;
+    me.block_reason.store("recv", std::memory_order_release);
+    std::unique_lock<std::mutex> lk(me.mu);
+    me.parked.store(true, std::memory_order_seq_cst);
+    parked_n_.fetch_add(1, std::memory_order_seq_cst);
+    // Final check under the parked flag: a sender that pushed before seeing
+    // parked==true is visible here; one that pushes after will notify.
+    if (me.inbox.load(std::memory_order_seq_cst) == nullptr &&
+        !aborted_.load(std::memory_order_acquire)) {
+      const std::uint64_t snap = progress_.load(std::memory_order_seq_cst);
+      if (quiescent(snap)) {
+        lk.unlock();
+        report_deadlock();
+        lk.lock();
+      } else {
+        me.cv.wait_for(lk, std::chrono::milliseconds(100));
+        if (me.inbox.load(std::memory_order_seq_cst) == nullptr &&
+            !aborted_.load(std::memory_order_acquire) && quiescent(snap)) {
+          lk.unlock();
+          report_deadlock();
+          lk.lock();
+        }
+      }
+    }
+    me.parked.store(false, std::memory_order_seq_cst);
+    parked_n_.fetch_sub(1, std::memory_order_seq_cst);
+    me.block_reason.store(nullptr, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subset barriers
+
+std::shared_ptr<ThreadedBackend::TreeBarrier> ThreadedBackend::barrier_for(
+    Worker& me, const pgroup::ProcessorGroup& g) {
+  const std::uint64_t key = g.key();
+  auto it = me.barrier_cache.find(key);
+  if (it != me.barrier_cache.end()) return it->second;
+  std::shared_ptr<TreeBarrier> tb;
+  {
+    std::lock_guard<std::mutex> lk(breg_mu_);
+    auto& slot = barrier_registry_[key];
+    if (!slot) slot = std::make_shared<TreeBarrier>(g.size());
+    tb = slot;
+  }
+  me.barrier_cache.emplace(key, tb);
+  return tb;
+}
+
+void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
+  Worker& me = self();
+  const int rank = t_rank;
+  if (!group.contains(rank)) {
+    throw std::logic_error("Machine::barrier: proc " + std::to_string(rank) +
+                           " is not a member of group " + group.to_string());
+  }
+  if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  me.barriers += 1;
+  const int n = group.size();
+  if (n == 1) return;
+
+  std::shared_ptr<TreeBarrier> tb = barrier_for(me, group);
+  const std::uint64_t episode = ++me.barrier_epoch[group.key()];
+  const int vrank = group.virtual_of(rank);
+  const double arrived_at = now_s();
+  if (tracer_) tb->arrive_t[static_cast<std::size_t>(vrank)] = arrived_at;
+
+  // Signal completed subtrees up the combining tree. Each node resets
+  // itself for the next episode when it fires, which is safe because no
+  // member can re-enter this episode's subtree before `released` advances.
+  int node = vrank;
+  while (tb->nodes[static_cast<std::size_t>(node)].pending.fetch_sub(
+             1, std::memory_order_acq_rel) == 1) {
+    tb->nodes[static_cast<std::size_t>(node)].pending.store(
+        tb->nodes[static_cast<std::size_t>(node)].fanin, std::memory_order_relaxed);
+    if (node == 0) {
+      // Root: the whole group has arrived. Publish trace data, then release.
+      if (tracer_) {
+        int last = 0;
+        double max_t = tb->arrive_t[0];
+        for (int i = 1; i < n; ++i) {
+          if (tb->arrive_t[static_cast<std::size_t>(i)] >= max_t) {
+            max_t = tb->arrive_t[static_cast<std::size_t>(i)];
+            last = i;
+          }
+        }
+        tb->last_arriver = group.members()[static_cast<std::size_t>(last)];
+        tb->max_arrival = max_t;
+      }
+      tb->released.store(episode, std::memory_order_seq_cst);
+      progress_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::lock_guard<std::mutex> lk(tb->mu);
+        tb->cv.notify_all();
+      }
+      break;
+    }
+    node = (node - 1) / 2;
+  }
+
+  // Wait for this episode's release: spin briefly, then park.
+  if (tb->released.load(std::memory_order_seq_cst) < episode) {
+    for (int spin = 0; spin < kSpinRounds; ++spin) {
+      if (tb->released.load(std::memory_order_seq_cst) >= episode) break;
+      if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+      std::this_thread::yield();
+    }
+    if (tb->released.load(std::memory_order_seq_cst) < episode) {
+      me.block_reason.store("barrier", std::memory_order_release);
+      std::unique_lock<std::mutex> lk(tb->mu);
+      parked_n_.fetch_add(1, std::memory_order_seq_cst);
+      while (tb->released.load(std::memory_order_seq_cst) < episode &&
+             !aborted_.load(std::memory_order_acquire)) {
+        const std::uint64_t snap = progress_.load(std::memory_order_seq_cst);
+        tb->cv.wait_for(lk, std::chrono::milliseconds(100));
+        if (tb->released.load(std::memory_order_seq_cst) < episode &&
+            !aborted_.load(std::memory_order_acquire) && quiescent(snap)) {
+          lk.unlock();
+          report_deadlock();
+          lk.lock();
+        }
+      }
+      parked_n_.fetch_sub(1, std::memory_order_seq_cst);
+      me.block_reason.store(nullptr, std::memory_order_release);
+    }
+  }
+  if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+
+  const double released_at = now_s();
+  if (released_at > arrived_at) {
+    me.wait_s += released_at - arrived_at;
+    me.blocks += 1;
+  }
+  if (tracer_) {
+    tracer_->barrier_record(group.key(), episode, rank, arrived_at, released_at,
+                            tb->last_arriver, tb->max_arrival);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O device
+
+void ThreadedBackend::io_operation(std::size_t bytes) {
+  Worker& me = self();
+  const int rank = t_rank;
+  if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  const double entry = now_s();
+  int prev = -1;
+  {
+    // The machine has one sequential I/O device; serialize real access to
+    // it just as the simulator serializes modeled access.
+    me.block_reason.store("io", std::memory_order_release);
+    std::lock_guard<std::mutex> lk(io_mu_);
+    prev = io_prev_proc_;
+    io_prev_proc_ = rank;
+    // Device occupancy: the modeled latency/byte costs are simulator-side
+    // parameters, but holding the lock for the transfer keeps operations
+    // serialized. The payload copy itself happens in the caller.
+    (void)bytes;
+  }
+  me.block_reason.store(nullptr, std::memory_order_release);
+  const double done = now_s();
+  if (done > entry) {
+    me.wait_s += done - entry;
+  }
+  if (tracer_) {
+    const bool queued = done > entry && prev >= 0;
+    tracer_->io_wait(rank, entry, done, queued ? prev : rank, entry);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+BackendStats ThreadedBackend::stats() const {
+  BackendStats s;
+  s.clocks.reserve(static_cast<std::size_t>(num_procs()));
+  for (const auto& wp : workers_) {
+    const Worker& w = *wp;
+    runtime::ProcClock c;
+    c.now = w.elapsed_s;
+    c.busy = std::max(0.0, w.elapsed_s - w.wait_s);
+    c.idle = w.wait_s;
+    c.blocks = w.blocks;
+    s.clocks.push_back(c);
+    s.finish_time = std::max(s.finish_time, w.elapsed_s);
+    s.messages += w.messages;
+    s.bytes += w.bytes;
+    s.barriers += w.barriers;
+    s.wait_ms += w.wait_s * 1e3;
+  }
+  s.traffic = traffic_;
+  return s;
+}
+
+}  // namespace fxpar::exec

@@ -1,0 +1,182 @@
+// fxexec: real shared-memory threaded execution backend.
+//
+// ThreadedBackend runs the same Fx programs as the simulator, but each
+// logical processor is a real OS thread and every machine service is built
+// on shared memory:
+//
+//  - Messaging: one MPSC mailbox per processor. Producers push message
+//    nodes onto a lock-free Treiber stack (the inbox); the owning worker
+//    drains it, restores arrival order, and files messages under
+//    (source, tag) — the same FIFO matching discipline as the simulator,
+//    which is what makes deterministic programs produce bit-identical
+//    payloads on both engines. A worker with no matching message parks on
+//    its mailbox condition variable; senders wake it only when the parked
+//    flag is up.
+//
+//  - Subset barriers: one combining *tree* per processor group, keyed on
+//    the group's content key (the paper's localization technique: only
+//    members of the current group synchronize, so sibling subgroups of a
+//    TASK_PARTITION proceed independently). Members signal completed
+//    subtrees up the tree with atomic counters; the root publishes a new
+//    release epoch and broadcasts. Episodes are matched by a per-worker
+//    per-group epoch counter, exactly like the simulator's per-group
+//    barrier state.
+//
+//  - Time: there is no modeled clock. charge() is a no-op, now() is real
+//    seconds since run() started, and the stats report real host time,
+//    real blocked time and barrier counts. The simulator remains the
+//    authority on modeled machine time (docs/execution.md).
+//
+// A processor body that throws aborts the run: every parked worker is
+// woken and unwinds with AbortError, and run() rethrows the original
+// exception. A run in which every unfinished worker is parked with no
+// message in flight is reported as runtime::DeadlockError, mirroring the
+// simulator's diagnosis.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "machine/config.hpp"
+
+namespace fxpar::exec {
+
+/// Unwinds a processor body that was parked (or about to park) when some
+/// other processor failed; run() swallows it and rethrows the first real
+/// exception instead.
+class AbortError : public std::runtime_error {
+ public:
+  AbortError() : std::runtime_error("fxexec: run aborted by a failing processor") {}
+};
+
+class ThreadedBackend final : public Backend {
+ public:
+  explicit ThreadedBackend(const machine::MachineConfig& config);
+  ~ThreadedBackend() override;
+
+  BackendKind kind() const noexcept override { return BackendKind::Threads; }
+  int num_procs() const noexcept override { return config_.num_procs; }
+
+  void run(const std::function<void(int)>& body) override;
+  void set_tracer(trace::TraceRecorder* tracer) noexcept override { tracer_ = tracer; }
+  double now(int rank) const override;
+  BackendStats stats() const override;
+
+  int current_rank() const override;
+  void charge(double seconds) override;
+  void deposit(int dst, std::uint64_t tag, Payload data) override;
+  Payload receive(int src, std::uint64_t tag) override;
+  void barrier(const pgroup::ProcessorGroup& group) override;
+  void io_operation(std::size_t bytes) override;
+
+ private:
+  struct MailKey {
+    int src;
+    std::uint64_t tag;
+    friend auto operator<=>(const MailKey&, const MailKey&) = default;
+  };
+
+  /// One message in flight. Allocated by the sender, freed by the receiver.
+  struct MsgNode {
+    MsgNode* next = nullptr;
+    int src = -1;
+    std::uint64_t tag = 0;
+    Payload data;
+    double sent_at = 0.0;        ///< real send time (trace cause edge)
+    std::uint64_t trace_id = 0;  ///< TraceRecorder message id (0 = untraced)
+  };
+
+  /// Combining-tree barrier for one processor group. Node i's counter
+  /// covers its own arrival plus its children's completed subtrees; the
+  /// last decrement resets the node for the next episode and signals the
+  /// parent, and the root's completion releases the episode.
+  struct TreeBarrier {
+    explicit TreeBarrier(int n);
+
+    struct alignas(64) Node {
+      std::atomic<int> pending{0};
+      int fanin = 0;
+    };
+    std::vector<Node> nodes;       ///< indexed by vrank; parent(i) = (i-1)/2
+    std::vector<double> arrive_t;  ///< real arrival stamps (traced runs only)
+    std::atomic<std::uint64_t> released{0};  ///< highest released episode
+    std::mutex mu;
+    std::condition_variable cv;
+
+    // Published by the root before advancing `released` (traced runs). A
+    // member reads these only after acquiring `released >= episode`, and
+    // the next episode cannot overwrite them until that member re-arrives.
+    int last_arriver = -1;  ///< physical rank with the latest arrival
+    double max_arrival = 0.0;
+  };
+
+  struct alignas(64) Worker {
+    // ---- mailbox: lock-free MPSC inbox, owner-side sorted store ----
+    std::atomic<MsgNode*> inbox{nullptr};
+    std::atomic<bool> parked{false};  ///< owner is (about to be) asleep
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<MailKey, std::deque<MsgNode*>> sorted;  ///< owner thread only
+
+    // ---- owner-thread-local state ----
+    std::unordered_map<std::uint64_t, std::uint64_t> barrier_epoch;
+    std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_cache;
+
+    // ---- per-worker counters, merged by stats() after the join ----
+    double elapsed_s = 0.0;  ///< real seconds from run start to body end
+    double wait_s = 0.0;     ///< real seconds parked (recv/barrier/io)
+    std::uint64_t blocks = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t barriers = 0;
+    std::atomic<const char*> block_reason{nullptr};  ///< static string or null
+
+    std::thread thread;
+  };
+
+  double now_s() const;
+  Worker& self();
+  void drain_inbox(Worker& w);
+  std::shared_ptr<TreeBarrier> barrier_for(Worker& me, const pgroup::ProcessorGroup& g);
+  void fail(std::exception_ptr e);
+  void wake_all();
+  void reset_run_state();
+  /// True when every unfinished worker is parked and nothing moved since
+  /// `progress_snapshot`; the caller then reports a deadlock.
+  bool quiescent(std::uint64_t progress_snapshot) const;
+  void report_deadlock();
+
+  machine::MachineConfig config_;
+  trace::TraceRecorder* tracer_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::uint64_t> traffic_;  ///< src * P + dst; row src owned by its worker
+  std::chrono::steady_clock::time_point t0_;
+
+  std::atomic<bool> aborted_{false};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+
+  std::atomic<int> parked_n_{0};
+  std::atomic<int> finished_n_{0};
+  std::atomic<std::uint64_t> progress_{0};  ///< bumped by deposits and releases
+
+  std::mutex breg_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_registry_;
+
+  std::mutex io_mu_;
+  int io_prev_proc_ = -1;  ///< guarded by io_mu_
+};
+
+}  // namespace fxpar::exec

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/backend.hpp"
+
 namespace fxpar::machine {
 
 /// Parameters of the simulated distributed-memory machine. All times are in
@@ -44,8 +46,17 @@ struct MachineConfig {
   double io_latency = 5e-3;        ///< per I/O operation
   double io_byte_time = 1.0 / 8e6; ///< ~8 MB/s sustained
 
+  /// Which execution engine runs the program (see src/exec/backend.hpp and
+  /// docs/execution.md): the deterministic discrete-event simulator — the
+  /// authority on modeled machine time, where all the cost parameters
+  /// above apply — or the shared-memory threaded backend, where each
+  /// logical processor is a real OS thread and the run reports real host
+  /// time instead. Deterministic programs produce bit-identical array
+  /// contents on both.
+  exec::BackendKind backend = exec::BackendKind::Sim;
+
   // Host-side simulation knobs.
-  std::size_t stack_bytes = 1u << 20;  ///< fiber stack size (host memory)
+  std::size_t stack_bytes = 1u << 20;  ///< fiber stack size (host memory; sim only)
   bool record_traffic = false;         ///< keep a per-(src,dst) byte matrix
 
   /// Record a structured event trace (spans, waits, messages, barriers) of

@@ -34,20 +34,20 @@ int Context::vrank() const {
   return v;
 }
 
-double Context::now() const { return machine_.sim().clock(phys_).now; }
+double Context::now() const { return machine_.backend().now(phys_); }
 
-void Context::charge(double seconds) { machine_.sim().advance(seconds); }
+void Context::charge(double seconds) { machine_.backend().charge(seconds); }
 
 void Context::charge_flops(double n) {
-  machine_.sim().advance(n * config().flop_time);
+  machine_.backend().charge(n * config().flop_time);
 }
 
 void Context::charge_int_ops(double n) {
-  machine_.sim().advance(n * config().int_op_time);
+  machine_.backend().charge(n * config().int_op_time);
 }
 
 void Context::charge_mem_bytes(double bytes) {
-  machine_.sim().advance(bytes * config().mem_byte_time);
+  machine_.backend().charge(bytes * config().mem_byte_time);
 }
 
 void Context::send(int dst_vrank, std::uint64_t tag, Payload data) {

@@ -1,10 +1,11 @@
 #include "machine/machine.hpp"
 
-#include <cmath>
-#include <numeric>
+#include <chrono>
 #include <stdexcept>
-#include <string>
+#include <utility>
 
+#include "exec/sim_backend.hpp"
+#include "exec/threaded_backend.hpp"
 #include "machine/context.hpp"
 
 namespace fxpar::machine {
@@ -25,23 +26,31 @@ std::uint64_t RunResult::traffic_between(int src, int dst) const {
 
 Machine::Machine(MachineConfig config) : config_(config) {
   config_.validate();
-  sim_ = std::make_unique<runtime::Simulator>(config_.num_procs, config_.stack_bytes);
-  mailboxes_.resize(static_cast<std::size_t>(config_.num_procs));
-  waits_.resize(static_cast<std::size_t>(config_.num_procs));
-  if (config_.record_traffic) {
-    stat_traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
-                             static_cast<std::size_t>(config_.num_procs),
-                         0);
+  switch (config_.backend) {
+    case exec::BackendKind::Sim:
+      backend_ = std::make_unique<exec::SimBackend>(config_);
+      break;
+    case exec::BackendKind::Threads:
+      backend_ = std::make_unique<exec::ThreadedBackend>(config_);
+      break;
   }
   if (config_.trace) {
     tracer_ = std::make_shared<trace::TraceRecorder>(config_.num_procs);
-    tracer_->set_clock(
-        [this](int rank) { return sim_->clock(rank).now; });
-    sim_->set_tracer(tracer_.get());
+    tracer_->set_clock([this](int rank) { return backend_->now(rank); });
+    backend_->set_tracer(tracer_.get());
   }
 }
 
 Machine::~Machine() = default;
+
+runtime::Simulator& Machine::sim() {
+  auto* sb = dynamic_cast<exec::SimBackend*>(backend_.get());
+  if (!sb) {
+    throw std::logic_error("Machine::sim: the '" + std::string(backend_->name()) +
+                           "' backend has no event simulator");
+  }
+  return sb->sim();
+}
 
 RunResult Machine::run(const std::function<void(Context&)>& program) {
   if (!program) throw std::invalid_argument("Machine::run: empty program");
@@ -51,28 +60,30 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
     contexts.push_back(std::make_unique<Context>(*this, r));
   }
   if (tracer_) tracer_->reset();
-  for (int r = 0; r < num_procs(); ++r) {
-    Context* ctx = contexts[static_cast<std::size_t>(r)].get();
-    // Each processor's whole body runs inside a root "program" span so
-    // every recorded event has an enclosing scope.
-    sim_->spawn(r, [this, program, ctx, r] {
-      if (tracer_) tracer_->begin_span(r, "program", "root");
-      program(*ctx);
-      if (tracer_) tracer_->end_span(r);
-    });
-  }
-  sim_->run();
+  const auto host_t0 = std::chrono::steady_clock::now();
+  // Each processor's whole body runs inside a root "program" span so every
+  // recorded event has an enclosing scope.
+  backend_->run([this, &program, &contexts](int r) {
+    Context& ctx = *contexts[static_cast<std::size_t>(r)];
+    if (tracer_) tracer_->begin_span(r, "program", "root");
+    program(ctx);
+    if (tracer_) tracer_->end_span(r);
+  });
+  const auto host_t1 = std::chrono::steady_clock::now();
 
+  const exec::BackendStats bs = backend_->stats();
   RunResult res;
-  res.finish_time = sim_->finish_time();
-  res.clocks.reserve(static_cast<std::size_t>(num_procs()));
-  for (int r = 0; r < num_procs(); ++r) res.clocks.push_back(sim_->clock(r));
-  res.messages = stat_messages_;
-  res.bytes = stat_bytes_;
-  res.barriers = stat_barriers_;
-  res.plan_cache_hits = stat_plan_hits_;
-  res.plan_cache_misses = stat_plan_misses_;
-  res.traffic = stat_traffic_;
+  res.finish_time = bs.finish_time;
+  res.clocks = bs.clocks;
+  res.messages = bs.messages;
+  res.bytes = bs.bytes;
+  res.barriers = bs.barriers;
+  res.backend = backend_->name();
+  res.host_ms = std::chrono::duration<double, std::milli>(host_t1 - host_t0).count();
+  res.wait_ms = bs.wait_ms;
+  res.plan_cache_hits = stat_plan_hits_.load(std::memory_order_relaxed);
+  res.plan_cache_misses = stat_plan_misses_.load(std::memory_order_relaxed);
+  res.traffic = bs.traffic;
   if (tracer_) {
     tracer_->finalize(res.finish_time);
     res.trace = tracer_;
@@ -81,136 +92,39 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
 }
 
 void Machine::deposit(int src, int dst, std::uint64_t tag, Payload data) {
-  if (dst < 0 || dst >= num_procs()) {
-    throw std::out_of_range("Machine::deposit: bad destination " + std::to_string(dst));
-  }
-  const std::size_t bytes = data.size();
-  // Sender-side costs: software overhead plus wire serialization.
-  const runtime::SimTime send_start = sim_->now();
-  sim_->advance(config_.send_overhead + static_cast<double>(bytes) * config_.byte_time);
-  const runtime::SimTime arrival = sim_->now() + config_.latency;
-
-  Message msg{std::move(data), arrival};
-  if (tracer_) {
-    msg.trace_id = tracer_->message_sent(src, dst, tag, bytes, send_start, sim_->now());
-  }
-  const MailKey key{src, tag};
-  mailboxes_[static_cast<std::size_t>(dst)][key].push_back(std::move(msg));
-  stat_messages_ += 1;
-  stat_bytes_ += bytes;
-  if (!stat_traffic_.empty()) {
-    stat_traffic_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_procs()) +
-                  static_cast<std::size_t>(dst)] += bytes;
-  }
-
-  WaitState& w = waits_[static_cast<std::size_t>(dst)];
-  if (w.waiting && w.key == key && sim_->is_blocked(dst)) {
-    w.waiting = false;
-    sim_->wake(dst, arrival);
-  }
+  (void)src;  // always the calling processor; the backend derives it
+  backend_->deposit(dst, tag, std::move(data));
 }
 
 Payload Machine::receive(int dst, int src, std::uint64_t tag) {
-  if (src < 0 || src >= num_procs()) {
-    throw std::out_of_range("Machine::receive: bad source " + std::to_string(src));
-  }
-  const MailKey key{src, tag};
-  auto& box = mailboxes_[static_cast<std::size_t>(dst)];
-  const runtime::SimTime recv_entry = sim_->now();
-  for (;;) {
-    auto it = box.find(key);
-    if (it != box.end() && !it->second.empty()) {
-      Message msg = std::move(it->second.front());
-      it->second.pop_front();
-      if (it->second.empty()) box.erase(it);
-      sim_->advance_to(msg.arrival);
-      if (tracer_ && msg.trace_id != 0) {
-        tracer_->message_received(msg.trace_id, recv_entry, sim_->now());
-      }
-      sim_->advance(config_.recv_overhead);
-      return std::move(msg.data);
-    }
-    WaitState& w = waits_[static_cast<std::size_t>(dst)];
-    w.waiting = true;
-    w.key = key;
-    sim_->block("recv from proc " + std::to_string(src) + " tag " + std::to_string(tag));
-    // Re-check: wakeups are edge-triggered on the matching deposit, but the
-    // loop guards against future conservative wake policies.
-  }
+  (void)dst;  // always the calling processor; the backend derives it
+  return backend_->receive(src, tag);
 }
 
-void Machine::barrier(const pgroup::ProcessorGroup& group) {
-  const int me = sim_->current_rank();
-  if (!group.contains(me)) {
-    throw std::logic_error("Machine::barrier: proc " + std::to_string(me) +
-                           " is not a member of group " + group.to_string());
-  }
-  stat_barriers_ += 1;
-  const int n = group.size();
-  const double cost =
-      config_.barrier_base +
-      config_.barrier_stage * std::ceil(std::log2(static_cast<double>(std::max(n, 2))));
-  if (n == 1) {
-    sim_->advance(config_.barrier_base);
-    return;
-  }
-  BarrierState& st = barriers_[group.key()];
-  if (tracer_) {
-    if (st.arrived == 0) st.trace_id = tracer_->barrier_open(group.key());
-    tracer_->barrier_arrive(st.trace_id, me, sim_->now());
-  }
-  st.arrived += 1;
-  // The happens-before cause of the release is the proc with the latest
-  // *modeled* arrival, which need not be the fiber that executes last.
-  if (st.last_arriver < 0 || sim_->now() >= st.max_arrival) st.last_arriver = me;
-  st.max_arrival = std::max(st.max_arrival, sim_->now());
-  if (st.arrived < n) {
-    st.waiting.push_back(me);
-    sim_->block("barrier on group " + group.to_string());
-    return;  // woken by the last arriver with the clock already advanced
-  }
-  // Last arriver: release everyone.
-  const runtime::SimTime release = st.max_arrival + cost;
-  if (tracer_) tracer_->barrier_release(st.trace_id, st.last_arriver, st.max_arrival, release);
-  std::vector<int> waiting = std::move(st.waiting);
-  barriers_.erase(group.key());
-  for (int r : waiting) sim_->wake(r, release);
-  sim_->advance_to(release);
-}
+void Machine::barrier(const pgroup::ProcessorGroup& group) { backend_->barrier(group); }
+
+void Machine::io_operation(std::size_t bytes) { backend_->io_operation(bytes); }
 
 Payload Machine::pool_acquire(std::size_t bytes) {
   Payload p;
-  if (!payload_pool_.empty()) {
-    p = std::move(payload_pool_.back());
-    payload_pool_.pop_back();
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (!payload_pool_.empty()) {
+      p = std::move(payload_pool_.back());
+      payload_pool_.pop_back();
+    }
   }
   p.resize(bytes);
   return p;
 }
 
 void Machine::pool_release(Payload&& p) {
-  if (payload_pool_.size() < kMaxPooledPayloads && p.capacity() > 0) {
-    p.clear();
+  if (p.capacity() == 0) return;
+  p.clear();
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (payload_pool_.size() < kMaxPooledPayloads) {
     payload_pool_.push_back(std::move(p));
   }
-}
-
-void Machine::io_operation(std::size_t bytes) {
-  const double entry = sim_->now();
-  const double start = std::max(entry, io_available_);
-  const double done = start + config_.io_latency +
-                      static_cast<double>(bytes) * config_.io_byte_time;
-  if (tracer_) {
-    const int me = sim_->current_rank();
-    // When queued behind an earlier operation, the happens-before edge
-    // points at its owner; otherwise the stall is the device itself.
-    const bool queued = start > entry && io_prev_proc_ >= 0;
-    tracer_->io_wait(me, entry, done, queued ? io_prev_proc_ : me,
-                     queued ? io_available_ : entry);
-    io_prev_proc_ = me;
-  }
-  io_available_ = done;
-  sim_->advance_to(done);
 }
 
 }  // namespace fxpar::machine

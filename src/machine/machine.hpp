@@ -1,19 +1,24 @@
-// fxpar machine: the simulated SPMD multicomputer.
+// fxpar machine: the SPMD multicomputer.
 //
-// Machine owns the discrete-event Simulator, one mailbox per physical
-// processor, the subset-barrier manager and the sequential I/O device, and
-// launches an SPMD program body on every processor. User code never touches
+// Machine owns one execution backend (exec/backend.hpp) — the
+// deterministic discrete-event simulator or the shared-memory threaded
+// engine, selected by MachineConfig::backend — plus everything that is
+// backend-independent: the trace recorder, the redistribution plan-cache
+// slot, the payload buffer pool and the per-run statistics. It launches an
+// SPMD program body on every logical processor. User code never touches
 // Machine directly while running; it receives a Context (see context.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "exec/backend.hpp"
 #include "machine/config.hpp"
 #include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
@@ -24,7 +29,7 @@ namespace fxpar::machine {
 class Context;
 
 /// Raw bytes exchanged by the direct-deposit layer.
-using Payload = std::vector<std::byte>;
+using Payload = exec::Payload;
 
 /// Base class for caches that higher layers attach to the machine (the dist
 /// layer's redistribution plan cache, see dist/plan_cache.hpp). The machine
@@ -35,13 +40,27 @@ class MachineCacheBase {
   virtual ~MachineCacheBase() = default;
 };
 
-/// Aggregate results of one simulated run.
+/// Aggregate results of one run. The time fields are backend-defined:
+/// modeled machine seconds on the simulator, real host seconds on the
+/// threaded backend (docs/execution.md).
 struct RunResult {
   runtime::SimTime finish_time = 0.0;  ///< completion time of the slowest processor
   std::vector<runtime::ProcClock> clocks;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t barriers = 0;
+
+  /// Which engine executed the run: "sim" or "threads".
+  std::string backend = "sim";
+
+  /// Real wall-clock milliseconds spent inside Machine::run (both
+  /// backends): simulation overhead on `sim`, actual parallel execution
+  /// on `threads`.
+  double host_ms = 0.0;
+
+  /// Total real milliseconds processors spent blocked (threaded backend
+  /// only; 0 on the simulator, whose idle time is modeled, not real).
+  double wait_ms = 0.0;
 
   /// Redistribution plan cache counters (see dist/plan_cache.hpp): a miss
   /// builds a schedule, a hit replays one. Both zero when
@@ -76,17 +95,18 @@ class Machine {
   const MachineConfig& config() const noexcept { return config_; }
   int num_procs() const noexcept { return config_.num_procs; }
 
-  /// Runs `program` SPMD on all processors and returns timing statistics.
+  /// Runs `program` SPMD on all processors and returns run statistics.
   /// The Context passed to each instance is private to that processor.
   RunResult run(const std::function<void(Context&)>& program);
 
   // ---- internal services used by Context (public for the comm layer) ----
 
-  /// Deposits a message from physical `src` (the current processor) into the
-  /// mailbox of physical `dst`. Charges sender costs and computes arrival.
+  /// Deposits a message from physical `src` (which must be the calling
+  /// processor) into the mailbox of physical `dst`.
   void deposit(int src, int dst, std::uint64_t tag, Payload data);
 
   /// Receives the next message from (`src`, `tag`); blocks until available.
+  /// `dst` must be the calling processor.
   Payload receive(int dst, int src, std::uint64_t tag);
 
   /// Subset barrier over `group`; the calling processor must be a member.
@@ -97,7 +117,13 @@ class Machine {
   /// current processor; operations from all processors serialize.
   void io_operation(std::size_t bytes);
 
-  runtime::Simulator& sim() { return *sim_; }
+  /// The execution engine behind this machine.
+  exec::Backend& backend() noexcept { return *backend_; }
+  const exec::Backend& backend() const noexcept { return *backend_; }
+
+  /// The underlying event simulator. Throws std::logic_error on the
+  /// threaded backend — code that needs modeled time must run on `sim`.
+  runtime::Simulator& sim();
 
   /// The event recorder, or nullptr when MachineConfig::trace is off.
   trace::TraceRecorder* tracer() noexcept { return tracer_.get(); }
@@ -109,9 +135,13 @@ class Machine {
   void set_plan_cache_slot(std::unique_ptr<MachineCacheBase> cache) {
     plan_cache_ = std::move(cache);
   }
-  /// Bumps the hit/miss counters reported through RunResult.
+  /// Serializes plan-cache attachment and lookup across worker threads
+  /// (the simulator's fibers never contend on it).
+  std::mutex& cache_mutex() noexcept { return cache_mu_; }
+  /// Bumps the hit/miss counters reported through RunResult. Atomic: on
+  /// the threaded backend every worker counts concurrently.
   void count_plan_cache(bool hit) noexcept {
-    (hit ? stat_plan_hits_ : stat_plan_misses_) += 1;
+    (hit ? stat_plan_hits_ : stat_plan_misses_).fetch_add(1, std::memory_order_relaxed);
   }
 
   // ---- payload buffer pool ----
@@ -128,45 +158,17 @@ class Machine {
   void pool_release(Payload&& p);
 
  private:
-  struct MailKey {
-    int src;
-    std::uint64_t tag;
-    friend auto operator<=>(const MailKey&, const MailKey&) = default;
-  };
-  struct Message {
-    Payload data;
-    runtime::SimTime arrival = 0.0;
-    std::uint64_t trace_id = 0;  ///< TraceRecorder message id (0 = untraced)
-  };
-  struct WaitState {
-    bool waiting = false;
-    MailKey key{};
-  };
-  struct BarrierState {
-    int arrived = 0;
-    runtime::SimTime max_arrival = 0.0;
-    int last_arriver = -1;       ///< proc whose modeled arrival is max_arrival
-    std::vector<int> waiting;  ///< physical ranks blocked in this barrier
-    std::uint64_t trace_id = 0;  ///< TraceRecorder barrier id (0 = untraced)
-  };
-
   MachineConfig config_;
-  std::unique_ptr<runtime::Simulator> sim_;
-  std::vector<std::map<MailKey, std::deque<Message>>> mailboxes_;
-  std::vector<WaitState> waits_;
-  std::map<std::uint64_t, BarrierState> barriers_;  ///< keyed by group key
-  runtime::SimTime io_available_ = 0.0;
-  int io_prev_proc_ = -1;  ///< owner of the last I/O operation (for tracing)
+  std::unique_ptr<exec::Backend> backend_;
   std::shared_ptr<trace::TraceRecorder> tracer_;
 
-  std::uint64_t stat_messages_ = 0;
-  std::uint64_t stat_bytes_ = 0;
-  std::uint64_t stat_barriers_ = 0;
-  std::uint64_t stat_plan_hits_ = 0;
-  std::uint64_t stat_plan_misses_ = 0;
-  std::vector<std::uint64_t> stat_traffic_;  ///< src * P + dst, if recording
+  std::atomic<std::uint64_t> stat_plan_hits_{0};
+  std::atomic<std::uint64_t> stat_plan_misses_{0};
 
+  std::mutex cache_mu_;
   std::unique_ptr<MachineCacheBase> plan_cache_;
+
+  std::mutex pool_mu_;
   std::vector<Payload> payload_pool_;
   static constexpr std::size_t kMaxPooledPayloads = 64;
 };

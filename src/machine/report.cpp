@@ -14,6 +14,9 @@ UtilizationSummary summarize(const RunResult& result) {
   s.barriers = result.barriers;
   s.plan_cache_hits = result.plan_cache_hits;
   s.plan_cache_misses = result.plan_cache_misses;
+  s.backend = result.backend;
+  s.host_ms = result.host_ms;
+  s.wait_ms = result.wait_ms;
   if (result.clocks.empty() || result.finish_time <= 0.0) {
     s.mean_busy_fraction = s.min_busy_fraction = s.max_busy_fraction = 0.0;
     return s;
@@ -71,6 +74,13 @@ std::string utilization_report(const RunResult& result, int max_rows) {
   if (s.plan_cache_hits + s.plan_cache_misses > 0) {
     oss << "  redistribution plan cache: " << s.plan_cache_hits << " hits, "
         << s.plan_cache_misses << " misses\n";
+  }
+  // Only the threaded backend's times are real; keep the simulator's
+  // report unchanged (its makespan *is* the authoritative number).
+  if (s.backend != "sim") {
+    oss.precision(2);
+    oss << "  backend " << s.backend << ": host " << s.host_ms << " ms, blocked "
+        << s.wait_ms << " ms\n";
   }
   return oss.str();
 }

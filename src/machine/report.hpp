@@ -24,6 +24,9 @@ struct UtilizationSummary {
   std::uint64_t barriers = 0;
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  std::string backend = "sim";  ///< which engine executed the run
+  double host_ms = 0.0;         ///< real wall-clock of Machine::run
+  double wait_ms = 0.0;         ///< total real blocked time (threads backend)
 };
 
 /// Computes the aggregate utilization of a run.

@@ -10,10 +10,12 @@
 namespace fxpar::runtime {
 
 namespace {
-// Single-threaded simulator: a plain static suffices and avoids TLS costs.
-Fiber* g_current_fiber = nullptr;
+// thread_local: each simulator runs its fibers on one OS thread, but the
+// threaded execution backend may host Machines on several threads at once
+// (and tests run sim Machines from worker threads).
+thread_local Fiber* g_current_fiber = nullptr;
 // Handoff slot for the makecontext trampoline (no portable pointer args).
-Fiber* g_starting_fiber = nullptr;
+thread_local Fiber* g_starting_fiber = nullptr;
 }  // namespace
 
 Fiber* Fiber::current() noexcept { return g_current_fiber; }

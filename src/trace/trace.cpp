@@ -1,7 +1,10 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace fxpar::trace {
 
@@ -30,6 +33,24 @@ void TraceRecorder::reset() {
   barriers_.clear();
   totals_.assign(open_.size(), ProcTotals{});
   finish_ = 0.0;
+  concurrent_ = false;
+  done_pp_.clear();
+  waits_pp_.clear();
+  msgs_pp_.clear();
+  recv_pp_.clear();
+  bnotes_pp_.clear();
+}
+
+void TraceRecorder::set_concurrent(int num_procs_of_run) {
+  if (num_procs_of_run != num_procs()) {
+    throw std::invalid_argument("TraceRecorder::set_concurrent: processor count mismatch");
+  }
+  concurrent_ = true;
+  done_pp_.assign(open_.size(), {});
+  waits_pp_.assign(open_.size(), {});
+  msgs_pp_.assign(open_.size(), {});
+  recv_pp_.assign(open_.size(), {});
+  bnotes_pp_.assign(open_.size(), {});
 }
 
 double TraceRecorder::now(int proc) const {
@@ -64,7 +85,11 @@ void TraceRecorder::end_span(int proc) {
   stack.pop_back();
   s.t1 = std::max(s.t0, now(proc));
   touch(proc, s.t1);
-  done_.push_back(std::move(s));
+  if (concurrent_) {
+    done_pp_[static_cast<std::size_t>(proc)].push_back(std::move(s));
+  } else {
+    done_.push_back(std::move(s));
+  }
 }
 
 int TraceRecorder::open_depth(int proc) const {
@@ -84,7 +109,12 @@ void TraceRecorder::add_busy(int proc, double dt) {
 std::uint64_t TraceRecorder::message_sent(int src, int dst, std::uint64_t tag,
                                           std::uint64_t bytes, double t0, double t1) {
   MessageRecord m;
-  m.id = static_cast<std::uint64_t>(messages_.size()) + 1;
+  m.id = concurrent_
+             ? ((static_cast<std::uint64_t>(src) + 1) << 40) |
+                   (static_cast<std::uint64_t>(
+                        msgs_pp_[static_cast<std::size_t>(src)].size()) +
+                    1)
+             : static_cast<std::uint64_t>(messages_.size()) + 1;
   m.src = src;
   m.dst = dst;
   m.tag = tag;
@@ -92,7 +122,12 @@ std::uint64_t TraceRecorder::message_sent(int src, int dst, std::uint64_t tag,
   m.send_t0 = t0;
   m.send_t1 = t1;
   touch(src, t1);
-  messages_.push_back(m);
+  const std::uint64_t id = m.id;
+  if (concurrent_) {
+    msgs_pp_[static_cast<std::size_t>(src)].push_back(m);
+  } else {
+    messages_.push_back(m);
+  }
   ProcTotals& t = totals_[static_cast<std::size_t>(src)];
   t.messages += 1;
   t.bytes += bytes;
@@ -100,7 +135,7 @@ std::uint64_t TraceRecorder::message_sent(int src, int dst, std::uint64_t tag,
     s.messages += 1;
     s.bytes += bytes;
   }
-  return m.id;
+  return id;
 }
 
 void TraceRecorder::message_received(std::uint64_t id, double wait_t0, double ready_t) {
@@ -111,6 +146,20 @@ void TraceRecorder::message_received(std::uint64_t id, double wait_t0, double re
   m.recv_t = ready_t;
   if (ready_t > wait_t0) {
     add_wait(m.dst, WaitKind::Recv, wait_t0, ready_t, m.src, m.send_t1, id);
+  }
+}
+
+void TraceRecorder::message_received_at(std::uint64_t id, int dst, int src, double send_t,
+                                        double wait_t0, double ready_t) {
+  if (!concurrent_) {
+    throw std::logic_error("TraceRecorder::message_received_at: not in concurrent mode");
+  }
+  // The MessageRecord lives in the *sender's* shard; note the consumption
+  // here and let merge_concurrent() stamp recv_t.
+  recv_pp_[static_cast<std::size_t>(dst)].push_back(RecvNote{id, ready_t});
+  touch(dst, ready_t);
+  if (ready_t > wait_t0) {
+    add_wait(dst, WaitKind::Recv, wait_t0, ready_t, src, send_t, id);
   }
 }
 
@@ -152,6 +201,91 @@ void TraceRecorder::io_wait(int proc, double t0, double t1, int cause_proc,
   if (t1 > t0) add_wait(proc, WaitKind::Io, t0, t1, cause_proc, cause_time, 0);
 }
 
+void TraceRecorder::barrier_record(std::uint64_t group_key, std::uint64_t episode, int proc,
+                                   double arrive_t, double release_t, int last_arriver,
+                                   double max_arrival) {
+  if (!concurrent_) {
+    throw std::logic_error("TraceRecorder::barrier_record: not in concurrent mode");
+  }
+  bnotes_pp_[static_cast<std::size_t>(proc)].push_back(
+      BarrierNote{group_key, episode, proc, arrive_t, release_t, last_arriver});
+  touch(proc, release_t);
+  if (release_t > arrive_t) {
+    add_wait(proc, WaitKind::Barrier, arrive_t, release_t, last_arriver, max_arrival, 0);
+  }
+}
+
+void TraceRecorder::merge_concurrent() {
+  if (!concurrent_) return;
+  concurrent_ = false;  // back to single-threaded appends for finalize()
+
+  for (auto& shard : done_pp_) {
+    for (Span& s : shard) done_.push_back(std::move(s));
+  }
+  // Per-proc wait streams are each in time order; interleave by start time
+  // so the merged stream reads like the simulator's.
+  for (auto& shard : waits_pp_) {
+    waits_.insert(waits_.end(), shard.begin(), shard.end());
+  }
+  std::stable_sort(waits_.begin(), waits_.end(),
+                   [](const Wait& a, const Wait& b) { return a.t0 < b.t0; });
+
+  for (auto& shard : msgs_pp_) {
+    messages_.insert(messages_.end(), shard.begin(), shard.end());
+  }
+  std::stable_sort(messages_.begin(), messages_.end(),
+                   [](const MessageRecord& a, const MessageRecord& b) {
+                     if (a.send_t0 != b.send_t0) return a.send_t0 < b.send_t0;
+                     return a.id < b.id;
+                   });
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(messages_.size());
+  for (std::size_t i = 0; i < messages_.size(); ++i) by_id.emplace(messages_[i].id, i);
+  for (const auto& shard : recv_pp_) {
+    for (const RecvNote& n : shard) {
+      auto it = by_id.find(n.id);
+      if (it != by_id.end()) messages_[it->second].recv_t = n.recv_t;
+    }
+  }
+
+  // Rebuild BarrierRecords from the members' episode notes.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<const BarrierNote*>> episodes;
+  for (const auto& shard : bnotes_pp_) {
+    for (const BarrierNote& n : shard) episodes[{n.group_key, n.episode}].push_back(&n);
+  }
+  std::vector<BarrierRecord> rebuilt;
+  rebuilt.reserve(episodes.size());
+  for (auto& [key, notes] : episodes) {
+    std::sort(notes.begin(), notes.end(), [](const BarrierNote* a, const BarrierNote* b) {
+      if (a->arrive_t != b->arrive_t) return a->arrive_t < b->arrive_t;
+      return a->proc < b->proc;
+    });
+    BarrierRecord b;
+    b.group_key = key.first;
+    for (const BarrierNote* n : notes) {
+      b.procs.push_back(n->proc);
+      b.arrivals.push_back(n->arrive_t);
+      b.release = std::max(b.release, n->release_t);
+      b.last_arriver = n->last_arriver;
+    }
+    rebuilt.push_back(std::move(b));
+  }
+  std::stable_sort(rebuilt.begin(), rebuilt.end(),
+                   [](const BarrierRecord& a, const BarrierRecord& b) {
+                     return a.release < b.release;
+                   });
+  for (BarrierRecord& b : rebuilt) {
+    b.id = static_cast<std::uint64_t>(barriers_.size()) + 1;
+    barriers_.push_back(std::move(b));
+  }
+
+  done_pp_.clear();
+  waits_pp_.clear();
+  msgs_pp_.clear();
+  recv_pp_.clear();
+  bnotes_pp_.clear();
+}
+
 void TraceRecorder::add_wait(int proc, WaitKind kind, double t0, double t1, int cause_proc,
                              double cause_time, std::uint64_t ref) {
   Wait w;
@@ -163,7 +297,11 @@ void TraceRecorder::add_wait(int proc, WaitKind kind, double t0, double t1, int 
   w.cause_time = cause_time;
   w.ref = ref;
   touch(proc, t1);
-  waits_.push_back(w);
+  if (concurrent_) {
+    waits_pp_[static_cast<std::size_t>(proc)].push_back(w);
+  } else {
+    waits_.push_back(w);
+  }
   const double dt = t1 - t0;
   ProcTotals& t = totals_[static_cast<std::size_t>(proc)];
   auto bump = [&](Span* s) {

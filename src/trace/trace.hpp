@@ -151,6 +151,41 @@ class TraceRecorder {
   /// previous operation's owner and completion time (else pass proc / t0).
   void io_wait(int proc, double t0, double t1, int cause_proc, double cause_time);
 
+  // ---- concurrent recording (threaded backend) ----
+  //
+  // The hooks above assume one OS thread: they append to shared vectors.
+  // The threaded backend instead calls set_concurrent() at the start of a
+  // run, which re-routes every append into a per-worker shard — each hook
+  // then touches only the calling rank's buffers, so worker threads record
+  // without locks — and merge_concurrent() after the join, which folds the
+  // shards back into the shared vectors in a deterministic order. The two
+  // concurrent-only hooks below carry the cause data (sender, send time,
+  // barrier episode) that the single-threaded hooks look up in shared
+  // records instead.
+
+  /// Enters concurrent mode and clears the per-worker shards.
+  /// `num_procs` must match the recorder's processor count.
+  void set_concurrent(int num_procs);
+
+  /// Message `id` consumed by rank `dst`: it was sent by `src` at `send_t`,
+  /// the receiver entered the receive at `wait_t0` and the payload was
+  /// available at `ready_t`. Concurrent-mode counterpart of
+  /// message_received(); call only from rank `dst`'s worker.
+  void message_received_at(std::uint64_t id, int dst, int src, double send_t,
+                           double wait_t0, double ready_t);
+
+  /// One member's view of one barrier episode, reported after its release.
+  /// Records of the same (group_key, episode) merge into one
+  /// BarrierRecord; `last_arriver`/`max_arrival` are the values the
+  /// episode's root published. Call only from rank `proc`'s worker.
+  void barrier_record(std::uint64_t group_key, std::uint64_t episode, int proc,
+                      double arrive_t, double release_t, int last_arriver,
+                      double max_arrival);
+
+  /// Folds the per-worker shards into the shared vectors and leaves
+  /// concurrent mode. Call after every worker has joined.
+  void merge_concurrent();
+
   /// Closes any still-open spans at `finish` and freezes the run's
   /// completion time.
   void finalize(double finish);
@@ -172,6 +207,19 @@ class TraceRecorder {
   }
 
  private:
+  struct RecvNote {  ///< receiver-side consumption of a sender-shard message
+    std::uint64_t id = 0;
+    double recv_t = 0.0;
+  };
+  struct BarrierNote {  ///< one member's view of one barrier episode
+    std::uint64_t group_key = 0;
+    std::uint64_t episode = 0;
+    int proc = -1;
+    double arrive_t = 0.0;
+    double release_t = 0.0;
+    int last_arriver = -1;
+  };
+
   double now(int proc) const;
   void add_wait(int proc, WaitKind kind, double t0, double t1, int cause_proc,
                 double cause_time, std::uint64_t ref);
@@ -186,6 +234,16 @@ class TraceRecorder {
   std::vector<ProcTotals> totals_;
   std::vector<double> last_activity_;  ///< per-proc time of the last event
   double finish_ = 0.0;
+
+  // Concurrent-mode shards, indexed by the recording rank. Message ids in
+  // concurrent mode are composite — ((src+1) << 40) | local index — so a
+  // sender can mint them without coordination.
+  bool concurrent_ = false;
+  std::vector<std::vector<Span>> done_pp_;
+  std::vector<std::vector<Wait>> waits_pp_;
+  std::vector<std::vector<MessageRecord>> msgs_pp_;
+  std::vector<std::vector<RecvNote>> recv_pp_;
+  std::vector<std::vector<BarrierNote>> bnotes_pp_;
 };
 
 /// RAII closer for a span opened through Context::span(). Inert when

@@ -1,0 +1,216 @@
+// Cross-backend parity sweep: deterministic Fx programs must produce
+// bit-identical array contents on the discrete-event simulator and the
+// threaded shared-memory backend (docs/execution.md, "Determinism
+// contract"). Four applications: FFT-Hist (data parallel and pipelined),
+// the radar benchmark, nested task parallel quicksort, and a synthetic
+// floating-point stream pipeline whose outputs are compared at the bit
+// level.
+//
+// Every test here runs the simulator, whose ucontext fibers are
+// incompatible with ThreadSanitizer — all tests self-skip under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/ffthist.hpp"
+#include "apps/quicksort.hpp"
+#include "apps/radar.hpp"
+#include "apps/stream_pipeline.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define FXPAR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FXPAR_TSAN 1
+#endif
+#endif
+
+#ifdef FXPAR_TSAN
+#define FXPAR_SKIP_SIM_UNDER_TSAN() \
+  GTEST_SKIP() << "simulator fibers (ucontext) are incompatible with ThreadSanitizer"
+#else
+#define FXPAR_SKIP_SIM_UNDER_TSAN() (void)0
+#endif
+
+namespace ap = fxpar::apps;
+namespace ds = fxpar::dist;
+namespace ex = fxpar::exec;
+namespace mx = fxpar::machine;
+using fxpar::MachineConfig;
+
+namespace {
+
+MachineConfig backend_cfg(int p, ex::BackendKind kind, std::size_t stack = 256 * 1024) {
+  auto c = MachineConfig::paragon(p);
+  c.backend = kind;
+  c.stack_bytes = stack;
+  return c;
+}
+
+template <typename T>
+void expect_bit_identical(const std::vector<T>& sim, const std::vector<T>& thr,
+                          const char* what, int k) {
+  ASSERT_EQ(sim.size(), thr.size()) << what << " data set " << k;
+  if (!sim.empty()) {
+    EXPECT_EQ(std::memcmp(sim.data(), thr.data(), sim.size() * sizeof(T)), 0)
+        << what << " data set " << k;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FFT-Hist
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<std::int64_t>> run_ffthist(
+    ex::BackendKind kind, const std::vector<ap::StreamModule>& modules, int procs) {
+  ap::FftHistConfig cfg;
+  cfg.n = 16;
+  cfg.bins = 8;
+  cfg.num_sets = 6;
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  ap::run_stream_pipeline<ap::Complex>(backend_cfg(procs, kind), stages, modules,
+                                       cfg.num_sets);
+  return sink;
+}
+
+}  // namespace
+
+TEST(ExecParity, FftHistDataParallel) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const std::vector<ap::StreamModule> dp = {{0, 2, 4, 1}};
+  const auto sim = run_ffthist(ex::BackendKind::Sim, dp, 4);
+  const auto thr = run_ffthist(ex::BackendKind::Threads, dp, 4);
+  ASSERT_EQ(sim.size(), thr.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    expect_bit_identical(sim[k], thr[k], "ffthist/dp", static_cast<int>(k));
+  }
+}
+
+TEST(ExecParity, FftHistThreeStagePipeline) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const std::vector<ap::StreamModule> pipe = {{0, 0, 2, 1}, {1, 1, 2, 1}, {2, 2, 2, 1}};
+  const auto sim = run_ffthist(ex::BackendKind::Sim, pipe, 6);
+  const auto thr = run_ffthist(ex::BackendKind::Threads, pipe, 6);
+  ASSERT_EQ(sim.size(), thr.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    expect_bit_identical(sim[k], thr[k], "ffthist/pipe", static_cast<int>(k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Radar
+// ---------------------------------------------------------------------------
+
+TEST(ExecParity, RadarDetections) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  ap::RadarConfig cfg;
+  cfg.samples = 64;
+  cfg.channels = 8;
+  cfg.num_sets = 5;
+  auto run = [&](ex::BackendKind kind) {
+    std::vector<std::int64_t> sink;
+    const auto stages = ap::radar_stages(cfg, &sink);
+    const int last = static_cast<int>(stages.size()) - 1;
+    ap::run_stream_pipeline<ap::Complex>(backend_cfg(4, kind), stages,
+                                         {{0, last, 4, 1}}, cfg.num_sets);
+    return sink;
+  };
+  const auto sim = run(ex::BackendKind::Sim);
+  const auto thr = run(ex::BackendKind::Threads);
+  expect_bit_identical(sim, thr, "radar/detections", -1);
+  for (int k = 0; k < cfg.num_sets; ++k) {
+    EXPECT_EQ(sim[static_cast<std::size_t>(k)], ap::radar_reference(cfg, k))
+        << "dwell " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quicksort (dynamically nested task regions)
+// ---------------------------------------------------------------------------
+
+TEST(ExecParity, QuicksortNestedTaskRegions) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const auto input = ap::qsort_input(513, 42);
+  const auto sim =
+      ap::run_parallel_qsort(backend_cfg(4, ex::BackendKind::Sim, 512 * 1024), input);
+  const auto thr = ap::run_parallel_qsort(backend_cfg(4, ex::BackendKind::Threads), input);
+  expect_bit_identical(sim.sorted, thr.sorted, "qsort/sorted", -1);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(thr.sorted, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic floating-point stream pipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Two modules: "gen" fills a block-distributed array with transcendental
+// values (owner-computes, so each element is produced by exactly one
+// processor on either backend), "collect" receives it replicated — the
+// inter-module assign() is a real redistribution — transforms it, and
+// virtual rank 0 records the full array per data set.
+std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind) {
+  constexpr std::int64_t kN = 64;
+  constexpr int kSets = 6;
+  std::vector<std::vector<double>> sink(kSets);
+
+  std::vector<ap::PipelineStage<double>> stages(2);
+  stages[0].name = "gen";
+  stages[0].in_layout = [](const fxpar::ProcessorGroup& g) {
+    return ds::Layout(g, {kN}, {ds::DimDist::block()});
+  };
+  stages[0].out_layout = stages[0].in_layout;
+  stages[0].run = [](mx::Context& ctx, ds::DistArray<double>& /*in*/,
+                     ds::DistArray<double>& out, int k) {
+    out.fill([k](std::span<const std::int64_t> gi) {
+      const double x = static_cast<double>(gi[0]) * 0.1 + static_cast<double>(k);
+      return std::sin(x) * std::sqrt(x + 1.0) + std::cos(x * 0.5);
+    });
+    ctx.charge(1e-6 * static_cast<double>(kN));
+  };
+
+  stages[1].name = "collect";
+  stages[1].in_layout = [](const fxpar::ProcessorGroup& g) {
+    return ds::Layout(g, {kN}, {ds::DimDist::collapsed()});
+  };
+  stages[1].out_layout = stages[1].in_layout;
+  stages[1].run = [&sink](mx::Context& ctx, ds::DistArray<double>& in,
+                          ds::DistArray<double>& out, int k) {
+    const auto src = in.local();
+    const auto dst = out.local();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = src[i] * 1.5 + 0.25;
+    }
+    ctx.charge(1e-6 * static_cast<double>(kN));
+    if (in.layout().group().virtual_of(ctx.phys_rank()) == 0) {
+      sink[static_cast<std::size_t>(k)].assign(dst.begin(), dst.end());
+    }
+  };
+
+  ap::run_stream_pipeline<double>(backend_cfg(4, kind), stages,
+                                  {{0, 0, 2, 1}, {1, 1, 2, 1}}, kSets);
+  return sink;
+}
+
+}  // namespace
+
+TEST(ExecParity, FloatingPointStreamPipelineBitIdentical) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const auto sim = run_fp_pipeline(ex::BackendKind::Sim);
+  const auto thr = run_fp_pipeline(ex::BackendKind::Threads);
+  ASSERT_EQ(sim.size(), thr.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
+    expect_bit_identical(sim[k], thr[k], "fp-pipeline", static_cast<int>(k));
+  }
+}
