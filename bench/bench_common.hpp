@@ -58,9 +58,11 @@ inline void init(int argc, char** argv) {
     } else if (a == "--backend") {
       o.backend = value("--backend");
       if (o.backend != "sim" && o.backend != "threads") {
+        // Fail loudly: silently degrading to sim would let a typo in
+        // automation produce sim-labeled records.
         std::fprintf(stderr, "--backend must be 'sim' or 'threads', got '%s'\n",
                      o.backend.c_str());
-        o.backend = "sim";
+        std::exit(2);
       }
     } else if (a == "--threads") {
       o.threads = std::atoi(value("--threads").c_str());
@@ -250,10 +252,11 @@ void table1_row(const char* name, const char* size_desc,
   namespace sched = fxpar::sched;
 
   const int S = static_cast<int>(stages.size());
-  const auto run_cfg = maybe_traced(mcfg);
+  const auto run_cfg = maybe_traced(apply_backend(mcfg));
+  const int procs = run_cfg.num_procs;
   const HostTimer dp_timer;
   const auto dp_stats = run_stream_pipeline<T>(
-      run_cfg, stages, {{0, S - 1, mcfg.num_procs, 1}}, num_sets);
+      run_cfg, stages, {{0, S - 1, procs, 1}}, num_sets);
   const double dp_host_ms = dp_timer.ms();
   const double dp_thr = dp_stats.steady_throughput();
   const double dp_lat = dp_stats.avg_latency();
@@ -262,11 +265,11 @@ void table1_row(const char* name, const char* size_desc,
   // mapping meeting the throughput constraint. The model's absolute scale
   // differs from the machine's, so the constraint is translated through the
   // model's own DP throughput.
-  const auto model_dp = sched::data_parallel_mapping(model, mcfg.num_procs);
+  const auto model_dp = sched::data_parallel_mapping(model, procs);
   const double model_constraint = rel_constraint * model_dp.throughput;
-  auto mapping = sched::min_latency_mapping(model, mcfg.num_procs, model_constraint);
+  auto mapping = sched::min_latency_mapping(model, procs, model_constraint);
   if (mapping.modules.empty()) {
-    mapping = sched::max_throughput_mapping(model, mcfg.num_procs);
+    mapping = sched::max_throughput_mapping(model, procs);
   }
   const HostTimer best_timer;
   const auto best_stats =
@@ -283,13 +286,13 @@ void table1_row(const char* name, const char* size_desc,
   const std::string base = std::string(name) + "/" + size_desc;
   json_record(base + "/dp",
               {{"app", name}, {"size", size_desc},
-               {"procs", std::to_string(mcfg.num_procs)},
+               {"procs", std::to_string(procs)},
                {"num_sets", std::to_string(num_sets)},
                {"mapping", "data-parallel"}},
               dp_stats.machine_result, dp_host_ms);
   json_record(base + "/mapped",
               {{"app", name}, {"size", size_desc},
-               {"procs", std::to_string(mcfg.num_procs)},
+               {"procs", std::to_string(procs)},
                {"num_sets", std::to_string(num_sets)},
                {"constraint", std::to_string(rel_constraint)},
                {"mapping", mapping.to_string(model)}},

@@ -56,6 +56,9 @@ ThreadedBackend::~ThreadedBackend() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  // An aborted run leaves undelivered messages queued (receivers unwound
+  // via AbortError); reclaim them here, not only at the next run's reset.
+  free_pending_messages();
 }
 
 double ThreadedBackend::now_s() const {
@@ -85,7 +88,7 @@ void ThreadedBackend::charge(double /*seconds*/) {
   // Real time passes by itself; modeled cost parameters do not apply here.
 }
 
-void ThreadedBackend::reset_run_state() {
+void ThreadedBackend::free_pending_messages() {
   for (auto& wp : workers_) {
     Worker& w = *wp;
     for (MsgNode* n = w.inbox.exchange(nullptr, std::memory_order_acquire); n;) {
@@ -97,7 +100,16 @@ void ThreadedBackend::reset_run_state() {
       for (MsgNode* n : q) delete n;
     }
     w.sorted.clear();
+  }
+}
+
+void ThreadedBackend::reset_run_state() {
+  free_pending_messages();
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
     w.parked.store(false, std::memory_order_relaxed);
+    w.awaiting_tb.store(nullptr, std::memory_order_relaxed);
+    w.awaiting_ep.store(0, std::memory_order_relaxed);
     w.barrier_epoch.clear();
     w.barrier_cache.clear();
     w.elapsed_s = 0.0;
@@ -177,15 +189,35 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
 // Deadlock diagnosis
 
 bool ThreadedBackend::quiescent(std::uint64_t progress_snapshot) const {
-  if (progress_.load(std::memory_order_seq_cst) != progress_snapshot) return false;
-  const int done = finished_n_.load(std::memory_order_seq_cst);
-  const int parked = parked_n_.load(std::memory_order_seq_cst);
-  if (done >= num_procs()) return false;  // run is completing normally
-  if (parked + done < num_procs()) return false;  // somebody is still running
-  // Everyone alive is parked and no deposit/release happened in between. A
-  // pushed-but-undrained inbox would have bumped progress_, so this is a
-  // genuine global wait cycle.
-  return progress_.load(std::memory_order_seq_cst) == progress_snapshot;
+  const auto counters_quiet = [&] {
+    if (progress_.load(std::memory_order_seq_cst) != progress_snapshot) return false;
+    const int done = finished_n_.load(std::memory_order_seq_cst);
+    const int parked = parked_n_.load(std::memory_order_seq_cst);
+    if (done >= num_procs()) return false;  // run is completing normally
+    if (parked + done < num_procs()) return false;  // somebody is still running
+    return true;
+  };
+  if (!counters_quiet()) return false;
+  // Counter deltas alone are not enough: a wakeup delivered *before* the
+  // caller's snapshot (an inbox push, a barrier release) bumped progress_
+  // already, yet the woken worker may still be counted in parked_n_ until
+  // the scheduler runs it. Verify per-worker state: any pending wakeup
+  // means the system will move on its own.
+  for (const auto& wp : workers_) {
+    // An undrained inbox wakes its owner no matter when it was pushed.
+    if (wp->inbox.load(std::memory_order_seq_cst) != nullptr) return false;
+    // A released barrier episode this parked waiter has not consumed yet.
+    const TreeBarrier* tb = wp->awaiting_tb.load(std::memory_order_seq_cst);
+    if (tb != nullptr && tb->released.load(std::memory_order_seq_cst) >=
+                             wp->awaiting_ep.load(std::memory_order_seq_cst)) {
+      return false;
+    }
+  }
+  // Re-check the counters after the scan: a worker that consumed its wakeup
+  // while we scanned (drained its inbox, exited its barrier) decremented
+  // parked_n_ before clearing the state the scan looked at, so one of the
+  // two checks sees it.
+  return counters_quiet();
 }
 
 void ThreadedBackend::report_deadlock() {
@@ -245,7 +277,10 @@ void ThreadedBackend::deposit(int dst, std::uint64_t tag, Payload data) {
 }
 
 void ThreadedBackend::drain_inbox(Worker& w) {
-  MsgNode* n = w.inbox.exchange(nullptr, std::memory_order_acquire);
+  // seq_cst, not acquire: quiescent() infers from a null inbox that the
+  // owner's earlier parked_n_ decrement is visible to its counter re-check,
+  // which needs the exchange in the single total order with the counters.
+  MsgNode* n = w.inbox.exchange(nullptr, std::memory_order_seq_cst);
   // The Treiber stack yields newest-first; reverse to restore push order so
   // matching stays per-source FIFO like the simulator's deques.
   MsgNode* in_order = nullptr;
@@ -406,6 +441,11 @@ void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
     if (tb->released.load(std::memory_order_seq_cst) < episode) {
       me.block_reason.store("barrier", std::memory_order_release);
       std::unique_lock<std::mutex> lk(tb->mu);
+      // Register what this park waits for (episode first, then the barrier)
+      // before counting it in parked_n_, so quiescent() can tell a genuine
+      // wait from a release the scheduler has not delivered yet.
+      me.awaiting_ep.store(episode, std::memory_order_seq_cst);
+      me.awaiting_tb.store(tb.get(), std::memory_order_seq_cst);
       parked_n_.fetch_add(1, std::memory_order_seq_cst);
       while (tb->released.load(std::memory_order_seq_cst) < episode &&
              !aborted_.load(std::memory_order_acquire)) {
@@ -419,6 +459,7 @@ void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
         }
       }
       parked_n_.fetch_sub(1, std::memory_order_seq_cst);
+      me.awaiting_tb.store(nullptr, std::memory_order_seq_cst);
       me.block_reason.store(nullptr, std::memory_order_release);
     }
   }

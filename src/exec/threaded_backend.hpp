@@ -130,6 +130,13 @@ class ThreadedBackend final : public Backend {
     std::condition_variable cv;
     std::map<MailKey, std::deque<MsgNode*>> sorted;  ///< owner thread only
 
+    // ---- barrier park registration, read by quiescent() ----
+    // Set (episode first) before this worker counts itself in parked_n_ at
+    // a barrier, cleared after it uncounts itself; quiescent() uses them to
+    // see a released episode the parked waiter has not consumed yet.
+    std::atomic<TreeBarrier*> awaiting_tb{nullptr};
+    std::atomic<std::uint64_t> awaiting_ep{0};
+
     // ---- owner-thread-local state ----
     std::unordered_map<std::uint64_t, std::uint64_t> barrier_epoch;
     std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_cache;
@@ -153,8 +160,13 @@ class ThreadedBackend final : public Backend {
   void fail(std::exception_ptr e);
   void wake_all();
   void reset_run_state();
-  /// True when every unfinished worker is parked and nothing moved since
-  /// `progress_snapshot`; the caller then reports a deadlock.
+  /// Frees every queued MsgNode (undrained inboxes and sorted stores).
+  /// Call only when no worker thread is running.
+  void free_pending_messages();
+  /// True when every unfinished worker is parked, nothing moved since
+  /// `progress_snapshot`, and no worker has a pending wakeup — an undrained
+  /// inbox or a released barrier episode it has not consumed; the caller
+  /// then reports a deadlock.
   bool quiescent(std::uint64_t progress_snapshot) const;
   void report_deadlock();
 

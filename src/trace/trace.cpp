@@ -86,6 +86,12 @@ void TraceRecorder::end_span(int proc) {
   s.t1 = std::max(s.t0, now(proc));
   touch(proc, s.t1);
   if (concurrent_) {
+    // No modeled charge() feeds add_busy on the threaded backend; real time
+    // passes continuously on a worker thread, so a span's compute is its
+    // elapsed time minus the waits recorded while it was open. Root spans
+    // also carry the per-processor busy total.
+    s.busy = std::max(0.0, s.duration() - s.wait());
+    if (s.depth == 0) totals_[static_cast<std::size_t>(proc)].busy += s.busy;
     done_pp_[static_cast<std::size_t>(proc)].push_back(std::move(s));
   } else {
     done_.push_back(std::move(s));

@@ -161,7 +161,9 @@ class TraceRecorder {
   // shards back into the shared vectors in a deterministic order. The two
   // concurrent-only hooks below carry the cause data (sender, send time,
   // barrier episode) that the single-threaded hooks look up in shared
-  // records instead.
+  // records instead. Nothing calls add_busy in concurrent mode (there is no
+  // modeled charge()); end_span instead stamps each span's busy as its real
+  // elapsed time minus the waits recorded while it was open.
 
   /// Enters concurrent mode and clears the per-worker shards.
   /// `num_procs` must match the recorder's processor count.

@@ -270,6 +270,29 @@ TEST(ExecThreads, AbortPropagatesFirstError) {
       std::runtime_error);
 }
 
+// Messages still queued when a run aborts must be reclaimed when the
+// Machine is destroyed, not only by the next run's reset (the ASan CI job
+// enforces the no-leak part).
+TEST(ExecThreads, AbortWithQueuedMessagesDoesNotLeak) {
+  mx::Machine m(threaded(2));
+  EXPECT_THROW(
+      {
+        m.run([&](mx::Context& ctx) {
+          if (ctx.phys_rank() == 0) {
+            ctx.send_phys(1, 1, stamp(0, 0, 8));
+            for (int i = 0; i < 8; ++i) {
+              ctx.send_phys(1, 2, stamp(0, i + 1, 4096));  // never received
+            }
+            ctx.recv_phys(1, 3);  // parks until the abort wakes it
+          } else {
+            ctx.recv_phys(0, 1);
+            throw std::runtime_error("boom after first message");
+          }
+        });
+      },
+      std::runtime_error);
+}
+
 TEST(ExecThreads, DeadlockDetected) {
   mx::Machine m(threaded(2));
   EXPECT_THROW(
@@ -281,6 +304,27 @@ TEST(ExecThreads, DeadlockDetected) {
         });
       },
       fxpar::runtime::DeadlockError);
+}
+
+// Regression for a false DeadlockError: a deposit (or barrier release)
+// delivered just before the sender's own park left the counters quiet
+// while the woken worker was still scheduled out, so the quiescence check
+// misread a valid program as a global wait cycle. quiescent() now also
+// scans undrained inboxes and unconsumed barrier releases. This hammers
+// exactly that pattern — deposit, then immediately block — plus full-group
+// barriers, and must complete without throwing.
+TEST(ExecThreads, NoFalseDeadlockUnderParkRaces) {
+  const int P = 8, rounds = 400;
+  mx::Machine m(threaded(P));
+  m.run([&](mx::Context& ctx) {
+    const int r = ctx.phys_rank();
+    for (int i = 0; i < rounds; ++i) {
+      ctx.send_phys((r + 1) % P, 7, stamp(r, i, 16));
+      ctx.recv_phys((r + P - 1) % P, 7);
+      if (i % 16 == 0) ctx.barrier();
+    }
+    ctx.barrier();
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +358,18 @@ TEST(ExecThreads, TraceRecordsMergeAfterConcurrentRun) {
   EXPECT_EQ(res.trace->messages()[0].dst, 1);
   ASSERT_EQ(res.trace->barriers().size(), 1u);
   EXPECT_EQ(res.trace->barriers()[0].procs.size(), 4u);
+  // Concurrent spans carry real busy time (elapsed minus recorded waits),
+  // not the zero a missing charge() would leave behind.
+  double root_busy = 0.0;
+  for (const auto& s : res.trace->spans()) {
+    EXPECT_GE(s.busy, 0.0);
+    EXPECT_LE(s.busy, s.duration() + 1e-9);
+    if (s.depth == 0) root_busy += s.busy;
+  }
+  EXPECT_GT(root_busy, 0.0);
+  double totals_busy = 0.0;
+  for (const auto& t : res.trace->proc_totals()) totals_busy += t.busy;
+  EXPECT_NEAR(totals_busy, root_busy, 1e-9);
   // The analyzers must accept the merged trace.
   EXPECT_FALSE(fxpar::trace::phase_report(*res.trace).to_string().empty());
   EXPECT_FALSE(fxpar::trace::critical_path(*res.trace).to_string().empty());
