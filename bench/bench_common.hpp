@@ -5,6 +5,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@ struct Options {
   bool trace_report = false; ///< --trace-report     : print phase + critical-path reports
   std::string backend = "sim";  ///< --backend sim|threads : execution engine
   int threads = 0;           ///< --threads N        : logical processors (0 = bench default)
+  int work_stealing = -1;    ///< --work-stealing on|off (-1 = config default)
 };
 
 inline Options& options() {
@@ -44,8 +46,10 @@ inline void init(int argc, char** argv) {
     const std::string a = argv[i];
     auto value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
+        // Fail loudly, like the invalid --backend path: continuing with an
+        // empty value would let automation record mislabeled runs.
         std::fprintf(stderr, "%s requires an argument\n", flag);
-        return {};
+        std::exit(2);
       }
       return argv[++i];
     };
@@ -66,6 +70,16 @@ inline void init(int argc, char** argv) {
       }
     } else if (a == "--threads") {
       o.threads = std::atoi(value("--threads").c_str());
+    } else if (a == "--work-stealing") {
+      const std::string v = value("--work-stealing");
+      if (v == "on") {
+        o.work_stealing = 1;
+      } else if (v == "off") {
+        o.work_stealing = 0;
+      } else {
+        std::fprintf(stderr, "--work-stealing must be 'on' or 'off', got '%s'\n", v.c_str());
+        std::exit(2);
+      }
     } else if (a == "--help" || a == "-h") {
       std::printf("common bench flags:\n"
                   "  --json-out FILE|-   append one-line JSON result records\n"
@@ -75,7 +89,10 @@ inline void init(int argc, char** argv) {
                   "  --backend sim|threads\n"
                   "                      execution engine (default sim; see docs/execution.md)\n"
                   "  --threads N         logical processor count override (threads backend\n"
-                  "                      runs one OS thread per logical processor)\n");
+                  "                      runs one OS thread per logical processor)\n"
+                  "  --work-stealing on|off\n"
+                  "                      intra-subgroup loop work stealing (threads backend;\n"
+                  "                      default: MachineConfig::work_stealing)\n");
     }
   }
 }
@@ -88,6 +105,7 @@ inline fxpar::machine::MachineConfig apply_backend(fxpar::machine::MachineConfig
   cfg.backend = (o.backend == "threads") ? fxpar::exec::BackendKind::Threads
                                          : fxpar::exec::BackendKind::Sim;
   if (o.threads > 0) cfg.num_procs = o.threads;
+  if (o.work_stealing >= 0) cfg.work_stealing = o.work_stealing != 0;
   return cfg;
 }
 
@@ -143,6 +161,19 @@ inline std::ostream* json_stream() {
   return &file;
 }
 
+/// Writes `v` with `fmt`, or `null` when it is inf/nan: "%.9g" would emit a
+/// bare `inf`/`nan` token, making the whole record unparseable JSON (the
+/// perf-smoke CI reads these lines with a strict parser).
+inline void write_json_number(std::ostream& out, double v, const char* fmt) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char num[64];
+  std::snprintf(num, sizeof(num), fmt, v);
+  out << num;
+}
+
 }  // namespace detail
 
 /// Wall-clock stopwatch for the *host* cost of a simulated run, as opposed
@@ -165,36 +196,44 @@ class HostTimer {
 /// "efficiency":..., "comm_bytes":...} to the --json-out sink. No-op when
 /// --json-out was not given. `host_ms` >= 0 adds a "host_ms" field (host
 /// wall-clock of the run, from HostTimer); nonzero plan-cache counters add
-/// "plan_cache_hits"/"plan_cache_misses".
+/// "plan_cache_hits"/"plan_cache_misses"; `steals` >= 0 adds the
+/// work-stealing counters (threads backend). Non-finite time_s/efficiency/
+/// host_ms/wait_ms values are emitted as `null` so the line stays valid
+/// JSON.
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
                         double time_s, double efficiency, std::uint64_t comm_bytes,
                         double host_ms = -1.0, std::uint64_t plan_hits = 0,
                         std::uint64_t plan_misses = 0, const std::string& backend = "sim",
-                        int threads = 0, double wait_ms = -1.0) {
+                        int threads = 0, double wait_ms = -1.0,
+                        std::int64_t steals = -1, std::int64_t stolen_iters = -1) {
   std::ostream* out = detail::json_stream();
   if (!out) return;
-  char num[64];
   *out << "{\"name\":\"" << detail::json_escape(name) << "\",\"params\":{";
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (i) *out << ',';
     *out << '"' << detail::json_escape(params[i].first) << "\":\""
          << detail::json_escape(params[i].second) << '"';
   }
-  std::snprintf(num, sizeof(num), "%.9g", time_s);
-  *out << "},\"time_s\":" << num;
-  std::snprintf(num, sizeof(num), "%.6g", efficiency);
-  *out << ",\"efficiency\":" << num;
+  *out << "},\"time_s\":";
+  detail::write_json_number(*out, time_s, "%.9g");
+  *out << ",\"efficiency\":";
+  detail::write_json_number(*out, efficiency, "%.6g");
   *out << ",\"comm_bytes\":" << comm_bytes;
   *out << ",\"backend\":\"" << detail::json_escape(backend) << '"';
   if (threads > 0) *out << ",\"threads\":" << threads;
-  if (host_ms >= 0.0) {
-    std::snprintf(num, sizeof(num), "%.6g", host_ms);
-    *out << ",\"host_ms\":" << num;
+  // A negative value means "not provided"; NaN means provided-but-broken
+  // (it would fail the >= test), which must surface as null, not vanish.
+  if (host_ms >= 0.0 || std::isnan(host_ms)) {
+    *out << ",\"host_ms\":";
+    detail::write_json_number(*out, host_ms, "%.6g");
   }
-  if (wait_ms >= 0.0) {
-    std::snprintf(num, sizeof(num), "%.6g", wait_ms);
-    *out << ",\"wait_ms\":" << num;
+  if (wait_ms >= 0.0 || std::isnan(wait_ms)) {
+    *out << ",\"wait_ms\":";
+    detail::write_json_number(*out, wait_ms, "%.6g");
+  }
+  if (steals >= 0) {
+    *out << ",\"steals\":" << steals << ",\"stolen_iters\":" << stolen_iters;
   }
   if (plan_hits + plan_misses > 0) {
     *out << ",\"plan_cache_hits\":" << plan_hits << ",\"plan_cache_misses\":" << plan_misses;
@@ -205,7 +244,8 @@ inline void json_record(const std::string& name,
 
 /// Convenience overload taking the machine counters directly. Records which
 /// backend executed the run; on the threaded backend it also records the
-/// worker-thread count and total real blocked time.
+/// worker-thread count, total real blocked time and the work-stealing
+/// counters.
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
                         const fxpar::machine::RunResult& res, double host_ms = -1.0) {
@@ -213,7 +253,9 @@ inline void json_record(const std::string& name,
   json_record(name, params, res.finish_time, res.efficiency(), res.bytes, host_ms,
               res.plan_cache_hits, res.plan_cache_misses, res.backend,
               threaded ? static_cast<int>(res.clocks.size()) : 0,
-              threaded ? res.wait_ms : -1.0);
+              threaded ? res.wait_ms : -1.0,
+              threaded ? static_cast<std::int64_t>(res.steals) : -1,
+              threaded ? static_cast<std::int64_t>(res.stolen_iters) : -1);
 }
 
 /// Reports on a traced run according to the CLI options: prints the phase

@@ -16,10 +16,20 @@
 // partial results are combined with a group reduction whose deterministic
 // tree order makes results reproducible. parallel_for is the no-merge
 // special case.
+//
+// Both constructs execute through the backend's bulk loop hook
+// (exec::Backend::run_chunks): the simulator runs the static block
+// schedule inline, while the threaded backend may let idle members of the
+// current group steal iteration chunks from siblings (see
+// docs/execution.md, "Work stealing"). Results are bit-identical either
+// way: iteration ownership follows exec::loop_block on every backend, a
+// stolen chunk runs through the owner's closure, and the reduction always
+// merges per-iteration values in iteration order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "comm/collectives.hpp"
 #include "machine/context.hpp"
@@ -31,25 +41,24 @@ namespace detail {
 /// Block partition of [lo, hi) over `parts`: piece `which` as [first, last).
 inline std::pair<std::int64_t, std::int64_t> iteration_block(std::int64_t lo, std::int64_t hi,
                                                              int parts, int which) {
-  const std::int64_t n = hi - lo;
-  const std::int64_t b = (n + parts - 1) / parts;
-  const std::int64_t first = lo + static_cast<std::int64_t>(which) * b;
-  const std::int64_t last = std::min(hi, first + b);
-  return {first, std::max(first, last)};
+  return exec::loop_block(lo, hi, parts, which);
 }
 
 }  // namespace detail
 
 /// Runs `body(i)` for every i in [lo, hi), block-partitioned over the
-/// current group. Purely local: no synchronization (callers that need the
-/// results of other processors' iterations synchronize via the data they
-/// touch, as in the paper's execution model).
+/// current group. Purely local from the program's point of view: callers
+/// that need the results of other processors' iterations synchronize via
+/// the data they touch, as in the paper's execution model. Iterations must
+/// be independent — under work stealing, chunks of one processor's block
+/// may execute concurrently on sibling workers.
 template <typename Body>
 void parallel_for(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body) {
   trace::ScopedSpan sp = ctx.span("parallel_for", "loop");
-  const auto [first, last] =
-      detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
-  for (std::int64_t i = first; i < last; ++i) body(i);
+  ctx.machine().backend().run_chunks(ctx.group(), lo, hi,
+                                     [&body](std::int64_t first, std::int64_t last) {
+                                       for (std::int64_t i = first; i < last; ++i) body(i);
+                                     });
 }
 
 /// do&merge: evaluates `body(i)` for every iteration, merges locally in
@@ -59,11 +68,34 @@ template <typename T, typename Body, typename Merge>
 T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body,
                   Merge&& merge, T init) {
   trace::ScopedSpan sp = ctx.span("parallel_reduce", "loop");
+  exec::Backend& backend = ctx.machine().backend();
   T local = init;
-  const auto [first, last] =
-      detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
-  for (std::int64_t i = first; i < last; ++i) {
-    local = merge(local, body(i));
+  if (backend.stealing_loops()) {
+    // Chunks of this block may run concurrently (on this worker and on
+    // thieves), so the fold cannot accumulate inside the chunk body.
+    // Buffer each iteration's value in a block-sized slot owned by this
+    // member — thieves write it through this closure — then fold in
+    // iteration order after the join: the exact merge sequence of the
+    // static path, so results stay bitwise identical with stealing on or
+    // off and across backends.
+    const auto [first, last] =
+        detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
+    std::vector<T> vals(static_cast<std::size_t>(last - first));
+    T* out = vals.data();
+    backend.run_chunks(ctx.group(), lo, hi,
+                       [&body, out, base = first](std::int64_t clo, std::int64_t chi) {
+                         for (std::int64_t i = clo; i < chi; ++i) {
+                           out[i - base] = body(i);
+                         }
+                       });
+    for (const T& v : vals) local = merge(local, v);
+  } else {
+    backend.run_chunks(ctx.group(), lo, hi,
+                       [&body, &merge, &local](std::int64_t clo, std::int64_t chi) {
+                         for (std::int64_t i = clo; i < chi; ++i) {
+                           local = merge(local, body(i));
+                         }
+                       });
   }
   if (ctx.nprocs() == 1) return local;
   return comm::allreduce(ctx, ctx.group(), local, merge);

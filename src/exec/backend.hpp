@@ -29,9 +29,11 @@
 // barriers synchronize exactly the same groups on both engines.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "pgroup/group.hpp"
@@ -56,6 +58,28 @@ enum class BackendKind : std::uint8_t {
 /// "sim" / "threads" (stable spelling used by bench records and CLIs).
 const char* backend_kind_name(BackendKind k) noexcept;
 
+/// Static block partition of [lo, hi) over `parts`: piece `which` as
+/// [first, last). This is THE ownership map of every data parallel loop:
+/// the simulator executes exactly this schedule, and the threaded engine's
+/// work-stealing path derives each member's chunk deque from the same
+/// blocks, so iteration ownership (who holds the result slot for iteration
+/// i) is identical on every backend and with stealing on or off.
+constexpr std::pair<std::int64_t, std::int64_t> loop_block(std::int64_t lo, std::int64_t hi,
+                                                           int parts, int which) noexcept {
+  const std::int64_t n = hi - lo;
+  const std::int64_t b = (n + parts - 1) / parts;
+  const std::int64_t first = lo + static_cast<std::int64_t>(which) * b;
+  const std::int64_t last = std::min(hi, first + b);
+  return {first, std::max(first, last)};
+}
+
+/// One contiguous chunk of a bulk loop, executed by run_chunks(): run
+/// iterations [lo, hi). A stolen chunk is always executed through the
+/// *owning* member's body object (the member whose static block contains
+/// [lo, hi)), so captured per-processor state — local array views, result
+/// buffers — is the owner's regardless of which worker ran the chunk.
+using ChunkBody = std::function<void(std::int64_t lo, std::int64_t hi)>;
+
 /// Aggregate per-run numbers a backend hands back after run(). The
 /// interpretation of the clock fields is backend-defined: modeled seconds
 /// on the simulator, real host seconds on the threaded engine.
@@ -66,6 +90,8 @@ struct BackendStats {
   std::uint64_t bytes = 0;
   std::uint64_t barriers = 0;
   double wait_ms = 0.0;  ///< total *real* blocked time (threaded backend only)
+  std::uint64_t steals = 0;        ///< loop chunks stolen by idle subgroup siblings
+  std::uint64_t stolen_iters = 0;  ///< iterations executed by a non-owning worker
   std::vector<std::uint64_t> traffic;  ///< src * P + dst, when recorded
 };
 
@@ -119,6 +145,33 @@ class Backend {
 
   /// Blocking operation on the machine's sequential I/O device.
   virtual void io_operation(std::size_t bytes) = 0;
+
+  /// Bulk loop-execution hook (core::parallel_for / parallel_reduce and the
+  /// hpf_on element loops route through this). Every member of `group` —
+  /// and only members; the caller must be one — invokes it SPMD with the
+  /// same [lo, hi) and an equivalent body. The backend decides the schedule:
+  ///
+  ///   * static (the simulator, or work_stealing off): the caller runs its
+  ///     own loop_block() as one chunk and returns — no synchronization,
+  ///     exactly the seed behaviour;
+  ///   * stealing (threaded backend, work_stealing on): the caller's block
+  ///     is split into a deque of chunks; idle members of the *same* group
+  ///     steal from siblings' deques — always invoking the chunk owner's
+  ///     body object — and the call returns once every iteration of the
+  ///     caller's own block has completed (possibly on another worker),
+  ///     with the completed chunks' writes visible to the caller.
+  ///
+  /// Iterations must be independent (the parallel-loop contract): under
+  /// stealing, chunks of one member's block may run concurrently, so a body
+  /// may write per-iteration locations but must not accumulate into shared
+  /// captured state — parallel_reduce buffers per-iteration values instead.
+  virtual void run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo,
+                          std::int64_t hi, const ChunkBody& body) = 0;
+
+  /// True when run_chunks() may execute chunks on workers other than their
+  /// owner (so callers that fold per-iteration values must buffer them
+  /// instead of accumulating inline).
+  virtual bool stealing_loops() const noexcept { return false; }
 };
 
 }  // namespace fxpar::exec

@@ -160,6 +160,23 @@ void SimBackend::barrier(const pgroup::ProcessorGroup& group) {
   sim_->advance_to(release);
 }
 
+void SimBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo,
+                            std::int64_t hi, const ChunkBody& body) {
+  const int me = sim_->current_rank();
+  const int v = group.virtual_of(me);
+  if (v < 0) {
+    throw std::logic_error("Machine::run_chunks: proc " + std::to_string(me) +
+                           " is not a member of group " + group.to_string());
+  }
+  if (hi <= lo) return;
+  // The static schedule: the caller's whole block as one chunk. No
+  // synchronization, no stealing — deterministic programs behave exactly as
+  // if they had looped over loop_block() inline (which is what the seed
+  // parallel_for did).
+  const auto [first, last] = loop_block(lo, hi, group.size(), v);
+  if (first < last) body(first, last);
+}
+
 void SimBackend::io_operation(std::size_t bytes) {
   const double entry = sim_->now();
   const double start = std::max(entry, io_available_);

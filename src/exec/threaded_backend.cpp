@@ -20,12 +20,23 @@ thread_local int t_rank = -1;
 
 constexpr int kSpinRounds = 256;  ///< brief spin before parking on the cv
 
+// How many chunks a member's static block is split into for stealing. Small
+// enough that claim overhead is negligible next to any nontrivial body,
+// large enough that a fully idle sibling can take a useful share.
+constexpr int kLoopChunksPerWorker = 16;
+
+// Scrambles the loop episode into the arena key (odd, so distinct episodes
+// of one group can never alias each other).
+constexpr std::uint64_t kEpochScramble = 0x9e3779b97f4a7c15ull;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // TreeBarrier
 
-ThreadedBackend::TreeBarrier::TreeBarrier(int n) : nodes(static_cast<std::size_t>(n)) {
+ThreadedBackend::TreeBarrier::TreeBarrier(std::vector<int> member_list)
+    : members(std::move(member_list)), nodes(members.size()) {
+  const int n = static_cast<int>(members.size());
   arrive_t.assign(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     int fanin = 1;  // the member itself
@@ -112,15 +123,23 @@ void ThreadedBackend::reset_run_state() {
     w.awaiting_ep.store(0, std::memory_order_relaxed);
     w.barrier_epoch.clear();
     w.barrier_cache.clear();
+    w.loop_epoch.clear();
     w.elapsed_s = 0.0;
     w.wait_s = 0.0;
     w.blocks = w.messages = w.bytes = w.barriers = 0;
+    w.steals = w.stolen_iters = 0;
     w.block_reason.store(nullptr, std::memory_order_relaxed);
   }
   if (!traffic_.empty()) std::fill(traffic_.begin(), traffic_.end(), 0);
   {
     std::lock_guard<std::mutex> lk(breg_mu_);
     barrier_registry_.clear();
+  }
+  {
+    // An aborted run can leave arenas behind (members unwound before the
+    // last-leaver cleanup); a normal run leaves the map empty.
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    loop_registry_.clear();
   }
   aborted_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
@@ -364,18 +383,40 @@ Payload ThreadedBackend::receive(int src, std::uint64_t tag) {
 // ---------------------------------------------------------------------------
 // Subset barriers
 
+void ThreadedBackend::check_group_key_match(const std::vector<int>& registered,
+                                            const pgroup::ProcessorGroup& g,
+                                            const char* what) {
+  if (registered == g.members()) return;
+  std::string msg = "ThreadedBackend: group key collision in ";
+  msg += what;
+  msg += ": key " + std::to_string(g.key()) + " of group " + g.to_string() +
+         " is already registered for members [";
+  for (std::size_t i = 0; i < registered.size(); ++i) {
+    if (i) msg += ",";
+    msg += std::to_string(registered[i]);
+  }
+  msg += "]";
+  throw std::logic_error(msg);
+}
+
 std::shared_ptr<ThreadedBackend::TreeBarrier> ThreadedBackend::barrier_for(
     Worker& me, const pgroup::ProcessorGroup& g) {
   const std::uint64_t key = g.key();
   auto it = me.barrier_cache.find(key);
-  if (it != me.barrier_cache.end()) return it->second;
+  if (it != me.barrier_cache.end()) {
+    check_group_key_match(it->second->members, g, "barrier_for");
+    return it->second;
+  }
   std::shared_ptr<TreeBarrier> tb;
   {
     std::lock_guard<std::mutex> lk(breg_mu_);
     auto& slot = barrier_registry_[key];
-    if (!slot) slot = std::make_shared<TreeBarrier>(g.size());
+    if (!slot) slot = std::make_shared<TreeBarrier>(g.members());
     tb = slot;
   }
+  // Validate outside the registry lock: a collision is a fatal program
+  // error, and every later episode would hit the cached entry anyway.
+  check_group_key_match(tb->members, g, "barrier_for");
   me.barrier_cache.emplace(key, tb);
   return tb;
 }
@@ -477,6 +518,141 @@ void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
 }
 
 // ---------------------------------------------------------------------------
+// Work-stealing loops
+
+void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo,
+                                 std::int64_t hi, const ChunkBody& body) {
+  Worker& me = self();
+  const int rank = t_rank;
+  const int v = group.virtual_of(rank);
+  if (v < 0) {
+    throw std::logic_error("Machine::run_chunks: proc " + std::to_string(rank) +
+                           " is not a member of group " + group.to_string());
+  }
+  if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  if (hi <= lo) return;
+
+  const int n = group.size();
+  const auto [first, last] = loop_block(lo, hi, n, v);
+  if (n == 1 || !config_.work_stealing) {
+    // Static schedule: exactly the simulator's behaviour, no coordination.
+    if (first < last) body(first, last);
+    return;
+  }
+
+  // Acquire (or create) the arena for this loop episode. The key mixes the
+  // group's content key with this group's per-worker loop counter — SPMD
+  // order guarantees all members agree on the counter — so two consecutive
+  // loops of one group, or simultaneous loops of two sibling subgroups,
+  // always name different arenas. Stealing can therefore never cross
+  // TASK_PARTITION siblings: a thief only ever scans slots of its own
+  // arena, and membership of the arena is membership of the group.
+  const std::uint64_t gkey = group.key();
+  const std::uint64_t episode = ++me.loop_epoch[gkey];
+  const std::uint64_t akey = gkey ^ (episode * kEpochScramble);
+  std::shared_ptr<LoopArena> arena;
+  {
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    auto& slot = loop_registry_[akey];
+    if (!slot) slot = std::make_shared<LoopArena>(group.members(), episode);
+    arena = slot;
+  }
+  check_group_key_match(arena->members, group, "run_chunks");
+  if (arena->epoch != episode) {
+    throw std::logic_error("ThreadedBackend::run_chunks: arena key collision (episode " +
+                           std::to_string(arena->epoch) + " vs " + std::to_string(episode) +
+                           ") on group " + group.to_string());
+  }
+
+  // Publish my static block as a bottom-to-top array of chunks. Everything
+  // is written before the single release store of `chunks`; thieves acquire
+  // that pointer, so they see count/result_slot/remaining without locks.
+  LoopArena::Slot& mine = arena->slots[static_cast<std::size_t>(v)];
+  const std::int64_t len = last - first;
+  int count = 0;
+  if (len > 0) {
+    count = static_cast<int>(std::min<std::int64_t>(len, kLoopChunksPerWorker));
+    mine.storage = std::make_unique<LoopArena::Chunk[]>(static_cast<std::size_t>(count));
+    const std::int64_t step = (len + count - 1) / count;
+    for (int c = 0; c < count; ++c) {
+      auto& ch = mine.storage[static_cast<std::size_t>(c)];
+      ch.lo = first + static_cast<std::int64_t>(c) * step;
+      ch.hi = std::min(last, ch.lo + step);
+    }
+    mine.count = count;
+    mine.body = &body;
+    mine.remaining.store(len, std::memory_order_relaxed);
+    mine.chunks.store(mine.storage.get(), std::memory_order_release);
+  }
+
+  // Always run a chunk through its *owner's* body object: the closure
+  // captures the owner's per-processor state (local array views, result
+  // buffers), so a stolen chunk computes exactly what the owner would have.
+  const auto run_one = [](LoopArena::Slot& s, LoopArena::Chunk& ch) {
+    (*s.body)(ch.lo, ch.hi);
+    s.remaining.fetch_sub(ch.hi - ch.lo, std::memory_order_acq_rel);
+  };
+
+  // Phase 1 — drain my own deque from the bottom. A flag already seen true
+  // means a sibling stole that chunk and is (or was) running it.
+  for (int c = 0; c < count; ++c) {
+    auto& ch = mine.storage[static_cast<std::size_t>(c)];
+    if (!ch.taken.exchange(true, std::memory_order_acq_rel)) run_one(mine, ch);
+  }
+
+  // Phase 2 — steal from siblings (top of their deques, round-robin from my
+  // right neighbour, sticking with a victim while it yields work), until my
+  // own block is complete *and* no stealable chunk is visible. The join is
+  // a bespoke spin on `remaining`, not a barrier: it must not perturb the
+  // barrier/message counters, which tests hold equal across backends.
+  int next_victim = (v + 1) % n;
+  for (;;) {
+    bool stole = false;
+    for (int off = 0; off < n && !stole; ++off) {
+      const int u = (next_victim + off) % n;
+      if (u == v) continue;
+      LoopArena::Slot& s = arena->slots[static_cast<std::size_t>(u)];
+      LoopArena::Chunk* arr = s.chunks.load(std::memory_order_acquire);
+      if (arr == nullptr) continue;                                    // not published yet
+      if (s.remaining.load(std::memory_order_acquire) == 0) continue;  // fully done
+      for (int c = s.count - 1; c >= 0; --c) {
+        auto& ch = arr[static_cast<std::size_t>(c)];
+        if (ch.taken.load(std::memory_order_relaxed)) continue;
+        if (ch.taken.exchange(true, std::memory_order_acq_rel)) continue;
+        run_one(s, ch);
+        me.steals += 1;
+        me.stolen_iters += static_cast<std::uint64_t>(ch.hi - ch.lo);
+        if (tracer_) {
+          tracer_->steal_event(rank, arena->members[static_cast<std::size_t>(u)],
+                               static_cast<std::uint64_t>(ch.hi - ch.lo), now_s());
+        }
+        next_victim = u;
+        stole = true;
+        break;
+      }
+    }
+    if (stole) continue;
+    if (mine.remaining.load(std::memory_order_acquire) == 0) break;
+    if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+    // My remaining chunks are all claimed and in flight on siblings; this
+    // spin is the per-member join. It busy-waits (with yields) rather than
+    // parking: the worker is neither finished nor blocked on a machine
+    // service, so the deadlock detector must keep seeing it as running.
+    std::this_thread::yield();
+  }
+
+  // The member leaves as soon as its own block is done — downstream reads
+  // of *other* members' results are synchronized by messages/barriers as
+  // always. The last member out unregisters the arena; the shared_ptr each
+  // member took at entry keeps the slots alive for any straggling scan.
+  if (arena->left.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    auto it = loop_registry_.find(akey);
+    if (it != loop_registry_.end() && it->second == arena) loop_registry_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // I/O device
 
 void ThreadedBackend::io_operation(std::size_t bytes) {
@@ -484,28 +660,29 @@ void ThreadedBackend::io_operation(std::size_t bytes) {
   const int rank = t_rank;
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
   const double entry = now_s();
-  int prev = -1;
-  {
-    // The machine has one sequential I/O device; serialize real access to
-    // it just as the simulator serializes modeled access.
+  // The machine has one sequential I/O device; serialize real access to it
+  // just as the simulator serializes modeled access. Only time spent
+  // *acquiring* the lock — genuinely queued behind another processor's
+  // operation — is blocked time; the device section itself is the caller's
+  // own work and stays in busy time.
+  std::unique_lock<std::mutex> lk(io_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) {
     me.block_reason.store("io", std::memory_order_release);
-    std::lock_guard<std::mutex> lk(io_mu_);
-    prev = io_prev_proc_;
-    io_prev_proc_ = rank;
-    // Device occupancy: the modeled latency/byte costs are simulator-side
-    // parameters, but holding the lock for the transfer keeps operations
-    // serialized. The payload copy itself happens in the caller.
-    (void)bytes;
+    lk.lock();
+    me.block_reason.store(nullptr, std::memory_order_release);
+    const double acquired = now_s();
+    me.wait_s += acquired - entry;
+    me.blocks += 1;
+    if (tracer_) {
+      const int prev = io_prev_proc_;  // guarded by io_mu_, held since lk.lock()
+      tracer_->io_wait(rank, entry, acquired, prev >= 0 ? prev : rank, entry);
+    }
   }
-  me.block_reason.store(nullptr, std::memory_order_release);
-  const double done = now_s();
-  if (done > entry) {
-    me.wait_s += done - entry;
-  }
-  if (tracer_) {
-    const bool queued = done > entry && prev >= 0;
-    tracer_->io_wait(rank, entry, done, queued ? prev : rank, entry);
-  }
+  io_prev_proc_ = rank;
+  // Device occupancy: the modeled latency/byte costs are simulator-side
+  // parameters, but holding the lock for the transfer keeps operations
+  // serialized. The payload copy itself happens in the caller.
+  (void)bytes;
 }
 
 // ---------------------------------------------------------------------------
@@ -526,6 +703,8 @@ BackendStats ThreadedBackend::stats() const {
     s.messages += w.messages;
     s.bytes += w.bytes;
     s.barriers += w.barriers;
+    s.steals += w.steals;
+    s.stolen_iters += w.stolen_iters;
     s.wait_ms += w.wait_s * 1e3;
   }
   s.traffic = traffic_;

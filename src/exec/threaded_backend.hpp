@@ -27,6 +27,20 @@
 //    real blocked time and barrier counts. The simulator remains the
 //    authority on modeled machine time (docs/execution.md).
 //
+//  - Loops: run_chunks() implements intra-subgroup work stealing (on by
+//    default, MachineConfig::work_stealing). Each member of the calling
+//    group splits its static loop_block() into a deque of chunks published
+//    in a per-loop arena; the owner claims chunks from the bottom, idle
+//    *siblings of the same group* steal from the top (a simplified
+//    Chase-Lev layout: a fixed chunk array with per-slot claim flags
+//    instead of ABA-prone top/bottom counters, safe because all pushes
+//    happen before publication). Arenas are keyed on (group key, per-group
+//    loop epoch), so sibling subgroups of a TASK_PARTITION can never
+//    exchange work — the paper's subgroup isolation invariant. A stolen
+//    chunk still writes the owning member's result slot, which keeps array
+//    contents and reduction combine order bit-identical to the static
+//    schedule (docs/execution.md, "Work stealing").
+//
 // A processor body that throws aborts the run: every parked worker is
 // woken and unwinds with AbortError, and run() rethrows the original
 // exception. A run in which every unfinished worker is parked with no
@@ -80,6 +94,21 @@ class ThreadedBackend final : public Backend {
   Payload receive(int src, std::uint64_t tag) override;
   void barrier(const pgroup::ProcessorGroup& group) override;
   void io_operation(std::size_t bytes) override;
+  void run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo, std::int64_t hi,
+                  const ChunkBody& body) override;
+  bool stealing_loops() const noexcept override {
+    return config_.work_stealing && config_.num_procs > 1;
+  }
+
+  /// Throws std::logic_error when `g`'s member list differs from the list
+  /// registered under the same 64-bit content key. Both the barrier
+  /// registry and the loop-arena registry apply this guard: two distinct
+  /// groups whose keys collide would otherwise share one TreeBarrier (or
+  /// arena) of the wrong shape and hang or mis-release. Public and static
+  /// so tests can exercise the collision path directly — forging a real
+  /// FNV-1a collision between two small member lists is not practical.
+  static void check_group_key_match(const std::vector<int>& registered,
+                                    const pgroup::ProcessorGroup& g, const char* what);
 
  private:
   struct MailKey {
@@ -103,12 +132,13 @@ class ThreadedBackend final : public Backend {
   /// last decrement resets the node for the next episode and signals the
   /// parent, and the root's completion releases the episode.
   struct TreeBarrier {
-    explicit TreeBarrier(int n);
+    explicit TreeBarrier(std::vector<int> member_list);
 
     struct alignas(64) Node {
       std::atomic<int> pending{0};
       int fanin = 0;
     };
+    std::vector<int> members;      ///< collision guard: the registering group
     std::vector<Node> nodes;       ///< indexed by vrank; parent(i) = (i-1)/2
     std::vector<double> arrive_t;  ///< real arrival stamps (traced runs only)
     std::atomic<std::uint64_t> released{0};  ///< highest released episode
@@ -120,6 +150,42 @@ class ThreadedBackend final : public Backend {
     // the next episode cannot overwrite them until that member re-arrives.
     int last_arriver = -1;  ///< physical rank with the latest arrival
     double max_arrival = 0.0;
+  };
+
+  /// One work-stealing episode of one group's data-parallel loop (one
+  /// run_chunks() call of every member). Each member owns one Slot indexed
+  /// by its vrank: it splits its static block into a fixed chunk array and
+  /// release-publishes it; idle siblings steal unclaimed chunks from the
+  /// top while the owner claims from the bottom. The layout is a
+  /// simplified Chase-Lev deque — all pushes happen before publication, so
+  /// per-chunk claim flags replace the ABA-prone top/bottom counters.
+  struct LoopArena {
+    struct Chunk {
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      std::atomic<bool> taken{false};
+    };
+    struct alignas(64) Slot {
+      std::atomic<Chunk*> chunks{nullptr};  ///< release-published; null = no block
+      int count = 0;  ///< chunk count; valid once `chunks` is seen
+      /// The owner's body object. Thieves run stolen chunks through this,
+      /// so captured per-processor state is the owner's no matter which
+      /// worker executes. Points into the owner's run_chunks frame — valid
+      /// until the owner leaves, and no chunk can be claimed after that.
+      const ChunkBody* body = nullptr;
+      std::unique_ptr<Chunk[]> storage;
+      /// Iterations of this slot's block not yet completed. Workers
+      /// fetch_sub with acq_rel after a chunk's body returns, so the
+      /// owner's acquire read of 0 sees every write the chunk made.
+      std::atomic<std::int64_t> remaining{0};
+    };
+    LoopArena(std::vector<int> member_list, std::uint64_t episode)
+        : members(std::move(member_list)), epoch(episode), slots(members.size()) {}
+
+    std::vector<int> members;  ///< collision guard, and vrank -> physical rank
+    std::uint64_t epoch = 0;   ///< per-group loop episode this arena serves
+    std::vector<Slot> slots;   ///< indexed by vrank
+    std::atomic<int> left{0};  ///< members done; the last one unregisters
   };
 
   struct alignas(64) Worker {
@@ -140,6 +206,10 @@ class ThreadedBackend final : public Backend {
     // ---- owner-thread-local state ----
     std::unordered_map<std::uint64_t, std::uint64_t> barrier_epoch;
     std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_cache;
+    /// Loop episodes completed per group key. SPMD guarantees every member
+    /// of a group reaches its run_chunks() calls in the same order, so the
+    /// per-worker counters agree and name the same arena.
+    std::unordered_map<std::uint64_t, std::uint64_t> loop_epoch;
 
     // ---- per-worker counters, merged by stats() after the join ----
     double elapsed_s = 0.0;  ///< real seconds from run start to body end
@@ -148,6 +218,8 @@ class ThreadedBackend final : public Backend {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t barriers = 0;
+    std::uint64_t steals = 0;        ///< chunks this worker stole from siblings
+    std::uint64_t stolen_iters = 0;  ///< iterations run on behalf of siblings
     std::atomic<const char*> block_reason{nullptr};  ///< static string or null
 
     std::thread thread;
@@ -186,6 +258,11 @@ class ThreadedBackend final : public Backend {
 
   std::mutex breg_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_registry_;
+
+  std::mutex loop_mu_;
+  /// Keyed on group key XOR scrambled loop episode; entries are erased by
+  /// the last member to leave, so the map stays small between loops.
+  std::unordered_map<std::uint64_t, std::shared_ptr<LoopArena>> loop_registry_;
 
   std::mutex io_mu_;
   int io_prev_proc_ = -1;  ///< guarded by io_mu_

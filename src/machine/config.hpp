@@ -65,6 +65,16 @@ struct MachineConfig {
   /// pointer test. Tracing never changes modeled time.
   bool trace = false;
 
+  /// Intra-subgroup work stealing for data parallel loops (threaded backend
+  /// only; the simulator always runs the static block schedule). When on,
+  /// run_chunks() lets idle members of the *current* processor group steal
+  /// iteration chunks from siblings of the same group — never across
+  /// TASK_PARTITION siblings — which recovers load-imbalance slack in
+  /// irregular loops. Array contents and reduction results are bit-identical
+  /// with stealing on or off (docs/execution.md, "Work stealing"); the
+  /// switch exists for A/B host-time benchmarking.
+  bool work_stealing = true;
+
   /// Inspector–executor plan caching for redistribution (see
   /// dist/plan_cache.hpp and docs/performance.md). When on, assign() and
   /// the halo exchange precompute a flattened transfer schedule once per

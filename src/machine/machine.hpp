@@ -50,6 +50,13 @@ struct RunResult {
   std::uint64_t bytes = 0;
   std::uint64_t barriers = 0;
 
+  /// Work-stealing counters (threaded backend with
+  /// MachineConfig::work_stealing on; always 0 on the simulator): chunks of
+  /// data parallel loops executed by an idle sibling of the owner's group,
+  /// and the iterations those chunks covered.
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_iters = 0;
+
   /// Which engine executed the run: "sim" or "threads".
   std::string backend = "sim";
 

@@ -12,6 +12,8 @@ UtilizationSummary summarize(const RunResult& result) {
   s.messages = result.messages;
   s.bytes = result.bytes;
   s.barriers = result.barriers;
+  s.steals = result.steals;
+  s.stolen_iters = result.stolen_iters;
   s.plan_cache_hits = result.plan_cache_hits;
   s.plan_cache_misses = result.plan_cache_misses;
   s.backend = result.backend;
@@ -74,6 +76,10 @@ std::string utilization_report(const RunResult& result, int max_rows) {
   if (s.plan_cache_hits + s.plan_cache_misses > 0) {
     oss << "  redistribution plan cache: " << s.plan_cache_hits << " hits, "
         << s.plan_cache_misses << " misses\n";
+  }
+  if (s.steals > 0) {
+    oss << "  work stealing: " << s.steals << " chunks (" << s.stolen_iters
+        << " iterations) ran on idle subgroup siblings\n";
   }
   // Only the threaded backend's times are real; keep the simulator's
   // report unchanged (its makespan *is* the authoritative number).

@@ -31,6 +31,7 @@ void TraceRecorder::reset() {
   waits_.clear();
   messages_.clear();
   barriers_.clear();
+  steals_.clear();
   totals_.assign(open_.size(), ProcTotals{});
   finish_ = 0.0;
   concurrent_ = false;
@@ -39,6 +40,7 @@ void TraceRecorder::reset() {
   msgs_pp_.clear();
   recv_pp_.clear();
   bnotes_pp_.clear();
+  steals_pp_.clear();
 }
 
 void TraceRecorder::set_concurrent(int num_procs_of_run) {
@@ -51,6 +53,7 @@ void TraceRecorder::set_concurrent(int num_procs_of_run) {
   msgs_pp_.assign(open_.size(), {});
   recv_pp_.assign(open_.size(), {});
   bnotes_pp_.assign(open_.size(), {});
+  steals_pp_.assign(open_.size(), {});
 }
 
 double TraceRecorder::now(int proc) const {
@@ -207,6 +210,19 @@ void TraceRecorder::io_wait(int proc, double t0, double t1, int cause_proc,
   if (t1 > t0) add_wait(proc, WaitKind::Io, t0, t1, cause_proc, cause_time, 0);
 }
 
+void TraceRecorder::steal_event(int thief, int victim, std::uint64_t iters, double t) {
+  if (thief < 0 || thief >= num_procs()) {
+    throw std::out_of_range("TraceRecorder::steal_event: bad thief rank");
+  }
+  touch(thief, t);
+  StealRecord r{thief, victim, iters, t};
+  if (concurrent_) {
+    steals_pp_[static_cast<std::size_t>(thief)].push_back(r);
+  } else {
+    steals_.push_back(r);
+  }
+}
+
 void TraceRecorder::barrier_record(std::uint64_t group_key, std::uint64_t episode, int proc,
                                    double arrive_t, double release_t, int last_arriver,
                                    double max_arrival) {
@@ -285,11 +301,22 @@ void TraceRecorder::merge_concurrent() {
     barriers_.push_back(std::move(b));
   }
 
+  // Steal events merge like the wait streams: shards are each in time
+  // order, interleave by completion time.
+  for (auto& shard : steals_pp_) {
+    steals_.insert(steals_.end(), shard.begin(), shard.end());
+  }
+  std::stable_sort(steals_.begin(), steals_.end(), [](const StealRecord& a, const StealRecord& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.thief < b.thief;
+  });
+
   done_pp_.clear();
   waits_pp_.clear();
   msgs_pp_.clear();
   recv_pp_.clear();
   bnotes_pp_.clear();
+  steals_pp_.clear();
 }
 
 void TraceRecorder::add_wait(int proc, WaitKind kind, double t0, double t1, int cause_proc,

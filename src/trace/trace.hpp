@@ -90,6 +90,17 @@ struct BarrierRecord {
   int last_arriver = -1;
 };
 
+/// One stolen loop chunk (threaded backend, work stealing on): `thief` ran
+/// `iters` iterations of `victim`'s static block, finishing at `t` (real
+/// seconds). Steals are pure load balancing — they move work, not data
+/// ownership — so unlike Wait they carry no happens-before edge.
+struct StealRecord {
+  int thief = -1;
+  int victim = -1;
+  std::uint64_t iters = 0;
+  double t = 0.0;
+};
+
 /// Per-processor accounting totals (denominators for coverage metrics).
 struct ProcTotals {
   double busy = 0.0;
@@ -151,6 +162,12 @@ class TraceRecorder {
   /// previous operation's owner and completion time (else pass proc / t0).
   void io_wait(int proc, double t0, double t1, int cause_proc, double cause_time);
 
+  /// `thief` completed a stolen chunk of `iters` iterations owned by
+  /// `victim` at time `t`. In concurrent mode the record lands in the
+  /// thief's shard (call only from the thief's worker) and is merged by
+  /// time like the other streams.
+  void steal_event(int thief, int victim, std::uint64_t iters, double t);
+
   // ---- concurrent recording (threaded backend) ----
   //
   // The hooks above assume one OS thread: they append to shared vectors.
@@ -198,6 +215,7 @@ class TraceRecorder {
   const std::vector<Wait>& waits() const noexcept { return waits_; }
   const std::vector<MessageRecord>& messages() const noexcept { return messages_; }
   const std::vector<BarrierRecord>& barriers() const noexcept { return barriers_; }
+  const std::vector<StealRecord>& steals() const noexcept { return steals_; }
   const std::vector<ProcTotals>& proc_totals() const noexcept { return totals_; }
   double finish_time() const noexcept { return finish_; }
 
@@ -233,6 +251,7 @@ class TraceRecorder {
   std::vector<Wait> waits_;
   std::vector<MessageRecord> messages_;
   std::vector<BarrierRecord> barriers_;
+  std::vector<StealRecord> steals_;
   std::vector<ProcTotals> totals_;
   std::vector<double> last_activity_;  ///< per-proc time of the last event
   double finish_ = 0.0;
@@ -246,6 +265,7 @@ class TraceRecorder {
   std::vector<std::vector<MessageRecord>> msgs_pp_;
   std::vector<std::vector<RecvNote>> recv_pp_;
   std::vector<std::vector<BarrierNote>> bnotes_pp_;
+  std::vector<std::vector<StealRecord>> steals_pp_;
 };
 
 /// RAII closer for a span opened through Context::span(). Inert when

@@ -1,0 +1,161 @@
+// Tests for the shared bench CLI (bench/bench_common.hpp): flags with a
+// missing or invalid argument must exit 2 (automation depends on loud
+// failures, not silently mislabeled records), --work-stealing must reach
+// MachineConfig, and json_record must emit `null` for non-finite numbers so
+// every line stays parseable JSON for the perf-smoke gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+// Runs fxbench::init on a mutable copy of `args` (argv[0] included).
+void run_init(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  fxbench::init(static_cast<int>(argv.size()), argv.data());
+}
+
+// Saves and restores the global bench options around a test that parses.
+struct OptionsGuard {
+  fxbench::Options saved = fxbench::options();
+  ~OptionsGuard() { fxbench::options() = saved; }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Missing / invalid arguments exit with status 2
+// ---------------------------------------------------------------------------
+
+TEST(BenchCliDeathTest, TrailingJsonOutExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--json-out"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--json-out requires an argument");
+}
+
+TEST(BenchCliDeathTest, TrailingTraceOutExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--trace-out"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--trace-out requires an argument");
+}
+
+TEST(BenchCliDeathTest, TrailingThreadsExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--threads requires an argument");
+}
+
+TEST(BenchCliDeathTest, TrailingBackendExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--backend"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--backend requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidBackendExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--backend", "cuda"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--backend must be 'sim' or 'threads'");
+}
+
+TEST(BenchCliDeathTest, TrailingWorkStealingExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--work-stealing"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--work-stealing requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidWorkStealingExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--work-stealing", "maybe"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--work-stealing must be 'on' or 'off'");
+}
+
+// ---------------------------------------------------------------------------
+// --work-stealing reaches MachineConfig
+// ---------------------------------------------------------------------------
+
+TEST(BenchCli, WorkStealingToggleAppliesToConfig) {
+  OptionsGuard guard;
+
+  // Default: the CLI does not override the config.
+  fxbench::options() = fxbench::Options{};
+  auto cfg = fxpar::MachineConfig::paragon(4);
+  ASSERT_TRUE(cfg.work_stealing);  // on by default
+  EXPECT_TRUE(fxbench::apply_backend(cfg).work_stealing);
+
+  fxbench::options() = fxbench::Options{};
+  run_init({"bench", "--work-stealing", "off", "--backend", "threads"});
+  EXPECT_EQ(fxbench::options().work_stealing, 0);
+  EXPECT_FALSE(fxbench::apply_backend(cfg).work_stealing);
+
+  fxbench::options() = fxbench::Options{};
+  cfg.work_stealing = false;
+  run_init({"bench", "--work-stealing", "on"});
+  EXPECT_EQ(fxbench::options().work_stealing, 1);
+  EXPECT_TRUE(fxbench::apply_backend(cfg).work_stealing);
+}
+
+// ---------------------------------------------------------------------------
+// json_record sanitizes non-finite numbers
+// ---------------------------------------------------------------------------
+
+// json_stream() opens its sink once per process, so every record test in
+// this binary shares one file and reads back its own appended lines.
+namespace {
+
+std::string record_sink_path() {
+  static const std::string path = testing::TempDir() + "fxpar_bench_cli_records.jsonl";
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(BenchCli, JsonRecordEmitsNullForNonFiniteValues) {
+  fxbench::options().json_out = record_sink_path();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  fxbench::json_record("sanitize/nonfinite", {{"case", "nonfinite"}}, inf, nan, 7,
+                       /*host_ms=*/nan, 0, 0, "threads", 4, /*wait_ms=*/inf,
+                       /*steals=*/3, /*stolen_iters=*/44);
+
+  const auto lines = read_lines(record_sink_path());
+  ASSERT_FALSE(lines.empty());
+  const std::string& rec = lines.back();
+  ASSERT_NE(rec.find("\"name\":\"sanitize/nonfinite\""), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"time_s\":null"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"efficiency\":null"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"host_ms\":null"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"wait_ms\":null"), std::string::npos) << rec;
+  // No bare non-JSON tokens anywhere in the line.
+  EXPECT_EQ(rec.find("inf"), std::string::npos) << rec;
+  EXPECT_EQ(rec.find("nan"), std::string::npos) << rec;
+  // The finite fields still round-trip.
+  EXPECT_NE(rec.find("\"comm_bytes\":7"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"steals\":3,\"stolen_iters\":44"), std::string::npos) << rec;
+}
+
+TEST(BenchCli, JsonRecordFiniteValuesAndOptionalFields) {
+  fxbench::options().json_out = record_sink_path();
+  // steals < 0 means "not a threads run": the work-stealing fields must be
+  // absent, not zero, so the perf gate can tell the cases apart.
+  fxbench::json_record("sanitize/finite", {{"case", "plain"}}, 1.5, 0.75, 10);
+
+  const auto lines = read_lines(record_sink_path());
+  ASSERT_FALSE(lines.empty());
+  const std::string& rec = lines.back();
+  ASSERT_NE(rec.find("\"name\":\"sanitize/finite\""), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"time_s\":1.5"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"efficiency\":0.75"), std::string::npos) << rec;
+  EXPECT_EQ(rec.find("\"steals\""), std::string::npos) << rec;
+  EXPECT_EQ(rec.find("null"), std::string::npos) << rec;
+}

@@ -8,16 +8,22 @@
 // exactly the ones a TSan build is for.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "core/fx.hpp"
+#include "core/parallel_loop.hpp"
 #include "dist/redistribute.hpp"
+#include "exec/threaded_backend.hpp"
 #include "machine/context.hpp"
 #include "machine/machine.hpp"
 #include "machine/report.hpp"
+#include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/phase_report.hpp"
@@ -373,6 +379,229 @@ TEST(ExecThreads, TraceRecordsMergeAfterConcurrentRun) {
   // The analyzers must accept the merged trace.
   EXPECT_FALSE(fxpar::trace::phase_report(*res.trace).to_string().empty());
   EXPECT_FALSE(fxpar::trace::critical_path(*res.trace).to_string().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing loops (tentpole)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Deliberately imbalanced iteration cost: heavy iterations take `reps`
+// rounds of transcendental work, light ones a single round. Deterministic —
+// the same (input, reps) pair always produces the same bits.
+double steal_heavy(double x, int reps) {
+  double acc = x;
+  for (int r = 0; r < reps * 200; ++r) {
+    acc = std::fma(acc, 1.0000001, std::sin(acc) * 1e-3);
+  }
+  return acc;
+}
+
+constexpr std::int64_t kIrrN = 512;  // loop length
+constexpr int kHeavySteps = 64;      // heavy-iteration work multiplier
+
+struct IrregularRun {
+  mx::RunResult res;
+  std::vector<double> out;  ///< per-iteration results (shared, disjoint writes)
+  std::vector<int> who;     ///< physical rank that executed each iteration
+  double reduced = 0.0;     ///< do&merge result (identical on every member)
+};
+
+// The canonical irregular do&merge program: every heavy iteration lands in
+// vrank 0's static block, so with stealing enabled the other workers drain
+// chunks of its deque. `who[i]` records the worker that actually ran
+// iteration i — under stealing that can differ from the static owner, but
+// the *results* must not.
+IrregularRun run_irregular_loop(const MachineConfig& cfg) {
+  mx::Machine m(cfg);
+  IrregularRun r;
+  r.out.assign(static_cast<std::size_t>(kIrrN), 0.0);
+  r.who.assign(static_cast<std::size_t>(kIrrN), -1);
+  double* out = r.out.data();
+  int* who = r.who.data();
+  double* reduced = &r.reduced;
+  r.res = m.run([&](mx::Context& ctx) {
+    core::parallel_for(ctx, 0, kIrrN, [&ctx, out, who](std::int64_t i) {
+      who[i] = ctx.machine().backend().current_rank();
+      out[i] = steal_heavy(static_cast<double>(i) * 1e-3,
+                           i < kIrrN / 4 ? kHeavySteps : 1);
+    });
+    // Floating-point sum whose value depends on combine order: bitwise
+    // equality across schedules proves the merge order is preserved.
+    const double sum = core::parallel_reduce<double>(
+        ctx, 0, kIrrN, [](std::int64_t i) { return 1.0 / static_cast<double>(i + 1); },
+        std::plus<double>{}, 0.0);
+    if (ctx.phys_rank() == 0) *reduced = sum;
+  });
+  return r;
+}
+
+// Static iteration ownership on the whole-machine group (vrank == phys).
+std::vector<int> static_owner(int procs) {
+  std::vector<int> own(static_cast<std::size_t>(kIrrN), -1);
+  for (int v = 0; v < procs; ++v) {
+    const auto [f, l] = ex::loop_block(0, kIrrN, procs, v);
+    for (std::int64_t i = f; i < l; ++i) own[static_cast<std::size_t>(i)] = v;
+  }
+  return own;
+}
+
+}  // namespace
+
+TEST(ExecStealing, IrregularLoopStealsAndStaysBitIdentical) {
+  const int P = 4;
+  const auto steal = run_irregular_loop(threaded(P));
+  auto off = threaded(P);
+  off.work_stealing = false;
+  const auto nosteal = run_irregular_loop(off);
+
+  // The stealing run moved work: some chunks of the hot block ran on idle
+  // siblings, and the counters surfaced through RunResult say so.
+  EXPECT_GT(steal.res.steals, 0u);
+  EXPECT_GT(steal.res.stolen_iters, 0u);
+  EXPECT_GE(steal.res.stolen_iters, steal.res.steals);  // >= 1 iter per chunk
+  const std::string report = mx::utilization_report(steal.res);
+  EXPECT_NE(report.find("work stealing"), std::string::npos);
+
+  // Every iteration that ran off its static owner is a stolen one; the
+  // executor map must account for exactly the stolen iterations.
+  const auto own = static_owner(P);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    if (steal.who[i] != own[i]) ++moved;
+  }
+  EXPECT_EQ(moved, steal.res.stolen_iters);
+
+  // With the toggle off the schedule is purely static.
+  EXPECT_EQ(nosteal.res.steals, 0u);
+  EXPECT_EQ(nosteal.res.stolen_iters, 0u);
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    ASSERT_EQ(nosteal.who[i], own[i]) << "iteration " << i;
+  }
+
+  // The determinism contract: array contents and the order-sensitive
+  // reduction are bit-identical with stealing on or off.
+  EXPECT_EQ(steal.out, nosteal.out);
+  EXPECT_EQ(steal.reduced, nosteal.reduced);
+}
+
+TEST(ExecStealing, SimulatorMatchesStealingThreadsBitIdentically) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const int P = 4;
+  const auto sim = run_irregular_loop(simulated(P));
+  const auto thr = run_irregular_loop(threaded(P));
+
+  // The simulator always runs the static schedule, whatever the toggle.
+  EXPECT_EQ(sim.res.steals, 0u);
+  EXPECT_EQ(sim.res.stolen_iters, 0u);
+  const auto own = static_owner(P);
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    ASSERT_EQ(sim.who[i], own[i]) << "iteration " << i;
+  }
+
+  EXPECT_EQ(sim.out, thr.out);
+  EXPECT_EQ(sim.reduced, thr.reduced);
+}
+
+// Stealing must never cross TASK_PARTITION siblings: arenas are keyed per
+// group, so an idle member of "right" can see no chunk of "left"'s loops
+// even while both subgroups run imbalanced loops concurrently.
+TEST(ExecStealing, StealingConfinedToTaskPartitionSiblings) {
+  constexpr std::int64_t N = 256;
+  mx::Machine m(threaded(4));
+  std::vector<double> out(static_cast<std::size_t>(N), 0.0);
+  std::vector<int> who(static_cast<std::size_t>(N), -1);
+  std::vector<int> left_members, right_members;
+  m.run([&](mx::Context& ctx) {
+    core::TaskPartition part(ctx, {{"left", 2}, {"right", 2}}, "steal-split");
+    core::TaskRegion region(ctx, part);
+    auto run_half = [&](std::int64_t lo, std::int64_t hi, std::vector<int>* members) {
+      if (ctx.group().virtual_of(ctx.phys_rank()) == 0) *members = ctx.group().members();
+      core::parallel_for(ctx, lo, hi, [&ctx, &out, &who, lo, hi](std::int64_t i) {
+        who[static_cast<std::size_t>(i)] = ctx.machine().backend().current_rank();
+        out[static_cast<std::size_t>(i)] = steal_heavy(
+            static_cast<double>(i) * 1e-3, i - lo < (hi - lo) / 2 ? kHeavySteps / 2 : 1);
+      });
+    };
+    region.on("left", [&] { run_half(0, N / 2, &left_members); });
+    region.on("right", [&] { run_half(N / 2, N, &right_members); });
+  });
+
+  ASSERT_EQ(left_members.size(), 2u);
+  ASSERT_EQ(right_members.size(), 2u);
+  auto member_of = [](const std::vector<int>& ms, int r) {
+    return std::find(ms.begin(), ms.end(), r) != ms.end();
+  };
+  for (std::int64_t i = 0; i < N; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const auto& ms = i < N / 2 ? left_members : right_members;
+    ASSERT_TRUE(member_of(ms, who[u]))
+        << "iteration " << i << " ran on rank " << who[u] << ", outside its subgroup";
+    const std::int64_t lo = i < N / 2 ? 0 : N / 2;
+    const std::int64_t hi = i < N / 2 ? N / 2 : N;
+    const double want = steal_heavy(static_cast<double>(i) * 1e-3,
+                                    i - lo < (hi - lo) / 2 ? kHeavySteps / 2 : 1);
+    ASSERT_EQ(out[u], want) << "iteration " << i;
+  }
+}
+
+TEST(ExecStealing, TraceRecordsStealEvents) {
+  auto cfg = threaded(4);
+  cfg.trace = true;
+  const auto r = run_irregular_loop(cfg);
+  ASSERT_NE(r.res.trace, nullptr);
+  const auto& st = r.res.trace->steals();
+  EXPECT_EQ(st.size(), r.res.steals);
+  ASSERT_FALSE(st.empty());
+  double prev = 0.0;
+  for (const auto& s : st) {
+    EXPECT_GE(s.t, prev);  // merged shards come out time-ordered
+    prev = s.t;
+    EXPECT_NE(s.thief, s.victim);
+    EXPECT_GE(s.thief, 0);
+    EXPECT_LT(s.thief, 4);
+    EXPECT_GE(s.victim, 0);
+    EXPECT_LT(s.victim, 4);
+    EXPECT_GT(s.iters, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O blocked-time accounting (satellite)
+// ---------------------------------------------------------------------------
+
+// Only time spent *waiting for the device lock* is blocked time. A single
+// worker can never contend, so a run that is pure io must report zero real
+// wait and zero block events — before the fix, the whole io critical
+// section was charged as wait.
+TEST(ExecThreads, UncontendedIoChargesNoWait) {
+  mx::Machine m(threaded(1));
+  const auto res = m.run([](mx::Context& ctx) {
+    for (int i = 0; i < 16; ++i) ctx.io(std::size_t{1} << 12);
+  });
+  EXPECT_EQ(res.wait_ms, 0.0);
+  ASSERT_EQ(res.clocks.size(), 1u);
+  EXPECT_EQ(res.clocks[0].blocks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Group-key collision hardening (satellite)
+// ---------------------------------------------------------------------------
+
+// The barrier and loop-arena registries key entries on the group's 64-bit
+// content hash. Two distinct groups colliding on that key would silently
+// share a TreeBarrier (or arena) of the wrong shape; the registries now
+// store the registering member list and fail loudly on mismatch. A real
+// FNV-1a collision can't be forged from small member lists, so the guard
+// is exercised directly.
+TEST(ExecBarriers, GroupKeyCollisionFailsLoudly) {
+  const fxpar::pgroup::ProcessorGroup g({0, 1, 2, 3});
+  EXPECT_NO_THROW(ex::ThreadedBackend::check_group_key_match(g.members(), g, "barrier"));
+  EXPECT_THROW(ex::ThreadedBackend::check_group_key_match({0, 1}, g, "barrier"),
+               std::logic_error);
+  EXPECT_THROW(ex::ThreadedBackend::check_group_key_match({0, 1, 2, 5}, g, "run_chunks"),
+               std::logic_error);
 }
 
 // ---------------------------------------------------------------------------
