@@ -162,8 +162,20 @@ int main(int argc, char** argv) {
                        thr.host_ms);
 
   // ---- imbalanced parallel loop: stealing on vs off (threads) vs sim ----
-  const auto steal = run_imbalanced(exec::BackendKind::Threads, procs, true);
-  const auto nosteal = run_imbalanced(exec::BackendKind::Threads, procs, false);
+  // Best-of-3 host times for the threaded runs: the A/B ratio feeds a CI
+  // gate on shared runners, so take the fastest of three runs of each
+  // configuration to damp scheduler noise. Outputs are deterministic, so
+  // any run is a valid parity witness.
+  const auto best_threads = [procs](bool stealing) {
+    auto best = run_imbalanced(exec::BackendKind::Threads, procs, stealing);
+    for (int rep = 1; rep < 3; ++rep) {
+      auto r = run_imbalanced(exec::BackendKind::Threads, procs, stealing);
+      if (r.res.host_ms < best.res.host_ms) best = std::move(r);
+    }
+    return best;
+  };
+  const auto steal = best_threads(true);
+  const auto nosteal = best_threads(false);
   const auto imb_sim = run_imbalanced(exec::BackendKind::Sim, procs, true);
   const bool imb_parity = steal.out == nosteal.out && steal.out == imb_sim.out;
   std::printf("imbalanced loop (%lld iters, heavy first quarter, %d threads):\n",

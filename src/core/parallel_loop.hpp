@@ -29,6 +29,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "comm/collectives.hpp"
@@ -77,18 +79,22 @@ T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&
     // member — thieves write it through this closure — then fold in
     // iteration order after the join: the exact merge sequence of the
     // static path, so results stay bitwise identical with stealing on or
-    // off and across backends.
+    // off and across backends. Slots are std::optional so T needs only be
+    // move-constructible, like the static path: chunks partition the
+    // block, so each slot is emplaced exactly once by whichever worker
+    // runs its chunk. The buffer is one O(block-length) allocation per
+    // call — the price of decoupling evaluation order from the fold.
     const auto [first, last] =
         detail::iteration_block(lo, hi, ctx.nprocs(), ctx.vrank());
-    std::vector<T> vals(static_cast<std::size_t>(last - first));
-    T* out = vals.data();
+    std::vector<std::optional<T>> vals(static_cast<std::size_t>(last - first));
+    std::optional<T>* out = vals.data();
     backend.run_chunks(ctx.group(), lo, hi,
                        [&body, out, base = first](std::int64_t clo, std::int64_t chi) {
                          for (std::int64_t i = clo; i < chi; ++i) {
-                           out[i - base] = body(i);
+                           out[i - base].emplace(body(i));
                          }
                        });
-    for (const T& v : vals) local = merge(local, v);
+    for (std::optional<T>& v : vals) local = merge(local, std::move(*v));
   } else {
     backend.run_chunks(ctx.group(), lo, hi,
                        [&body, &merge, &local](std::int64_t clo, std::int64_t chi) {

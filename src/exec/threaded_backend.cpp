@@ -572,12 +572,19 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
   int count = 0;
   if (len > 0) {
     count = static_cast<int>(std::min<std::int64_t>(len, kLoopChunksPerWorker));
-    mine.storage = std::make_unique<LoopArena::Chunk[]>(static_cast<std::size_t>(count));
     const std::int64_t step = (len + count - 1) / count;
+    // The rounded-up step can overshoot the block when len is not a
+    // multiple of the chunk count (len=25 over 16 chunks steps by 2 and
+    // covers 32): recompute the count so every chunk is non-empty, and
+    // clamp both bounds — an unclamped lo yields lo > hi chunks whose
+    // negative lengths would wedge the `remaining` join below forever.
+    count = static_cast<int>((len + step - 1) / step);
+    mine.storage = std::make_unique<LoopArena::Chunk[]>(static_cast<std::size_t>(count));
     for (int c = 0; c < count; ++c) {
       auto& ch = mine.storage[static_cast<std::size_t>(c)];
-      ch.lo = first + static_cast<std::int64_t>(c) * step;
+      ch.lo = std::min(last, first + static_cast<std::int64_t>(c) * step);
       ch.hi = std::min(last, ch.lo + step);
+      assert(ch.lo < ch.hi);
     }
     mine.count = count;
     mine.body = &body;
@@ -589,67 +596,103 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
   // captures the owner's per-processor state (local array views, result
   // buffers), so a stolen chunk computes exactly what the owner would have.
   const auto run_one = [](LoopArena::Slot& s, LoopArena::Chunk& ch) {
+    // Account the chunk done even when the body throws (an abort unwinding
+    // a machine service called inside the loop): the owner's join and the
+    // abort drain below both wait on `remaining`, and a skipped decrement
+    // would turn the abort into a permanent spin.
+    struct Done {
+      LoopArena::Slot& slot;
+      std::int64_t n;
+      ~Done() { slot.remaining.fetch_sub(n, std::memory_order_acq_rel); }
+    } done{s, ch.hi - ch.lo};
     (*s.body)(ch.lo, ch.hi);
-    s.remaining.fetch_sub(ch.hi - ch.lo, std::memory_order_acq_rel);
   };
-
-  // Phase 1 — drain my own deque from the bottom. A flag already seen true
-  // means a sibling stole that chunk and is (or was) running it.
-  for (int c = 0; c < count; ++c) {
-    auto& ch = mine.storage[static_cast<std::size_t>(c)];
-    if (!ch.taken.exchange(true, std::memory_order_acq_rel)) run_one(mine, ch);
-  }
-
-  // Phase 2 — steal from siblings (top of their deques, round-robin from my
-  // right neighbour, sticking with a victim while it yields work), until my
-  // own block is complete *and* no stealable chunk is visible. The join is
-  // a bespoke spin on `remaining`, not a barrier: it must not perturb the
-  // barrier/message counters, which tests hold equal across backends.
-  int next_victim = (v + 1) % n;
-  for (;;) {
-    bool stole = false;
-    for (int off = 0; off < n && !stole; ++off) {
-      const int u = (next_victim + off) % n;
-      if (u == v) continue;
-      LoopArena::Slot& s = arena->slots[static_cast<std::size_t>(u)];
-      LoopArena::Chunk* arr = s.chunks.load(std::memory_order_acquire);
-      if (arr == nullptr) continue;                                    // not published yet
-      if (s.remaining.load(std::memory_order_acquire) == 0) continue;  // fully done
-      for (int c = s.count - 1; c >= 0; --c) {
-        auto& ch = arr[static_cast<std::size_t>(c)];
-        if (ch.taken.load(std::memory_order_relaxed)) continue;
-        if (ch.taken.exchange(true, std::memory_order_acq_rel)) continue;
-        run_one(s, ch);
-        me.steals += 1;
-        me.stolen_iters += static_cast<std::uint64_t>(ch.hi - ch.lo);
-        if (tracer_) {
-          tracer_->steal_event(rank, arena->members[static_cast<std::size_t>(u)],
-                               static_cast<std::uint64_t>(ch.hi - ch.lo), now_s());
-        }
-        next_victim = u;
-        stole = true;
-        break;
-      }
-    }
-    if (stole) continue;
-    if (mine.remaining.load(std::memory_order_acquire) == 0) break;
-    if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
-    // My remaining chunks are all claimed and in flight on siblings; this
-    // spin is the per-member join. It busy-waits (with yields) rather than
-    // parking: the worker is neither finished nor blocked on a machine
-    // service, so the deadlock detector must keep seeing it as running.
-    std::this_thread::yield();
-  }
 
   // The member leaves as soon as its own block is done — downstream reads
   // of *other* members' results are synchronized by messages/barriers as
   // always. The last member out unregisters the arena; the shared_ptr each
   // member took at entry keeps the slots alive for any straggling scan.
-  if (arena->left.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-    std::lock_guard<std::mutex> lk(loop_mu_);
-    auto it = loop_registry_.find(akey);
-    if (it != loop_registry_.end() && it->second == arena) loop_registry_.erase(it);
+  const auto leave = [&] {
+    if (arena->left.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lk(loop_mu_);
+      auto it = loop_registry_.find(akey);
+      if (it != loop_registry_.end() && it->second == arena) loop_registry_.erase(it);
+    }
+  };
+
+  try {
+    // Phase 1 — drain my own deque from the bottom. A flag already seen
+    // true means a sibling stole that chunk and is (or was) running it.
+    for (int c = 0; c < count; ++c) {
+      if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+      auto& ch = mine.storage[static_cast<std::size_t>(c)];
+      if (!ch.taken.exchange(true, std::memory_order_acq_rel)) run_one(mine, ch);
+    }
+
+    // Phase 2 — steal from siblings (top of their deques, round-robin from
+    // my right neighbour, sticking with a victim while it yields work),
+    // until my own block is complete *and* no stealable chunk is visible.
+    // The join is a bespoke spin on `remaining`, not a barrier: it must not
+    // perturb the barrier/message counters, which tests hold equal across
+    // backends.
+    int next_victim = (v + 1) % n;
+    for (;;) {
+      if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+      bool stole = false;
+      for (int off = 0; off < n && !stole; ++off) {
+        const int u = (next_victim + off) % n;
+        if (u == v) continue;
+        LoopArena::Slot& s = arena->slots[static_cast<std::size_t>(u)];
+        LoopArena::Chunk* arr = s.chunks.load(std::memory_order_acquire);
+        if (arr == nullptr) continue;                                    // not published yet
+        if (s.remaining.load(std::memory_order_acquire) == 0) continue;  // fully done
+        for (int c = s.count - 1; c >= 0; --c) {
+          auto& ch = arr[static_cast<std::size_t>(c)];
+          if (ch.taken.load(std::memory_order_relaxed)) continue;
+          if (ch.taken.exchange(true, std::memory_order_acq_rel)) continue;
+          run_one(s, ch);
+          me.steals += 1;
+          me.stolen_iters += static_cast<std::uint64_t>(ch.hi - ch.lo);
+          if (tracer_) {
+            tracer_->steal_event(rank, arena->members[static_cast<std::size_t>(u)],
+                                 static_cast<std::uint64_t>(ch.hi - ch.lo), now_s());
+          }
+          next_victim = u;
+          stole = true;
+          break;
+        }
+      }
+      if (stole) continue;
+      if (mine.remaining.load(std::memory_order_acquire) == 0) break;
+      // My remaining chunks are all claimed and in flight on siblings; this
+      // spin is the per-member join. It busy-waits (with yields) rather
+      // than parking: the worker is neither finished nor blocked on a
+      // machine service, so the deadlock detector must keep seeing it as
+      // running.
+      std::this_thread::yield();
+    }
+  } catch (...) {
+    // Unwinding this frame destroys the caller's body object (and any
+    // result buffers it closes over) that slot `v` still points to. Make
+    // the failure global first so in-flight thieves unwind instead of
+    // parking, poison every chunk no thief has claimed yet, then wait for
+    // the claimed ones to drain: after that no sibling can start (or still
+    // be inside) a chunk that touches freed state. fail() keeps the first
+    // real error, so re-reporting an AbortError here is a no-op.
+    fail(std::current_exception());
+    for (int c = 0; c < count; ++c) {
+      auto& ch = mine.storage[static_cast<std::size_t>(c)];
+      if (!ch.taken.exchange(true, std::memory_order_acq_rel)) {
+        mine.remaining.fetch_sub(ch.hi - ch.lo, std::memory_order_acq_rel);
+      }
+    }
+    while (mine.remaining.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    leave();
+    throw;
   }
+  leave();
 }
 
 // ---------------------------------------------------------------------------

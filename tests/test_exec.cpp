@@ -413,24 +413,24 @@ struct IrregularRun {
 // chunks of its deque. `who[i]` records the worker that actually ran
 // iteration i — under stealing that can differ from the static owner, but
 // the *results* must not.
-IrregularRun run_irregular_loop(const MachineConfig& cfg) {
+IrregularRun run_irregular_loop(const MachineConfig& cfg, std::int64_t n = kIrrN) {
   mx::Machine m(cfg);
   IrregularRun r;
-  r.out.assign(static_cast<std::size_t>(kIrrN), 0.0);
-  r.who.assign(static_cast<std::size_t>(kIrrN), -1);
+  r.out.assign(static_cast<std::size_t>(n), 0.0);
+  r.who.assign(static_cast<std::size_t>(n), -1);
   double* out = r.out.data();
   int* who = r.who.data();
   double* reduced = &r.reduced;
-  r.res = m.run([&](mx::Context& ctx) {
-    core::parallel_for(ctx, 0, kIrrN, [&ctx, out, who](std::int64_t i) {
+  r.res = m.run([&, n](mx::Context& ctx) {
+    core::parallel_for(ctx, 0, n, [&ctx, out, who, n](std::int64_t i) {
       who[i] = ctx.machine().backend().current_rank();
       out[i] = steal_heavy(static_cast<double>(i) * 1e-3,
-                           i < kIrrN / 4 ? kHeavySteps : 1);
+                           i < n / 4 ? kHeavySteps : 1);
     });
     // Floating-point sum whose value depends on combine order: bitwise
     // equality across schedules proves the merge order is preserved.
     const double sum = core::parallel_reduce<double>(
-        ctx, 0, kIrrN, [](std::int64_t i) { return 1.0 / static_cast<double>(i + 1); },
+        ctx, 0, n, [](std::int64_t i) { return 1.0 / static_cast<double>(i + 1); },
         std::plus<double>{}, 0.0);
     if (ctx.phys_rank() == 0) *reduced = sum;
   });
@@ -438,10 +438,10 @@ IrregularRun run_irregular_loop(const MachineConfig& cfg) {
 }
 
 // Static iteration ownership on the whole-machine group (vrank == phys).
-std::vector<int> static_owner(int procs) {
-  std::vector<int> own(static_cast<std::size_t>(kIrrN), -1);
+std::vector<int> static_owner(int procs, std::int64_t n = kIrrN) {
+  std::vector<int> own(static_cast<std::size_t>(n), -1);
   for (int v = 0; v < procs; ++v) {
-    const auto [f, l] = ex::loop_block(0, kIrrN, procs, v);
+    const auto [f, l] = ex::loop_block(0, n, procs, v);
     for (std::int64_t i = f; i < l; ++i) own[static_cast<std::size_t>(i)] = v;
   }
   return own;
@@ -502,6 +502,57 @@ TEST(ExecStealing, SimulatorMatchesStealingThreadsBitIdentically) {
 
   EXPECT_EQ(sim.out, thr.out);
   EXPECT_EQ(sim.reduced, thr.reduced);
+}
+
+// Block lengths that are not a multiple of the chunk count: splitting a
+// 25-iteration block into chunks of rounded-up size 2 overshoots the
+// block, and an unclamped chunk lower bound used to produce lo > hi
+// chunks whose negative lengths wedged the join spin forever (a hang the
+// deadlock detector cannot see: the spinning worker never parks). With 4
+// procs, a 100-iteration loop gives every member exactly such a block.
+TEST(ExecStealing, UnevenBlockLengthTerminatesAndStaysBitIdentical) {
+  const int P = 4;
+  constexpr std::int64_t kOdd = 100;  // 25 iterations per static block
+  const auto steal = run_irregular_loop(threaded(P), kOdd);
+  auto off = threaded(P);
+  off.work_stealing = false;
+  const auto nosteal = run_irregular_loop(off, kOdd);
+
+  // Every iteration ran exactly once, the executor map accounts for
+  // exactly the stolen iterations, and results match the static schedule
+  // bit for bit.
+  const auto own = static_owner(P, kOdd);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    ASSERT_NE(steal.who[i], -1) << "iteration " << i << " never ran";
+    if (steal.who[i] != own[i]) ++moved;
+  }
+  EXPECT_EQ(moved, steal.res.stolen_iters);
+  EXPECT_EQ(nosteal.res.steals, 0u);
+  EXPECT_EQ(steal.out, nosteal.out);
+  EXPECT_EQ(steal.reduced, nosteal.reduced);
+}
+
+// A loop body that throws while siblings may hold stolen chunks: the
+// failing member must poison its unclaimed chunks and wait out in-flight
+// thieves (which execute through its frame's body object) before
+// unwinding, and the run must rethrow the original error — not hang, not
+// touch freed state, not surface a bare AbortError.
+TEST(ExecStealing, ThrowingBodyAbortsCleanlyUnderStealing) {
+  mx::Machine m(threaded(4));
+  try {
+    m.run([](mx::Context& ctx) {
+      core::parallel_for(ctx, 0, 100, [](std::int64_t i) {
+        if (i == 60) throw std::runtime_error("loop body failure");
+        volatile double sink =
+            steal_heavy(static_cast<double>(i) * 1e-3, i < 25 ? kHeavySteps : 1);
+        (void)sink;
+      });
+    });
+    FAIL() << "expected the loop body's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "loop body failure");
+  }
 }
 
 // Stealing must never cross TASK_PARTITION siblings: arenas are keyed per
