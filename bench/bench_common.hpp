@@ -31,6 +31,9 @@ struct Options {
   std::string backend = "sim";  ///< --backend sim|threads : execution engine
   int threads = 0;           ///< --threads N        : logical processors (0 = bench default)
   int work_stealing = -1;    ///< --work-stealing on|off (-1 = config default)
+  int metrics = -1;          ///< --metrics on|off (-1 = config default, which is on)
+  std::string metrics_out;   ///< --metrics-out FILE : final metrics snapshot
+                             ///<   (.json -> JSON, else Prometheus text)
 };
 
 inline Options& options() {
@@ -80,6 +83,18 @@ inline void init(int argc, char** argv) {
         std::fprintf(stderr, "--work-stealing must be 'on' or 'off', got '%s'\n", v.c_str());
         std::exit(2);
       }
+    } else if (a == "--metrics") {
+      const std::string v = value("--metrics");
+      if (v == "on") {
+        o.metrics = 1;
+      } else if (v == "off") {
+        o.metrics = 0;
+      } else {
+        std::fprintf(stderr, "--metrics must be 'on' or 'off', got '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--metrics-out") {
+      o.metrics_out = value("--metrics-out");
     } else if (a == "--help" || a == "-h") {
       std::printf("common bench flags:\n"
                   "  --json-out FILE|-   append one-line JSON result records\n"
@@ -92,7 +107,11 @@ inline void init(int argc, char** argv) {
                   "                      runs one OS thread per logical processor)\n"
                   "  --work-stealing on|off\n"
                   "                      intra-subgroup loop work stealing (threads backend;\n"
-                  "                      default: MachineConfig::work_stealing)\n");
+                  "                      default: MachineConfig::work_stealing)\n"
+                  "  --metrics on|off    runtime metrics registry (default: on; 'off' removes\n"
+                  "                      the counters entirely for overhead measurements)\n"
+                  "  --metrics-out FILE  write the final metrics snapshot of the last\n"
+                  "                      reported run (.json -> JSON, else Prometheus text)\n");
     }
   }
 }
@@ -106,6 +125,7 @@ inline fxpar::machine::MachineConfig apply_backend(fxpar::machine::MachineConfig
                                          : fxpar::exec::BackendKind::Sim;
   if (o.threads > 0) cfg.num_procs = o.threads;
   if (o.work_stealing >= 0) cfg.work_stealing = o.work_stealing != 0;
+  if (o.metrics >= 0) cfg.metrics = o.metrics != 0;
   return cfg;
 }
 
@@ -278,6 +298,29 @@ inline void report_trace(const fxpar::machine::RunResult& res, const std::string
   }
 }
 
+/// Writes the run's metrics snapshot to the --metrics-out sink (the last
+/// reported run wins, mirroring --trace-out). The format follows the file
+/// extension: `.json` gets the JSON object, anything else the Prometheus
+/// text exposition; `-` prints the exposition to stdout. No-op when the
+/// flag was not given or the run carried no snapshot (--metrics off).
+inline void report_metrics(const fxpar::machine::RunResult& res) {
+  const std::string& path = options().metrics_out;
+  if (path.empty() || !res.metrics) return;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body = json ? res.metrics->to_json() : res.metrics->to_prometheus();
+  if (path == "-") {
+    std::fputs(body.c_str(), stdout);
+    return;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::cerr << "--metrics-out: cannot write '" << path << "'\n";
+    return;
+  }
+  file << body;
+}
+
 /// Runs the mapping algorithm's choice and the DP baseline for one stream
 /// application, reproducing one row of Table 1. The throughput constraint
 /// is expressed relative to the measured DP throughput (the paper's
@@ -340,6 +383,7 @@ void table1_row(const char* name, const char* size_desc,
                {"mapping", mapping.to_string(model)}},
               best_stats.machine_result, best_host_ms);
   report_trace(best_stats.machine_result, base);
+  report_metrics(best_stats.machine_result);
 }
 
 }  // namespace fxbench

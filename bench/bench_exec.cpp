@@ -43,6 +43,7 @@ struct ExecRun {
 ExecRun run_pipeline(exec::BackendKind kind, int procs, int sets) {
   auto cfg = MachineConfig::paragon(procs);
   cfg.backend = kind;
+  if (fxbench::options().metrics >= 0) cfg.metrics = fxbench::options().metrics != 0;
 
   ExecRun out;
   out.checks.assign(static_cast<std::size_t>(sets), {});
@@ -104,6 +105,7 @@ ImbalanceRun run_imbalanced(exec::BackendKind kind, int procs, bool stealing) {
   auto cfg = MachineConfig::paragon(procs);
   cfg.backend = kind;
   cfg.work_stealing = stealing;
+  if (fxbench::options().metrics >= 0) cfg.metrics = fxbench::options().metrics != 0;
   machine::Machine m(cfg);
   ImbalanceRun r;
   r.out.assign(static_cast<std::size_t>(kImbN), 0.0);
@@ -202,6 +204,10 @@ int main(int argc, char** argv) {
   fxbench::json_record("exec/imbalance/steal", with_ws("on"), steal.res, steal.res.host_ms);
   fxbench::json_record("exec/imbalance/nosteal", with_ws("off"), nosteal.res,
                        nosteal.res.host_ms);
+
+  // The threaded stream run is the interesting snapshot: it has steals,
+  // loop latencies and real message counts.
+  fxbench::report_metrics(thr.stats.machine_result);
 
   return parity && imb_parity ? 0 : 1;
 }

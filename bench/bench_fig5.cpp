@@ -65,6 +65,7 @@ void run_case(const char* title, const ap::FftHistConfig& cfg, const MachineConf
       }
     }
   }
+  fxbench::report_metrics(res);
   fxbench::json_record(std::string("fig5/") + title,
                        {{"n", std::to_string(cfg.n)},
                         {"num_sets", std::to_string(cfg.num_sets)},

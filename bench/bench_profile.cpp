@@ -1,0 +1,195 @@
+// Measured performance-model profiler sweep (src/metrics/profiler.hpp).
+//
+// Sweeps three runtime patterns — block->cyclic redistribution, ghost-row
+// halo exchange, and a data parallel loop — across problem sizes and
+// processor counts, records the measured time of each configuration into a
+// metrics::ProfileStore, fits the scaling bases (a + b*n, a + b*n*log2 n,
+// a + b*n/p) by least squares and prints the modeled-vs-measured report.
+// The "modeled" column is the discrete-event simulator's prediction for
+// the identical program, i.e. the static cost model the fits calibrate.
+//
+//   bench_profile [--backend sim|threads] [--threads N] [--json-out FILE|-]
+//                 [--profile-json FILE]
+//
+// The measured side defaults to the threaded backend (real time); pass
+// --backend sim to profile modeled time against itself (useful for
+// checking that the fitter recovers the model's own scaling).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/fx.hpp"
+#include "core/parallel_loop.hpp"
+#include "dist/halo.hpp"
+#include "dist/redistribute.hpp"
+#include "metrics/profiler.hpp"
+
+using namespace fxpar;
+namespace ds = fxpar::dist;
+
+namespace {
+
+// Repetitions per timed run: one redistribution of 2^12 doubles is far too
+// fast to time on threads, so every configuration runs kIters times inside
+// one machine run and reports seconds-per-iteration.
+constexpr int kIters = 12;
+
+machine::MachineConfig cfg_for(exec::BackendKind kind, int procs) {
+  auto cfg = MachineConfig::paragon(procs);
+  cfg.backend = kind;
+  if (fxbench::options().metrics >= 0) {
+    cfg.metrics = fxbench::options().metrics != 0;
+  }
+  return cfg;
+}
+
+/// Runs `body` (which must execute the pattern kIters times) on `kind` and
+/// returns seconds per iteration: modeled finish time on the simulator,
+/// real elapsed time on the threaded backend (RunResult::finish_time is the
+/// max worker clock in both cases, in the backend's own time base).
+double timed_run(exec::BackendKind kind, int procs,
+                 const std::function<void(machine::Context&)>& body) {
+  machine::Machine m(cfg_for(kind, procs));
+  const machine::RunResult res = m.run(body);
+  return res.finish_time / static_cast<double>(kIters);
+}
+
+std::function<void(machine::Context&)> redistribute_body(int procs, std::int64_t n) {
+  return [procs, n](machine::Context& ctx) {
+    const auto g = pgroup::ProcessorGroup::identity(procs);
+    ds::DistArray<double> a(ctx, ds::Layout(g, {n}, {ds::DimDist::block()}), "a");
+    ds::DistArray<double> b(ctx, ds::Layout(g, {n}, {ds::DimDist::cyclic()}), "b");
+    a.fill([](std::span<const std::int64_t> gi) {
+      return static_cast<double>(gi[0]) * 0.5;
+    });
+    for (int i = 0; i < kIters; ++i) ds::assign(ctx, b, a);
+  };
+}
+
+std::function<void(machine::Context&)> halo_body(int procs, std::int64_t n) {
+  // Shape (2, n, 16), block rows: halo volume is constant per neighbour but
+  // the pack/unpack walks the local block, so time still scales with n.
+  return [procs, n](machine::Context& ctx) {
+    const auto g = pgroup::ProcessorGroup::identity(procs);
+    ds::DistArray<double> a(
+        ctx,
+        ds::Layout(g, {2, n, 16},
+                   {ds::DimDist::collapsed(), ds::DimDist::block(), ds::DimDist::collapsed()}),
+        "halo_a");
+    a.fill([](std::span<const std::int64_t> gi) {
+      return static_cast<double>(gi[0] + gi[1] + gi[2]);
+    });
+    for (int i = 0; i < kIters; ++i) {
+      auto h = ds::exchange_row_halo(ctx, a, 1);
+      // Touch the result so the exchange cannot be elided.
+      if (!h.above.empty() && h.above[0] > 1e300) std::abort();
+    }
+  };
+}
+
+std::function<void(machine::Context&)> loop_body(int procs, std::int64_t n) {
+  return [procs, n](machine::Context& ctx) {
+    (void)procs;
+    std::vector<double> sink(static_cast<std::size_t>(n), 0.0);
+    double* out = sink.data();
+    for (int i = 0; i < kIters; ++i) {
+      core::parallel_for(ctx, 0, n, [out](std::int64_t j) {
+        double acc = static_cast<double>(j) * 1e-3;
+        for (int r = 0; r < 8; ++r) acc = acc * 1.0000001 + 1e-6;
+        out[j] = acc;
+      });
+      // Loops charge no modeled time by themselves on the simulator; charge
+      // the linear work explicitly so the modeled column is meaningful.
+      ctx.charge(1e-9 * static_cast<double>(n) * 8.0 /
+                 static_cast<double>(ctx.nprocs()));
+    }
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fxbench::init(argc, argv);
+  std::string profile_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--profile-json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profile-json requires an argument\n");
+        return 2;
+      }
+      profile_json = argv[++i];
+    }
+  }
+
+  const exec::BackendKind measured_kind = fxbench::options().backend == "threads"
+                                              ? exec::BackendKind::Threads
+                                              : exec::BackendKind::Sim;
+
+  struct Pattern {
+    const char* name;
+    std::function<std::function<void(machine::Context&)>(int, std::int64_t)> make;
+  };
+  const std::vector<Pattern> patterns = {
+      {"redistribute", redistribute_body},
+      {"halo", halo_body},
+      {"parallel_for", loop_body},
+  };
+  const std::vector<int> proc_counts = {2, 4};
+  const std::vector<std::int64_t> sizes = {1 << 12, 1 << 13, 1 << 14, 1 << 15};
+
+  std::printf("profiler sweep: measured on '%s', modeled reference on 'sim'\n",
+              fxbench::options().backend.c_str());
+
+  metrics::ProfileStore store;
+  // (module, procs, n) -> modeled seconds from the simulator run.
+  std::map<std::tuple<std::string, int, std::int64_t>, double> modeled;
+  for (const Pattern& pat : patterns) {
+    for (int procs : proc_counts) {
+      for (std::int64_t n : sizes) {
+        const auto body = pat.make(procs, n);
+        const double measured = timed_run(measured_kind, procs, body);
+        store.record(pat.name, procs, n, measured);
+        const double model = measured_kind == exec::BackendKind::Sim
+                                 ? measured
+                                 : timed_run(exec::BackendKind::Sim, procs, body);
+        modeled[{pat.name, procs, n}] = model;
+        fxbench::json_record(std::string("profile/") + pat.name,
+                             {{"module", pat.name},
+                              {"procs", std::to_string(procs)},
+                              {"n", std::to_string(n)}},
+                             measured, 0.0, 0, -1.0, 0, 0,
+                             fxbench::options().backend, procs);
+      }
+    }
+  }
+
+  const std::string report = store.report([&](const metrics::Observation& o) {
+    const auto it = modeled.find({o.module, o.procs, o.n});
+    return it == modeled.end() ? 0.0 : it->second;
+  });
+  std::fputs(report.c_str(), stdout);
+
+  if (!profile_json.empty()) {
+    std::ofstream f(profile_json, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "--profile-json: cannot write '%s'\n", profile_json.c_str());
+      return 1;
+    }
+    f << store.to_json() << '\n';
+  }
+
+  // Sanity for CI: every pattern must have produced a usable fit.
+  for (const Pattern& pat : patterns) {
+    const metrics::Fit f = store.fit(pat.name);
+    if (f.points < static_cast<int>(proc_counts.size() * sizes.size())) {
+      std::fprintf(stderr, "fit for '%s' covered %d points, expected %zu\n", pat.name,
+                   f.points, proc_counts.size() * sizes.size());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -31,6 +31,10 @@ double StreamStats::max_latency() const {
   return m;
 }
 
+std::string StreamStats::metrics_series_json() const {
+  return metrics::Sampler::series_json(metrics_series);
+}
+
 std::vector<StreamModule> to_stream_modules(const sched::PipelineMapping& mapping) {
   return mapping.modules;
 }

@@ -58,6 +58,14 @@ struct StreamStats {
   std::vector<double> end;            ///< per data set: completion of the last stage
   machine::RunResult machine_result;  ///< raw machine counters
 
+  /// Periodic metrics snapshots taken while the stream ran (rank 0 polls
+  /// once per data set). Empty unless a sample period was requested and
+  /// MachineConfig::metrics is on; always ends with a final snapshot.
+  std::vector<metrics::Snapshot> metrics_series;
+
+  /// The sampled time series as one JSON array (empty array when none).
+  std::string metrics_series_json() const;
+
   /// End-to-end rate including pipeline fill.
   double throughput() const {
     return makespan > 0.0 ? static_cast<double>(num_sets) / makespan : 0.0;
@@ -76,10 +84,18 @@ std::vector<StreamModule> to_stream_modules(const sched::PipelineMapping& mappin
 /// machine configured by `config`. The sum of module processor counts must
 /// not exceed config.num_procs (leftover processors idle, as on a real
 /// machine).
+///
+/// `metrics_sample_period_s` > 0 turns on time-series sampling for
+/// long-running drivers: physical rank 0 polls the machine's metrics
+/// registry between data sets and a snapshot is appended whenever the
+/// period elapsed (plus one final snapshot after the run); the series is
+/// returned in StreamStats::metrics_series. Pass 0 (the default) to skip
+/// sampling; requires MachineConfig::metrics.
 template <typename T>
 StreamStats run_stream_pipeline(const machine::MachineConfig& config,
                                 const std::vector<PipelineStage<T>>& stages,
-                                const std::vector<StreamModule>& modules, int num_sets) {
+                                const std::vector<StreamModule>& modules, int num_sets,
+                                double metrics_sample_period_s = 0.0) {
   if (stages.empty() || modules.empty() || num_sets <= 0) {
     throw std::invalid_argument("run_stream_pipeline: empty problem");
   }
@@ -120,6 +136,11 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
                           -std::numeric_limits<double>::infinity()));
 
   machine::Machine machine(config);
+  metrics::RuntimeMetrics* const mm = machine.metrics();
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (metrics_sample_period_s > 0.0 && mm) {
+    sampler = std::make_unique<metrics::Sampler>(mm->registry, metrics_sample_period_s);
+  }
   stats.machine_result = machine.run([&](machine::Context& ctx) {
     // One subgroup per (module, instance); leftovers become "idle".
     std::vector<SubgroupSpec> specs;
@@ -195,12 +216,23 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
             auto& mine = end_pp[static_cast<std::size_t>(ctx.phys_rank())];
             mine[static_cast<std::size_t>(set)] =
                 std::max(mine[static_cast<std::size_t>(set)], ctx.now());
+            // One count per completed data set (the instance's lead member
+            // counts, so replication does not inflate the rate).
+            if (mm && ctx.vrank() == 0) mm->pipeline_sets->add(ctx.phys_rank());
           }
         });
       }
       k.increment();
+      // Time-series sampling: only rank 0 polls (the Sampler is
+      // single-threaded); snapshot merging reads the other workers'
+      // shards with relaxed atomics, so no one stalls.
+      if (sampler && ctx.phys_rank() == 0) sampler->poll();
     }
   });
+  if (sampler) {
+    sampler->force();
+    stats.metrics_series = sampler->take_series();
+  }
   for (int set = 0; set < num_sets; ++set) {
     for (int p = 0; p < config.num_procs; ++p) {
       stats.start[static_cast<std::size_t>(set)] =

@@ -38,6 +38,14 @@ inline void check_member_root(const Context& ctx, const ProcessorGroup& g, int r
   }
 }
 
+/// Metrics hook shared by every collective: one count per member per
+/// invocation (so the counter scales with participation, like barriers).
+inline void count_collective(Context& ctx) {
+  if (metrics::RuntimeMetrics* mm = ctx.machine().metrics()) {
+    mm->collectives->add(ctx.phys_rank());
+  }
+}
+
 }  // namespace detail
 
 /// Broadcasts `bytes` from virtual rank `root` of `g` to every member;
@@ -67,6 +75,7 @@ template <TriviallyPackable T, typename Op>
 T reduce(Context& ctx, const ProcessorGroup& g, int root, T value, Op op) {
   detail::check_member_root(ctx, g, root);
   trace::ScopedSpan sp_ = ctx.span("reduce", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const int rel = detail::relative_rank(me, root, n);
@@ -105,6 +114,7 @@ std::vector<T> reduce_vector(Context& ctx, const ProcessorGroup& g, int root,
                              std::vector<T> value, Op op) {
   detail::check_member_root(ctx, g, root);
   trace::ScopedSpan sp_ = ctx.span("reduce_vector", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const int rel = detail::relative_rank(me, root, n);
@@ -151,6 +161,7 @@ T scan(Context& ctx, const ProcessorGroup& g, T value, Op op) {
     throw std::logic_error("scan: calling processor is not a group member");
   }
   trace::ScopedSpan sp_ = ctx.span("scan", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -173,6 +184,7 @@ T exscan(Context& ctx, const ProcessorGroup& g, T value, Op op, T identity) {
     throw std::logic_error("exscan: calling processor is not a group member");
   }
   trace::ScopedSpan sp_ = ctx.span("exscan", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -193,6 +205,7 @@ template <TriviallyPackable T>
 std::vector<T> gather(Context& ctx, const ProcessorGroup& g, int root, const T& value) {
   detail::check_member_root(ctx, g, root);
   trace::ScopedSpan sp_ = ctx.span("gather", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -218,6 +231,7 @@ std::vector<T> gather_vectors(Context& ctx, const ProcessorGroup& g, int root,
                               const std::vector<T>& value) {
   detail::check_member_root(ctx, g, root);
   trace::ScopedSpan sp_ = ctx.span("gather_vectors", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -242,6 +256,7 @@ std::vector<T> scatter_vectors(Context& ctx, const ProcessorGroup& g, int root,
                                const std::vector<std::vector<T>>& parts) {
   detail::check_member_root(ctx, g, root);
   trace::ScopedSpan sp_ = ctx.span("scatter_vectors", "collective");
+  detail::count_collective(ctx);
   const int n = g.size();
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
@@ -278,6 +293,7 @@ std::vector<std::vector<T>> alltoall_vectors(Context& ctx, const ProcessorGroup&
     throw std::invalid_argument("alltoall_vectors: need one part per member");
   }
   trace::ScopedSpan sp_ = ctx.span("alltoall_vectors", "collective");
+  detail::count_collective(ctx);
   const int me = g.virtual_of(ctx.phys_rank());
   const std::uint64_t tag = ctx.collective_tag(g);
   ctx.push_group(g);

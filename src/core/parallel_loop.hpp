@@ -57,10 +57,19 @@ inline std::pair<std::int64_t, std::int64_t> iteration_block(std::int64_t lo, st
 template <typename Body>
 void parallel_for(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&& body) {
   trace::ScopedSpan sp = ctx.span("parallel_for", "loop");
+  metrics::RuntimeMetrics* const mm = ctx.machine().metrics();
+  const int rank = ctx.phys_rank();
+  double t0 = 0.0;
+  if (mm) {
+    mm->loops->add(rank);
+    t0 = ctx.machine().backend().now(rank);
+  }
   ctx.machine().backend().run_chunks(ctx.group(), lo, hi,
                                      [&body](std::int64_t first, std::int64_t last) {
                                        for (std::int64_t i = first; i < last; ++i) body(i);
                                      });
+  // Modeled seconds on the simulator, real seconds on the threaded backend.
+  if (mm) mm->loop_s->observe(rank, ctx.machine().backend().now(rank) - t0);
 }
 
 /// do&merge: evaluates `body(i)` for every iteration, merges locally in
@@ -71,6 +80,16 @@ T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&
                   Merge&& merge, T init) {
   trace::ScopedSpan sp = ctx.span("parallel_reduce", "loop");
   exec::Backend& backend = ctx.machine().backend();
+  metrics::RuntimeMetrics* const mm = ctx.machine().metrics();
+  const int rank = ctx.phys_rank();
+  double t0 = 0.0;
+  if (mm) {
+    mm->loops->add(rank);
+    t0 = backend.now(rank);
+  }
+  auto observe = [&] {
+    if (mm) mm->loop_s->observe(rank, backend.now(rank) - t0);
+  };
   T local = init;
   if (backend.stealing_loops()) {
     // Chunks of this block may run concurrently (on this worker and on
@@ -103,8 +122,13 @@ T parallel_reduce(machine::Context& ctx, std::int64_t lo, std::int64_t hi, Body&
                          }
                        });
   }
-  if (ctx.nprocs() == 1) return local;
-  return comm::allreduce(ctx, ctx.group(), local, merge);
+  if (ctx.nprocs() == 1) {
+    observe();
+    return local;
+  }
+  T result = comm::allreduce(ctx, ctx.group(), local, merge);
+  observe();
+  return result;
 }
 
 }  // namespace fxpar::core

@@ -19,6 +19,9 @@ TaskRegion::TaskRegion(Context& ctx, const TaskPartition& part)
         part_.name().empty() ? std::string("region") : "region:" + part_.name(),
         "task_region");
   }
+  if (metrics::RuntimeMetrics* mm = ctx_.machine().metrics()) {
+    mm->task_regions->add(ctx_.phys_rank());
+  }
 }
 
 TaskRegion::~TaskRegion() {

@@ -41,10 +41,10 @@ struct HaloRows {
   std::vector<T> below;  ///< planes x n_below x W, row-major
 };
 
-/// Exchanges `halo` boundary rows of `a` (shape (planes, H, W), distributed
-/// (*, BLOCK, *)) among the owning group. Every member must call.
+namespace detail {
+
 template <typename T>
-HaloRows<T> exchange_row_halo(machine::Context& ctx, const DistArray<T>& a, int halo) {
+HaloRows<T> exchange_row_halo_impl(machine::Context& ctx, const DistArray<T>& a, int halo) {
   const Layout& lay = a.layout();
   if (lay.ndims() != 3 || lay.dim_dist(0).distributed() || !lay.dim_dist(1).distributed() ||
       lay.dim_dist(2).distributed()) {
@@ -182,6 +182,23 @@ HaloRows<T> exchange_row_halo(machine::Context& ctx, const DistArray<T>& a, int 
       }
     }
   }
+  return out;
+}
+
+}  // namespace detail
+
+/// Exchanges `halo` boundary rows of `a` (shape (planes, H, W), distributed
+/// (*, BLOCK, *)) among the owning group. Every member must call.
+template <typename T>
+HaloRows<T> exchange_row_halo(machine::Context& ctx, const DistArray<T>& a, int halo) {
+  metrics::RuntimeMetrics* const mm = ctx.machine().metrics();
+  if (!mm) return detail::exchange_row_halo_impl(ctx, a, halo);
+  const int rank = ctx.phys_rank();
+  mm->halos->add(rank);
+  // Per-participant latency: modeled on the simulator, real on threads.
+  const double t0 = ctx.machine().backend().now(rank);
+  HaloRows<T> out = detail::exchange_row_halo_impl(ctx, a, halo);
+  mm->halo_s->observe(rank, ctx.machine().backend().now(rank) - t0);
   return out;
 }
 

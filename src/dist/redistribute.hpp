@@ -197,6 +197,12 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
   const pgroup::ProcessorGroup& ug = sched ? sched->ugroup : ug_local;
   const int me = ctx.phys_rank();
   if (!ug.contains(me)) return;
+  metrics::RuntimeMetrics* const mm = ctx.machine().metrics();
+  double mt0 = 0.0;
+  if (mm) {
+    mm->redists->add(me);
+    mt0 = ctx.machine().backend().now(me);
+  }
   trace::ScopedSpan sp_;
   if (ctx.tracer()) sp_ = ctx.span("assign:" + dst.name(), "redistribute");
   const std::uint64_t tag = ctx.collective_tag(ug);
@@ -296,6 +302,9 @@ void assign_general(Context& ctx, DistArray<T>& dst, const DistArray<T>& src,
       detail::unpack_plan(dst, r_me, *plan, perm, offsets, identity, buf);
     }
   }
+  // Per-participant latency: modeled seconds on the simulator, real
+  // seconds on the threaded backend.
+  if (mm) mm->redist_s->observe(me, ctx.machine().backend().now(me) - mt0);
 }
 
 /// dst = src with matching shapes (possibly different distributions and

@@ -43,6 +43,10 @@ namespace fxpar::trace {
 class TraceRecorder;
 }
 
+namespace fxpar::metrics {
+struct RuntimeMetrics;
+}
+
 namespace fxpar::exec {
 
 /// Raw bytes exchanged by the direct-deposit layer (same representation on
@@ -114,6 +118,15 @@ class Backend {
   /// Installs (or clears) the trace recorder observing this backend.
   virtual void set_tracer(trace::TraceRecorder* tracer) noexcept = 0;
 
+  /// Installs (or clears) the always-on metrics set. Backends update only
+  /// their own hot-path metrics (e.g. steals on the threaded engine,
+  /// modeled busy time on the simulator); the Machine layer covers the
+  /// backend-agnostic ones (messages, barriers, waits). Null — the
+  /// default — means metrics are disabled and hot paths pay one pointer
+  /// compare.
+  void set_metrics(metrics::RuntimeMetrics* m) noexcept { metrics_ = m; }
+  metrics::RuntimeMetrics* runtime_metrics() const noexcept { return metrics_; }
+
   /// Clock of `rank`: modeled seconds (sim) or real seconds since the
   /// current run() started (threads). Valid for the tracer's clock
   /// callback as well as for Context::now().
@@ -172,6 +185,9 @@ class Backend {
   /// owner (so callers that fold per-iteration values must buffer them
   /// instead of accumulating inline).
   virtual bool stealing_loops() const noexcept { return false; }
+
+ protected:
+  metrics::RuntimeMetrics* metrics_ = nullptr;  ///< null = metrics disabled
 };
 
 }  // namespace fxpar::exec

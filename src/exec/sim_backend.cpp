@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "metrics/runtime_metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace fxpar::exec {
@@ -39,9 +40,35 @@ double SimBackend::now(int rank) const { return sim_->clock(rank).now; }
 
 int SimBackend::current_rank() const { return sim_->current_rank(); }
 
-void SimBackend::charge(double seconds) { sim_->advance(seconds); }
+void SimBackend::charge(double seconds) {
+  sim_->advance(seconds);
+  // Accumulated modeled compute. All fibers run on the simulator's one OS
+  // thread, so the gauge's single-writer contract holds.
+  if (metrics_ && seconds > 0.0) metrics_->modeled_busy_s->add(seconds);
+}
 
 void SimBackend::run(const std::function<void(int)>& body) {
+  if (ran_) {
+    // A finished simulator cannot respawn its ranks; reruns (e.g. a Machine
+    // accumulating metrics across programs) get a fresh one, like the
+    // threaded backend's reset_run_state(). Modeled clocks restart at zero.
+    sim_ = std::make_unique<runtime::Simulator>(config_.num_procs, config_.stack_bytes);
+    sim_->set_tracer(tracer_);
+    mailboxes_.assign(static_cast<std::size_t>(config_.num_procs), {});
+    waits_.assign(static_cast<std::size_t>(config_.num_procs), {});
+    barriers_.clear();
+    io_available_ = 0.0;
+    io_prev_proc_ = -1;
+    stat_messages_ = 0;
+    stat_bytes_ = 0;
+    stat_barriers_ = 0;
+    if (config_.record_traffic) {
+      stat_traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
+                               static_cast<std::size_t>(config_.num_procs),
+                           0);
+    }
+  }
+  ran_ = true;
   for (int r = 0; r < num_procs(); ++r) {
     sim_->spawn(r, [&body, r] { body(r); });
   }

@@ -76,6 +76,7 @@ class SimBackend final : public Backend {
   std::map<std::uint64_t, BarrierState> barriers_;  ///< keyed by group key
   runtime::SimTime io_available_ = 0.0;
   int io_prev_proc_ = -1;  ///< owner of the last I/O operation (for tracing)
+  bool ran_ = false;       ///< a completed run means reruns need a fresh simulator
 
   std::uint64_t stat_messages_ = 0;
   std::uint64_t stat_bytes_ = 0;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "metrics/runtime_metrics.hpp"
 #include "runtime/simulator.hpp"  // runtime::DeadlockError
 #include "trace/trace.hpp"
 
@@ -653,6 +654,10 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
           run_one(s, ch);
           me.steals += 1;
           me.stolen_iters += static_cast<std::uint64_t>(ch.hi - ch.lo);
+          if (metrics_) {
+            metrics_->steals->add(rank);
+            metrics_->stolen_iters->add(rank, static_cast<std::uint64_t>(ch.hi - ch.lo));
+          }
           if (tracer_) {
             tracer_->steal_event(rank, arena->members[static_cast<std::size_t>(u)],
                                  static_cast<std::uint64_t>(ch.hi - ch.lo), now_s());

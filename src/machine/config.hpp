@@ -65,6 +65,14 @@ struct MachineConfig {
   /// pointer test. Tracing never changes modeled time.
   bool trace = false;
 
+  /// Always-on runtime metrics (src/metrics/): counters, gauges and
+  /// log-bucketed latency histograms, sharded per worker so the threaded
+  /// backend's hot paths stay lock-free. Cheap enough to leave enabled in
+  /// long-running drivers (the default); when false no registry exists and
+  /// every instrumentation site is a single null pointer test. Metrics
+  /// never change modeled time — results are bit-identical either way.
+  bool metrics = true;
+
   /// Intra-subgroup work stealing for data parallel loops (threaded backend
   /// only; the simulator always runs the static block schedule). When on,
   /// run_chunks() lets idle members of the *current* processor group steal

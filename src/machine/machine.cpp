@@ -39,6 +39,32 @@ Machine::Machine(MachineConfig config) : config_(config) {
     tracer_->set_clock([this](int rank) { return backend_->now(rank); });
     backend_->set_tracer(tracer_.get());
   }
+  if (config_.metrics) {
+    metrics_ = std::make_unique<metrics::RuntimeMetrics>(config_.num_procs);
+    backend_->set_metrics(metrics_.get());
+  }
+}
+
+namespace {
+
+/// Shard index for metric updates: the calling processor's rank, or 0 when
+/// invoked outside a processor body (the driver thread).
+int metric_shard(const exec::Backend& backend) noexcept {
+  try {
+    return backend.current_rank();
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+void Machine::count_plan_cache(bool hit) noexcept {
+  (hit ? stat_plan_hits_ : stat_plan_misses_).fetch_add(1, std::memory_order_relaxed);
+  if (!metrics_ && !tracer_) return;
+  const int rank = metric_shard(*backend_);
+  if (metrics_) (hit ? metrics_->plan_hits : metrics_->plan_misses)->add(rank);
+  if (tracer_) tracer_->plan_cache_event(rank, hit);
 }
 
 Machine::~Machine() = default;
@@ -70,6 +96,11 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
     if (tracer_) tracer_->end_span(r);
   });
   const auto host_t1 = std::chrono::steady_clock::now();
+  if (metrics_) {
+    metrics_->runs->add(0);
+    metrics_->last_run_host_s->set(
+        std::chrono::duration<double>(host_t1 - host_t0).count());
+  }
 
   const exec::BackendStats bs = backend_->stats();
   RunResult res;
@@ -90,22 +121,49 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
     tracer_->finalize(res.finish_time);
     res.trace = tracer_;
   }
+  if (metrics_) {
+    res.metrics =
+        std::make_shared<const metrics::Snapshot>(metrics_->registry.snapshot());
+  }
   return res;
 }
 
 void Machine::deposit(int src, int dst, std::uint64_t tag, Payload data) {
-  (void)src;  // always the calling processor; the backend derives it
+  // `src` is always the calling processor (the backend derives it too), so
+  // it doubles as the metric shard index.
+  if (metrics_) {
+    metrics_->messages->add(src);
+    metrics_->message_bytes->add(src, data.size());
+  }
   backend_->deposit(dst, tag, std::move(data));
 }
 
 Payload Machine::receive(int dst, int src, std::uint64_t tag) {
-  (void)dst;  // always the calling processor; the backend derives it
-  return backend_->receive(src, tag);
+  // `dst` is always the calling processor; the backend derives it.
+  if (!metrics_) return backend_->receive(src, tag);
+  const double t0 = backend_->now(dst);
+  Payload p = backend_->receive(src, tag);
+  // Modeled wait on the simulator, real blocked seconds on threads.
+  metrics_->recv_wait_s->observe(dst, backend_->now(dst) - t0);
+  return p;
 }
 
-void Machine::barrier(const pgroup::ProcessorGroup& group) { backend_->barrier(group); }
+void Machine::barrier(const pgroup::ProcessorGroup& group) {
+  if (!metrics_) {
+    backend_->barrier(group);
+    return;
+  }
+  const int rank = metric_shard(*backend_);
+  const double t0 = backend_->now(rank);
+  backend_->barrier(group);
+  metrics_->barriers->add(rank);
+  metrics_->barrier_wait_s->observe(rank, backend_->now(rank) - t0);
+}
 
-void Machine::io_operation(std::size_t bytes) { backend_->io_operation(bytes); }
+void Machine::io_operation(std::size_t bytes) {
+  if (metrics_) metrics_->io_ops->add(metric_shard(*backend_));
+  backend_->io_operation(bytes);
+}
 
 Payload Machine::pool_acquire(std::size_t bytes) {
   Payload p;

@@ -20,6 +20,7 @@
 
 #include "exec/backend.hpp"
 #include "machine/config.hpp"
+#include "metrics/runtime_metrics.hpp"
 #include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
 #include "trace/trace.hpp"
@@ -84,6 +85,12 @@ struct RunResult {
   /// on the same Machine resets and reuses the recorder.
   std::shared_ptr<const trace::TraceRecorder> trace;
 
+  /// Merged metrics snapshot taken right after the run; null when
+  /// MachineConfig::metrics is off. Counters are cumulative over the
+  /// Machine's lifetime (a second run() keeps counting), matching the
+  /// Prometheus counter convention.
+  std::shared_ptr<const metrics::Snapshot> metrics;
+
   /// Machine efficiency: mean busy fraction over processors.
   double efficiency() const;
 
@@ -135,6 +142,17 @@ class Machine {
   /// The event recorder, or nullptr when MachineConfig::trace is off.
   trace::TraceRecorder* tracer() noexcept { return tracer_.get(); }
 
+  /// The always-on metric set, or nullptr when MachineConfig::metrics is
+  /// off. Instrumentation sites hold this pointer and test for null.
+  metrics::RuntimeMetrics* metrics() noexcept { return metrics_.get(); }
+  const metrics::RuntimeMetrics* metrics() const noexcept { return metrics_.get(); }
+
+  /// Convenience: merged snapshot of every metric (empty-ish snapshot when
+  /// metrics are disabled, so callers need no null test).
+  metrics::Snapshot metrics_snapshot() const {
+    return metrics_ ? metrics_->registry.snapshot() : metrics::Snapshot{};
+  }
+
   // ---- redistribution plan cache slot (see dist/plan_cache.hpp) ----
 
   /// The attached plan cache, or nullptr before first use.
@@ -145,11 +163,10 @@ class Machine {
   /// Serializes plan-cache attachment and lookup across worker threads
   /// (the simulator's fibers never contend on it).
   std::mutex& cache_mutex() noexcept { return cache_mu_; }
-  /// Bumps the hit/miss counters reported through RunResult. Atomic: on
+  /// Bumps the hit/miss counters reported through RunResult, the metrics
+  /// registry, and the calling processor's open trace spans. Atomic: on
   /// the threaded backend every worker counts concurrently.
-  void count_plan_cache(bool hit) noexcept {
-    (hit ? stat_plan_hits_ : stat_plan_misses_).fetch_add(1, std::memory_order_relaxed);
-  }
+  void count_plan_cache(bool hit) noexcept;
 
   // ---- payload buffer pool ----
   //
@@ -168,6 +185,7 @@ class Machine {
   MachineConfig config_;
   std::unique_ptr<exec::Backend> backend_;
   std::shared_ptr<trace::TraceRecorder> tracer_;
+  std::unique_ptr<metrics::RuntimeMetrics> metrics_;
 
   std::atomic<std::uint64_t> stat_plan_hits_{0};
   std::atomic<std::uint64_t> stat_plan_misses_{0};

@@ -1,0 +1,218 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fxpar::metrics {
+
+namespace {
+
+/// JSON/exposition-safe number: finite values print shortest-roundtrip-ish
+/// via %.17g trimmed by %g semantics; non-finite becomes null (JSON) or
+/// NaN/Inf (Prometheus accepts them, JSON does not).
+std::string num_json(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string num_prom(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Prometheus label values / JSON strings share the same escape set.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Histogram::merged_buckets() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(kHistBuckets), 0);
+  for (const auto& s : shards_) {
+    for (int i = 0; i < kHistBuckets; ++i) {
+      out[static_cast<std::size_t>(i)] +=
+          s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto buckets = merged_buckets();
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; ceil so quantile(1.0) is the max bucket.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) return detail::bucket_upper(i);
+  }
+  return detail::bucket_upper(kHistBuckets - 1);
+}
+
+Registry::Registry(int shards) : shards_(shards < 1 ? 1 : shards) {}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_storage_.emplace_back(shards_);
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(name, c);
+  return c;
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.emplace_back();
+  Gauge* g = &gauge_storage_.back();
+  gauges_.emplace(name, g);
+  return g;
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = hists_.find(name);
+  if (it != hists_.end()) return it->second;
+  hist_storage_.emplace_back(shards_);
+  Histogram* h = &hist_storage_.back();
+  hists_.emplace(name, h);
+  return h;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.t = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : hists_) {
+    Snapshot::Hist sh;
+    sh.buckets = h->merged_buckets();
+    sh.count = h->count();
+    sh.sum = h->sum();
+    sh.p50 = h->quantile(0.50);
+    sh.p95 = h->quantile(0.95);
+    sh.p99 = h->quantile(0.99);
+    snap.histograms[name] = std::move(sh);
+  }
+  return snap;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::ostringstream oss;
+  for (const auto& [name, v] : counters) {
+    oss << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    oss << "# TYPE " << name << " gauge\n" << name << " " << num_prom(v) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    oss << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kHistBuckets; ++i) {
+      const std::uint64_t b = h.buckets[static_cast<std::size_t>(i)];
+      if (b == 0) continue;  // sparse exposition: skip empty buckets
+      cum += b;
+      oss << name << "_bucket{le=\"" << num_prom(detail::bucket_upper(i)) << "\"} "
+          << cum << "\n";
+    }
+    oss << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    oss << name << "_sum " << num_prom(h.sum) << "\n";
+    oss << name << "_count " << h.count << "\n";
+    oss << name << "_p50 " << num_prom(h.p50) << "\n";
+    oss << name << "_p95 " << num_prom(h.p95) << "\n";
+    oss << name << "_p99 " << num_prom(h.p99) << "\n";
+  }
+  return oss.str();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"t\":" << num_json(t) << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << escaped(name) << "\":" << v;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << escaped(name) << "\":" << num_json(v);
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << escaped(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << num_json(h.sum) << ",\"p50\":" << num_json(h.p50)
+        << ",\"p95\":" << num_json(h.p95) << ",\"p99\":" << num_json(h.p99) << "}";
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+bool Sampler::poll() {
+  const auto now = std::chrono::steady_clock::now();
+  if (have_last_ &&
+      std::chrono::duration<double>(now - last_).count() < period_s_) {
+    return false;
+  }
+  last_ = now;
+  have_last_ = true;
+  series_.push_back(reg_.snapshot());
+  return true;
+}
+
+void Sampler::force() {
+  last_ = std::chrono::steady_clock::now();
+  have_last_ = true;
+  series_.push_back(reg_.snapshot());
+}
+
+std::string Sampler::series_json(const std::vector<Snapshot>& series) {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i) oss << ",";
+    oss << series[i].to_json();
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace fxpar::metrics

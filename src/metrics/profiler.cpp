@@ -1,0 +1,202 @@
+#include "metrics/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace fxpar::metrics {
+
+const char* scaling_model_name(ScalingModel m) {
+  switch (m) {
+    case ScalingModel::Linear: return "a + b*n";
+    case ScalingModel::NLogN: return "a + b*n*log2(n)";
+    case ScalingModel::NOverP: return "a + b*n/p";
+  }
+  return "?";
+}
+
+double Fit::basis(std::int64_t n, int procs) const {
+  const double nd = static_cast<double>(n);
+  switch (model) {
+    case ScalingModel::Linear: return nd;
+    case ScalingModel::NLogN: return nd * (n > 1 ? std::log2(nd) : 0.0);
+    case ScalingModel::NOverP: return nd / static_cast<double>(procs < 1 ? 1 : procs);
+  }
+  return nd;
+}
+
+namespace {
+
+/// Closed-form simple linear regression of y over x. Returns false when
+/// the x values are degenerate (all equal).
+bool regress(const std::vector<double>& x, const std::vector<double>& y, double* a,
+             double* b, double* sse) {
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (!(sxx > 0.0)) return false;
+  *b = sxy / sxx;
+  *a = my - *b * mx;
+  double e = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (*a + *b * x[i]);
+    e += r * r;
+  }
+  *sse = e;
+  return true;
+}
+
+}  // namespace
+
+Fit ProfileStore::fit(const std::string& module) const {
+  std::vector<const Observation*> pts;
+  for (const Observation& o : obs_) {
+    if (o.module == module) pts.push_back(&o);
+  }
+  Fit best;
+  best.module = module;
+  if (pts.size() < 2) return best;
+
+  std::vector<double> y;
+  y.reserve(pts.size());
+  double sy = 0;
+  for (const Observation* o : pts) {
+    y.push_back(o->seconds);
+    sy += o->seconds;
+  }
+  const double my = sy / static_cast<double>(y.size());
+  double syy = 0;
+  for (double v : y) syy += (v - my) * (v - my);
+
+  bool have = false;
+  for (ScalingModel m :
+       {ScalingModel::Linear, ScalingModel::NLogN, ScalingModel::NOverP}) {
+    Fit f;
+    f.module = module;
+    f.model = m;
+    std::vector<double> x;
+    x.reserve(pts.size());
+    for (const Observation* o : pts) x.push_back(f.basis(o->n, o->procs));
+    if (!regress(x, y, &f.a, &f.b, &f.sse)) continue;
+    if (!have || f.sse < best.sse) {
+      f.points = static_cast<int>(pts.size());
+      f.r2 = syy > 0.0 ? 1.0 - f.sse / syy : 1.0;
+      best = f;
+      have = true;
+    }
+  }
+  return best;
+}
+
+std::vector<Fit> ProfileStore::fit_all() const {
+  std::map<std::string, bool> modules;
+  for (const Observation& o : obs_) modules[o.module] = true;
+  std::vector<Fit> fits;
+  for (const auto& [name, _] : modules) {
+    Fit f = fit(name);
+    if (f.points > 0) fits.push_back(std::move(f));
+  }
+  return fits;
+}
+
+namespace {
+
+std::string num_json(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProfileStore::report(
+    const std::function<double(const Observation&)>& reference) const {
+  std::ostringstream oss;
+  const std::vector<Fit> fits = fit_all();
+  oss << "performance-model fit report: " << obs_.size() << " observations, "
+      << fits.size() << " modules\n";
+  for (const Fit& f : fits) {
+    char head[200];
+    std::snprintf(head, sizeof(head),
+                  "  %-24s model %-16s a=%.3e b=%.3e R^2=%.4f (%d pts)\n",
+                  f.module.substr(0, 24).c_str(), scaling_model_name(f.model), f.a,
+                  f.b, f.r2, f.points);
+    oss << head;
+    oss << "      procs           n   measured(s)     fitted(s)";
+    if (reference) oss << "    modeled(s)";
+    oss << "     err%\n";
+    for (const Observation& o : obs_) {
+      if (o.module != f.module) continue;
+      const double pred = f.predict(o.n, o.procs);
+      const double err =
+          o.seconds != 0.0 ? 100.0 * (pred - o.seconds) / o.seconds : 0.0;
+      char line[200];
+      if (reference) {
+        std::snprintf(line, sizeof(line),
+                      "      %5d %11lld  %12.3e  %12.3e  %12.3e  %+7.1f\n", o.procs,
+                      static_cast<long long>(o.n), o.seconds, pred, reference(o), err);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "      %5d %11lld  %12.3e  %12.3e  %+7.1f\n", o.procs,
+                      static_cast<long long>(o.n), o.seconds, pred, err);
+      }
+      oss << line;
+    }
+  }
+  return oss.str();
+}
+
+std::string ProfileStore::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"observations\":[";
+  for (std::size_t i = 0; i < obs_.size(); ++i) {
+    const Observation& o = obs_[i];
+    if (i) oss << ",";
+    oss << "{\"module\":\"" << json_escaped(o.module) << "\",\"procs\":" << o.procs
+        << ",\"n\":" << o.n << ",\"seconds\":" << num_json(o.seconds) << "}";
+  }
+  oss << "],\"fits\":[";
+  const std::vector<Fit> fits = fit_all();
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    const Fit& f = fits[i];
+    if (i) oss << ",";
+    oss << "{\"module\":\"" << json_escaped(f.module) << "\",\"model\":\""
+        << scaling_model_name(f.model) << "\",\"a\":" << num_json(f.a)
+        << ",\"b\":" << num_json(f.b) << ",\"r2\":" << num_json(f.r2)
+        << ",\"points\":" << f.points << "}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace fxpar::metrics

@@ -1,0 +1,95 @@
+// fxpar metrics: measured performance-model profiler.
+//
+// The scheduler's static cost model (sched::min_latency_mapping) predicts
+// module latency from counted flops and a machine description. This
+// profiler closes the loop the Extra-P way: it accumulates per-(module,
+// procs, problem-size) timing observations across bench sweeps, fits
+// simple scaling models by least squares —
+//
+//     t(n, p) = a + b * n            (latency + linear work)
+//     t(n, p) = a + b * n log2 n     (sort/FFT-shaped work)
+//     t(n, p) = a + b * n / p        (perfectly partitioned work)
+//
+// — picks the best-fitting basis per module, and renders a
+// modeled-vs-measured report so the static model can be calibrated (or
+// replaced) with measured curves. A Fit converts to a plain
+// std::function cost curve, so sched can consume it without this library
+// depending on sched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fxpar::metrics {
+
+/// One timing measurement of one module/pattern instance.
+struct Observation {
+  std::string module;   ///< pattern or module name, e.g. "redistribute"
+  int procs = 1;        ///< processors the instance ran on
+  std::int64_t n = 0;   ///< problem size (elements)
+  double seconds = 0.0; ///< measured (or modeled) time
+};
+
+/// The scaling bases the profiler can fit.
+enum class ScalingModel { Linear, NLogN, NOverP };
+
+const char* scaling_model_name(ScalingModel m);
+
+/// A fitted cost curve t(n, p) = a + b * basis(n, p).
+struct Fit {
+  std::string module;
+  ScalingModel model = ScalingModel::Linear;
+  double a = 0.0;       ///< latency term (seconds)
+  double b = 0.0;       ///< slope against the chosen basis
+  double sse = 0.0;     ///< sum of squared residuals of the winning model
+  double r2 = 0.0;      ///< coefficient of determination (1 = perfect)
+  int points = 0;       ///< observations the fit consumed
+
+  double basis(std::int64_t n, int procs) const;
+  double predict(std::int64_t n, int procs) const { return a + b * basis(n, procs); }
+
+  /// Cost curve for the scheduler: seconds as a function of procs at a
+  /// fixed problem size. Plain std::function so sched needs no metrics
+  /// dependency beyond this header.
+  std::function<double(int)> time_on(std::int64_t n) const {
+    return [f = *this, n](int p) { return f.predict(n, p); };
+  }
+};
+
+/// Accumulates observations and fits per-module scaling curves.
+class ProfileStore {
+ public:
+  void record(std::string module, int procs, std::int64_t n, double seconds) {
+    obs_.push_back({std::move(module), procs, n, seconds});
+  }
+  void record(Observation o) { obs_.push_back(std::move(o)); }
+
+  const std::vector<Observation>& observations() const noexcept { return obs_; }
+  std::size_t size() const noexcept { return obs_.size(); }
+
+  /// Least-squares fit per distinct module name, best of the three bases
+  /// by SSE. Modules with fewer than 2 observations are skipped.
+  std::vector<Fit> fit_all() const;
+
+  /// Fit for one module; points == 0 when it cannot be fitted.
+  Fit fit(const std::string& module) const;
+
+  /// Human-readable modeled-vs-measured report: per module the chosen
+  /// model, coefficients, R^2, and each observation against its
+  /// prediction. `reference` (optional) supplies an independent modeled
+  /// time per observation — e.g. the static cost model or a sim run — and
+  /// appears as its own column for side-by-side comparison.
+  std::string report(
+      const std::function<double(const Observation&)>& reference = nullptr) const;
+
+  /// One JSON object: {"observations":[...],"fits":[...]}; all numbers
+  /// finite or null. Stable field order for the CI structural check.
+  std::string to_json() const;
+
+ private:
+  std::vector<Observation> obs_;
+};
+
+}  // namespace fxpar::metrics

@@ -1,5 +1,6 @@
 #include "trace/chrome_export.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -31,8 +32,20 @@ void append_escaped(std::string& out, const std::string& s) {
   }
 }
 
+/// JSON number token for a double. std::to_string / %f print non-finite
+/// values as bare `inf`/`nan`, which are not JSON — a single poisoned
+/// accounting field used to invalidate the whole trace file. Emit `null`
+/// instead (valid JSON; viewers skip the field).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
 /// Modeled seconds -> trace_event microseconds, with sub-ns precision kept.
 std::string us(double seconds) {
+  if (!std::isfinite(seconds)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.4f", seconds * 1e6);
   return buf;
@@ -80,10 +93,10 @@ void export_chrome_trace(const TraceRecorder& rec, std::ostream& os) {
     append_escaped(line, s.name);
     line += R"(","cat":")";
     append_escaped(line, s.category);
-    line += R"(","args":{"busy_s":)" + std::to_string(s.busy) +
-            R"(,"recv_wait_s":)" + std::to_string(s.recv_wait) +
-            R"(,"barrier_wait_s":)" + std::to_string(s.barrier_wait) +
-            R"(,"io_wait_s":)" + std::to_string(s.io_wait) +
+    line += R"(","args":{"busy_s":)" + num(s.busy) +
+            R"(,"recv_wait_s":)" + num(s.recv_wait) +
+            R"(,"barrier_wait_s":)" + num(s.barrier_wait) +
+            R"(,"io_wait_s":)" + num(s.io_wait) +
             R"(,"messages":)" + std::to_string(s.messages) +
             R"(,"bytes":)" + std::to_string(s.bytes) + "}}";
     w.emit(line);
@@ -97,7 +110,7 @@ void export_chrome_trace(const TraceRecorder& rec, std::ostream& os) {
                        R"(,"name":"wait:)" + wait_kind_name(wt.kind) +
                        R"(","cat":"wait","args":{"cause_proc":)" +
                        std::to_string(wt.cause_proc) + R"(,"cause_time_s":)" +
-                       std::to_string(wt.cause_time) + "}}";
+                       num(wt.cause_time) + "}}";
     w.emit(line);
   }
 

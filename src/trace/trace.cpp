@@ -221,6 +221,21 @@ void TraceRecorder::steal_event(int thief, int victim, std::uint64_t iters, doub
   } else {
     steals_.push_back(r);
   }
+  // Attribute the steal to the thief's open directive nest. Safe in
+  // concurrent mode: only the thief's own worker touches its stack.
+  for (Span& s : open_[static_cast<std::size_t>(thief)]) {
+    s.steals += 1;
+    s.stolen_iters += iters;
+  }
+}
+
+void TraceRecorder::plan_cache_event(int proc, bool hit) {
+  if (proc < 0 || proc >= num_procs()) {
+    throw std::out_of_range("TraceRecorder::plan_cache_event: bad proc");
+  }
+  for (Span& s : open_[static_cast<std::size_t>(proc)]) {
+    (hit ? s.plan_hits : s.plan_misses) += 1;
+  }
 }
 
 void TraceRecorder::barrier_record(std::uint64_t group_key, std::uint64_t episode, int proc,

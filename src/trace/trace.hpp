@@ -49,6 +49,10 @@ struct Span {
   double io_wait = 0.0;       ///< waiting on the sequential I/O device
   std::uint64_t messages = 0; ///< messages deposited while open
   std::uint64_t bytes = 0;    ///< bytes deposited while open
+  std::uint64_t steals = 0;       ///< stolen chunks completed while open
+  std::uint64_t stolen_iters = 0; ///< iterations those chunks covered
+  std::uint64_t plan_hits = 0;    ///< redistribution plan-cache hits while open
+  std::uint64_t plan_misses = 0;  ///< redistribution plan-cache misses while open
 
   double duration() const { return t1 - t0; }
   double wait() const { return recv_wait + barrier_wait + io_wait; }
@@ -165,8 +169,15 @@ class TraceRecorder {
   /// `thief` completed a stolen chunk of `iters` iterations owned by
   /// `victim` at time `t`. In concurrent mode the record lands in the
   /// thief's shard (call only from the thief's worker) and is merged by
-  /// time like the other streams.
+  /// time like the other streams. Also bumps the steal counters of the
+  /// thief's open spans, so phase reports can localize stealing.
   void steal_event(int thief, int victim, std::uint64_t iters, double t);
+
+  /// Redistribution plan-cache hit (or miss) observed by `proc`: bumps the
+  /// counters of `proc`'s open spans. Safe in concurrent mode — each
+  /// worker only touches its own rank's span stack. Call only from the
+  /// observing rank's worker.
+  void plan_cache_event(int proc, bool hit);
 
   // ---- concurrent recording (threaded backend) ----
   //

@@ -9,11 +9,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "metrics/metrics.hpp"
 
 namespace {
 
@@ -62,6 +64,21 @@ TEST(BenchCliDeathTest, InvalidBackendExitsTwo) {
               testing::ExitedWithCode(2), "--backend must be 'sim' or 'threads'");
 }
 
+TEST(BenchCliDeathTest, TrailingMetricsExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--metrics"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--metrics requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidMetricsExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--metrics", "sometimes"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--metrics must be 'on' or 'off'");
+}
+
+TEST(BenchCliDeathTest, TrailingMetricsOutExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--metrics-out"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--metrics-out requires an argument");
+}
+
 TEST(BenchCliDeathTest, TrailingWorkStealingExitsTwo) {
   EXPECT_EXIT({ run_init({"bench", "--work-stealing"}); std::exit(0); },
               testing::ExitedWithCode(2), "--work-stealing requires an argument");
@@ -95,6 +112,75 @@ TEST(BenchCli, WorkStealingToggleAppliesToConfig) {
   run_init({"bench", "--work-stealing", "on"});
   EXPECT_EQ(fxbench::options().work_stealing, 1);
   EXPECT_TRUE(fxbench::apply_backend(cfg).work_stealing);
+}
+
+TEST(BenchCli, MetricsToggleAppliesToConfig) {
+  OptionsGuard guard;
+
+  // Default: the CLI does not override the config (metrics stay on).
+  fxbench::options() = fxbench::Options{};
+  auto cfg = fxpar::MachineConfig::paragon(4);
+  ASSERT_TRUE(cfg.metrics);  // on by default
+  EXPECT_TRUE(fxbench::apply_backend(cfg).metrics);
+
+  fxbench::options() = fxbench::Options{};
+  run_init({"bench", "--metrics", "off"});
+  EXPECT_EQ(fxbench::options().metrics, 0);
+  EXPECT_FALSE(fxbench::apply_backend(cfg).metrics);
+
+  fxbench::options() = fxbench::Options{};
+  cfg.metrics = false;
+  run_init({"bench", "--metrics", "on"});
+  EXPECT_EQ(fxbench::options().metrics, 1);
+  EXPECT_TRUE(fxbench::apply_backend(cfg).metrics);
+}
+
+// ---------------------------------------------------------------------------
+// report_metrics picks the format from the file extension
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A RunResult carrying a one-counter snapshot, as if a run had completed.
+fxpar::machine::RunResult result_with_snapshot() {
+  fxpar::metrics::Registry reg(1);
+  reg.counter("fxpar_demo_total")->add(0, 5);
+  fxpar::machine::RunResult res;
+  res.metrics = std::make_shared<const fxpar::metrics::Snapshot>(reg.snapshot());
+  return res;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(BenchCli, ReportMetricsWritesPrometheusOrJsonByExtension) {
+  OptionsGuard guard;
+  const fxpar::machine::RunResult res = result_with_snapshot();
+
+  // No sink configured: nothing to do (and nothing to crash on).
+  fxbench::options() = fxbench::Options{};
+  fxbench::report_metrics(res);
+  fxbench::report_metrics(fxpar::machine::RunResult{});  // no snapshot either
+
+  const std::string prom_path = testing::TempDir() + "fxpar_bench_cli_metrics.prom";
+  fxbench::options().metrics_out = prom_path;
+  fxbench::report_metrics(res);
+  const std::string prom = slurp(prom_path);
+  EXPECT_NE(prom.find("# TYPE fxpar_demo_total counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("fxpar_demo_total 5"), std::string::npos) << prom;
+
+  const std::string json_path = testing::TempDir() + "fxpar_bench_cli_metrics.json";
+  fxbench::options().metrics_out = json_path;
+  fxbench::report_metrics(res);
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"fxpar_demo_total\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("# TYPE"), std::string::npos) << json;
 }
 
 // ---------------------------------------------------------------------------

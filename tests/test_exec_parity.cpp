@@ -159,7 +159,8 @@ namespace {
 // processor on either backend), "collect" receives it replicated — the
 // inter-module assign() is a real redistribution — transforms it, and
 // virtual rank 0 records the full array per data set.
-std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind) {
+std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind,
+                                                 bool metrics = true) {
   constexpr std::int64_t kN = 64;
   constexpr int kSets = 6;
   std::vector<std::vector<double>> sink(kSets);
@@ -197,8 +198,9 @@ std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind) {
     }
   };
 
-  ap::run_stream_pipeline<double>(backend_cfg(4, kind), stages,
-                                  {{0, 0, 2, 1}, {1, 1, 2, 1}}, kSets);
+  auto cfg = backend_cfg(4, kind);
+  cfg.metrics = metrics;
+  ap::run_stream_pipeline<double>(cfg, stages, {{0, 0, 2, 1}, {1, 1, 2, 1}}, kSets);
   return sink;
 }
 
@@ -212,5 +214,26 @@ TEST(ExecParity, FloatingPointStreamPipelineBitIdentical) {
   for (std::size_t k = 0; k < sim.size(); ++k) {
     ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
     expect_bit_identical(sim[k], thr[k], "fp-pipeline", static_cast<int>(k));
+  }
+}
+
+TEST(ExecParity, MetricsOnAndOffProduceBitIdenticalResults) {
+  // Metrics instrumentation must be observation-only: disabling it cannot
+  // change any computed value on either backend.
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const auto sim_on = run_fp_pipeline(ex::BackendKind::Sim, /*metrics=*/true);
+  const auto sim_off = run_fp_pipeline(ex::BackendKind::Sim, /*metrics=*/false);
+  const auto thr_on = run_fp_pipeline(ex::BackendKind::Threads, /*metrics=*/true);
+  const auto thr_off = run_fp_pipeline(ex::BackendKind::Threads, /*metrics=*/false);
+  ASSERT_EQ(sim_on.size(), sim_off.size());
+  ASSERT_EQ(thr_on.size(), thr_off.size());
+  for (std::size_t k = 0; k < sim_on.size(); ++k) {
+    ASSERT_FALSE(sim_on[k].empty()) << "sim sink empty at " << k;
+    expect_bit_identical(sim_on[k], sim_off[k], "metrics-parity/sim",
+                         static_cast<int>(k));
+    expect_bit_identical(thr_on[k], thr_off[k], "metrics-parity/threads",
+                         static_cast<int>(k));
+    expect_bit_identical(sim_on[k], thr_on[k], "metrics-parity/cross",
+                         static_cast<int>(k));
   }
 }

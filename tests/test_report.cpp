@@ -1,13 +1,24 @@
 // Tests for the machine run reports: summarize(), utilization_report(),
 // and traffic_report() edge cases (empty runs, one processor, degenerate
-// row/cell budgets) that previously risked division by zero.
+// row/cell budgets) that previously risked division by zero — plus the
+// trace analyzers (phase report, critical path) over a *merged* threaded
+// trace with work stealing, the path the simulator-driven trace tests
+// never exercise.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel_loop.hpp"
 #include "machine/context.hpp"
 #include "machine/machine.hpp"
 #include "machine/report.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/phase_report.hpp"
 
 namespace mx = fxpar::machine;
+namespace tr = fxpar::trace;
 
 namespace {
 
@@ -102,4 +113,71 @@ TEST(Report, ReportsAgreeWithALiveRun) {
   EXPECT_NE(util.find("messages 1 (16 bytes)"), std::string::npos);
   const std::string traffic = mx::traffic_report(res);
   EXPECT_NE(traffic.find("communication matrix (rows"), std::string::npos);
+}
+
+TEST(Report, AnalyzersWorkOnMergedThreadedTraceWithStealing) {
+  // A traced threaded run produces its spans/waits/steals through the
+  // per-worker shards and merge_concurrent(); the analyzers must see one
+  // coherent run. The loop is heavily imbalanced (all work in rank 0's
+  // static block) so with stealing on, steals are all but certain — but
+  // scheduling is not deterministic, so steal assertions are conditional.
+  auto cfg = mx::MachineConfig::paragon(4);
+  cfg.backend = fxpar::exec::BackendKind::Threads;
+  cfg.trace = true;
+  cfg.work_stealing = true;
+  mx::Machine m(cfg);
+  constexpr std::int64_t kN = 1 << 12;
+  std::vector<double> out(static_cast<std::size_t>(kN), 0.0);
+  double* o = out.data();
+  const mx::RunResult res = m.run([o](mx::Context& ctx) {
+    auto sp = ctx.span("imbalanced", "loop");
+    fxpar::core::parallel_for(ctx, 0, kN, [o](std::int64_t i) {
+      double acc = static_cast<double>(i);
+      const int reps = i < kN / 4 ? 400 : 1;
+      for (int r = 0; r < reps; ++r) acc = acc * 1.0000001 + 1e-9;
+      o[i] = acc;
+    });
+  });
+  ASSERT_NE(res.trace, nullptr);
+  const tr::TraceRecorder& rec = *res.trace;
+
+  // Merged spans: every worker contributed its root and the named span.
+  int named = 0;
+  for (const tr::Span& s : rec.spans()) {
+    if (s.name == "imbalanced") ++named;
+  }
+  EXPECT_EQ(named, 4);
+
+  const tr::PhaseReport rep = tr::phase_report(rec);
+  EXPECT_GT(rep.makespan, 0.0);
+  EXPECT_FALSE(rep.to_string().empty());
+
+  const tr::CriticalPathReport cp = tr::critical_path(rec);
+  EXPECT_GT(cp.makespan, 0.0);
+  double steps = 0.0;
+  for (const tr::PathStep& s : cp.steps) {
+    EXPECT_GE(s.t1, s.t0);
+    steps += s.duration();
+  }
+  // The walk tiles the time from 0 to the last *recorded* activity (the
+  // run's finish is stamped after the join, so it can be slightly later).
+  double last_activity = 0.0;
+  for (int p = 0; p < rec.num_procs(); ++p) {
+    last_activity = std::max(last_activity, rec.last_activity(p));
+  }
+  EXPECT_NEAR(steps, last_activity, 1e-9);
+  EXPECT_LE(last_activity, cp.makespan + 1e-9);
+
+  // RunResult's steal counters and the trace's merged steal stream agree.
+  if (res.steals > 0) {
+    EXPECT_EQ(rec.steals().size(), static_cast<std::size_t>(res.steals));
+    const tr::PhaseStats* loop = nullptr;
+    for (const tr::PhaseStats& p : rep.phases) {
+      if (p.name == "imbalanced") loop = &p;
+    }
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->steals, res.steals);
+    EXPECT_EQ(loop->stolen_iters, res.stolen_iters);
+    EXPECT_NE(rep.to_string().find("steals stolen_iters"), std::string::npos);
+  }
 }

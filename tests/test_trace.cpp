@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <limits>
 #include <string>
 
 #include "core/fx.hpp"
+#include "json_checker.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/phase_report.hpp"
@@ -33,112 +35,6 @@ mx::MachineConfig test_config(int p) {
   c.trace = true;
   return c;
 }
-
-/// Minimal recursive-descent JSON validator: accepts exactly the RFC 8259
-/// value grammar, rejects trailing garbage.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        pos_ += 2;
-      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
-        return false;  // raw control character
-      } else {
-        ++pos_;
-      }
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;
-    return true;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    if (peek() == '.') {
-      ++pos_;
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -299,7 +195,7 @@ TEST(Trace, ChromeExportIsValidJson) {
     ctx.barrier(ctx.group());
   });
   const std::string json = tr::chrome_trace_json(*res.trace);
-  JsonChecker checker(json);
+  fxtest::JsonChecker checker(json);
   EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
@@ -428,4 +324,182 @@ TEST(Trace, IoWaitsAreSerializedAndAttributed) {
   }
   // First op: 110 s; second queues behind it: 220 s.
   EXPECT_DOUBLE_EQ(total_io, 110.0 + 220.0);
+}
+
+// ---------------------------------------------------------------------------
+// Steal / plan-cache span attribution and merged concurrent traces
+// ---------------------------------------------------------------------------
+
+TEST(Trace, StealAndPlanCacheEventsAttributeToOpenSpans) {
+  tr::TraceRecorder rec(2);
+  double t = 0.0;
+  rec.set_clock([&](int) { return t; });
+
+  rec.begin_span(0, "outer", "test");
+  rec.begin_span(0, "loop", "test");
+  rec.steal_event(0, 1, 32, 0.5);
+  rec.steal_event(0, 1, 16, 0.7);
+  rec.plan_cache_event(0, true);
+  rec.plan_cache_event(0, true);
+  rec.plan_cache_event(0, false);
+  t = 1.0;
+  rec.end_span(0);
+  // Events after the inner span closed only reach the outer span.
+  rec.steal_event(0, 1, 8, 1.5);
+  t = 2.0;
+  rec.end_span(0);
+  rec.finalize(2.0);
+
+  ASSERT_EQ(rec.steals().size(), 3u);
+  EXPECT_EQ(rec.steals()[0].thief, 0);
+  EXPECT_EQ(rec.steals()[0].victim, 1);
+  EXPECT_EQ(rec.steals()[0].iters, 32u);
+
+  const tr::Span* outer = nullptr;
+  const tr::Span* loop = nullptr;
+  for (const tr::Span& s : rec.spans()) {
+    if (s.name == "outer") outer = &s;
+    if (s.name == "loop") loop = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->steals, 2u);
+  EXPECT_EQ(loop->stolen_iters, 48u);
+  EXPECT_EQ(loop->plan_hits, 2u);
+  EXPECT_EQ(loop->plan_misses, 1u);
+  EXPECT_EQ(outer->steals, 3u);  // inclusive, like the time accounting
+  EXPECT_EQ(outer->stolen_iters, 56u);
+  EXPECT_EQ(outer->plan_hits, 2u);
+  EXPECT_EQ(outer->plan_misses, 1u);
+}
+
+TEST(Trace, PhaseReportSurfacesStealAndPlanCacheCounters) {
+  tr::TraceRecorder rec(1);
+  double t = 0.0;
+  rec.set_clock([&](int) { return t; });
+  rec.begin_span(0, "program", "root");
+  rec.begin_span(0, "loop", "test");
+  rec.add_busy(0, 1.0);
+  rec.steal_event(0, 0, 64, 0.5);
+  rec.plan_cache_event(0, true);
+  rec.plan_cache_event(0, false);
+  t = 1.0;
+  rec.end_span(0);
+  rec.begin_span(0, "quiet", "test");
+  rec.add_busy(0, 1.0);
+  t = 2.0;
+  rec.end_span(0);
+  rec.end_span(0);
+  rec.finalize(2.0);
+
+  const tr::PhaseReport rep = tr::phase_report(rec);
+  const tr::PhaseStats* loop = nullptr;
+  const tr::PhaseStats* quiet = nullptr;
+  for (const tr::PhaseStats& p : rep.phases) {
+    if (p.name == "loop") loop = &p;
+    if (p.name == "quiet") quiet = &p;
+  }
+  ASSERT_NE(loop, nullptr);
+  ASSERT_NE(quiet, nullptr);
+  EXPECT_EQ(loop->steals, 1u);
+  EXPECT_EQ(loop->stolen_iters, 64u);
+  EXPECT_EQ(loop->plan_hits, 1u);
+  EXPECT_EQ(loop->plan_misses, 1u);
+  EXPECT_EQ(quiet->steals, 0u);
+
+  // The steal/plan table appears, lists the active phase only.
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("steals stolen_iters"), std::string::npos);
+  const std::size_t table = text.find("steals stolen_iters");
+  EXPECT_NE(text.find("loop", table), std::string::npos);
+  EXPECT_EQ(text.find("quiet", table), std::string::npos);
+}
+
+TEST(Trace, MergedConcurrentTraceCriticalPathWithSteals) {
+  // Hand-built two-worker trace, recorded through the concurrent-mode
+  // shards exactly as the threaded backend does: rank 0 produces over
+  // [0, 1.0] and deposits a message; rank 1 blocks on the receive until
+  // 1.2, then consumes over [1.2, 2.2], completing one stolen chunk on the
+  // way. After merge_concurrent() the analyzers must see one coherent run.
+  tr::TraceRecorder rec(2);
+  double c[2] = {0.0, 0.0};
+  rec.set_clock([&](int p) { return c[p]; });
+  rec.set_concurrent(2);
+
+  rec.begin_span(0, "program", "root");
+  rec.begin_span(0, "produce", "test");
+  const std::uint64_t id = rec.message_sent(0, 1, 7, 64, 0.9, 1.0);
+  c[0] = 1.0;
+  rec.end_span(0);
+  rec.end_span(0);
+
+  rec.begin_span(1, "program", "root");
+  rec.message_received_at(id, 1, 0, 1.0, 0.0, 1.2);
+  c[1] = 1.2;
+  rec.begin_span(1, "consume", "test");
+  rec.steal_event(1, 0, 16, 1.7);
+  c[1] = 2.2;
+  rec.end_span(1);
+  rec.end_span(1);
+
+  rec.merge_concurrent();
+  rec.finalize(2.2);
+
+  // Merged streams: the sender-shard message carries the receiver's
+  // consumption time; the thief-shard steal survives the merge.
+  ASSERT_EQ(rec.messages().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.messages()[0].recv_t, 1.2);
+  ASSERT_EQ(rec.steals().size(), 1u);
+  EXPECT_EQ(rec.steals()[0].thief, 1);
+  EXPECT_EQ(rec.steals()[0].victim, 0);
+
+  const tr::Span* consume = nullptr;
+  for (const tr::Span& s : rec.spans()) {
+    if (s.name == "consume") consume = &s;
+  }
+  ASSERT_NE(consume, nullptr);
+  EXPECT_EQ(consume->steals, 1u);
+  EXPECT_EQ(consume->stolen_iters, 16u);
+  EXPECT_DOUBLE_EQ(consume->busy, 1.0);  // elapsed minus waits
+
+  const tr::CriticalPathReport cp = tr::critical_path(rec);
+  EXPECT_DOUBLE_EQ(cp.makespan, 2.2);
+  // The path crosses the message edge: both execution legs plus a recv
+  // delay; step durations tile the makespan.
+  EXPECT_GT(cp.recv_delay, 0.0);
+  EXPECT_GT(cp.execute_time, 1.5);
+  double steps = 0.0;
+  for (const tr::PathStep& s : cp.steps) steps += s.duration();
+  EXPECT_NEAR(steps, cp.makespan, 1e-9);
+  bool consume_on_path = false;
+  for (const tr::SpanCritical& sc : cp.by_span) {
+    if (sc.name == "consume" && sc.critical() > 0.0) consume_on_path = true;
+  }
+  EXPECT_TRUE(consume_on_path);
+
+  // The merged trace also exports as valid chrome JSON.
+  const std::string json = tr::chrome_trace_json(rec);
+  fxtest::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+}
+
+TEST(Trace, ChromeExportNonFiniteAccountingEmitsNull) {
+  // Regression: accounting values are printed straight into JSON; a
+  // non-finite busy/wait used to render as a bare `inf`/`nan` token,
+  // making the whole file unparseable. They must surface as null.
+  tr::TraceRecorder rec(1);
+  double t = 0.0;
+  rec.set_clock([&](int) { return t; });
+  rec.begin_span(0, "poisoned", "test");
+  rec.add_busy(0, std::numeric_limits<double>::infinity());
+  t = 1.0;
+  rec.end_span(0);
+  rec.finalize(1.0);
+
+  const std::string json = tr::chrome_trace_json(rec);
+  fxtest::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
 }
