@@ -31,6 +31,7 @@ struct Options {
   std::string backend = "sim";  ///< --backend sim|threads : execution engine
   int threads = 0;           ///< --threads N        : logical processors (0 = bench default)
   int work_stealing = -1;    ///< --work-stealing on|off (-1 = config default)
+  std::string pinning;       ///< --pinning none|compact|scatter|numa ("" = config default)
   int metrics = -1;          ///< --metrics on|off (-1 = config default, which is on)
   std::string metrics_out;   ///< --metrics-out FILE : final metrics snapshot
                              ///<   (.json -> JSON, else Prometheus text)
@@ -83,6 +84,17 @@ inline void init(int argc, char** argv) {
         std::fprintf(stderr, "--work-stealing must be 'on' or 'off', got '%s'\n", v.c_str());
         std::exit(2);
       }
+    } else if (a == "--pinning") {
+      o.pinning = value("--pinning");
+      fxpar::exec::PinPolicy parsed;
+      if (!fxpar::exec::parse_pin_policy(o.pinning, parsed)) {
+        // Fail loudly, like --backend: a typo must not record unpinned
+        // runs labeled as pinned.
+        std::fprintf(stderr,
+                     "--pinning must be 'none', 'compact', 'scatter' or 'numa', got '%s'\n",
+                     o.pinning.c_str());
+        std::exit(2);
+      }
     } else if (a == "--metrics") {
       const std::string v = value("--metrics");
       if (v == "on") {
@@ -108,12 +120,29 @@ inline void init(int argc, char** argv) {
                   "  --work-stealing on|off\n"
                   "                      intra-subgroup loop work stealing (threads backend;\n"
                   "                      default: MachineConfig::work_stealing)\n"
+                  "  --pinning none|compact|scatter|numa\n"
+                  "                      worker-thread placement policy (threads backend;\n"
+                  "                      default none; see docs/performance.md)\n"
                   "  --metrics on|off    runtime metrics registry (default: on; 'off' removes\n"
                   "                      the counters entirely for overhead measurements)\n"
                   "  --metrics-out FILE  write the final metrics snapshot of the last\n"
                   "                      reported run (.json -> JSON, else Prometheus text)\n");
     }
   }
+}
+
+/// Copy of `cfg` with the CLI's tuning flags applied (--work-stealing,
+/// --pinning, --metrics) but the backend/processor count untouched, for
+/// benches that drive several backends from one binary (bench_exec).
+inline fxpar::machine::MachineConfig apply_tuning(fxpar::machine::MachineConfig cfg) {
+  const Options& o = options();
+  if (o.work_stealing >= 0) cfg.work_stealing = o.work_stealing != 0;
+  if (!o.pinning.empty()) {
+    fxpar::exec::PinPolicy parsed;
+    if (fxpar::exec::parse_pin_policy(o.pinning, parsed)) cfg.pinning = parsed;
+  }
+  if (o.metrics >= 0) cfg.metrics = o.metrics != 0;
+  return cfg;
 }
 
 /// Copy of `cfg` with the CLI's --backend / --threads selection applied.
@@ -124,9 +153,7 @@ inline fxpar::machine::MachineConfig apply_backend(fxpar::machine::MachineConfig
   cfg.backend = (o.backend == "threads") ? fxpar::exec::BackendKind::Threads
                                          : fxpar::exec::BackendKind::Sim;
   if (o.threads > 0) cfg.num_procs = o.threads;
-  if (o.work_stealing >= 0) cfg.work_stealing = o.work_stealing != 0;
-  if (o.metrics >= 0) cfg.metrics = o.metrics != 0;
-  return cfg;
+  return apply_tuning(std::move(cfg));
 }
 
 /// True when any tracing output was requested on the command line.
@@ -226,7 +253,9 @@ inline void json_record(const std::string& name,
                         double host_ms = -1.0, std::uint64_t plan_hits = 0,
                         std::uint64_t plan_misses = 0, const std::string& backend = "sim",
                         int threads = 0, double wait_ms = -1.0,
-                        std::int64_t steals = -1, std::int64_t stolen_iters = -1) {
+                        std::int64_t steals = -1, std::int64_t stolen_iters = -1,
+                        const std::string& pinning = std::string(),
+                        const std::vector<int>& numa_nodes = std::vector<int>()) {
   std::ostream* out = detail::json_stream();
   if (!out) return;
   *out << "{\"name\":\"" << detail::json_escape(name) << "\",\"params\":{";
@@ -258,6 +287,15 @@ inline void json_record(const std::string& name,
   if (plan_hits + plan_misses > 0) {
     *out << ",\"plan_cache_hits\":" << plan_hits << ",\"plan_cache_misses\":" << plan_misses;
   }
+  if (!pinning.empty()) *out << ",\"pinning\":\"" << detail::json_escape(pinning) << '"';
+  if (!numa_nodes.empty()) {
+    *out << ",\"numa_nodes\":[";
+    for (std::size_t i = 0; i < numa_nodes.size(); ++i) {
+      if (i) *out << ',';
+      *out << numa_nodes[i];
+    }
+    *out << ']';
+  }
   *out << "}\n";
   out->flush();
 }
@@ -275,7 +313,8 @@ inline void json_record(const std::string& name,
               threaded ? static_cast<int>(res.clocks.size()) : 0,
               threaded ? res.wait_ms : -1.0,
               threaded ? static_cast<std::int64_t>(res.steals) : -1,
-              threaded ? static_cast<std::int64_t>(res.stolen_iters) : -1);
+              threaded ? static_cast<std::int64_t>(res.stolen_iters) : -1,
+              threaded ? res.pinning : std::string(), res.numa_nodes);
 }
 
 /// Reports on a traced run according to the CLI options: prints the phase

@@ -6,7 +6,8 @@
 // backend runs one OS thread per logical processor, so on a multi-core
 // host its host_ms shows real parallel speedup.
 //
-//   bench_exec [--threads N] [--sets K] [--json-out FILE|-]
+//   bench_exec [--threads N] [--sets K] [--pinning POLICY]
+//              [--work-stealing on|off] [--metrics on|off] [--json-out FILE|-]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -41,9 +42,8 @@ struct ExecRun {
 };
 
 ExecRun run_pipeline(exec::BackendKind kind, int procs, int sets) {
-  auto cfg = MachineConfig::paragon(procs);
+  auto cfg = fxbench::apply_tuning(MachineConfig::paragon(procs));
   cfg.backend = kind;
-  if (fxbench::options().metrics >= 0) cfg.metrics = fxbench::options().metrics != 0;
 
   ExecRun out;
   out.checks.assign(static_cast<std::size_t>(sets), {});
@@ -102,10 +102,9 @@ struct ImbalanceRun {
 };
 
 ImbalanceRun run_imbalanced(exec::BackendKind kind, int procs, bool stealing) {
-  auto cfg = MachineConfig::paragon(procs);
+  auto cfg = fxbench::apply_tuning(MachineConfig::paragon(procs));
   cfg.backend = kind;
-  cfg.work_stealing = stealing;
-  if (fxbench::options().metrics >= 0) cfg.metrics = fxbench::options().metrics != 0;
+  cfg.work_stealing = stealing;  // the A/B legs own this toggle, not the CLI
   machine::Machine m(cfg);
   ImbalanceRun r;
   r.out.assign(static_cast<std::size_t>(kImbN), 0.0);

@@ -14,6 +14,7 @@
 
 #include "apps/fft.hpp"
 #include "bench_common.hpp"
+#include "comm/collectives.hpp"
 #include "core/fx.hpp"
 #include "dist/redistribute.hpp"
 #include "runtime/fiber.hpp"
@@ -226,6 +227,19 @@ CompareRun run_transpose_stream(bool cache_on, int procs, std::int64_t n, int it
   return out;
 }
 
+/// Best-of-3 host time: host wall-clock is noisy on shared CI runners, so
+/// every A/B leg keeps the fastest of three runs (modeled results are
+/// deterministic — any run's RunResult serves as the witness).
+template <typename RunFn>
+auto best_of_3(RunFn run) {
+  auto best = run();
+  for (int rep = 1; rep < 3; ++rep) {
+    auto next = run();
+    if (next.host_ms < best.host_ms) best = next;
+  }
+  return best;
+}
+
 int run_redist_compare() {
   const int procs = 16;
   const std::int64_t n = 512;
@@ -235,8 +249,10 @@ int run_redist_compare() {
       {"n", std::to_string(n)},
       {"iters", std::to_string(iters)}};
 
-  const CompareRun uncached = run_transpose_stream(false, procs, n, iters);
-  const CompareRun cached = run_transpose_stream(true, procs, n, iters);
+  const CompareRun uncached =
+      best_of_3([&] { return run_transpose_stream(false, procs, n, iters); });
+  const CompareRun cached =
+      best_of_3([&] { return run_transpose_stream(true, procs, n, iters); });
 
   const bool sim_identical = uncached.res.finish_time == cached.res.finish_time &&
                              uncached.res.messages == cached.res.messages &&
@@ -259,8 +275,9 @@ int run_redist_compare() {
     fxbench::json_record("micro/redist/speedup", p, cached.res, cached.host_ms);
   }
 
-  std::printf("redistribution plan cache A/B (%d iters of %lldx%lld transpose, %d procs)\n",
-              iters, static_cast<long long>(n), static_cast<long long>(n), procs);
+  std::printf(
+      "redistribution plan cache A/B (%d iters of %lldx%lld transpose, %d procs, best of 3)\n",
+      iters, static_cast<long long>(n), static_cast<long long>(n), procs);
   std::printf("  uncached: host %8.1f ms   sim %.6f s\n", uncached.host_ms,
               uncached.res.finish_time);
   std::printf("  cached:   host %8.1f ms   sim %.6f s   (%llu hits, %llu misses)\n",
@@ -272,18 +289,131 @@ int run_redist_compare() {
   return sim_identical ? 0 : 1;
 }
 
+// --collective-compare: the collective-plan-cache A/B experiment. Repeated
+// 8-way vector allreduce + gather over 32 KiB payloads — the regime where
+// the cached executor's pooled buffers and from-bytes combine pay off —
+// with MachineConfig::plan_cache off vs on. Modeled results and final
+// values must be bit-identical; the CI perf-smoke job asserts a >= 1.5x
+// host speedup from the emitted records.
+struct CollectiveRun {
+  machine::RunResult res;
+  double host_ms = 0.0;
+  double checksum = 0.0;  ///< deterministic digest of every rank's final vector
+};
+
+CollectiveRun run_collective_stream(bool cache_on, int procs, std::size_t n, int iters) {
+  auto c = MachineConfig::ideal(procs);
+  c.stack_bytes = 256 * 1024;
+  c.plan_cache = cache_on;
+  Machine machine(c);
+  std::vector<double> sums(static_cast<std::size_t>(procs), 0.0);
+  CollectiveRun out;
+  const fxbench::HostTimer timer;
+  out.res = machine.run([&](Context& ctx) {
+    const auto g = pgroup::ProcessorGroup::identity(procs);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<double>(ctx.phys_rank() + 1) + static_cast<double>(i % 7);
+    }
+    for (int it = 0; it < iters; ++it) {
+      v = comm::allreduce_vector(ctx, g, std::move(v),
+                                 [](double a, double b) { return a + b; });
+      // Damp so repeated summing stays bounded (procs = 8 => factor 1).
+      for (double& x : v) x *= 0.125;
+      const std::vector<double> all = comm::gather_vectors(ctx, g, 0, v);
+      // Feed the gathered data back in so the gather is load-bearing.
+      if (ctx.phys_rank() == 0 && !all.empty()) v[0] += all.back() * 1e-12;
+    }
+    double s = 0.0;
+    for (double x : v) s += x;
+    sums[static_cast<std::size_t>(ctx.phys_rank())] = s;
+  });
+  out.host_ms = timer.ms();
+  for (double s : sums) out.checksum += s;
+  return out;
+}
+
+int run_collective_compare() {
+  const int procs = 8;
+  const std::size_t n = 4096;  // doubles per rank: 32 KiB payloads
+  const int iters = 200;
+  const std::vector<std::pair<std::string, std::string>> base_params{
+      {"procs", std::to_string(procs)},
+      {"n", std::to_string(n)},
+      {"iters", std::to_string(iters)}};
+
+  const CollectiveRun uncached =
+      best_of_3([&] { return run_collective_stream(false, procs, n, iters); });
+  const CollectiveRun cached =
+      best_of_3([&] { return run_collective_stream(true, procs, n, iters); });
+
+  const bool sim_identical = uncached.res.finish_time == cached.res.finish_time &&
+                             uncached.res.messages == cached.res.messages &&
+                             uncached.res.bytes == cached.res.bytes &&
+                             uncached.checksum == cached.checksum;
+  const double speedup = cached.host_ms > 0.0 ? uncached.host_ms / cached.host_ms : 0.0;
+
+  auto with = [&](const char* k, const std::string& v) {
+    auto p = base_params;
+    p.push_back({k, v});
+    return p;
+  };
+  {
+    // Emit the counters on both legs: CI asserts the uncached leg really
+    // ran cold (zero hits), not just that the cached leg ran warm.
+    auto p = with("plan_cache", "off");
+    p.push_back(
+        {"collective_plan_hits", std::to_string(uncached.res.collective_plan_hits)});
+    p.push_back(
+        {"collective_plan_misses", std::to_string(uncached.res.collective_plan_misses)});
+    fxbench::json_record("micro/collective/uncached", p, uncached.res, uncached.host_ms);
+  }
+  {
+    auto p = with("plan_cache", "on");
+    p.push_back({"collective_plan_hits", std::to_string(cached.res.collective_plan_hits)});
+    p.push_back(
+        {"collective_plan_misses", std::to_string(cached.res.collective_plan_misses)});
+    fxbench::json_record("micro/collective/cached", p, cached.res, cached.host_ms);
+  }
+  {
+    auto p = base_params;
+    p.push_back({"speedup", std::to_string(speedup)});
+    p.push_back({"sim_identical", sim_identical ? "true" : "false"});
+    fxbench::json_record("micro/collective/speedup", p, cached.res, cached.host_ms);
+  }
+
+  std::printf(
+      "collective plan cache A/B (%d iters of %d-way allreduce+gather, %zu doubles, "
+      "best of 3)\n",
+      iters, procs, n);
+  std::printf("  uncached: host %8.1f ms   sim %.6f s\n", uncached.host_ms,
+              uncached.res.finish_time);
+  std::printf("  cached:   host %8.1f ms   sim %.6f s   (%llu hits, %llu misses)\n",
+              cached.host_ms, cached.res.finish_time,
+              static_cast<unsigned long long>(cached.res.collective_plan_hits),
+              static_cast<unsigned long long>(cached.res.collective_plan_misses));
+  std::printf("  host speedup: %.2fx, results %s\n", speedup,
+              sim_identical ? "identical" : "DIFFER");
+  return sim_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fxbench::init(argc, argv);
   bool compare = false;
+  bool collective_compare = false;
   // Strip the fxbench flags before handing the rest to google-benchmark.
   std::vector<char*> gb_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--redist-compare") {
       compare = true;
-    } else if (a == "--json-out" || a == "--trace-out") {
+    } else if (a == "--collective-compare") {
+      collective_compare = true;
+    } else if (a == "--json-out" || a == "--trace-out" || a == "--backend" ||
+               a == "--threads" || a == "--work-stealing" || a == "--pinning" ||
+               a == "--metrics" || a == "--metrics-out") {
       ++i;
     } else if (a == "--trace-report") {
       // consumed by fxbench::init
@@ -291,7 +421,12 @@ int main(int argc, char** argv) {
       gb_args.push_back(argv[i]);
     }
   }
-  if (compare) return run_redist_compare();
+  if (compare || collective_compare) {
+    int rc = 0;
+    if (compare) rc |= run_redist_compare();
+    if (collective_compare) rc |= run_collective_compare();
+    return rc;
+  }
   int gb_argc = static_cast<int>(gb_args.size());
   benchmark::Initialize(&gb_argc, gb_args.data());
   if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) return 1;

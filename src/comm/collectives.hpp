@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/collective_plan.hpp"
 #include "comm/serialize.hpp"
 #include "machine/context.hpp"
 #include "pgroup/group.hpp"
@@ -63,9 +64,19 @@ T broadcast(Context& ctx, const ProcessorGroup& g, int root, const T& value) {
 template <TriviallyPackable T>
 std::vector<T> broadcast_vector(Context& ctx, const ProcessorGroup& g, int root,
                                 const std::vector<T>& value) {
-  Payload p = (g.virtual_of(ctx.phys_rank()) == root)
-                  ? pack_span(std::span<const T>(value))
-                  : Payload{};
+  const bool at_root = g.virtual_of(ctx.phys_rank()) == root;
+  if (ctx.config().plan_cache) {
+    // Same bytes over the same tree (broadcast_bytes replays the cached
+    // schedule); the pooled pack and the release below only recycle the
+    // buffer allocations.
+    Payload p = at_root ? pack_span_pooled(ctx.machine(), std::span<const T>(value))
+                        : Payload{};
+    Payload b = broadcast_bytes(ctx, g, root, std::move(p));
+    std::vector<T> out = unpack_vector<T>(b);
+    ctx.machine().pool_release(std::move(b));
+    return out;
+  }
+  Payload p = at_root ? pack_span(std::span<const T>(value)) : Payload{};
   return unpack_vector<T>(broadcast_bytes(ctx, g, root, std::move(p)));
 }
 
@@ -82,6 +93,20 @@ T reduce(Context& ctx, const ProcessorGroup& g, int root, T value, Op op) {
   const std::uint64_t tag = ctx.collective_tag(g);
 
   ctx.push_group(g);
+  if (ctx.config().plan_cache) {
+    // Replay the cached tree: children in the recorded (combine) order,
+    // then the parent send — the exact step sequence of the loop below.
+    const auto sched = plan::CollectiveCache::of(ctx.machine()).tree(ctx.machine(), g, root);
+    const auto& nd = sched->nodes[static_cast<std::size_t>(me)];
+    for (int child : nd.reduce_children) {
+      T incoming = unpack_value<T>(ctx.recv(child, tag));
+      value = op(value, incoming);
+      ctx.charge_flops(1);
+    }
+    if (nd.reduce_parent >= 0) ctx.send(nd.reduce_parent, tag, pack_value(value));
+    ctx.pop_group();
+    return (rel == 0) ? value : T{};
+  }
   // Children have relative ranks rel + 2^k below the next power of two.
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((rel & mask) != 0) {
@@ -121,6 +146,36 @@ std::vector<T> reduce_vector(Context& ctx, const ProcessorGroup& g, int root,
   const std::uint64_t tag = ctx.collective_tag(g);
 
   ctx.push_group(g);
+  if (ctx.config().plan_cache) {
+    // Replay the cached tree. The executor combines straight from payload
+    // bytes (no per-child unpack allocation) and recycles every buffer
+    // through the machine pool; combine order, charges and the produced
+    // bytes are identical to the loop below.
+    const auto sched = plan::CollectiveCache::of(ctx.machine()).tree(ctx.machine(), g, root);
+    const auto& nd = sched->nodes[static_cast<std::size_t>(me)];
+    for (int child : nd.reduce_children) {
+      Payload in = ctx.recv(child, tag);
+      if (in.size() % sizeof(T) != 0) {
+        // Matches what unpack_vector would throw on this payload.
+        throw std::invalid_argument(
+            "unpack_vector: payload size not a multiple of element size");
+      }
+      if (in.size() / sizeof(T) != value.size()) {
+        ctx.pop_group();
+        throw std::invalid_argument("reduce_vector: length mismatch between members");
+      }
+      combine_packed(std::span<T>(value), in, op);
+      ctx.charge_flops(static_cast<double>(value.size()));
+      ctx.machine().pool_release(std::move(in));
+    }
+    if (nd.reduce_parent >= 0) {
+      ctx.send(nd.reduce_parent, tag,
+               pack_span_pooled(ctx.machine(), std::span<const T>(value)));
+    }
+    ctx.pop_group();
+    if (rel != 0) return {};
+    return value;
+  }
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((rel & mask) != 0) {
       ctx.send(detail::absolute_rank(rel - mask, root, n), tag,
@@ -211,6 +266,20 @@ std::vector<T> gather(Context& ctx, const ProcessorGroup& g, int root, const T& 
   const std::uint64_t tag = ctx.collective_tag(g);
   ctx.push_group(g);
   std::vector<T> out;
+  if (ctx.config().plan_cache) {
+    const auto sched = plan::CollectiveCache::of(ctx.machine()).rooted(ctx.machine(), g, root);
+    if (me == root) {
+      out.resize(static_cast<std::size_t>(n));
+      out[static_cast<std::size_t>(root)] = value;
+      for (int v : sched->peers) {
+        out[static_cast<std::size_t>(v)] = unpack_value<T>(ctx.recv(v, tag));
+      }
+    } else {
+      ctx.send(root, tag, pack_value(value));
+    }
+    ctx.pop_group();
+    return out;
+  }
   if (me == root) {
     out.resize(static_cast<std::size_t>(n));
     out[static_cast<std::size_t>(root)] = value;
@@ -237,6 +306,49 @@ std::vector<T> gather_vectors(Context& ctx, const ProcessorGroup& g, int root,
   const std::uint64_t tag = ctx.collective_tag(g);
   ctx.push_group(g);
   std::vector<T> out;
+  if (ctx.config().plan_cache) {
+    // Cached executor: receive every part (same virtual-rank order as the
+    // loop below), then concatenate with a single allocation instead of n
+    // growing inserts; spent payloads go back to the machine pool. The
+    // concatenated bytes are identical.
+    const auto sched = plan::CollectiveCache::of(ctx.machine()).rooted(ctx.machine(), g, root);
+    if (me == root) {
+      std::vector<Payload> parts;
+      parts.reserve(sched->peers.size());
+      std::size_t total_bytes = value.size() * sizeof(T);
+      for (int v : sched->peers) {
+        Payload p = ctx.recv(v, tag);
+        if (p.size() % sizeof(T) != 0) {
+          // Matches what unpack_vector would throw on this payload.
+          throw std::invalid_argument(
+              "unpack_vector: payload size not a multiple of element size");
+        }
+        total_bytes += p.size();
+        parts.push_back(std::move(p));
+      }
+      out.resize(total_bytes / sizeof(T));
+      std::size_t off = 0;
+      std::size_t pi = 0;
+      auto* dst = reinterpret_cast<std::byte*>(out.data());
+      for (int v = 0; v < n; ++v) {
+        if (v == root) {
+          if (!value.empty()) {
+            std::memcpy(dst + off, value.data(), value.size() * sizeof(T));
+          }
+          off += value.size() * sizeof(T);
+        } else {
+          Payload& p = parts[pi++];
+          if (!p.empty()) std::memcpy(dst + off, p.data(), p.size());
+          off += p.size();
+          ctx.machine().pool_release(std::move(p));
+        }
+      }
+    } else {
+      ctx.send(root, tag, pack_span_pooled(ctx.machine(), std::span<const T>(value)));
+    }
+    ctx.pop_group();
+    return out;
+  }
   if (me == root) {
     for (int v = 0; v < n; ++v) {
       std::vector<T> part =
@@ -262,6 +374,27 @@ std::vector<T> scatter_vectors(Context& ctx, const ProcessorGroup& g, int root,
   const std::uint64_t tag = ctx.collective_tag(g);
   ctx.push_group(g);
   std::vector<T> mine;
+  if (ctx.config().plan_cache) {
+    const auto sched = plan::CollectiveCache::of(ctx.machine()).rooted(ctx.machine(), g, root);
+    if (me == root) {
+      if (static_cast<int>(parts.size()) != n) {
+        ctx.pop_group();
+        throw std::invalid_argument("scatter_vectors: need one part per member");
+      }
+      for (int v : sched->peers) {
+        ctx.send(v, tag,
+                 pack_span_pooled(ctx.machine(),
+                                  std::span<const T>(parts[static_cast<std::size_t>(v)])));
+      }
+      mine = parts[static_cast<std::size_t>(root)];
+    } else {
+      Payload p = ctx.recv(root, tag);
+      mine = unpack_vector<T>(p);
+      ctx.machine().pool_release(std::move(p));
+    }
+    ctx.pop_group();
+    return mine;
+  }
   if (me == root) {
     if (static_cast<int>(parts.size()) != n) {
       ctx.pop_group();

@@ -1,6 +1,7 @@
 // fxpar comm: byte-level packing of trivially copyable values and arrays.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <span>
@@ -44,6 +45,36 @@ Payload pack_span(std::span<const T> s) {
   Payload p(s.size_bytes());
   if (!s.empty()) std::memcpy(p.data(), s.data(), s.size_bytes());
   return p;
+}
+
+/// pack_span through the machine's payload pool: same bytes, but reuses a
+/// pooled allocation — and, for a same-size buffer, skips the value-init
+/// memset a fresh Payload pays. Cached collective paths use this so
+/// repeated calls stop allocating; the produced payload is byte-identical
+/// to pack_span's.
+template <TriviallyPackable T>
+Payload pack_span_pooled(machine::Machine& m, std::span<const T> s) {
+  Payload p = m.pool_acquire(s.size_bytes());
+  if (!s.empty()) std::memcpy(p.data(), s.data(), s.size_bytes());
+  return p;
+}
+
+/// Element-wise combine of `acc` with the packed values in `p`, without
+/// unpacking into a temporary vector: blocks are memcpy'd into a small
+/// stack buffer (the conformant way to read T objects out of raw bytes)
+/// and folded in index order — the exact order unpack-then-combine uses,
+/// so results are bit-identical.
+template <TriviallyPackable T, typename Op>
+void combine_packed(std::span<T> acc, const Payload& p, Op op) {
+  constexpr std::size_t kBlock = 64;
+  T chunk[kBlock];
+  const std::byte* src = p.data();
+  for (std::size_t i = 0; i < acc.size();) {
+    const std::size_t m = std::min(kBlock, acc.size() - i);
+    std::memcpy(chunk, src + i * sizeof(T), m * sizeof(T));
+    for (std::size_t k = 0; k < m; ++k) acc[i + k] = op(acc[i + k], chunk[k]);
+    i += m;
+  }
 }
 
 template <TriviallyPackable T>

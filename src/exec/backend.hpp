@@ -97,6 +97,11 @@ struct BackendStats {
   std::uint64_t steals = 0;        ///< loop chunks stolen by idle subgroup siblings
   std::uint64_t stolen_iters = 0;  ///< iterations executed by a non-owning worker
   std::vector<std::uint64_t> traffic;  ///< src * P + dst, when recorded
+
+  /// Per-worker NUMA node ids under an active pinning policy (threaded
+  /// backend; empty on the simulator or with pinning none/failed). Index
+  /// is the logical rank; -1 marks a worker that could not be pinned.
+  std::vector<int> numa_nodes;
 };
 
 /// One execution engine. A Backend instance is owned by one Machine; the

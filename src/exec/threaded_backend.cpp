@@ -129,6 +129,7 @@ void ThreadedBackend::reset_run_state() {
     w.wait_s = 0.0;
     w.blocks = w.messages = w.bytes = w.barriers = 0;
     w.steals = w.stolen_iters = 0;
+    w.cpu = w.node = -1;
     w.block_reason.store(nullptr, std::memory_order_relaxed);
   }
   if (!traffic_.empty()) std::fill(traffic_.begin(), traffic_.end(), 0);
@@ -177,11 +178,27 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
   t0_ = std::chrono::steady_clock::now();
   if (tracer_) tracer_->set_concurrent(p);
 
+  // Worker placement under MachineConfig::pinning: probe the host topology
+  // once per run and hand each worker its (cpu, node) slot. The plan is
+  // host placement only — results are bit-identical under every policy —
+  // so a failed affinity call just leaves that worker unpinned.
+  std::vector<WorkerPlacement> pin_plan;
+  if (config_.pinning != PinPolicy::None) {
+    pin_plan = make_pin_plan(HostTopology::detect(), config_.pinning, p);
+  }
+
   for (int r = 0; r < p; ++r) {
     Worker& w = *workers_[static_cast<std::size_t>(r)];
-    w.thread = std::thread([this, &body, &w, r] {
+    const WorkerPlacement place =
+        pin_plan.empty() ? WorkerPlacement{} : pin_plan[static_cast<std::size_t>(r)];
+    w.thread = std::thread([this, &body, &w, r, place] {
       t_owner = this;
       t_rank = r;
+      if (place.cpu >= 0 && pin_current_thread(place)) {
+        w.cpu = place.cpu;
+        w.node = place.node;
+        if (tracer_) tracer_->set_worker_placement(r, place.cpu, place.node);
+      }
       try {
         body(r);
       } catch (const AbortError&) {
@@ -201,6 +218,11 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
   }
   for (auto& wp : workers_) wp->thread.join();
 
+  if (metrics_ && !pin_plan.empty()) {
+    int pinned = 0;
+    for (const auto& wp : workers_) pinned += wp->cpu >= 0 ? 1 : 0;
+    metrics_->pinned_workers->set(pinned);
+  }
   if (tracer_) tracer_->merge_concurrent();
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -754,6 +776,14 @@ BackendStats ThreadedBackend::stats() const {
     s.steals += w.steals;
     s.stolen_iters += w.stolen_iters;
     s.wait_ms += w.wait_s * 1e3;
+  }
+  // Surface placement only when some worker actually got pinned; the
+  // common unpinned case keeps the vector empty (and the JSON field out).
+  bool any_pinned = false;
+  for (const auto& wp : workers_) any_pinned = any_pinned || wp->cpu >= 0;
+  if (any_pinned) {
+    s.numa_nodes.reserve(workers_.size());
+    for (const auto& wp : workers_) s.numa_nodes.push_back(wp->node);
   }
   s.traffic = traffic_;
   return s;

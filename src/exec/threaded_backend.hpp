@@ -220,6 +220,12 @@ class ThreadedBackend final : public Backend {
     std::uint64_t barriers = 0;
     std::uint64_t steals = 0;        ///< chunks this worker stole from siblings
     std::uint64_t stolen_iters = 0;  ///< iterations run on behalf of siblings
+    // Where this worker landed under MachineConfig::pinning: the pinned
+    // CPU and its NUMA node, or -1/-1 when unpinned (policy none, or the
+    // affinity call failed). Written by the worker thread before the body
+    // starts, read by stats() after the join.
+    int cpu = -1;
+    int node = -1;
     std::atomic<const char*> block_reason{nullptr};  ///< static string or null
 
     std::thread thread;

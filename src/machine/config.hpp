@@ -6,6 +6,7 @@
 #include <string>
 
 #include "exec/backend.hpp"
+#include "exec/topology.hpp"
 
 namespace fxpar::machine {
 
@@ -82,6 +83,15 @@ struct MachineConfig {
   /// with stealing on or off (docs/execution.md, "Work stealing"); the
   /// switch exists for A/B host-time benchmarking.
   bool work_stealing = true;
+
+  /// Worker-thread placement policy (threaded backend only; the simulator
+  /// runs every fiber on one host thread and ignores it). See
+  /// exec/topology.hpp for the policies and docs/performance.md ("NUMA &
+  /// pinning"). Default none: test runners routinely oversubscribe the
+  /// host with many concurrent Machines, where pinning would serialize
+  /// unrelated workers onto the same CPUs. Pinning is host placement only
+  /// — results are bit-identical under every policy.
+  exec::PinPolicy pinning = exec::PinPolicy::None;
 
   /// Inspector–executor plan caching for redistribution (see
   /// dist/plan_cache.hpp and docs/performance.md). When on, assign() and

@@ -26,6 +26,7 @@ std::uint64_t RunResult::traffic_between(int src, int dst) const {
 
 Machine::Machine(MachineConfig config) : config_(config) {
   config_.validate();
+  pool_shards_ = std::vector<PoolShard>(static_cast<std::size_t>(config_.num_procs));
   switch (config_.backend) {
     case exec::BackendKind::Sim:
       backend_ = std::make_unique<exec::SimBackend>(config_);
@@ -64,6 +65,16 @@ void Machine::count_plan_cache(bool hit) noexcept {
   if (!metrics_ && !tracer_) return;
   const int rank = metric_shard(*backend_);
   if (metrics_) (hit ? metrics_->plan_hits : metrics_->plan_misses)->add(rank);
+  if (tracer_) tracer_->plan_cache_event(rank, hit);
+}
+
+void Machine::count_collective_plan(bool hit) noexcept {
+  (hit ? stat_coll_hits_ : stat_coll_misses_).fetch_add(1, std::memory_order_relaxed);
+  if (!metrics_ && !tracer_) return;
+  const int rank = metric_shard(*backend_);
+  if (metrics_) {
+    (hit ? metrics_->collective_plan_hits : metrics_->collective_plan_misses)->add(rank);
+  }
   if (tracer_) tracer_->plan_cache_event(rank, hit);
 }
 
@@ -116,6 +127,11 @@ RunResult Machine::run(const std::function<void(Context&)>& program) {
   res.wait_ms = bs.wait_ms;
   res.plan_cache_hits = stat_plan_hits_.load(std::memory_order_relaxed);
   res.plan_cache_misses = stat_plan_misses_.load(std::memory_order_relaxed);
+  res.collective_plan_hits = stat_coll_hits_.load(std::memory_order_relaxed);
+  res.collective_plan_misses = stat_coll_misses_.load(std::memory_order_relaxed);
+  res.pool_spills = stat_pool_spills_.load(std::memory_order_relaxed);
+  res.pinning = exec::pin_policy_name(config_.pinning);
+  res.numa_nodes = bs.numa_nodes;
   res.traffic = bs.traffic;
   if (tracer_) {
     tracer_->finalize(res.finish_time);
@@ -165,22 +181,58 @@ void Machine::io_operation(std::size_t bytes) {
   backend_->io_operation(bytes);
 }
 
+namespace {
+
+/// Pool shard of the calling processor, or -1 from the driver thread
+/// (which has no shard and goes straight to the shared spill list).
+int pool_shard_rank(const exec::Backend& backend) noexcept {
+  try {
+    return backend.current_rank();
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace
+
 Payload Machine::pool_acquire(std::size_t bytes) {
   Payload p;
-  {
+  const int rank = pool_shard_rank(*backend_);
+  if (rank >= 0) {
+    auto& shard = pool_shards_[static_cast<std::size_t>(rank)].bufs;
+    if (!shard.empty()) {
+      p = std::move(shard.back());
+      shard.pop_back();
+    }
+  }
+  if (p.capacity() == 0) {
     std::lock_guard<std::mutex> lk(pool_mu_);
     if (!payload_pool_.empty()) {
       p = std::move(payload_pool_.back());
       payload_pool_.pop_back();
     }
   }
+  // Same-size reuse makes this resize a no-op: unlike a freshly
+  // constructed Payload there is no value-initializing memset. Contents
+  // are unspecified by contract; every caller overwrites the buffer.
   p.resize(bytes);
   return p;
 }
 
 void Machine::pool_release(Payload&& p) {
   if (p.capacity() == 0) return;
-  p.clear();
+  const int rank = pool_shard_rank(*backend_);
+  if (rank >= 0) {
+    auto& shard = pool_shards_[static_cast<std::size_t>(rank)].bufs;
+    if (shard.size() < kMaxShardPayloads) {
+      shard.push_back(std::move(p));
+      return;
+    }
+    // Shard full: spill to the shared list so senders elsewhere can
+    // reacquire the allocation (buffers migrate sender -> receiver).
+    stat_pool_spills_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_) metrics_->pool_spills->add(rank);
+  }
   std::lock_guard<std::mutex> lk(pool_mu_);
   if (payload_pool_.size() < kMaxPooledPayloads) {
     payload_pool_.push_back(std::move(p));

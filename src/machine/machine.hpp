@@ -76,6 +76,25 @@ struct RunResult {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
 
+  /// Collective plan cache counters (see comm/collective_plan.hpp): cached
+  /// broadcast/reduce trees and rooted gather/scatter schedules. Both zero
+  /// when MachineConfig::plan_cache is off or no collective ran.
+  std::uint64_t collective_plan_hits = 0;
+  std::uint64_t collective_plan_misses = 0;
+
+  /// Payload-pool releases that could not stay in the releasing worker's
+  /// shard and spilled to the shared list (see Machine::pool_release).
+  std::uint64_t pool_spills = 0;
+
+  /// The worker placement policy of the run ("none", "compact", "scatter",
+  /// "numa"; see MachineConfig::pinning). Placement only affects host
+  /// time, never results.
+  std::string pinning = "none";
+
+  /// Per-worker NUMA node ids when the threaded backend pinned its workers
+  /// (empty otherwise); index is the logical rank, -1 an unpinned worker.
+  std::vector<int> numa_nodes;
+
   /// Per-pair traffic: traffic[src * P + dst] bytes sent from src to dst.
   /// Populated only when MachineConfig::record_traffic is set.
   std::vector<std::uint64_t> traffic;
@@ -168,20 +187,56 @@ class Machine {
   /// the threaded backend every worker counts concurrently.
   void count_plan_cache(bool hit) noexcept;
 
+  // ---- collective plan cache slot (see comm/collective_plan.hpp) ----
+  //
+  // A second, independent slot: the comm layer cannot see the dist layer's
+  // PlanCache type (comm links below dist), and keeping the counters apart
+  // lets A/B gates assert on redistribution and collective caching
+  // separately. Attachment is serialized by the same cache_mutex().
+
+  /// The attached collective-schedule cache, or nullptr before first use.
+  MachineCacheBase* collective_cache_slot() noexcept { return collective_cache_.get(); }
+  void set_collective_cache_slot(std::unique_ptr<MachineCacheBase> cache) {
+    collective_cache_ = std::move(cache);
+  }
+  /// Collective-plan counterpart of count_plan_cache().
+  void count_collective_plan(bool hit) noexcept;
+
   // ---- payload buffer pool ----
   //
   // Repeated handoffs move payload buffers sender -> mailbox -> receiver;
   // returning them here after unpacking lets the next pack reuse the
   // allocation instead of growing a fresh vector per message. The pool is
+  // sharded per logical processor: the owning worker pushes and pops its
+  // shard without any lock (the backend guarantees one worker per rank),
+  // and only shard overflow — or an empty shard on acquire — touches the
+  // shared spill list under pool_mu_. Buffers migrate sender -> receiver,
+  // so the spill list is what lets allocations circulate back to the
+  // senders in rooted patterns (gathers, reductions). The pool is
   // host-side only and never changes modeled time.
 
-  /// A buffer of exactly `bytes` bytes, reusing a pooled allocation if any.
+  /// A buffer of exactly `bytes` bytes, reusing a pooled allocation if
+  /// any. The *contents are unspecified* — every caller overwrites the
+  /// buffer in full before the bytes become visible to anyone.
   Payload pool_acquire(std::size_t bytes);
 
-  /// Returns a spent buffer to the pool (drops it once the pool is full).
+  /// Returns a spent buffer to the releasing worker's shard (spilling to
+  /// the shared list when the shard is full; dropped once both are full).
   void pool_release(Payload&& p);
 
+  /// Releases that overflowed a worker shard onto the shared spill list
+  /// (cumulative; also exported as fxpar_machine_pool_spills_total).
+  std::uint64_t pool_spill_count() const noexcept {
+    return stat_pool_spills_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One worker's private stash of spent payload buffers. Cache-line
+  /// aligned so neighbouring ranks' pushes never false-share.
+  struct alignas(64) PoolShard {
+    std::vector<Payload> bufs;
+  };
+
   MachineConfig config_;
   std::unique_ptr<exec::Backend> backend_;
   std::shared_ptr<trace::TraceRecorder> tracer_;
@@ -189,12 +244,18 @@ class Machine {
 
   std::atomic<std::uint64_t> stat_plan_hits_{0};
   std::atomic<std::uint64_t> stat_plan_misses_{0};
+  std::atomic<std::uint64_t> stat_coll_hits_{0};
+  std::atomic<std::uint64_t> stat_coll_misses_{0};
+  std::atomic<std::uint64_t> stat_pool_spills_{0};
 
   std::mutex cache_mu_;
   std::unique_ptr<MachineCacheBase> plan_cache_;
+  std::unique_ptr<MachineCacheBase> collective_cache_;
 
+  std::vector<PoolShard> pool_shards_;  ///< one per rank; owner access only
   std::mutex pool_mu_;
-  std::vector<Payload> payload_pool_;
+  std::vector<Payload> payload_pool_;  ///< shared spill list (pool_mu_)
+  static constexpr std::size_t kMaxShardPayloads = 16;
   static constexpr std::size_t kMaxPooledPayloads = 64;
 };
 

@@ -39,15 +39,21 @@ struct RuntimeMetrics {
   Counter* plan_hits;           ///< plan-cache hits
   Counter* plan_misses;         ///< plan-cache misses
 
+  // comm collective-plan cache (trees and rooted schedules)
+  Counter* collective_plan_hits;    ///< collective-plan-cache hits
+  Counter* collective_plan_misses;  ///< collective-plan-cache misses
+
   // core / exec
   Counter* loops;               ///< parallel_for/parallel_reduce invocations
   Histogram* loop_s;            ///< per-participant loop latency
   Counter* steals;              ///< stolen loop chunks (threads backend)
   Counter* stolen_iters;        ///< iterations covered by stolen chunks
   Counter* task_regions;        ///< TaskRegion activations
+  Gauge* pinned_workers;        ///< workers pinned in the last threaded run
 
   // machine / apps
   Counter* runs;                ///< Machine::run invocations
+  Counter* pool_spills;         ///< payload releases spilled to the shared pool
   Gauge* last_run_host_s;       ///< host wall-clock of the last run
   Gauge* modeled_busy_s;        ///< accumulated modeled compute (sim backend)
   Counter* pipeline_sets;       ///< stream-pipeline data sets completed
@@ -67,12 +73,16 @@ struct RuntimeMetrics {
         halo_s(registry.histogram("fxpar_dist_halo_seconds")),
         plan_hits(registry.counter("fxpar_dist_plan_cache_hits_total")),
         plan_misses(registry.counter("fxpar_dist_plan_cache_misses_total")),
+        collective_plan_hits(registry.counter("fxpar_comm_collective_plan_hits_total")),
+        collective_plan_misses(registry.counter("fxpar_comm_collective_plan_misses_total")),
         loops(registry.counter("fxpar_core_parallel_loops_total")),
         loop_s(registry.histogram("fxpar_core_parallel_loop_seconds")),
         steals(registry.counter("fxpar_exec_steals_total")),
         stolen_iters(registry.counter("fxpar_exec_stolen_iters_total")),
         task_regions(registry.counter("fxpar_core_task_regions_total")),
+        pinned_workers(registry.gauge("fxpar_exec_pinned_workers")),
         runs(registry.counter("fxpar_machine_runs_total")),
+        pool_spills(registry.counter("fxpar_machine_pool_spills_total")),
         last_run_host_s(registry.gauge("fxpar_machine_last_run_host_seconds")),
         modeled_busy_s(registry.gauge("fxpar_sim_modeled_busy_seconds")),
         pipeline_sets(registry.counter("fxpar_apps_pipeline_sets_total")) {}

@@ -21,6 +21,7 @@ TraceRecorder::TraceRecorder(int num_procs) {
   if (num_procs <= 0) throw std::invalid_argument("TraceRecorder: num_procs must be positive");
   open_.resize(static_cast<std::size_t>(num_procs));
   totals_.resize(static_cast<std::size_t>(num_procs));
+  placements_.resize(static_cast<std::size_t>(num_procs));
   last_activity_.resize(static_cast<std::size_t>(num_procs), 0.0);
 }
 
@@ -32,6 +33,7 @@ void TraceRecorder::reset() {
   messages_.clear();
   barriers_.clear();
   steals_.clear();
+  placements_.assign(open_.size(), PlacementRecord{});
   totals_.assign(open_.size(), ProcTotals{});
   finish_ = 0.0;
   concurrent_ = false;

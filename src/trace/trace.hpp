@@ -105,6 +105,13 @@ struct StealRecord {
   double t = 0.0;
 };
 
+/// Where a worker thread landed under MachineConfig::pinning (threaded
+/// backend only): host CPU and NUMA node, or -1/-1 when unpinned.
+struct PlacementRecord {
+  int cpu = -1;
+  int node = -1;
+};
+
 /// Per-processor accounting totals (denominators for coverage metrics).
 struct ProcTotals {
   double busy = 0.0;
@@ -179,6 +186,15 @@ class TraceRecorder {
   /// observing rank's worker.
   void plan_cache_event(int proc, bool hit);
 
+  /// Worker `proc` was pinned to host CPU `cpu` on NUMA node `node` for
+  /// this run (threaded backend, pinning active). Each rank writes only
+  /// its own slot, so this is safe from worker threads without locks.
+  void set_worker_placement(int proc, int cpu, int node) {
+    auto& pl = placements_[static_cast<std::size_t>(proc)];
+    pl.cpu = cpu;
+    pl.node = node;
+  }
+
   // ---- concurrent recording (threaded backend) ----
   //
   // The hooks above assume one OS thread: they append to shared vectors.
@@ -227,6 +243,7 @@ class TraceRecorder {
   const std::vector<MessageRecord>& messages() const noexcept { return messages_; }
   const std::vector<BarrierRecord>& barriers() const noexcept { return barriers_; }
   const std::vector<StealRecord>& steals() const noexcept { return steals_; }
+  const std::vector<PlacementRecord>& placements() const noexcept { return placements_; }
   const std::vector<ProcTotals>& proc_totals() const noexcept { return totals_; }
   double finish_time() const noexcept { return finish_; }
 
@@ -263,6 +280,7 @@ class TraceRecorder {
   std::vector<MessageRecord> messages_;
   std::vector<BarrierRecord> barriers_;
   std::vector<StealRecord> steals_;
+  std::vector<PlacementRecord> placements_;  ///< per-proc; each rank writes its own slot
   std::vector<ProcTotals> totals_;
   std::vector<double> last_activity_;  ///< per-proc time of the last event
   double finish_ = 0.0;

@@ -183,3 +183,265 @@ TEST(PlanCache, HaloScheduleBalancesSendsAndReceives) {
   }
   EXPECT_EQ(sent, received);
 }
+
+// ---------------------------------------------------------------------------
+// Collective plan cache (comm/collective_plan.hpp): schedule builders,
+// cached-vs-uncached bit parity on both backends, hit/miss accounting,
+// and the group-key collision guard.
+// ---------------------------------------------------------------------------
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "comm/collective_plan.hpp"
+#include "comm/collectives.hpp"
+#include "exec/backend.hpp"
+
+namespace cm = fxpar::comm;
+namespace cp = fxpar::comm::plan;
+namespace ex = fxpar::exec;
+
+#if defined(__SANITIZE_THREAD__)
+#define FXPAR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FXPAR_TSAN 1
+#endif
+#endif
+
+namespace {
+
+std::vector<int> iota_members(int n) {
+  std::vector<int> m(static_cast<std::size_t>(n));
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+}  // namespace
+
+TEST(CollectivePlan, TreeScheduleMatchesBinomialStructure) {
+  for (int n : {1, 2, 3, 4, 5, 7, 8, 13}) {
+    for (int root : {0, n / 2, n - 1}) {
+      const cp::TreeSchedule t = cp::build_tree_schedule(iota_members(n), root);
+      ASSERT_EQ(static_cast<int>(t.nodes.size()), n);
+      EXPECT_EQ(t.root, root);
+      // The root has no parents; everyone else has exactly one of each.
+      int reduce_edges = 0, bcast_edges = 0;
+      for (int v = 0; v < n; ++v) {
+        const auto& nd = t.nodes[static_cast<std::size_t>(v)];
+        if (v == root) {
+          EXPECT_EQ(nd.reduce_parent, -1);
+          EXPECT_EQ(nd.bcast_parent, -1);
+        } else {
+          EXPECT_GE(nd.reduce_parent, 0);
+          EXPECT_GE(nd.bcast_parent, 0);
+        }
+        reduce_edges += static_cast<int>(nd.reduce_children.size());
+        bcast_edges += static_cast<int>(nd.bcast_children.size());
+        // Parent/child lists are mutually consistent.
+        for (int c : nd.reduce_children) {
+          EXPECT_EQ(t.nodes[static_cast<std::size_t>(c)].reduce_parent, v);
+        }
+        for (int c : nd.bcast_children) {
+          EXPECT_EQ(t.nodes[static_cast<std::size_t>(c)].bcast_parent, v);
+        }
+      }
+      // A tree over n nodes has n-1 edges in each direction.
+      EXPECT_EQ(reduce_edges, n - 1) << "n=" << n << " root=" << root;
+      EXPECT_EQ(bcast_edges, n - 1) << "n=" << n << " root=" << root;
+    }
+  }
+}
+
+TEST(CollectivePlan, RootedScheduleListsPeersAscending) {
+  const cp::RootedSchedule r = cp::build_rooted_schedule(iota_members(5), 2);
+  EXPECT_EQ(r.root, 2);
+  EXPECT_EQ(r.peers, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(CollectivePlan, CacheHitsShareTheSchedule) {
+  mx::Machine m(cfg(4));
+  auto& cc = cp::CollectiveCache::of(m);
+  const auto g = pg::ProcessorGroup::identity(4);
+  const auto t1 = cc.tree(m, g, 0);
+  const auto t2 = cc.tree(m, g, 0);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_EQ(cc.tree_entries(), 1u);
+  // A different root is a different entry.
+  const auto t3 = cc.tree(m, g, 2);
+  EXPECT_NE(t1.get(), t3.get());
+  EXPECT_EQ(cc.tree_entries(), 2u);
+  // Tree and rooted tables are independent.
+  (void)cc.rooted(m, g, 0);
+  EXPECT_EQ(cc.rooted_entries(), 1u);
+  EXPECT_EQ(cc.tree_entries(), 2u);
+}
+
+TEST(CollectivePlan, GroupKeyCollisionGuardThrows) {
+  const pg::ProcessorGroup g({0, 1, 2});
+  // Matching member list passes.
+  EXPECT_NO_THROW(cp::CollectiveCache::check_members({0, 1, 2}, g, "tree"));
+  // A different list under the same key must be rejected, not replayed.
+  EXPECT_THROW(cp::CollectiveCache::check_members({0, 1, 3}, g, "tree"), std::logic_error);
+  EXPECT_THROW(cp::CollectiveCache::check_members({0, 1}, g, "tree"), std::logic_error);
+}
+
+TEST(CollectivePlan, EvictionKeepsOutstandingSchedulesAlive) {
+  mx::Machine m(cfg(2));
+  auto& cc = cp::CollectiveCache::of(m);
+  const auto g = pg::ProcessorGroup::identity(2);
+  const auto held = cc.tree(m, g, 0);
+  // Flood with distinct roots over distinct subgroups to pass capacity.
+  for (std::size_t i = 0; i < 2 * cp::CollectiveCache::kMaxEntries; ++i) {
+    (void)cc.tree(m, g, static_cast<int>(i % 2));
+    const pg::ProcessorGroup sub({static_cast<int>(i % 2)});
+    (void)cc.tree(m, sub, 0);
+  }
+  EXPECT_LE(cc.tree_entries(), cp::CollectiveCache::kMaxEntries);
+  EXPECT_EQ(static_cast<int>(held->nodes.size()), 2);  // still readable
+}
+
+namespace {
+
+/// One deterministic SPMD program exercising every cached collective over
+/// the whole machine and over a subgroup with a non-zero root; returns each
+/// rank's flattened outputs so runs can be compared bit-for-bit.
+struct SweepResult {
+  std::vector<std::vector<double>> per_rank;
+  mx::RunResult run;
+};
+
+SweepResult run_collective_sweep(ex::BackendKind kind, bool cache_on, int p) {
+  auto c = cfg(p);
+  c.backend = kind;
+  c.plan_cache = cache_on;
+  mx::Machine m(c);
+  SweepResult out;
+  out.per_rank.assign(static_cast<std::size_t>(p), {});
+  out.run = m.run([&](mx::Context& ctx) {
+    const int r = ctx.phys_rank();
+    std::vector<double>& log = out.per_rank[static_cast<std::size_t>(r)];
+    const auto g = pg::ProcessorGroup::identity(p);
+    const int root = p - 1;
+
+    // broadcast_vector from a non-zero root.
+    std::vector<double> b(17);
+    if (r == root) {
+      for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 / (1.0 + static_cast<double>(i));
+    }
+    b = cm::broadcast_vector(ctx, g, root, b);
+    log.insert(log.end(), b.begin(), b.end());
+
+    // Scalar reduce + allreduce (sum is order-sensitive in floats; parity
+    // requires the cached path to combine in the same order).
+    const double s = cm::reduce(ctx, g, root, 0.1 * (r + 1), std::plus<double>{});
+    log.push_back(s);
+    log.push_back(cm::allreduce(ctx, g, 1.0 / (r + 2), std::plus<double>{}));
+
+    // Vector reduce / allreduce.
+    std::vector<double> v(33);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::sin(static_cast<double>(i) + r);
+    }
+    const auto rv = cm::reduce_vector(ctx, g, 0, v, std::plus<double>{});
+    log.insert(log.end(), rv.begin(), rv.end());
+    const auto av = cm::allreduce_vector(ctx, g, v, std::plus<double>{});
+    log.insert(log.end(), av.begin(), av.end());
+
+    // Scalar gather, vector gather, scatter.
+    const auto gs = cm::gather(ctx, g, root, 2.5 * r + 0.25);
+    log.insert(log.end(), gs.begin(), gs.end());
+    std::vector<double> mine(static_cast<std::size_t>(r + 1), 0.5 * r);
+    const auto gv = cm::gather_vectors(ctx, g, 0, mine);
+    log.insert(log.end(), gv.begin(), gv.end());
+    std::vector<std::vector<double>> parts;
+    if (r == root) {
+      for (int q = 0; q < p; ++q) {
+        parts.emplace_back(static_cast<std::size_t>(q + 2), 1.5 * q);
+      }
+    }
+    const auto sv = cm::scatter_vectors(ctx, g, root, parts);
+    log.insert(log.end(), sv.begin(), sv.end());
+
+    // Subgroup collective: only even ranks participate.
+    std::vector<int> evens;
+    for (int q = 0; q < p; q += 2) evens.push_back(q);
+    const pg::ProcessorGroup sub(evens);
+    if (sub.contains(r)) {
+      const double e = cm::allreduce(ctx, sub, 3.0 + r, std::plus<double>{});
+      log.push_back(e);
+    }
+  });
+  return out;
+}
+
+void expect_sweeps_identical(const SweepResult& a, const SweepResult& b, const char* what) {
+  ASSERT_EQ(a.per_rank.size(), b.per_rank.size());
+  for (std::size_t r = 0; r < a.per_rank.size(); ++r) {
+    ASSERT_EQ(a.per_rank[r].size(), b.per_rank[r].size()) << what << " rank " << r;
+    if (!a.per_rank[r].empty()) {
+      EXPECT_EQ(std::memcmp(a.per_rank[r].data(), b.per_rank[r].data(),
+                            a.per_rank[r].size() * sizeof(double)),
+                0)
+          << what << " rank " << r;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(CollectivePlan, CachedMatchesUncachedBitForBitOnSim) {
+#ifdef FXPAR_TSAN
+  GTEST_SKIP() << "simulator fibers (ucontext) are incompatible with ThreadSanitizer";
+#endif
+  for (int p : {2, 3, 5, 8}) {
+    const SweepResult on = run_collective_sweep(ex::BackendKind::Sim, true, p);
+    const SweepResult off = run_collective_sweep(ex::BackendKind::Sim, false, p);
+    expect_sweeps_identical(on, off, "sim");
+    EXPECT_GT(on.run.collective_plan_hits + on.run.collective_plan_misses, 0u);
+    EXPECT_EQ(off.run.collective_plan_hits, 0u);
+    EXPECT_EQ(off.run.collective_plan_misses, 0u);
+    // Modeled time is untouched by the cache.
+    EXPECT_EQ(on.run.finish_time, off.run.finish_time) << "p=" << p;
+  }
+}
+
+TEST(CollectivePlan, CachedMatchesUncachedBitForBitOnThreads) {
+  for (int p : {2, 3, 5, 8}) {
+    const SweepResult on = run_collective_sweep(ex::BackendKind::Threads, true, p);
+    const SweepResult off = run_collective_sweep(ex::BackendKind::Threads, false, p);
+    expect_sweeps_identical(on, off, "threads");
+    EXPECT_GT(on.run.collective_plan_hits + on.run.collective_plan_misses, 0u);
+  }
+}
+
+TEST(CollectivePlan, ThreadsMatchSimWithCacheOn) {
+#ifdef FXPAR_TSAN
+  GTEST_SKIP() << "simulator fibers (ucontext) are incompatible with ThreadSanitizer";
+#endif
+  const SweepResult sim = run_collective_sweep(ex::BackendKind::Sim, true, 6);
+  const SweepResult thr = run_collective_sweep(ex::BackendKind::Threads, true, 6);
+  expect_sweeps_identical(sim, thr, "cross-backend");
+}
+
+TEST(CollectivePlan, HitMissTotalsAreSpmdShaped) {
+#ifdef FXPAR_TSAN
+  GTEST_SKIP() << "simulator fibers (ucontext) are incompatible with ThreadSanitizer";
+#endif
+  const int p = 4;
+  auto c = cfg(p);
+  c.plan_cache = true;
+  mx::Machine m(c);
+  const auto res = m.run([&](mx::Context& ctx) {
+    const auto g = pg::ProcessorGroup::identity(p);
+    for (int it = 0; it < 3; ++it) {
+      (void)cm::allreduce(ctx, g, 1.0, std::plus<double>{});
+    }
+  });
+  // allreduce = reduce + broadcast over one tree entry: the first member to
+  // arrive builds it (one miss); every other lookup — all p members, three
+  // iterations, two phases — hits.
+  EXPECT_EQ(res.collective_plan_misses, 1u);
+  EXPECT_EQ(res.collective_plan_hits, static_cast<std::uint64_t>(3 * 2 * p - 1));
+}
