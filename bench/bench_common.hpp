@@ -21,6 +21,10 @@
 #include "trace/critical_path.hpp"
 #include "trace/phase_report.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace fxbench {
 
 /// Options shared by all benches; populated by init().
@@ -35,6 +39,8 @@ struct Options {
   int metrics = -1;          ///< --metrics on|off (-1 = config default, which is on)
   std::string metrics_out;   ///< --metrics-out FILE : final metrics snapshot
                              ///<   (.json -> JSON, else Prometheus text)
+  int obs_port = -1;         ///< --obs-port N : live HTTP endpoint (-1 = off)
+  int flight_recorder = -1;  ///< --flight-recorder on|off (-1 = config default)
 };
 
 inline Options& options() {
@@ -107,6 +113,26 @@ inline void init(int argc, char** argv) {
       }
     } else if (a == "--metrics-out") {
       o.metrics_out = value("--metrics-out");
+    } else if (a == "--obs-port") {
+      const std::string v = value("--obs-port");
+      o.obs_port = std::atoi(v.c_str());
+      if (o.obs_port < 0 || o.obs_port > 65535 ||
+          (o.obs_port == 0 && v != "0")) {
+        // Fail loudly, like --backend: a typo must not silently run the
+        // bench without the endpoint automation is about to curl.
+        std::fprintf(stderr, "--obs-port must be a port in [0, 65535], got '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--flight-recorder") {
+      const std::string v = value("--flight-recorder");
+      if (v == "on") {
+        o.flight_recorder = 1;
+      } else if (v == "off") {
+        o.flight_recorder = 0;
+      } else {
+        std::fprintf(stderr, "--flight-recorder must be 'on' or 'off', got '%s'\n", v.c_str());
+        std::exit(2);
+      }
     } else if (a == "--help" || a == "-h") {
       std::printf("common bench flags:\n"
                   "  --json-out FILE|-   append one-line JSON result records\n"
@@ -126,7 +152,13 @@ inline void init(int argc, char** argv) {
                   "  --metrics on|off    runtime metrics registry (default: on; 'off' removes\n"
                   "                      the counters entirely for overhead measurements)\n"
                   "  --metrics-out FILE  write the final metrics snapshot of the last\n"
-                  "                      reported run (.json -> JSON, else Prometheus text)\n");
+                  "                      reported run (.json -> JSON, else Prometheus text)\n"
+                  "  --obs-port N        serve /metrics, /healthz, /trace and /diagnostics\n"
+                  "                      on 127.0.0.1:N during every run (0 = ephemeral;\n"
+                  "                      see docs/observability.md)\n"
+                  "  --flight-recorder on|off\n"
+                  "                      bounded ring of recent runtime events, dumped at\n"
+                  "                      /trace and in diagnostic bundles (default: off)\n");
     }
   }
 }
@@ -142,6 +174,8 @@ inline fxpar::machine::MachineConfig apply_tuning(fxpar::machine::MachineConfig 
     if (fxpar::exec::parse_pin_policy(o.pinning, parsed)) cfg.pinning = parsed;
   }
   if (o.metrics >= 0) cfg.metrics = o.metrics != 0;
+  if (o.obs_port >= 0) cfg.obs_port = o.obs_port;
+  if (o.flight_recorder >= 0) cfg.flight_recorder = o.flight_recorder != 0;
   return cfg;
 }
 
@@ -221,6 +255,30 @@ inline void write_json_number(std::ostream& out, double v, const char* fmt) {
   out << num;
 }
 
+/// Process-wide memory-pressure counters: cumulative minor page faults and
+/// peak resident set (KB on Linux, converted from bytes on macOS). Both -1
+/// when the platform has no getrusage.
+struct RusageNow {
+  std::int64_t minflt = -1;
+  std::int64_t maxrss_kb = -1;
+};
+
+inline RusageNow rusage_now() {
+  RusageNow r;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    r.minflt = static_cast<std::int64_t>(ru.ru_minflt);
+#if defined(__APPLE__)
+    r.maxrss_kb = static_cast<std::int64_t>(ru.ru_maxrss) / 1024;
+#else
+    r.maxrss_kb = static_cast<std::int64_t>(ru.ru_maxrss);
+#endif
+  }
+#endif
+  return r;
+}
+
 }  // namespace detail
 
 /// Wall-clock stopwatch for the *host* cost of a simulated run, as opposed
@@ -296,6 +354,12 @@ inline void json_record(const std::string& name,
     }
     *out << ']';
   }
+  // Memory pressure of the whole bench process at record time. Cumulative
+  // across runs in one binary — automation diffs consecutive records.
+  // ("minor_faults", not the traditional "minflt": these lines must never
+  // contain a bare "inf" substring, which the JSON-hygiene test greps for.)
+  const detail::RusageNow ru = detail::rusage_now();
+  *out << ",\"minor_faults\":" << ru.minflt << ",\"max_rss_kb\":" << ru.maxrss_kb;
   *out << "}\n";
   out->flush();
 }

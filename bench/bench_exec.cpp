@@ -8,6 +8,11 @@
 //
 //   bench_exec [--threads N] [--sets K] [--pinning POLICY]
 //              [--work-stealing on|off] [--metrics on|off] [--json-out FILE|-]
+//              [--flight-compare] [--obs-port N] [--flight-recorder on|off]
+//
+// --flight-compare additionally A/Bs the threaded stream run with the
+// flight recorder off vs on and records the host-time ratio; the obs-smoke
+// CI gates it at <= 5% overhead.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -126,8 +131,10 @@ int main(int argc, char** argv) {
   fxbench::init(argc, argv);
   int procs = fxbench::options().threads > 0 ? fxbench::options().threads : 4;
   int sets = 8;
+  bool flight_compare = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--sets" && i + 1 < argc) sets = std::atoi(argv[i + 1]);
+    if (std::string(argv[i]) == "--flight-compare") flight_compare = true;
   }
 
   std::printf("exec backend comparison: stream pipeline, %d procs, %d sets, n=%lld, "
@@ -203,6 +210,45 @@ int main(int argc, char** argv) {
   fxbench::json_record("exec/imbalance/steal", with_ws("on"), steal.res, steal.res.host_ms);
   fxbench::json_record("exec/imbalance/nosteal", with_ws("off"), nosteal.res,
                        nosteal.res.host_ms);
+
+  // ---- flight recorder A/B: off vs on on the threaded stream run ----
+  // Same best-of-3 discipline as the stealing gate: the ratio feeds the
+  // obs-smoke CI gate (<= 5% overhead), so damp scheduler noise. The legs
+  // own the toggle via the shared options (run_pipeline routes its config
+  // through apply_tuning).
+  if (flight_compare) {
+    const int saved = fxbench::options().flight_recorder;
+    auto best_stream = [procs, sets](int flight) {
+      fxbench::options().flight_recorder = flight;
+      auto best = run_pipeline(exec::BackendKind::Threads, procs, sets);
+      for (int rep = 1; rep < 3; ++rep) {
+        auto r = run_pipeline(exec::BackendKind::Threads, procs, sets);
+        if (r.host_ms < best.host_ms) best = std::move(r);
+      }
+      return best;
+    };
+    const auto off = best_stream(0);
+    const auto on = best_stream(1);
+    fxbench::options().flight_recorder = saved;
+    const double overhead = off.host_ms > 0.0 ? on.host_ms / off.host_ms : 0.0;
+    std::printf("flight recorder A/B (threads, %d procs, %d sets):\n", procs, sets);
+    std::printf("  recorder off  host %8.1f ms\n", off.host_ms);
+    std::printf("  recorder on   host %8.1f ms\n", on.host_ms);
+    std::printf("  overhead: %.3fx\n", overhead);
+    const std::vector<std::pair<std::string, std::string>> fl_base = {
+        {"app", "synthetic-stream"},
+        {"procs", std::to_string(procs)},
+        {"num_sets", std::to_string(sets)}};
+    auto with_fl = [&fl_base](const char* v) {
+      auto p = fl_base;
+      p.emplace_back("flight_recorder", v);
+      return p;
+    };
+    fxbench::json_record("exec/flight/off", with_fl("off"), off.stats.machine_result,
+                         off.host_ms);
+    fxbench::json_record("exec/flight/on", with_fl("on"), on.stats.machine_result,
+                         on.host_ms);
+  }
 
   // The threaded stream run is the interesting snapshot: it has steals,
   // loop latencies and real message counts.

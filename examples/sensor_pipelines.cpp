@@ -3,9 +3,14 @@
 // parallel and with a replicated task parallel mapping, demonstrating the
 // throughput/latency trade the paper builds Table 1 around.
 //
-// Usage: ./examples/sensor_pipelines [procs]
+// Usage: ./examples/sensor_pipelines [procs] [--obs-port N]
+//
+// --obs-port N serves the live observability plane on 127.0.0.1:N during
+// every run (0 picks an ephemeral port) and turns on the flight recorder:
+//   curl localhost:N/metrics   curl localhost:N/healthz   curl localhost:N/trace
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "apps/radar.hpp"
 #include "apps/stereo.hpp"
@@ -23,8 +28,24 @@ void report(const char* name, const ap::StreamStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int procs = (argc > 1) ? std::atoi(argv[1]) : 16;
-  const auto mcfg = MachineConfig::paragon(procs);
+  int procs = 16;
+  int obs_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-port") == 0 && i + 1 < argc) {
+      obs_port = std::atoi(argv[++i]);
+    } else {
+      procs = std::atoi(argv[i]);
+    }
+  }
+  auto mcfg = MachineConfig::paragon(procs);
+  if (obs_port >= 0) {
+    mcfg.obs_port = obs_port;
+    mcfg.flight_recorder = true;
+    std::printf("live observability on 127.0.0.1:%d — try\n"
+                "  curl localhost:%d/metrics ; curl localhost:%d/healthz ; "
+                "curl localhost:%d/trace\n\n",
+                obs_port, obs_port, obs_port, obs_port);
+  }
 
   {
     ap::RadarConfig cfg;

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/introspect.hpp"
 #include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
 
@@ -45,6 +46,10 @@ class TraceRecorder;
 
 namespace fxpar::metrics {
 struct RuntimeMetrics;
+}
+
+namespace fxpar::obs {
+class FlightRecorder;
 }
 
 namespace fxpar::exec {
@@ -132,6 +137,34 @@ class Backend {
   void set_metrics(metrics::RuntimeMetrics* m) noexcept { metrics_ = m; }
   metrics::RuntimeMetrics* runtime_metrics() const noexcept { return metrics_; }
 
+  /// Installs (or clears) the always-on flight recorder. Like metrics,
+  /// null — the default — means the recorder is off and every hook site
+  /// pays one pointer compare.
+  void set_flight(obs::FlightRecorder* f) noexcept { flight_ = f; }
+  obs::FlightRecorder* flight() const noexcept { return flight_; }
+
+  /// Live structured introspection: per-worker state (running / parked +
+  /// block reason / finished), mailbox and loop-deque depths, placement,
+  /// heartbeats, and barrier occupancy. The threaded backend answers this
+  /// from any thread at any time (all reads are atomics or registry reads
+  /// under their own locks); the simulator's answer is safe only from the
+  /// run thread while no run is executing (its state is fiber-mutated).
+  /// The default is an empty introspection for backends without the hook.
+  virtual obs::Introspection introspect() const { return {}; }
+
+  /// Introspection captured at the moment a failure was diagnosed — the
+  /// deadlock report or the first processor exception — before the other
+  /// workers were woken to unwind. Empty if the last run did not fail (or
+  /// the backend does not capture one); the Machine prefers this over a
+  /// live introspect() when building a failure diagnostic bundle.
+  virtual obs::Introspection failure_introspection() const { return {}; }
+
+  /// Monotone progress stamp for the stall watchdog: changes whenever the
+  /// backend performs runtime-service work (messages, barriers, loop
+  /// chunks, io, worker completion). A constant value across T seconds
+  /// means no global progress. Default 0 = no progress signal.
+  virtual std::uint64_t progress() const noexcept { return 0; }
+
   /// Clock of `rank`: modeled seconds (sim) or real seconds since the
   /// current run() started (threads). Valid for the tracer's clock
   /// callback as well as for Context::now().
@@ -193,6 +226,7 @@ class Backend {
 
  protected:
   metrics::RuntimeMetrics* metrics_ = nullptr;  ///< null = metrics disabled
+  obs::FlightRecorder* flight_ = nullptr;       ///< null = recorder disabled
 };
 
 }  // namespace fxpar::exec

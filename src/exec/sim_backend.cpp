@@ -62,6 +62,7 @@ void SimBackend::run(const std::function<void(int)>& body) {
     stat_messages_ = 0;
     stat_bytes_ = 0;
     stat_barriers_ = 0;
+    progress_ = 0;
     if (config_.record_traffic) {
       stat_traffic_.assign(static_cast<std::size_t>(config_.num_procs) *
                                static_cast<std::size_t>(config_.num_procs),
@@ -73,6 +74,38 @@ void SimBackend::run(const std::function<void(int)>& body) {
     sim_->spawn(r, [&body, r] { body(r); });
   }
   sim_->run();
+}
+
+obs::Introspection SimBackend::introspect() const {
+  obs::Introspection out;
+  const int p = num_procs();
+  out.workers.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    obs::WorkerState ws;
+    ws.rank = r;
+    if (sim_->is_finished(r)) {
+      ws.state = "finished";
+    } else if (sim_->is_blocked(r)) {
+      ws.state = "parked";
+      ws.block_reason = sim_->block_reason(r);
+    } else {
+      ws.state = "running";
+    }
+    for (const auto& [key, q] : mailboxes_[static_cast<std::size_t>(r)]) {
+      ws.mailbox_depth += static_cast<std::int64_t>(q.size());
+    }
+    // The modeled clock doubles as the heartbeat: it stamps the last
+    // moment this processor executed or was charged time.
+    ws.last_beat = sim_->clock(r).now;
+    out.now = std::max(out.now, sim_->clock(r).now);
+    out.workers.push_back(std::move(ws));
+  }
+  for (const auto& [key, st] : barriers_) {
+    if (st.arrived > 0) {
+      out.barriers.push_back(obs::BarrierOccupancy{key, st.size, st.arrived});
+    }
+  }
+  return out;
 }
 
 BackendStats SimBackend::stats() const {
@@ -106,6 +139,7 @@ void SimBackend::deposit(int dst, std::uint64_t tag, Payload data) {
   mailboxes_[static_cast<std::size_t>(dst)][key].push_back(std::move(msg));
   stat_messages_ += 1;
   stat_bytes_ += bytes;
+  progress_ += 1;
   if (!stat_traffic_.empty()) {
     stat_traffic_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_procs()) +
                   static_cast<std::size_t>(dst)] += bytes;
@@ -137,6 +171,7 @@ Payload SimBackend::receive(int src, std::uint64_t tag) {
         tracer_->message_received(msg.trace_id, recv_entry, sim_->now());
       }
       sim_->advance(config_.recv_overhead);
+      progress_ += 1;
       return std::move(msg.data);
     }
     WaitState& w = waits_[static_cast<std::size_t>(dst)];
@@ -155,6 +190,7 @@ void SimBackend::barrier(const pgroup::ProcessorGroup& group) {
                            " is not a member of group " + group.to_string());
   }
   stat_barriers_ += 1;
+  progress_ += 1;
   const int n = group.size();
   const double cost =
       config_.barrier_base +
@@ -164,6 +200,7 @@ void SimBackend::barrier(const pgroup::ProcessorGroup& group) {
     return;
   }
   BarrierState& st = barriers_[group.key()];
+  st.size = n;
   if (tracer_) {
     if (st.arrived == 0) st.trace_id = tracer_->barrier_open(group.key());
     tracer_->barrier_arrive(st.trace_id, me, sim_->now());
@@ -205,6 +242,7 @@ void SimBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo
 }
 
 void SimBackend::io_operation(std::size_t bytes) {
+  progress_ += 1;
   const double entry = sim_->now();
   const double start = std::max(entry, io_available_);
   const double done = start + config_.io_latency +

@@ -32,6 +32,12 @@ class SimBackend final : public Backend {
   void set_tracer(trace::TraceRecorder* tracer) noexcept override;
   double now(int rank) const override;
   BackendStats stats() const override;
+  /// Like the rest of the simulator, NOT thread-safe against a running
+  /// run(): call from the run thread only — after a deadlock/abort
+  /// propagated (the other fibers stay suspended with their block reasons
+  /// intact), or between runs. The Machine's diagnostic paths honor this.
+  obs::Introspection introspect() const override;
+  std::uint64_t progress() const noexcept override { return progress_; }
 
   int current_rank() const override;
   void charge(double seconds) override;
@@ -61,6 +67,7 @@ class SimBackend final : public Backend {
     MailKey key{};
   };
   struct BarrierState {
+    int size = 0;  ///< group size (for occupancy introspection)
     int arrived = 0;
     runtime::SimTime max_arrival = 0.0;
     int last_arriver = -1;       ///< proc whose modeled arrival is max_arrival
@@ -82,6 +89,10 @@ class SimBackend final : public Backend {
   std::uint64_t stat_bytes_ = 0;
   std::uint64_t stat_barriers_ = 0;
   std::vector<std::uint64_t> stat_traffic_;  ///< src * P + dst, if recording
+  /// Service-activity stamp for Backend::progress(). Plain (not atomic):
+  /// the simulator runs on one thread and the Machine never polls a sim
+  /// run from a watchdog.
+  std::uint64_t progress_ = 0;
 };
 
 }  // namespace fxpar::exec

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "metrics/runtime_metrics.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/simulator.hpp"  // runtime::DeadlockError
 #include "trace/trace.hpp"
 
@@ -129,8 +130,13 @@ void ThreadedBackend::reset_run_state() {
     w.wait_s = 0.0;
     w.blocks = w.messages = w.bytes = w.barriers = 0;
     w.steals = w.stolen_iters = 0;
-    w.cpu = w.node = -1;
+    w.cpu.store(-1, std::memory_order_relaxed);
+    w.node.store(-1, std::memory_order_relaxed);
     w.block_reason.store(nullptr, std::memory_order_relaxed);
+    w.mail_depth.store(0, std::memory_order_relaxed);
+    w.beats.store(0, std::memory_order_relaxed);
+    w.last_beat.store(-1.0, std::memory_order_relaxed);
+    w.done.store(false, std::memory_order_relaxed);
   }
   if (!traffic_.empty()) std::fill(traffic_.begin(), traffic_.end(), 0);
   {
@@ -149,12 +155,27 @@ void ThreadedBackend::reset_run_state() {
   finished_n_.store(0, std::memory_order_relaxed);
   progress_.store(0, std::memory_order_relaxed);
   io_prev_proc_ = -1;
+  {
+    std::lock_guard<std::mutex> lk(fail_intro_mu_);
+    failure_intro_ = {};
+  }
 }
 
 void ThreadedBackend::fail(std::exception_ptr e) {
+  bool first = false;
   {
     std::lock_guard<std::mutex> lk(err_mu_);
-    if (!first_error_) first_error_ = std::move(e);
+    if (!first_error_) {
+      first_error_ = std::move(e);
+      first = true;
+    }
+  }
+  if (first) {
+    // Freeze the state that explains the failure before wake_all() lets
+    // every other worker unwind into "finished".
+    auto intro = introspect();
+    std::lock_guard<std::mutex> lk(fail_intro_mu_);
+    failure_intro_ = std::move(intro);
   }
   aborted_.store(true, std::memory_order_seq_cst);
   wake_all();
@@ -195,10 +216,11 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
       t_owner = this;
       t_rank = r;
       if (place.cpu >= 0 && pin_current_thread(place)) {
-        w.cpu = place.cpu;
-        w.node = place.node;
+        w.cpu.store(place.cpu, std::memory_order_relaxed);
+        w.node.store(place.node, std::memory_order_relaxed);
         if (tracer_) tracer_->set_worker_placement(r, place.cpu, place.node);
       }
+      beat(w);
       try {
         body(r);
       } catch (const AbortError&) {
@@ -207,6 +229,10 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
         fail(std::current_exception());
       }
       w.elapsed_s = now_s();
+      beat(w);
+      // `done` first: introspect() must never read "running" for a worker
+      // already counted in finished_n_.
+      w.done.store(true, std::memory_order_seq_cst);
       finished_n_.fetch_add(1, std::memory_order_seq_cst);
       // A worker that finishes may be the last thing a deadlock check is
       // waiting on; poke every parked peer so they re-evaluate.
@@ -220,7 +246,9 @@ void ThreadedBackend::run(const std::function<void(int)>& body) {
 
   if (metrics_ && !pin_plan.empty()) {
     int pinned = 0;
-    for (const auto& wp : workers_) pinned += wp->cpu >= 0 ? 1 : 0;
+    for (const auto& wp : workers_) {
+      pinned += wp->cpu.load(std::memory_order_relaxed) >= 0 ? 1 : 0;
+    }
     metrics_->pinned_workers->set(pinned);
   }
   if (tracer_) tracer_->merge_concurrent();
@@ -281,6 +309,7 @@ void ThreadedBackend::deposit(int dst, std::uint64_t tag, Payload data) {
   }
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
   Worker& me = self();
+  beat(me);
   const int src = t_rank;
   const std::size_t bytes = data.size();
 
@@ -306,6 +335,7 @@ void ThreadedBackend::deposit(int dst, std::uint64_t tag, Payload data) {
     node->next = head;
   } while (!to.inbox.compare_exchange_weak(head, node, std::memory_order_release,
                                            std::memory_order_relaxed));
+  to.mail_depth.fetch_add(1, std::memory_order_relaxed);
   progress_.fetch_add(1, std::memory_order_seq_cst);
 
   // Dekker-style handshake with the receiver's park sequence: the push
@@ -345,6 +375,7 @@ Payload ThreadedBackend::receive(int src, std::uint64_t tag) {
     throw std::out_of_range("Machine::receive: bad source " + std::to_string(src));
   }
   Worker& me = self();
+  beat(me);
   const MailKey key{src, tag};
   const double entry = now_s();
   bool blocked = false;
@@ -357,6 +388,8 @@ Payload ThreadedBackend::receive(int src, std::uint64_t tag) {
       MsgNode* node = it->second.front();
       it->second.pop_front();
       if (it->second.empty()) me.sorted.erase(it);
+      me.mail_depth.fetch_sub(1, std::memory_order_relaxed);
+      beat(me);
       if (blocked) {
         me.wait_s += now_s() - entry;
         me.blocks += 1;
@@ -452,6 +485,7 @@ void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
                            " is not a member of group " + group.to_string());
   }
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  beat(me);
   me.barriers += 1;
   const int n = group.size();
   if (n == 1) return;
@@ -528,6 +562,7 @@ void ThreadedBackend::barrier(const pgroup::ProcessorGroup& group) {
     }
   }
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  beat(me);
 
   const double released_at = now_s();
   if (released_at > arrived_at) {
@@ -554,6 +589,7 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
   }
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
   if (hi <= lo) return;
+  beat(me);
 
   const int n = group.size();
   const auto [first, last] = loop_block(lo, hi, n, v);
@@ -649,7 +685,10 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
     for (int c = 0; c < count; ++c) {
       if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
       auto& ch = mine.storage[static_cast<std::size_t>(c)];
-      if (!ch.taken.exchange(true, std::memory_order_acq_rel)) run_one(mine, ch);
+      if (!ch.taken.exchange(true, std::memory_order_acq_rel)) {
+        run_one(mine, ch);
+        beat(me);
+      }
     }
 
     // Phase 2 — steal from siblings (top of their deques, round-robin from
@@ -674,6 +713,7 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
           if (ch.taken.load(std::memory_order_relaxed)) continue;
           if (ch.taken.exchange(true, std::memory_order_acq_rel)) continue;
           run_one(s, ch);
+          beat(me);
           me.steals += 1;
           me.stolen_iters += static_cast<std::uint64_t>(ch.hi - ch.lo);
           if (metrics_) {
@@ -683,6 +723,12 @@ void ThreadedBackend::run_chunks(const pgroup::ProcessorGroup& group, std::int64
           if (tracer_) {
             tracer_->steal_event(rank, arena->members[static_cast<std::size_t>(u)],
                                  static_cast<std::uint64_t>(ch.hi - ch.lo), now_s());
+          }
+          if (flight_) {
+            flight_->record(rank, obs::FlightKind::Steal, now_s(), "steal",
+                            static_cast<std::uint64_t>(
+                                arena->members[static_cast<std::size_t>(u)]),
+                            static_cast<std::uint64_t>(ch.hi - ch.lo));
           }
           next_victim = u;
           stole = true;
@@ -729,6 +775,7 @@ void ThreadedBackend::io_operation(std::size_t bytes) {
   Worker& me = self();
   const int rank = t_rank;
   if (aborted_.load(std::memory_order_acquire)) throw AbortError{};
+  beat(me);
   const double entry = now_s();
   // The machine has one sequential I/O device; serialize real access to it
   // just as the simulator serializes modeled access. Only time spent
@@ -780,13 +827,101 @@ BackendStats ThreadedBackend::stats() const {
   // Surface placement only when some worker actually got pinned; the
   // common unpinned case keeps the vector empty (and the JSON field out).
   bool any_pinned = false;
-  for (const auto& wp : workers_) any_pinned = any_pinned || wp->cpu >= 0;
+  for (const auto& wp : workers_) {
+    any_pinned = any_pinned || wp->cpu.load(std::memory_order_relaxed) >= 0;
+  }
   if (any_pinned) {
     s.numa_nodes.reserve(workers_.size());
-    for (const auto& wp : workers_) s.numa_nodes.push_back(wp->node);
+    for (const auto& wp : workers_) {
+      s.numa_nodes.push_back(wp->node.load(std::memory_order_relaxed));
+    }
   }
   s.traffic = traffic_;
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Live introspection
+
+obs::Introspection ThreadedBackend::introspect() const {
+  obs::Introspection out;
+  out.now = now_s();
+  const int p = num_procs();
+  out.workers.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const Worker& w = *workers_[static_cast<std::size_t>(r)];
+    obs::WorkerState& ws = out.workers[static_cast<std::size_t>(r)];
+    ws.rank = r;
+    const char* reason = w.block_reason.load(std::memory_order_acquire);
+    if (w.done.load(std::memory_order_acquire)) {
+      ws.state = "finished";
+    } else if (reason != nullptr) {
+      ws.state = "parked";
+      ws.block_reason = reason;
+    } else {
+      ws.state = "running";
+    }
+    ws.mailbox_depth =
+        std::max<std::int64_t>(0, w.mail_depth.load(std::memory_order_relaxed));
+    ws.cpu = w.cpu.load(std::memory_order_relaxed);
+    ws.node = w.node.load(std::memory_order_relaxed);
+    ws.last_beat = w.last_beat.load(std::memory_order_relaxed);
+  }
+  {
+    // Unclaimed chunks still published in live loop arenas, attributed to
+    // the owning member. The arrays are safe to scan under loop_mu_: an
+    // arena in the registry is kept alive by its shared_ptr, and the claim
+    // flags are atomics.
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    for (const auto& [key, arena] : loop_registry_) {
+      for (std::size_t u = 0; u < arena->slots.size(); ++u) {
+        const LoopArena::Slot& s = arena->slots[u];
+        const LoopArena::Chunk* arr = s.chunks.load(std::memory_order_acquire);
+        if (arr == nullptr) continue;
+        std::int64_t pending = 0;
+        for (int c = 0; c < s.count; ++c) {
+          if (!arr[static_cast<std::size_t>(c)].taken.load(std::memory_order_relaxed)) {
+            ++pending;
+          }
+        }
+        const int owner = arena->members[u];
+        if (owner >= 0 && owner < p) {
+          out.workers[static_cast<std::size_t>(owner)].loop_chunks_pending += pending;
+        }
+      }
+    }
+  }
+  {
+    // Partially-occupied barriers: every registered tree with at least one
+    // member currently parked in an unreleased episode.
+    std::lock_guard<std::mutex> lk(breg_mu_);
+    for (const auto& [key, tb] : barrier_registry_) {
+      int waiting = 0;
+      for (const auto& wp : workers_) {
+        if (wp->awaiting_tb.load(std::memory_order_acquire) == tb.get()) ++waiting;
+      }
+      if (waiting > 0) {
+        out.barriers.push_back(obs::BarrierOccupancy{
+            key, static_cast<int>(tb->members.size()), waiting});
+      }
+    }
+  }
+  return out;
+}
+
+obs::Introspection ThreadedBackend::failure_introspection() const {
+  std::lock_guard<std::mutex> lk(fail_intro_mu_);
+  return failure_intro_;
+}
+
+std::uint64_t ThreadedBackend::progress() const noexcept {
+  // progress_ covers deposits, barrier releases and worker completions;
+  // the beat counters cover receives, loop chunks and io, so a run that is
+  // computing chunks (or spinning in a loop join) still reads as moving.
+  std::uint64_t p = progress_.load(std::memory_order_relaxed);
+  p += static_cast<std::uint64_t>(finished_n_.load(std::memory_order_relaxed));
+  for (const auto& wp : workers_) p += wp->beats.load(std::memory_order_relaxed);
+  return p;
 }
 
 }  // namespace fxpar::exec

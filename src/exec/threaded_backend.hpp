@@ -87,6 +87,11 @@ class ThreadedBackend final : public Backend {
   void set_tracer(trace::TraceRecorder* tracer) noexcept override { tracer_ = tracer; }
   double now(int rank) const override;
   BackendStats stats() const override;
+  /// Thread-safe at any time: worker fields it reads are atomics, and the
+  /// barrier / loop-arena registries are read under their own mutexes.
+  obs::Introspection introspect() const override;
+  obs::Introspection failure_introspection() const override;
+  std::uint64_t progress() const noexcept override;
 
   int current_rank() const override;
   void charge(double seconds) override;
@@ -223,16 +228,28 @@ class ThreadedBackend final : public Backend {
     // Where this worker landed under MachineConfig::pinning: the pinned
     // CPU and its NUMA node, or -1/-1 when unpinned (policy none, or the
     // affinity call failed). Written by the worker thread before the body
-    // starts, read by stats() after the join.
-    int cpu = -1;
-    int node = -1;
+    // starts; atomics because introspect() reads them mid-run.
+    std::atomic<int> cpu{-1};
+    std::atomic<int> node{-1};
     std::atomic<const char*> block_reason{nullptr};  ///< static string or null
+
+    // ---- live-introspection state (all reads/writes atomic) ----
+    std::atomic<std::int64_t> mail_depth{0};  ///< deposited - received
+    std::atomic<std::uint64_t> beats{0};      ///< runtime-service heartbeats
+    std::atomic<double> last_beat{-1.0};      ///< now_s() of the last beat
+    std::atomic<bool> done{false};            ///< body returned / unwound
 
     std::thread thread;
   };
 
   double now_s() const;
   Worker& self();
+  /// Stamps `w`'s heartbeat: introspection's liveness signal and one unit
+  /// of watchdog progress. Relaxed — an approximate timeline is enough.
+  void beat(Worker& w) {
+    w.last_beat.store(now_s(), std::memory_order_relaxed);
+    w.beats.fetch_add(1, std::memory_order_relaxed);
+  }
   void drain_inbox(Worker& w);
   std::shared_ptr<TreeBarrier> barrier_for(Worker& me, const pgroup::ProcessorGroup& g);
   void fail(std::exception_ptr e);
@@ -262,16 +279,23 @@ class ThreadedBackend final : public Backend {
   std::atomic<int> finished_n_{0};
   std::atomic<std::uint64_t> progress_{0};  ///< bumped by deposits and releases
 
-  std::mutex breg_mu_;
+  mutable std::mutex breg_mu_;  ///< mutable: introspect() is const
   std::unordered_map<std::uint64_t, std::shared_ptr<TreeBarrier>> barrier_registry_;
 
-  std::mutex loop_mu_;
+  mutable std::mutex loop_mu_;  ///< mutable: introspect() is const
   /// Keyed on group key XOR scrambled loop episode; entries are erased by
   /// the last member to leave, so the map stays small between loops.
   std::unordered_map<std::uint64_t, std::shared_ptr<LoopArena>> loop_registry_;
 
   std::mutex io_mu_;
   int io_prev_proc_ = -1;  ///< guarded by io_mu_
+
+  /// Snapshot taken by the first failure (deadlock diagnosis or processor
+  /// exception) *before* wake_all() lets the other workers unwind — by the
+  /// time run() rethrows, every worker reads "finished", so the states
+  /// that explain the failure only exist at diagnosis time.
+  mutable std::mutex fail_intro_mu_;
+  obs::Introspection failure_intro_;  ///< guarded by fail_intro_mu_
 };
 
 }  // namespace fxpar::exec

@@ -103,6 +103,35 @@ struct MachineConfig {
   /// benchmarking.
   bool plan_cache = true;
 
+  // ---- live observability plane (src/obs/, docs/observability.md) ----
+
+  /// When >= 0, the Machine starts an embedded HTTP endpoint on
+  /// 127.0.0.1:obs_port serving /metrics (Prometheus text), /healthz (run
+  /// state + per-worker liveness), /trace (flight-recorder dump as Chrome
+  /// trace JSON) and /diagnostics (an on-demand diagnostic bundle). 0 asks
+  /// the kernel for an ephemeral port — Machine::obs_port() reports it.
+  /// -1 (the default) starts nothing. A failed bind disables the endpoint
+  /// with a warning; it never fails the run.
+  int obs_port = -1;
+
+  /// Always-on flight recorder: a bounded per-worker ring of recent
+  /// runtime events (sends, receives, barriers, io, loop steals, span
+  /// marks) kept even when full tracing is off. Dumped at /trace, included
+  /// in every diagnostic bundle (deadlock, abort, stall), and ~free when
+  /// off: each hook site pays one null-pointer test. Implied on when
+  /// obs_port >= 0.
+  bool flight_recorder = false;
+  std::size_t flight_events = 2048;  ///< ring capacity per worker (events)
+  double flight_window_s = 30.0;     ///< dumps keep events this close to the newest
+
+  /// Stall watchdog (threaded backend only; > 0 enables): a monitor thread
+  /// emits a structured diagnostic bundle to stderr whenever the backend
+  /// reports no runtime-service progress — no message, barrier, loop chunk
+  /// or io completion on any worker — for this many seconds, then re-arms.
+  /// Pure user compute between service calls counts as no progress, so set
+  /// it above the longest expected service-free interval.
+  double stall_watchdog_s = 0.0;
+
   /// Paragon-class preset with `p` compute nodes.
   static MachineConfig paragon(int p) {
     MachineConfig c;
@@ -155,6 +184,18 @@ struct MachineConfig {
     }
     if (stack_bytes < (1u << 14)) {
       throw std::invalid_argument("MachineConfig: stack_bytes too small");
+    }
+    if (obs_port > 65535) {
+      throw std::invalid_argument("MachineConfig: obs_port out of range");
+    }
+    if (flight_events < 16) {
+      throw std::invalid_argument("MachineConfig: flight_events must be >= 16");
+    }
+    if (flight_window_s <= 0) {
+      throw std::invalid_argument("MachineConfig: flight_window_s must be positive");
+    }
+    if (stall_watchdog_s < 0) {
+      throw std::invalid_argument("MachineConfig: stall_watchdog_s must be >= 0");
     }
   }
 };

@@ -82,6 +82,10 @@ std::uint64_t Context::collective_tag(const pgroup::ProcessorGroup& g) {
 void Context::io(std::size_t bytes) { machine_.io_operation(bytes); }
 
 trace::ScopedSpan Context::span(std::string name, const char* category) {
+  if (auto* f = machine_.flight()) {
+    f->record(phys_, obs::FlightKind::Span, machine_.backend().now(phys_),
+              name.c_str());
+  }
   trace::TraceRecorder* t = machine_.tracer();
   if (!t) return {};
   t->begin_span(phys_, std::move(name), category);
@@ -89,6 +93,9 @@ trace::ScopedSpan Context::span(std::string name, const char* category) {
 }
 
 trace::ScopedSpan Context::span(const char* name, const char* category) {
+  if (auto* f = machine_.flight()) {
+    f->record(phys_, obs::FlightKind::Span, machine_.backend().now(phys_), name);
+  }
   trace::TraceRecorder* t = machine_.tracer();
   if (!t) return {};
   t->begin_span(phys_, name, category);

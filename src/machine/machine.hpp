@@ -10,17 +10,21 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/backend.hpp"
 #include "machine/config.hpp"
 #include "metrics/runtime_metrics.hpp"
+#include "obs/endpoint.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pgroup/group.hpp"
 #include "runtime/simulator.hpp"
 #include "trace/trace.hpp"
@@ -172,6 +176,30 @@ class Machine {
     return metrics_ ? metrics_->registry.snapshot() : metrics::Snapshot{};
   }
 
+  // ---- live observability plane (src/obs/, docs/observability.md) ----
+
+  /// The flight recorder, or nullptr unless MachineConfig::flight_recorder
+  /// (or obs_port >= 0) enabled it.
+  obs::FlightRecorder* flight() noexcept { return flight_.get(); }
+
+  /// Port the live endpoint is listening on (resolves obs_port = 0 to the
+  /// kernel-chosen port), or -1 when no endpoint is running.
+  int obs_port() const noexcept { return endpoint_ ? endpoint_->port() : -1; }
+
+  /// The /healthz body: run state, backend, and per-worker liveness.
+  std::string healthz_json() const;
+
+  /// The most recent diagnostic bundle, "" if none was ever captured.
+  /// Set on DeadlockError, on an aborting exception, when the stall
+  /// watchdog fires, and by each /diagnostics request.
+  std::string last_diagnostic() const;
+
+  /// Builds a bundle from current state (and stores it as
+  /// last_diagnostic()). `reason` is "deadlock" / "abort" / "stall" /
+  /// "on-demand"; `error` the exception text if any.
+  std::string capture_diagnostic(const std::string& reason,
+                                 const std::string& error);
+
   // ---- redistribution plan cache slot (see dist/plan_cache.hpp) ----
 
   /// The attached plan cache, or nullptr before first use.
@@ -237,10 +265,33 @@ class Machine {
     std::vector<Payload> bufs;
   };
 
+  /// True when any observability feature that wants failure bundles on
+  /// stderr is on (endpoint, flight recorder or watchdog).
+  bool obs_enabled() const noexcept {
+    return config_.obs_port >= 0 || config_.flight_recorder ||
+           config_.stall_watchdog_s > 0;
+  }
+  void start_watchdog();
+  void stop_watchdog();
+  void watchdog_loop();
+
   MachineConfig config_;
   std::unique_ptr<exec::Backend> backend_;
   std::shared_ptr<trace::TraceRecorder> tracer_;
   std::unique_ptr<metrics::RuntimeMetrics> metrics_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  /// Run lifecycle for /healthz and for gating live sim introspection:
+  /// 0 idle (never ran), 1 running, 2 done, 3 failed.
+  std::atomic<int> run_state_{0};
+  mutable std::mutex diag_mu_;
+  std::string last_diagnostic_;  ///< guarded by diag_mu_
+
+  // Stall watchdog (threaded backend only): one monitor thread per run.
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< guarded by watchdog_mu_
 
   std::atomic<std::uint64_t> stat_plan_hits_{0};
   std::atomic<std::uint64_t> stat_plan_misses_{0};
@@ -257,6 +308,10 @@ class Machine {
   std::vector<Payload> payload_pool_;  ///< shared spill list (pool_mu_)
   static constexpr std::size_t kMaxShardPayloads = 16;
   static constexpr std::size_t kMaxPooledPayloads = 64;
+
+  /// Declared last: its handlers capture `this` and read every member
+  /// above, so the server thread must be the first thing destroyed.
+  std::unique_ptr<obs::Endpoint> endpoint_;
 };
 
 }  // namespace fxpar::machine

@@ -16,6 +16,9 @@ UtilizationSummary summarize(const RunResult& result) {
   s.stolen_iters = result.stolen_iters;
   s.plan_cache_hits = result.plan_cache_hits;
   s.plan_cache_misses = result.plan_cache_misses;
+  s.collective_plan_hits = result.collective_plan_hits;
+  s.collective_plan_misses = result.collective_plan_misses;
+  s.pool_spills = result.pool_spills;
   s.backend = result.backend;
   s.host_ms = result.host_ms;
   s.wait_ms = result.wait_ms;
@@ -76,6 +79,13 @@ std::string utilization_report(const RunResult& result, int max_rows) {
   if (s.plan_cache_hits + s.plan_cache_misses > 0) {
     oss << "  redistribution plan cache: " << s.plan_cache_hits << " hits, "
         << s.plan_cache_misses << " misses\n";
+  }
+  if (s.collective_plan_hits + s.collective_plan_misses > 0) {
+    oss << "  collective plan cache: " << s.collective_plan_hits << " hits, "
+        << s.collective_plan_misses << " misses\n";
+  }
+  if (s.pool_spills > 0) {
+    oss << "  payload pool: " << s.pool_spills << " cross-shard spills\n";
   }
   if (s.steals > 0) {
     oss << "  work stealing: " << s.steals << " chunks (" << s.stolen_iters

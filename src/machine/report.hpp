@@ -26,6 +26,9 @@ struct UtilizationSummary {
   std::uint64_t stolen_iters = 0;  ///< iterations those chunks covered
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  std::uint64_t collective_plan_hits = 0;
+  std::uint64_t collective_plan_misses = 0;
+  std::uint64_t pool_spills = 0;  ///< payload releases that left their shard
   std::string backend = "sim";  ///< which engine executed the run
   double host_ms = 0.0;         ///< real wall-clock of Machine::run
   double wait_ms = 0.0;         ///< total real blocked time (threads backend)

@@ -1,6 +1,7 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
@@ -188,12 +189,21 @@ std::string Snapshot::to_json() const {
 
 bool Sampler::poll() {
   const auto now = std::chrono::steady_clock::now();
-  if (have_last_ &&
-      std::chrono::duration<double>(now - last_).count() < period_s_) {
-    return false;
+  if (!have_last_) {
+    last_ = now;
+    have_last_ = true;
+    series_.push_back(reg_.snapshot());
+    return true;
   }
-  last_ = now;
-  have_last_ = true;
+  const double since = std::chrono::duration<double>(now - last_).count();
+  if (since < period_s_) return false;
+  // Advance the anchor by whole periods instead of re-anchoring at `now`:
+  // re-anchoring adds the snapshot's processing time to every interval, so
+  // the cadence drifts and a series polled from a busy worker loses samples
+  // against the nominal grid.
+  const auto whole = static_cast<std::int64_t>(since / period_s_);
+  last_ += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(whole) * period_s_));
   series_.push_back(reg_.snapshot());
   return true;
 }

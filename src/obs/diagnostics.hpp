@@ -1,0 +1,47 @@
+// fxobs: structured runtime diagnostics.
+//
+// Renders one JSON "diagnostic bundle" from a backend introspection plus
+// context: why it was captured (deadlock / abort / stall / on-demand),
+// the error text, a metrics snapshot, and the tail of the flight
+// recorder. The bundle is what a wedged run leaves behind — Machine
+// emits it on DeadlockError, on an aborting exception, when the stall
+// watchdog fires, and on demand at the /diagnostics endpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/introspect.hpp"
+
+namespace fxpar::obs {
+
+struct DiagnosticInfo {
+  std::string reason;   ///< "deadlock" | "abort" | "stall" | "on-demand"
+  std::string error;    ///< exception text, empty if none
+  std::string backend;  ///< backend kind name ("sim" / "threads")
+  int procs = 0;
+  Introspection intro;
+  /// Registry snapshot as JSON object text ("" = metrics disabled,
+  /// rendered as null).
+  std::string metrics_json;
+  /// Tail of the flight recorder (possibly empty).
+  std::vector<FlightEvent> recent;
+  /// Cap on flight events included in the bundle (newest kept).
+  std::size_t max_flight_events = 256;
+};
+
+/// JSON-escape `s` for embedding in a string literal.
+std::string json_escape(const std::string& s);
+
+/// `[{"rank":..,"state":..,"block_reason":..,...}, ...]`. `now` is the
+/// capture-time backend clock used to derive heartbeat ages.
+std::string workers_json(const std::vector<WorkerState>& workers, double now);
+
+/// `[{"group_key":..,"members":..,"waiting":..}, ...]`
+std::string barriers_json(const std::vector<BarrierOccupancy>& barriers);
+
+/// The full bundle.
+std::string diagnostic_json(const DiagnosticInfo& d);
+
+}  // namespace fxpar::obs

@@ -1,0 +1,148 @@
+#include "obs/endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+namespace fxpar::obs {
+
+namespace {
+
+// Sends the whole buffer, retrying on EINTR; gives up on other errors
+// (the peer hung up — nothing useful to do on a diagnostics port).
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return;
+    }
+  }
+}
+
+void send_response(int fd, int code, const char* status,
+                   const std::string& content_type, const std::string& body) {
+  std::string head = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+Endpoint::~Endpoint() { stop(); }
+
+void Endpoint::handle(const std::string& path, const std::string& content_type,
+                      Handler fn) {
+  routes_[path] = Route{content_type, std::move(fn)};
+}
+
+bool Endpoint::start(int port) {
+  if (listen_fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void Endpoint::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Endpoint::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);  // 100 ms: bounds stop() latency
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string req;
+    char buf[2048];
+    while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    // "GET /path[?query] HTTP/1.1" — anything else is a 404/405.
+    std::string path;
+    bool is_get = false;
+    const auto sp1 = req.find(' ');
+    if (sp1 != std::string::npos) {
+      is_get = req.compare(0, sp1, "GET") == 0;
+      const auto sp2 = req.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) {
+        path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+        const auto q = path.find('?');
+        if (q != std::string::npos) path.resize(q);
+      }
+    }
+
+    const auto it = routes_.find(path);
+    if (!is_get || path.empty()) {
+      send_response(conn, 405, "Method Not Allowed", "text/plain",
+                    "GET only\n");
+    } else if (it == routes_.end()) {
+      std::string body = "not found; routes:\n";
+      for (const auto& [p, r] : routes_) body += "  " + p + "\n";
+      send_response(conn, 404, "Not Found", "text/plain", body);
+    } else {
+      try {
+        send_response(conn, 200, "OK", it->second.content_type,
+                      it->second.fn());
+      } catch (const std::exception& e) {
+        send_response(conn, 500, "Internal Server Error", "text/plain",
+                      std::string("handler error: ") + e.what() + "\n");
+      } catch (...) {
+        send_response(conn, 500, "Internal Server Error", "text/plain",
+                      "handler error\n");
+      }
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace fxpar::obs

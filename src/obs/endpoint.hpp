@@ -1,0 +1,66 @@
+// fxobs: embedded HTTP endpoint.
+//
+// A dependency-free HTTP/1.1 server on plain POSIX sockets: one
+// background thread, bound to 127.0.0.1 only, answering GET requests for
+// a fixed set of registered paths. It exists so a live Machine can be
+// inspected while it runs — `curl localhost:PORT/metrics` mid-stream —
+// without linking any web framework. Each response is produced by a
+// Handler callback at request time, sent with Content-Length and
+// Connection: close (no keep-alive, no chunking, no TLS: this is a
+// loopback diagnostics port, not a public service).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace fxpar::obs {
+
+class Endpoint {
+ public:
+  /// Produces the response body for one GET; called on the server thread.
+  using Handler = std::function<std::string()>;
+
+  Endpoint() = default;
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Register `fn` for GET `path` (e.g. "/metrics"). Must be called
+  /// before start(); query strings are stripped before matching.
+  void handle(const std::string& path, const std::string& content_type,
+              Handler fn);
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, reported by
+  /// port()) and start the accept thread. Returns false if the bind or
+  /// listen fails — the caller should treat that as "endpoint disabled",
+  /// not fatal.
+  bool start(int port);
+
+  /// Stop the accept thread and close the socket. Idempotent.
+  void stop();
+
+  /// The bound port, or -1 before a successful start().
+  int port() const noexcept { return port_; }
+
+  bool running() const noexcept { return listen_fd_ >= 0; }
+
+ private:
+  void serve();
+
+  struct Route {
+    std::string content_type;
+    Handler fn;
+  };
+
+  std::map<std::string, Route> routes_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace fxpar::obs

@@ -98,6 +98,11 @@ class Simulator {
 
   const ProcClock& clock(int rank) const { return check_rank(rank), procs_[rank].clk; }
   bool is_blocked(int rank) const { return check_rank(rank), procs_[rank].blocked; }
+  /// The reason `rank` recorded when it last suspended (e.g. "recv from
+  /// proc 1 tag 7"); meaningful while is_blocked(rank) is true.
+  const std::string& block_reason(int rank) const {
+    return check_rank(rank), procs_[rank].block_reason;
+  }
   bool is_finished(int rank) const;
 
   /// Completion time of the whole run: max over processors of final clocks.

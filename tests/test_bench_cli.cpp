@@ -89,6 +89,28 @@ TEST(BenchCliDeathTest, InvalidWorkStealingExitsTwo) {
               testing::ExitedWithCode(2), "--work-stealing must be 'on' or 'off'");
 }
 
+TEST(BenchCliDeathTest, TrailingObsPortExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--obs-port"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--obs-port requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidObsPortExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--obs-port", "http"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--obs-port must be a port");
+  EXPECT_EXIT({ run_init({"bench", "--obs-port", "70000"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--obs-port must be a port");
+}
+
+TEST(BenchCliDeathTest, TrailingFlightRecorderExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--flight-recorder"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--flight-recorder requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidFlightRecorderExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--flight-recorder", "always"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--flight-recorder must be 'on' or 'off'");
+}
+
 // ---------------------------------------------------------------------------
 // --work-stealing reaches MachineConfig
 // ---------------------------------------------------------------------------
@@ -133,6 +155,28 @@ TEST(BenchCli, MetricsToggleAppliesToConfig) {
   run_init({"bench", "--metrics", "on"});
   EXPECT_EQ(fxbench::options().metrics, 1);
   EXPECT_TRUE(fxbench::apply_backend(cfg).metrics);
+}
+
+TEST(BenchCli, ObservabilityFlagsApplyToConfig) {
+  OptionsGuard guard;
+
+  // Default: no endpoint, recorder follows the config.
+  fxbench::options() = fxbench::Options{};
+  auto cfg = fxpar::MachineConfig::paragon(4);
+  EXPECT_EQ(fxbench::apply_backend(cfg).obs_port, -1);
+  EXPECT_FALSE(fxbench::apply_backend(cfg).flight_recorder);
+
+  fxbench::options() = fxbench::Options{};
+  run_init({"bench", "--obs-port", "18917", "--flight-recorder", "on"});
+  EXPECT_EQ(fxbench::options().obs_port, 18917);
+  EXPECT_EQ(fxbench::options().flight_recorder, 1);
+  EXPECT_EQ(fxbench::apply_backend(cfg).obs_port, 18917);
+  EXPECT_TRUE(fxbench::apply_backend(cfg).flight_recorder);
+
+  fxbench::options() = fxbench::Options{};
+  run_init({"bench", "--obs-port", "0", "--flight-recorder", "off"});
+  EXPECT_EQ(fxbench::options().obs_port, 0);  // ephemeral port is a valid ask
+  EXPECT_EQ(fxbench::options().flight_recorder, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,4 +288,7 @@ TEST(BenchCli, JsonRecordFiniteValuesAndOptionalFields) {
   EXPECT_NE(rec.find("\"efficiency\":0.75"), std::string::npos) << rec;
   EXPECT_EQ(rec.find("\"steals\""), std::string::npos) << rec;
   EXPECT_EQ(rec.find("null"), std::string::npos) << rec;
+  // Every record carries the process memory-pressure counters.
+  EXPECT_NE(rec.find("\"minor_faults\":"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"max_rss_kb\":"), std::string::npos) << rec;
 }
