@@ -32,7 +32,8 @@ struct Options {
   std::string json_out;      ///< --json-out FILE|-  : one-line JSON records
   std::string trace_out;     ///< --trace-out FILE   : chrome trace of the last traced run
   bool trace_report = false; ///< --trace-report     : print phase + critical-path reports
-  std::string backend = "sim";  ///< --backend sim|threads : execution engine
+  std::string backend = "sim";  ///< --backend sim|threads|proc : execution engine
+  std::string transport = "shm";  ///< --transport shm|tcp : proc-backend message fabric
   int threads = 0;           ///< --threads N        : logical processors (0 = bench default)
   int work_stealing = -1;    ///< --work-stealing on|off (-1 = config default)
   std::string pinning;       ///< --pinning none|compact|scatter|numa ("" = config default)
@@ -71,11 +72,20 @@ inline void init(int argc, char** argv) {
       o.trace_report = true;
     } else if (a == "--backend") {
       o.backend = value("--backend");
-      if (o.backend != "sim" && o.backend != "threads") {
+      if (o.backend != "sim" && o.backend != "threads" && o.backend != "proc") {
         // Fail loudly: silently degrading to sim would let a typo in
         // automation produce sim-labeled records.
-        std::fprintf(stderr, "--backend must be 'sim' or 'threads', got '%s'\n",
+        std::fprintf(stderr, "--backend must be 'sim', 'threads' or 'proc', got '%s'\n",
                      o.backend.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--transport") {
+      o.transport = value("--transport");
+      if (o.transport != "shm" && o.transport != "tcp") {
+        // Fail loudly, like --backend: a typo must not record tcp-labeled
+        // runs that actually went over shared memory.
+        std::fprintf(stderr, "--transport must be 'shm' or 'tcp', got '%s'\n",
+                     o.transport.c_str());
         std::exit(2);
       }
     } else if (a == "--threads") {
@@ -139,10 +149,14 @@ inline void init(int argc, char** argv) {
                   "  --trace-out FILE    write chrome://tracing / Perfetto JSON of the\n"
                   "                      last traced machine run\n"
                   "  --trace-report      print per-phase and critical-path reports\n"
-                  "  --backend sim|threads\n"
+                  "  --backend sim|threads|proc\n"
                   "                      execution engine (default sim; see docs/execution.md)\n"
-                  "  --threads N         logical processor count override (threads backend\n"
-                  "                      runs one OS thread per logical processor)\n"
+                  "  --transport shm|tcp\n"
+                  "                      proc-backend message fabric: shared-memory mailbox\n"
+                  "                      rings or loopback TCP (default shm)\n"
+                  "  --threads N         logical processor count override (threads and proc\n"
+                  "                      backends run one OS thread/process per logical\n"
+                  "                      processor)\n"
                   "  --work-stealing on|off\n"
                   "                      intra-subgroup loop work stealing (threads backend;\n"
                   "                      default: MachineConfig::work_stealing)\n"
@@ -185,7 +199,10 @@ inline fxpar::machine::MachineConfig apply_tuning(fxpar::machine::MachineConfig 
 inline fxpar::machine::MachineConfig apply_backend(fxpar::machine::MachineConfig cfg) {
   const Options& o = options();
   cfg.backend = (o.backend == "threads") ? fxpar::exec::BackendKind::Threads
+               : (o.backend == "proc")   ? fxpar::exec::BackendKind::Proc
                                          : fxpar::exec::BackendKind::Sim;
+  cfg.transport = (o.transport == "tcp") ? fxpar::exec::TransportKind::Tcp
+                                         : fxpar::exec::TransportKind::Shm;
   if (o.threads > 0) cfg.num_procs = o.threads;
   return apply_tuning(std::move(cfg));
 }
@@ -313,7 +330,8 @@ inline void json_record(const std::string& name,
                         int threads = 0, double wait_ms = -1.0,
                         std::int64_t steals = -1, std::int64_t stolen_iters = -1,
                         const std::string& pinning = std::string(),
-                        const std::vector<int>& numa_nodes = std::vector<int>()) {
+                        const std::vector<int>& numa_nodes = std::vector<int>(),
+                        const std::string& transport = std::string()) {
   std::ostream* out = detail::json_stream();
   if (!out) return;
   *out << "{\"name\":\"" << detail::json_escape(name) << "\",\"params\":{";
@@ -328,6 +346,11 @@ inline void json_record(const std::string& name,
   detail::write_json_number(*out, efficiency, "%.6g");
   *out << ",\"comm_bytes\":" << comm_bytes;
   *out << ",\"backend\":\"" << detail::json_escape(backend) << '"';
+  // Which message fabric a proc-backend run crossed: shm vs tcp records are
+  // different experiments even at identical parameters.
+  if (!transport.empty()) {
+    *out << ",\"transport\":\"" << detail::json_escape(transport) << '"';
+  }
   if (threads > 0) *out << ",\"threads\":" << threads;
   // A negative value means "not provided"; NaN means provided-but-broken
   // (it would fail the >= test), which must surface as null, not vanish.
@@ -365,20 +388,22 @@ inline void json_record(const std::string& name,
 }
 
 /// Convenience overload taking the machine counters directly. Records which
-/// backend executed the run; on the threaded backend it also records the
-/// worker-thread count, total real blocked time and the work-stealing
-/// counters.
+/// backend executed the run; on the real (threads / proc) backends it also
+/// records the worker count and total real blocked time, on threads the
+/// work-stealing counters, and on proc the transport the run crossed.
 inline void json_record(const std::string& name,
                         const std::vector<std::pair<std::string, std::string>>& params,
                         const fxpar::machine::RunResult& res, double host_ms = -1.0) {
   const bool threaded = res.backend == "threads";
+  const bool proc = res.backend == "proc";
   json_record(name, params, res.finish_time, res.efficiency(), res.bytes, host_ms,
               res.plan_cache_hits, res.plan_cache_misses, res.backend,
-              threaded ? static_cast<int>(res.clocks.size()) : 0,
-              threaded ? res.wait_ms : -1.0,
+              threaded || proc ? static_cast<int>(res.clocks.size()) : 0,
+              threaded || proc ? res.wait_ms : -1.0,
               threaded ? static_cast<std::int64_t>(res.steals) : -1,
               threaded ? static_cast<std::int64_t>(res.stolen_iters) : -1,
-              threaded ? res.pinning : std::string(), res.numa_nodes);
+              threaded ? res.pinning : std::string(), res.numa_nodes,
+              proc ? options().transport : std::string());
 }
 
 /// Reports on a traced run according to the CLI options: prints the phase

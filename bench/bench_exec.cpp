@@ -9,6 +9,11 @@
 //   bench_exec [--threads N] [--sets K] [--pinning POLICY]
 //              [--work-stealing on|off] [--metrics on|off] [--json-out FILE|-]
 //              [--flight-compare] [--obs-port N] [--flight-recorder on|off]
+//              [--backend proc --transport shm|tcp]
+//
+// --backend proc adds a third leg: the same stream pipeline on the
+// process-per-rank backend over the chosen transport, parity-checked
+// against the simulator and recorded as exec/stream/proc (no gate).
 //
 // --flight-compare additionally A/Bs the threaded stream run with the
 // flight recorder off vs on and records the host-time ratio; the obs-smoke
@@ -49,6 +54,8 @@ struct ExecRun {
 ExecRun run_pipeline(exec::BackendKind kind, int procs, int sets) {
   auto cfg = fxbench::apply_tuning(MachineConfig::paragon(procs));
   cfg.backend = kind;
+  cfg.transport = fxbench::options().transport == "tcp" ? exec::TransportKind::Tcp
+                                                        : exec::TransportKind::Shm;
 
   ExecRun out;
   out.checks.assign(static_cast<std::size_t>(sets), {});
@@ -83,8 +90,8 @@ ExecRun run_pipeline(exec::BackendKind kind, int procs, int sets) {
 
   const fxbench::HostTimer timer;
   out.stats = ap::run_stream_pipeline<double>(cfg, stages, {{0, 1, procs, 1}}, sets);
-  out.host_ms = (kind == exec::BackendKind::Threads) ? out.stats.machine_result.host_ms
-                                                     : timer.ms();
+  out.host_ms = (kind == exec::BackendKind::Sim) ? timer.ms()
+                                                 : out.stats.machine_result.host_ms;
   return out;
 }
 
@@ -168,6 +175,31 @@ int main(int argc, char** argv) {
   fxbench::json_record("exec/stream/sim", params, sim.stats.machine_result, sim.host_ms);
   fxbench::json_record("exec/stream/threads", params, thr.stats.machine_result,
                        thr.host_ms);
+
+  // ---- process backend leg (--backend proc): parity + host-time record ----
+  // No speedup gate: a fork per rank plus real message transport is not
+  // expected to beat threads; the record tracks its cost over time and the
+  // parity bit proves the determinism contract across address spaces.
+  if (fxbench::options().backend == "proc") {
+    const auto prc = run_pipeline(exec::BackendKind::Proc, procs, sets);
+    bool proc_parity = true;
+    for (int k = 0; k < sets; ++k) {
+      if (sim.checks[static_cast<std::size_t>(k)] !=
+          prc.checks[static_cast<std::size_t>(k)]) {
+        proc_parity = false;
+        std::printf("PROC PARITY MISMATCH at data set %d\n", k);
+      }
+    }
+    std::printf("  proc/%s host %8.1f ms  (blocked %.1f ms across %d ranks)%s\n",
+                fxbench::options().transport.c_str(), prc.host_ms,
+                prc.stats.machine_result.wait_ms, procs,
+                proc_parity ? "" : "  PARITY MISMATCH");
+    auto proc_params = params;
+    proc_params[3] = {"parity", proc_parity ? "ok" : "MISMATCH"};
+    fxbench::json_record("exec/stream/proc", proc_params, prc.stats.machine_result,
+                         prc.host_ms);
+    parity = parity && proc_parity;
+  }
 
   // ---- imbalanced parallel loop: stealing on vs off (threads) vs sim ----
   // Best-of-3 host times for the threaded runs: the A/B ratio feeds a CI

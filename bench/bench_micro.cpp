@@ -299,6 +299,11 @@ struct CollectiveRun {
   machine::RunResult res;
   double host_ms = 0.0;
   double checksum = 0.0;  ///< deterministic digest of every rank's final vector
+  /// Minor page faults taken by the steady-state half of the stream (the
+  /// second `iters/2` iterations). With the typed double pool warm this
+  /// should be near zero on the cached leg: every result vector is a
+  /// recycled allocation, so no new pages get touched.
+  std::int64_t steady_minflt = -1;
 };
 
 CollectiveRun run_collective_stream(bool cache_on, int procs, std::size_t n, int iters) {
@@ -307,6 +312,7 @@ CollectiveRun run_collective_stream(bool cache_on, int procs, std::size_t n, int
   c.plan_cache = cache_on;
   Machine machine(c);
   std::vector<double> sums(static_cast<std::size_t>(procs), 0.0);
+  std::int64_t warm_minflt = -1;
   CollectiveRun out;
   const fxbench::HostTimer timer;
   out.res = machine.run([&](Context& ctx) {
@@ -316,19 +322,31 @@ CollectiveRun run_collective_stream(bool cache_on, int procs, std::size_t n, int
       v[i] = static_cast<double>(ctx.phys_rank() + 1) + static_cast<double>(i % 7);
     }
     for (int it = 0; it < iters; ++it) {
+      if (it == iters / 2 && ctx.phys_rank() == 0) {
+        // Pools and caches are warm; what faults from here on is churn.
+        warm_minflt = fxbench::detail::rusage_now().minflt;
+      }
       v = comm::allreduce_vector(ctx, g, std::move(v),
                                  [](double a, double b) { return a + b; });
       // Damp so repeated summing stays bounded (procs = 8 => factor 1).
       for (double& x : v) x *= 0.125;
-      const std::vector<double> all = comm::gather_vectors(ctx, g, 0, v);
+      std::vector<double> all = comm::gather_vectors(ctx, g, 0, v);
       // Feed the gathered data back in so the gather is load-bearing.
       if (ctx.phys_rank() == 0 && !all.empty()) v[0] += all.back() * 1e-12;
+      // Hand the gather result back to the typed scratch pool: the next
+      // iteration's collectives reuse the allocation instead of growing a
+      // fresh vector (this is what keeps the steady state fault-quiet).
+      ctx.machine().double_release(std::move(all));
     }
     double s = 0.0;
     for (double x : v) s += x;
     sums[static_cast<std::size_t>(ctx.phys_rank())] = s;
   });
   out.host_ms = timer.ms();
+  if (warm_minflt >= 0) {
+    const std::int64_t end_minflt = fxbench::detail::rusage_now().minflt;
+    out.steady_minflt = end_minflt - warm_minflt;
+  }
   for (double s : sums) out.checksum += s;
   return out;
 }
@@ -366,6 +384,7 @@ int run_collective_compare() {
         {"collective_plan_hits", std::to_string(uncached.res.collective_plan_hits)});
     p.push_back(
         {"collective_plan_misses", std::to_string(uncached.res.collective_plan_misses)});
+    p.push_back({"steady_minor_faults", std::to_string(uncached.steady_minflt)});
     fxbench::json_record("micro/collective/uncached", p, uncached.res, uncached.host_ms);
   }
   {
@@ -373,6 +392,7 @@ int run_collective_compare() {
     p.push_back({"collective_plan_hits", std::to_string(cached.res.collective_plan_hits)});
     p.push_back(
         {"collective_plan_misses", std::to_string(cached.res.collective_plan_misses)});
+    p.push_back({"steady_minor_faults", std::to_string(cached.steady_minflt)});
     fxbench::json_record("micro/collective/cached", p, cached.res, cached.host_ms);
   }
   {
@@ -392,6 +412,9 @@ int run_collective_compare() {
               cached.host_ms, cached.res.finish_time,
               static_cast<unsigned long long>(cached.res.collective_plan_hits),
               static_cast<unsigned long long>(cached.res.collective_plan_misses));
+  std::printf("  steady-state minor faults: uncached %lld, cached %lld\n",
+              static_cast<long long>(uncached.steady_minflt),
+              static_cast<long long>(cached.steady_minflt));
   std::printf("  host speedup: %.2fx, results %s\n", speedup,
               sim_identical ? "identical" : "DIFFER");
   return sim_identical ? 0 : 1;
@@ -412,8 +435,8 @@ int main(int argc, char** argv) {
     } else if (a == "--collective-compare") {
       collective_compare = true;
     } else if (a == "--json-out" || a == "--trace-out" || a == "--backend" ||
-               a == "--threads" || a == "--work-stealing" || a == "--pinning" ||
-               a == "--metrics" || a == "--metrics-out") {
+               a == "--transport" || a == "--threads" || a == "--work-stealing" ||
+               a == "--pinning" || a == "--metrics" || a == "--metrics-out") {
       ++i;
     } else if (a == "--trace-report") {
       // consumed by fxbench::init

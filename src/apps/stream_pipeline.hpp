@@ -91,11 +91,20 @@ std::vector<StreamModule> to_stream_modules(const sched::PipelineMapping& mappin
 /// period elapsed (plus one final snapshot after the run); the series is
 /// returned in StreamStats::metrics_series. Pass 0 (the default) to skip
 /// sampling; requires MachineConfig::metrics.
+///
+/// `epilogue`, when set, runs on every processor after the last data set
+/// (still inside the machine run, parent scope). Stream programs whose
+/// results are recorded by a rank other than physical 0 use it to funnel
+/// those results to rank 0 with send_phys/recv_phys — on the process
+/// backend only rank 0's address space survives the run, so a sink
+/// captured by reference is visible to the driver only if rank 0 wrote
+/// (or received) it.
 template <typename T>
 StreamStats run_stream_pipeline(const machine::MachineConfig& config,
                                 const std::vector<PipelineStage<T>>& stages,
                                 const std::vector<StreamModule>& modules, int num_sets,
-                                double metrics_sample_period_s = 0.0) {
+                                double metrics_sample_period_s = 0.0,
+                                std::function<void(machine::Context&)> epilogue = {}) {
   if (stages.empty() || modules.empty() || num_sets <= 0) {
     throw std::invalid_argument("run_stream_pipeline: empty problem");
   }
@@ -228,6 +237,7 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
       // shards with relaxed atomics, so no one stalls.
       if (sampler && ctx.phys_rank() == 0) sampler->poll();
     }
+    if (epilogue) epilogue(ctx);
   });
   if (sampler) {
     sampler->force();

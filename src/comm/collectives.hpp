@@ -9,9 +9,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "comm/collective_plan.hpp"
@@ -47,6 +49,37 @@ inline void count_collective(Context& ctx) {
   }
 }
 
+/// Unpacks `bytes` into a vector of T. For double — the dominant element
+/// type of the numeric apps — the cached executors pull the result vector
+/// from the machine's typed scratch pool instead of allocating, keeping a
+/// steady-state collective stream allocation-quiet. The produced values are
+/// identical either way.
+template <TriviallyPackable T>
+std::vector<T> unpack_vector_pooled(Context& ctx, const Payload& bytes) {
+  if constexpr (std::is_same_v<T, double>) {
+    if (bytes.size() % sizeof(double) != 0) {
+      throw std::invalid_argument(
+          "unpack_vector: payload size not a multiple of element size");
+    }
+    std::vector<double> out = ctx.machine().double_acquire(bytes.size() / sizeof(double));
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  } else {
+    return unpack_vector<T>(bytes);
+  }
+}
+
+/// Returns a spent vector to the typed scratch pool (no-op for types the
+/// pool does not cover, and for vectors with no allocation).
+template <TriviallyPackable T>
+void release_vector_pooled(Context& ctx, std::vector<T>&& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    ctx.machine().double_release(std::move(v));
+  } else {
+    (void)v;
+  }
+}
+
 }  // namespace detail
 
 /// Broadcasts `bytes` from virtual rank `root` of `g` to every member;
@@ -72,7 +105,7 @@ std::vector<T> broadcast_vector(Context& ctx, const ProcessorGroup& g, int root,
     Payload p = at_root ? pack_span_pooled(ctx.machine(), std::span<const T>(value))
                         : Payload{};
     Payload b = broadcast_bytes(ctx, g, root, std::move(p));
-    std::vector<T> out = unpack_vector<T>(b);
+    std::vector<T> out = detail::unpack_vector_pooled<T>(ctx, b);
     ctx.machine().pool_release(std::move(b));
     return out;
   }
@@ -173,7 +206,12 @@ std::vector<T> reduce_vector(Context& ctx, const ProcessorGroup& g, int root,
                pack_span_pooled(ctx.machine(), std::span<const T>(value)));
     }
     ctx.pop_group();
-    if (rel != 0) return {};
+    if (rel != 0) {
+      // The moved-in operand is dead on non-roots; recycle its allocation
+      // for the next collective's result vector.
+      detail::release_vector_pooled<T>(ctx, std::move(value));
+      return {};
+    }
     return value;
   }
   for (int mask = 1; mask < n; mask <<= 1) {
@@ -204,7 +242,11 @@ template <TriviallyPackable T, typename Op>
 std::vector<T> allreduce_vector(Context& ctx, const ProcessorGroup& g, std::vector<T> value,
                                 Op op) {
   std::vector<T> total = reduce_vector(ctx, g, 0, std::move(value), op);
-  return broadcast_vector(ctx, g, 0, total);
+  std::vector<T> out = broadcast_vector(ctx, g, 0, total);
+  // The root's reduction total has been packed into the broadcast; its
+  // allocation feeds the next round (non-roots hold an empty vector here).
+  if (ctx.config().plan_cache) detail::release_vector_pooled<T>(ctx, std::move(total));
+  return out;
 }
 
 /// Inclusive scan: member v returns op(x_0, ..., x_v) in virtual-rank
@@ -326,7 +368,11 @@ std::vector<T> gather_vectors(Context& ctx, const ProcessorGroup& g, int root,
         total_bytes += p.size();
         parts.push_back(std::move(p));
       }
-      out.resize(total_bytes / sizeof(T));
+      if constexpr (std::is_same_v<T, double>) {
+        out = ctx.machine().double_acquire(total_bytes / sizeof(T));
+      } else {
+        out.resize(total_bytes / sizeof(T));
+      }
       std::size_t off = 0;
       std::size_t pi = 0;
       auto* dst = reinterpret_cast<std::byte*>(out.data());

@@ -62,10 +62,22 @@ using Payload = std::vector<std::byte>;
 enum class BackendKind : std::uint8_t {
   Sim,      ///< deterministic discrete-event fiber simulator
   Threads,  ///< one OS thread per logical processor, shared memory
+  Proc,     ///< one OS *process* per logical processor (fork + src/net/ transport)
 };
 
-/// "sim" / "threads" (stable spelling used by bench records and CLIs).
+/// "sim" / "threads" / "proc" (stable spelling used by bench records and CLIs).
 const char* backend_kind_name(BackendKind k) noexcept;
+
+/// Which transport moves the process backend's frames (ignored by the
+/// in-address-space backends): shared-memory mailbox rings, or loopback
+/// TCP — the multi-node-shaped path behind the same net::Channel seam.
+enum class TransportKind : std::uint8_t {
+  Shm,  ///< mmap'd per-rank MPSC rings with futex park/wake
+  Tcp,  ///< pre-connected pairwise loopback TCP sockets
+};
+
+/// "shm" / "tcp" (stable spelling used by bench records and CLIs).
+const char* transport_kind_name(TransportKind t) noexcept;
 
 /// Static block partition of [lo, hi) over `parts`: piece `which` as
 /// [first, last). This is THE ownership map of every data parallel loop:

@@ -1,0 +1,162 @@
+// fxexec: process-per-rank execution backend.
+//
+// The third engine behind the exec::Backend seam, and the repo's first
+// step off a single address space: run() forks one OS process per logical
+// processor (the parent doubles as rank 0), so processor state is
+// genuinely distributed — a rank's arrays live in its own address space,
+// and every deposit/receive crosses a real transport (src/net/): shared
+// memory mailbox rings by default, or pre-connected loopback TCP behind
+// the same net::Channel interface (MachineConfig::transport).
+//
+// Coordination that must stay cheap and abort-safe lives in one small
+// shared-memory control block mapped before fork, whatever the transport:
+// per-rank liveness (parked flag, block reason, heartbeats), subset
+// barriers keyed on group content (arrival counters + a futex the last
+// arriver bumps), the global progress counter, the abort word, and the
+// per-rank final stats. A parent monitor thread diagnoses deadlock by the
+// same quiescence rule as the threaded engine (all unfinished ranks
+// parked, nothing in transit, progress unchanged across two samples) and
+// detects child death via waitpid; either failure — or a child exception
+// — freezes a per-rank introspection snapshot into the control block
+// *before* raising the abort word, so diagnostic bundles show every
+// rank's block reason exactly as the threaded backend's do.
+//
+// Determinism: messages are matched by (source, tag) in per-source FIFO
+// order (a property the transports guarantee per stream), barriers
+// synchronize identical groups, and run_chunks executes the static block
+// schedule (stealing_loops() == false — stealing would require shipping
+// closures across address spaces). Deterministic programs therefore
+// produce bit-identical array contents against sim and threads; the
+// cross-backend parity sweep (tests/test_exec_parity.cpp) holds this.
+//
+// Observability across the fork: a finishing child writes its counters
+// into the control block, then ships its variable-size residue — metrics
+// deltas, its trace shard, its flight-recorder events — to rank 0 as
+// control frames, Done last; the parent absorbs them post-join so
+// RunResult snapshots, traces and /trace dumps look the same as on the
+// threaded path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "machine/config.hpp"
+#include "net/channel.hpp"
+
+namespace fxpar::metrics {
+struct Snapshot;
+}
+
+namespace fxpar::exec {
+
+namespace procdetail {
+struct Ctrl;  // the shared-memory control block; see proc_backend.cpp
+}
+
+class ProcBackend final : public Backend {
+ public:
+  explicit ProcBackend(const machine::MachineConfig& config);
+  ~ProcBackend() override;
+
+  ProcBackend(const ProcBackend&) = delete;
+  ProcBackend& operator=(const ProcBackend&) = delete;
+
+  BackendKind kind() const noexcept override { return BackendKind::Proc; }
+  int num_procs() const noexcept override { return config_.num_procs; }
+
+  void run(const std::function<void(int)>& body) override;
+  void set_tracer(trace::TraceRecorder* tracer) noexcept override { tracer_ = tracer; }
+
+  obs::Introspection introspect() const override;
+  obs::Introspection failure_introspection() const override;
+  std::uint64_t progress() const noexcept override;
+
+  double now(int rank) const override;
+  BackendStats stats() const override;
+
+  int current_rank() const override;
+  void charge(double seconds) override;
+  void deposit(int dst, std::uint64_t tag, Payload data) override;
+  Payload receive(int src, std::uint64_t tag) override;
+  void barrier(const pgroup::ProcessorGroup& group) override;
+  void io_operation(std::size_t bytes) override;
+  void run_chunks(const pgroup::ProcessorGroup& group, std::int64_t lo, std::int64_t hi,
+                  const ChunkBody& body) override;
+  bool stealing_loops() const noexcept override { return false; }
+
+ private:
+  struct MailKey {
+    int src;
+    std::uint64_t tag;
+    bool operator<(const MailKey& o) const {
+      return src != o.src ? src < o.src : tag < o.tag;
+    }
+  };
+  /// One matched (or self-deposited) message awaiting its receive.
+  struct PendingMsg {
+    Payload data;
+    std::uint64_t trace_id = 0;
+    double sent_at = 0.0;
+  };
+
+  double now_s() const;
+  void beat();
+  void check_abort() const;  ///< throws AbortError when the abort word is up
+  void reset_run_state();
+  void drain_channel();      ///< moves transport frames into matched_/ctrl_frames_
+  /// First-failure protocol: claim the error slot, record `text`, freeze
+  /// the per-rank introspection snapshot into the control block, then
+  /// raise the abort word (`kind` 1 = abort, 2 = deadlock). Returns true
+  /// when this caller was the first failer.
+  bool fail_shm(std::uint32_t kind, const char* text);
+  void wake_all_barriers();
+  void finish_rank(int rank);             ///< final per-rank counters into shm
+  void child_main(const std::function<void(int)>& body, int rank);  // never returns
+  /// Ships a finishing child's variable-size residue to rank 0: the metric
+  /// delta against the fork-time snapshot, its trace shard, and its flight
+  /// events past the fork-time ring total.
+  void ship_residue(int rank, const metrics::Snapshot& fork_snap,
+                    std::uint64_t fork_flight_total);
+  void absorb_residue();                  ///< rank 0: apply shipped control frames
+  void wait_for_children();
+  void reap_children();
+  void monitor_loop();
+
+  machine::MachineConfig config_;
+  trace::TraceRecorder* tracer_ = nullptr;
+
+  procdetail::Ctrl* ctrl_ = nullptr;
+  std::size_t ctrl_bytes_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+
+  // Per-run transport state. Every process holds its own endpoint: the
+  // parent attaches as rank 0 before forking, a child re-attaches as its
+  // own rank right after.
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<net::Channel> chan_;
+  std::map<MailKey, std::deque<PendingMsg>> matched_;
+  std::vector<net::Frame> ctrl_frames_;              ///< rank 0: stashed control frames
+  std::map<std::uint64_t, std::uint64_t> barrier_epoch_;  ///< per-group episode counter
+
+  // Per-rank tallies of the *calling* process (each process accounts only
+  // its own rank; written into the control block by finish_rank).
+  double wait_s_ = 0.0;
+  std::uint64_t blocks_ = 0, messages_ = 0, bytes_sent_ = 0, barriers_ = 0;
+
+  // Parent-side bookkeeping.
+  std::vector<pid_t> pids_;  ///< rank -> child pid (0 for rank 0 / reaped)
+  std::thread monitor_;
+  std::atomic<bool> monitor_stop_{false};
+  bool is_child_ = false;
+};
+
+}  // namespace fxpar::exec

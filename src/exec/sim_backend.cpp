@@ -14,6 +14,15 @@ const char* backend_kind_name(BackendKind k) noexcept {
   switch (k) {
     case BackendKind::Sim: return "sim";
     case BackendKind::Threads: return "threads";
+    case BackendKind::Proc: return "proc";
+  }
+  return "?";
+}
+
+const char* transport_kind_name(TransportKind t) noexcept {
+  switch (t) {
+    case TransportKind::Shm: return "shm";
+    case TransportKind::Tcp: return "tcp";
   }
   return "?";
 }

@@ -56,6 +56,13 @@ struct MachineConfig {
   /// contents on both.
   exec::BackendKind backend = exec::BackendKind::Sim;
 
+  /// Transport of the process backend (backend == Proc only; the
+  /// in-address-space backends ignore it): shared-memory mailbox rings
+  /// (the default) or pre-connected loopback TCP sockets behind the same
+  /// net::Channel seam. Deterministic programs produce bit-identical
+  /// array contents on both (docs/execution.md, "Process backend").
+  exec::TransportKind transport = exec::TransportKind::Shm;
+
   // Host-side simulation knobs.
   std::size_t stack_bytes = 1u << 20;  ///< fiber stack size (host memory; sim only)
   bool record_traffic = false;         ///< keep a per-(src,dst) byte matrix
@@ -196,6 +203,11 @@ struct MachineConfig {
     }
     if (stall_watchdog_s < 0) {
       throw std::invalid_argument("MachineConfig: stall_watchdog_s must be >= 0");
+    }
+    if (backend == exec::BackendKind::Proc && num_procs > 64) {
+      // The proc backend keys barrier membership on a 64-bit rank mask.
+      throw std::invalid_argument(
+          "MachineConfig: the process backend supports at most 64 processors");
     }
   }
 };

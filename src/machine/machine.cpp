@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "exec/proc_backend.hpp"
 #include "exec/sim_backend.hpp"
 #include "exec/threaded_backend.hpp"
 #include "machine/context.hpp"
@@ -36,6 +37,9 @@ Machine::Machine(MachineConfig config) : config_(config) {
       break;
     case exec::BackendKind::Threads:
       backend_ = std::make_unique<exec::ThreadedBackend>(config_);
+      break;
+    case exec::BackendKind::Proc:
+      backend_ = std::make_unique<exec::ProcBackend>(config_);
       break;
   }
   if (config_.trace) {
@@ -322,11 +326,13 @@ std::string Machine::capture_diagnostic(const std::string& reason,
 }
 
 void Machine::start_watchdog() {
-  // Threaded backend only: the watchdog polls Backend::progress() from its
-  // own thread, which the single-threaded simulator cannot tolerate (and a
-  // sim run monopolizes the run thread anyway).
+  // Concurrent backends only: the watchdog polls Backend::progress() from
+  // its own thread, which the single-threaded simulator cannot tolerate
+  // (and a sim run monopolizes the run thread anyway). The threaded
+  // backend answers from worker atomics, the process backend from its
+  // shared-memory control block — both safe at any time.
   if (config_.stall_watchdog_s <= 0 ||
-      backend_->kind() != exec::BackendKind::Threads) {
+      backend_->kind() == exec::BackendKind::Sim) {
     return;
   }
   {
@@ -411,6 +417,47 @@ Payload Machine::pool_acquire(std::size_t bytes) {
   // are unspecified by contract; every caller overwrites the buffer.
   p.resize(bytes);
   return p;
+}
+
+std::vector<double> Machine::double_acquire(std::size_t n) {
+  std::vector<double> v;
+  const int rank = pool_shard_rank(*backend_);
+  if (rank >= 0) {
+    auto& shard = pool_shards_[static_cast<std::size_t>(rank)].dbufs;
+    if (!shard.empty()) {
+      v = std::move(shard.back());
+      shard.pop_back();
+    }
+  }
+  if (v.capacity() == 0) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (!double_pool_.empty()) {
+      v = std::move(double_pool_.back());
+      double_pool_.pop_back();
+    }
+  }
+  // Same-capacity reuse makes this resize a no-op (no value-initializing
+  // memset of a fresh vector). Contents are unspecified by contract.
+  v.resize(n);
+  return v;
+}
+
+void Machine::double_release(std::vector<double>&& v) {
+  if (v.capacity() == 0) return;
+  const int rank = pool_shard_rank(*backend_);
+  if (rank >= 0) {
+    auto& shard = pool_shards_[static_cast<std::size_t>(rank)].dbufs;
+    if (shard.size() < kMaxShardPayloads) {
+      shard.push_back(std::move(v));
+      return;
+    }
+    stat_pool_spills_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_) metrics_->pool_spills->add(rank);
+  }
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (double_pool_.size() < kMaxPooledPayloads) {
+    double_pool_.push_back(std::move(v));
+  }
 }
 
 void Machine::pool_release(Payload&& p) {

@@ -258,11 +258,29 @@ class Machine {
     return stat_pool_spills_.load(std::memory_order_relaxed);
   }
 
+  // ---- typed double-vector scratch pool ----
+  //
+  // The cached collective executors also churn std::vector<double> results
+  // (the dominant element type of the numeric apps): every unpack, gather
+  // concatenation and allreduce intermediate is a fresh vector that dies
+  // one call later. These mirror pool_acquire/pool_release for that one
+  // type, with the same shard-then-spill discipline, so a steady-state
+  // collective stream is allocation-quiet (bench_micro --collective-compare
+  // watches minor faults across iterations).
+
+  /// A vector of exactly `n` doubles, reusing a pooled allocation if any.
+  /// Contents are unspecified; every caller overwrites them in full.
+  std::vector<double> double_acquire(std::size_t n);
+
+  /// Returns a spent double vector to the calling worker's shard.
+  void double_release(std::vector<double>&& v);
+
  private:
   /// One worker's private stash of spent payload buffers. Cache-line
   /// aligned so neighbouring ranks' pushes never false-share.
   struct alignas(64) PoolShard {
     std::vector<Payload> bufs;
+    std::vector<std::vector<double>> dbufs;
   };
 
   /// True when any observability feature that wants failure bundles on
@@ -306,6 +324,7 @@ class Machine {
   std::vector<PoolShard> pool_shards_;  ///< one per rank; owner access only
   std::mutex pool_mu_;
   std::vector<Payload> payload_pool_;  ///< shared spill list (pool_mu_)
+  std::vector<std::vector<double>> double_pool_;  ///< shared spill list (pool_mu_)
   static constexpr std::size_t kMaxShardPayloads = 16;
   static constexpr std::size_t kMaxPooledPayloads = 64;
 

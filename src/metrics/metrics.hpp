@@ -141,6 +141,29 @@ class Histogram {
     return t;
   }
 
+  /// Folds externally-accumulated samples into shard 0: per-bucket count
+  /// deltas, a total-count delta and a sum delta. The proc backend uses
+  /// this to absorb a forked child's histogram activity (its end-of-run
+  /// snapshot minus its fork-time snapshot) into the parent's registry.
+  /// Call from a single thread (the driver) once the workers are done.
+  void absorb(const std::vector<std::uint64_t>& bucket_deltas, std::uint64_t count_delta,
+              double sum_delta) noexcept {
+    detail::HistShard& s = shards_[0];
+    const std::size_t n = bucket_deltas.size() < static_cast<std::size_t>(kHistBuckets)
+                              ? bucket_deltas.size()
+                              : static_cast<std::size_t>(kHistBuckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bucket_deltas[i] != 0) {
+        s.buckets[i].fetch_add(bucket_deltas[i], std::memory_order_relaxed);
+      }
+    }
+    if (count_delta != 0) s.count.fetch_add(count_delta, std::memory_order_relaxed);
+    if (sum_delta != 0.0) {
+      std::atomic<double>& sum = sums_[0].v;
+      sum.store(sum.load(std::memory_order_relaxed) + sum_delta, std::memory_order_relaxed);
+    }
+  }
+
   /// Merged bucket counts (index = log2 bucket).
   std::vector<std::uint64_t> merged_buckets() const;
 

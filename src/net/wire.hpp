@@ -1,0 +1,21 @@
+// fxnet internal: the on-wire piece header shared by every transport.
+#pragma once
+
+#include <cstdint>
+
+namespace fxpar::net::detail {
+
+/// High bit of the wire kind marks a non-final piece of a streamed frame.
+inline constexpr std::uint32_t kPartialFlag = 0x80000000u;
+
+/// On-wire piece header (same layout in the shm rings and on TCP streams).
+struct WireHdr {
+  std::uint32_t len;   ///< payload bytes in this piece
+  std::uint32_t kind;  ///< FrameKind, possibly | kPartialFlag
+  std::int32_t src;
+  std::uint32_t pad;
+  std::uint64_t tag;
+};
+static_assert(sizeof(WireHdr) == 24);
+
+}  // namespace fxpar::net::detail

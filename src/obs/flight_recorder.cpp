@@ -145,6 +145,26 @@ std::string FlightRecorder::events_json(const std::vector<FlightEvent>& events,
   return os.str();
 }
 
+std::vector<FlightEvent> FlightRecorder::ring_events(int proc) const {
+  std::vector<FlightEvent> out;
+  if (proc < 0 || static_cast<std::size_t>(proc) >= rings_.size()) return out;
+  const Ring& r = *rings_[static_cast<std::size_t>(proc)];
+  std::lock_guard<std::mutex> lk(r.mu);
+  const std::uint64_t live = std::min<std::uint64_t>(r.total, cap_);
+  out.reserve(static_cast<std::size_t>(live));
+  for (std::uint64_t i = 0; i < live; ++i) {
+    out.push_back(r.buf[static_cast<std::size_t>((r.total - live + i) % cap_)]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::ring_total(int proc) const {
+  if (proc < 0 || static_cast<std::size_t>(proc) >= rings_.size()) return 0;
+  const Ring& r = *rings_[static_cast<std::size_t>(proc)];
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.total;
+}
+
 std::uint64_t FlightRecorder::total_recorded() const {
   std::uint64_t n = 0;
   for (const auto& rp : rings_) {

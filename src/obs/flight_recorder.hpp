@@ -80,6 +80,15 @@ class FlightRecorder {
   std::uint64_t total_recorded() const;
   std::uint64_t dropped() const;
 
+  /// Surviving events of one ring, oldest first, with no window filter;
+  /// out-of-range procs get an empty vector. Together with ring_total()
+  /// this lets the proc backend ship a forked child's post-fork events to
+  /// the parent: the child replays the last `ring_total() - fork_total`
+  /// survivors through the parent's record().
+  std::vector<FlightEvent> ring_events(int proc) const;
+  /// Events ever recorded on `proc`'s ring (0 for out-of-range procs).
+  std::uint64_t ring_total(int proc) const;
+
  private:
   struct alignas(64) Ring {
     mutable std::mutex mu;

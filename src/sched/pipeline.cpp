@@ -145,14 +145,39 @@ PipelineMapping max_throughput_mapping(const PipelineModel& model, int P) {
   return mapping;
 }
 
-PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput) {
+namespace {
+
+/// Shared dynamic program behind both min_latency_mapping overloads. With
+/// `topo` null (or a flat topology) this is exactly ref [22]'s DP; with a
+/// real topology, candidates whose latency ties the incumbent within
+/// relative `tol` are ranked by how many of their module instances fit
+/// within a single NUMA node — those subgroups can be placed without
+/// crossing a memory boundary on the threaded/process backends.
+PipelineMapping min_latency_impl(const PipelineModel& model, int P, double min_throughput,
+                                 const exec::HostTopology* topo, double tol) {
   const int S = model.num_stages();
   if (S == 0 || P <= 0) throw std::invalid_argument("min_latency_mapping: empty problem");
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  // node_local[p]: some NUMA node has >= p CPUs, so a p-processor module
+  // instance can live entirely on one node. A flat (or absent) topology
+  // makes every size "local", disabling the preference without a branch.
+  std::vector<char> node_local(static_cast<std::size_t>(P + 1), 1);
+  const bool topo_aware = topo != nullptr && !topo->flat() && tol > 0.0;
+  if (topo_aware) {
+    std::size_t max_node_cpus = 0;
+    for (const auto& nd : topo->nodes) max_node_cpus = std::max(max_node_cpus, nd.cpus.size());
+    for (int p = 1; p <= P; ++p) {
+      node_local[static_cast<std::size_t>(p)] =
+          static_cast<std::size_t>(p) <= max_node_cpus ? 1 : 0;
+    }
+  }
   // lat[i][q]: minimal latency covering stages [0..i) with at most q
   // processors such that every module sustains rate >= min_throughput.
+  // fit[i][q]: node-local instance count of the decomposition behind it.
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(S + 1),
                                        std::vector<double>(static_cast<std::size_t>(P + 1), kInf));
+  std::vector<std::vector<int>> fit(static_cast<std::size_t>(S + 1),
+                                    std::vector<int>(static_cast<std::size_t>(P + 1), 0));
   struct Choice {
     int j = -1, p = 0, r = 0;
   };
@@ -162,6 +187,7 @@ PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double mi
   for (int i = 1; i <= S; ++i) {
     for (int q = 1; q <= P; ++q) {
       double& cell = lat[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
+      int& cell_fit = fit[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)];
       for (int j = 0; j < i; ++j) {
         for (int p = 1; p <= q; ++p) {
           if (!model.module_fits(j, i - 1, p)) continue;
@@ -182,8 +208,28 @@ PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double mi
           const double prev =
               lat[static_cast<std::size_t>(j)][static_cast<std::size_t>(q - p * r)];
           if (prev == kInf) continue;
-          if (prev + T < cell) {
-            cell = prev + T;
+          const double cand = prev + T;
+          const int cand_fit =
+              fit[static_cast<std::size_t>(j)][static_cast<std::size_t>(q - p * r)] +
+              (node_local[static_cast<std::size_t>(p)] != 0 ? r : 0);
+          bool take;
+          if (!topo_aware) {
+            take = cand < cell;
+          } else if (cand * (1.0 + tol) < cell) {
+            take = true;  // better beyond any tie tolerance
+          } else if (cand <= cell * (1.0 + tol)) {
+            // A latency tie: prefer the decomposition with more node-local
+            // instances, then the lower latency. (Each fit-driven
+            // replacement can raise the cell by at most a factor 1 + tol,
+            // and needs strictly more local instances than the incumbent,
+            // so the drift is bounded by tol * instances.)
+            take = cand_fit > cell_fit || (cand_fit == cell_fit && cand < cell);
+          } else {
+            take = false;
+          }
+          if (take) {
+            cell = cand;
+            cell_fit = cand_fit;
             choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(q)] = Choice{j, p, r};
           }
         }
@@ -206,6 +252,17 @@ PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double mi
   mapping.modules.assign(rev.rbegin(), rev.rend());
   evaluate(model, mapping);
   return mapping;
+}
+
+}  // namespace
+
+PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput) {
+  return min_latency_impl(model, P, min_throughput, nullptr, 0.0);
+}
+
+PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput,
+                                    const exec::HostTopology& topo, double tie_tolerance) {
+  return min_latency_impl(model, P, min_throughput, &topo, tie_tolerance);
 }
 
 }  // namespace fxpar::sched

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/topology.hpp"
+
 namespace fxpar::sched {
 
 /// One data parallel stage of the chain.
@@ -105,5 +107,18 @@ PipelineMapping max_throughput_mapping(const PipelineModel& model, int P);
 /// with per-module replication. Returns an empty-module mapping with
 /// throughput 0 if the constraint is infeasible on P processors.
 PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput);
+
+/// Topology-aware variant: identical optimization, but when two candidate
+/// decompositions tie on latency (within relative `tie_tolerance`), prefer
+/// the one with more *node-local* modules — module instances whose
+/// processor count fits within a single NUMA node of `topo`, so the
+/// threaded/process backends can place each data parallel subgroup without
+/// crossing a memory boundary. With a flat topology (or tolerance 0 and no
+/// exact ties) the result is exactly the plain mapping; the latency of the
+/// returned mapping is never more than (1 + tie_tolerance)^modules of
+/// optimal.
+PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput,
+                                    const exec::HostTopology& topo,
+                                    double tie_tolerance = 1e-6);
 
 }  // namespace fxpar::sched

@@ -20,6 +20,7 @@
 // other way round.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -231,6 +232,22 @@ class TraceRecorder {
   /// Folds the per-worker shards into the shared vectors and leaves
   /// concurrent mode. Call after every worker has joined.
   void merge_concurrent();
+
+  // ---- cross-process shard shipping (proc backend) ----
+  //
+  // A forked child records into its copy-on-write shards exactly as a
+  // worker thread would; at body end it serializes its rank's shard state
+  // (the six shard vectors plus its per-proc totals, placement and
+  // last-activity stamp) and ships the bytes to the parent, which absorbs
+  // them before merge_concurrent(). Absorbing *assigns* the rank's shards
+  // — correct because in a proc run only the owning process records for
+  // that rank — so both calls are legal only in concurrent mode.
+
+  /// Serializes rank `proc`'s concurrent-mode shard state.
+  std::vector<std::byte> serialize_shard(int proc) const;
+  /// Installs a shard blob produced by serialize_shard() in a (forked)
+  /// copy of this recorder; the rank is read from the blob.
+  void absorb_shard(const std::byte* data, std::size_t len);
 
   /// Closes any still-open spans at `finish` and freezes the run's
   /// completion time.

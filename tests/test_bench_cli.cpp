@@ -61,7 +61,17 @@ TEST(BenchCliDeathTest, TrailingBackendExitsTwo) {
 
 TEST(BenchCliDeathTest, InvalidBackendExitsTwo) {
   EXPECT_EXIT({ run_init({"bench", "--backend", "cuda"}); std::exit(0); },
-              testing::ExitedWithCode(2), "--backend must be 'sim' or 'threads'");
+              testing::ExitedWithCode(2), "--backend must be 'sim', 'threads' or 'proc'");
+}
+
+TEST(BenchCliDeathTest, TrailingTransportExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--transport"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--transport requires an argument");
+}
+
+TEST(BenchCliDeathTest, InvalidTransportExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--transport", "rdma"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--transport must be 'shm' or 'tcp'");
 }
 
 TEST(BenchCliDeathTest, TrailingMetricsExitsTwo) {

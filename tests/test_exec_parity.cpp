@@ -13,12 +13,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "apps/ffthist.hpp"
 #include "apps/quicksort.hpp"
 #include "apps/radar.hpp"
 #include "apps/stream_pipeline.hpp"
+#include "comm/serialize.hpp"
 
 #if defined(__SANITIZE_THREAD__)
 #define FXPAR_TSAN 1
@@ -50,6 +53,38 @@ MachineConfig backend_cfg(int p, ex::BackendKind kind, std::size_t stack = 256 *
   return c;
 }
 
+MachineConfig proc_cfg(int p, ex::TransportKind transport, std::size_t stack = 256 * 1024) {
+  auto c = backend_cfg(p, ex::BackendKind::Proc, stack);
+  c.transport = transport;
+  return c;
+}
+
+// On the process backend each rank is a forked child: a sink captured by
+// reference is written in the child's private memory and never reaches the
+// driver unless physical rank 0 wrote it. When the recording rank is not
+// phys 0, this epilogue ships every data set's row to rank 0 after the
+// stream drains. Harmless on sim/threads (rank 0 overwrites the shared sink
+// with identical bytes), so the same program runs on every backend.
+template <typename T>
+std::function<void(mx::Context&)> funnel_sink(std::vector<std::vector<T>>& sink,
+                                              int writer_phys) {
+  if (writer_phys == 0) return {};
+  return [&sink, writer_phys](mx::Context& ctx) {
+    constexpr int kTag0 = 7100;
+    if (ctx.phys_rank() == writer_phys) {
+      for (std::size_t k = 0; k < sink.size(); ++k) {
+        ctx.send_phys(0, kTag0 + static_cast<int>(k),
+                      fxpar::comm::pack_span(std::span<const T>(sink[k])));
+      }
+    } else if (ctx.phys_rank() == 0) {
+      for (std::size_t k = 0; k < sink.size(); ++k) {
+        sink[k] = fxpar::comm::unpack_vector<T>(
+            ctx.recv_phys(writer_phys, kTag0 + static_cast<int>(k)));
+      }
+    }
+  };
+}
+
 template <typename T>
 void expect_bit_identical(const std::vector<T>& sim, const std::vector<T>& thr,
                           const char* what, int k) {
@@ -69,15 +104,16 @@ void expect_bit_identical(const std::vector<T>& sim, const std::vector<T>& thr,
 namespace {
 
 std::vector<std::vector<std::int64_t>> run_ffthist(
-    ex::BackendKind kind, const std::vector<ap::StreamModule>& modules, int procs) {
+    const MachineConfig& mcfg, const std::vector<ap::StreamModule>& modules,
+    int writer_phys = 0) {
   ap::FftHistConfig cfg;
   cfg.n = 16;
   cfg.bins = 8;
   cfg.num_sets = 6;
   std::vector<std::vector<std::int64_t>> sink;
   const auto stages = ap::ffthist_stages(cfg, &sink);
-  ap::run_stream_pipeline<ap::Complex>(backend_cfg(procs, kind), stages, modules,
-                                       cfg.num_sets);
+  ap::run_stream_pipeline<ap::Complex>(mcfg, stages, modules, cfg.num_sets, 0.0,
+                                       funnel_sink(sink, writer_phys));
   return sink;
 }
 
@@ -86,22 +122,57 @@ std::vector<std::vector<std::int64_t>> run_ffthist(
 TEST(ExecParity, FftHistDataParallel) {
   FXPAR_SKIP_SIM_UNDER_TSAN();
   const std::vector<ap::StreamModule> dp = {{0, 2, 4, 1}};
-  const auto sim = run_ffthist(ex::BackendKind::Sim, dp, 4);
-  const auto thr = run_ffthist(ex::BackendKind::Threads, dp, 4);
+  const auto sim = run_ffthist(backend_cfg(4, ex::BackendKind::Sim), dp);
+  const auto thr = run_ffthist(backend_cfg(4, ex::BackendKind::Threads), dp);
   ASSERT_EQ(sim.size(), thr.size());
   for (std::size_t k = 0; k < sim.size(); ++k) {
     expect_bit_identical(sim[k], thr[k], "ffthist/dp", static_cast<int>(k));
   }
 }
 
+TEST(ExecParity, FftHistDataParallelProcBothTransports) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const std::vector<ap::StreamModule> dp = {{0, 2, 4, 1}};
+  const auto sim = run_ffthist(backend_cfg(4, ex::BackendKind::Sim), dp);
+  const auto shm = run_ffthist(proc_cfg(4, ex::TransportKind::Shm), dp);
+  const auto tcp = run_ffthist(proc_cfg(4, ex::TransportKind::Tcp), dp);
+  ASSERT_EQ(sim.size(), shm.size());
+  ASSERT_EQ(sim.size(), tcp.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
+    expect_bit_identical(sim[k], shm[k], "ffthist/dp/proc-shm", static_cast<int>(k));
+    expect_bit_identical(sim[k], tcp[k], "ffthist/dp/proc-tcp", static_cast<int>(k));
+  }
+}
+
 TEST(ExecParity, FftHistThreeStagePipeline) {
   FXPAR_SKIP_SIM_UNDER_TSAN();
   const std::vector<ap::StreamModule> pipe = {{0, 0, 2, 1}, {1, 1, 2, 1}, {2, 2, 2, 1}};
-  const auto sim = run_ffthist(ex::BackendKind::Sim, pipe, 6);
-  const auto thr = run_ffthist(ex::BackendKind::Threads, pipe, 6);
+  const auto sim = run_ffthist(backend_cfg(6, ex::BackendKind::Sim), pipe);
+  const auto thr = run_ffthist(backend_cfg(6, ex::BackendKind::Threads), pipe);
   ASSERT_EQ(sim.size(), thr.size());
   for (std::size_t k = 0; k < sim.size(); ++k) {
     expect_bit_identical(sim[k], thr[k], "ffthist/pipe", static_cast<int>(k));
+  }
+}
+
+TEST(ExecParity, FftHistThreeStagePipelineProcBothTransports) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  // The histogram module runs on phys {4,5}; its virtual rank 0 (phys 4, a
+  // forked child on the proc backend) records the sink, so the results are
+  // funneled to phys 0 by the stream epilogue. The same funneled program
+  // runs on the simulator to keep the comparison exact.
+  const std::vector<ap::StreamModule> pipe = {{0, 0, 2, 1}, {1, 1, 2, 1}, {2, 2, 2, 1}};
+  constexpr int kWriter = 4;
+  const auto sim = run_ffthist(backend_cfg(6, ex::BackendKind::Sim), pipe, kWriter);
+  const auto shm = run_ffthist(proc_cfg(6, ex::TransportKind::Shm), pipe, kWriter);
+  const auto tcp = run_ffthist(proc_cfg(6, ex::TransportKind::Tcp), pipe, kWriter);
+  ASSERT_EQ(sim.size(), shm.size());
+  ASSERT_EQ(sim.size(), tcp.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
+    expect_bit_identical(sim[k], shm[k], "ffthist/pipe/proc-shm", static_cast<int>(k));
+    expect_bit_identical(sim[k], tcp[k], "ffthist/pipe/proc-tcp", static_cast<int>(k));
   }
 }
 
@@ -109,27 +180,44 @@ TEST(ExecParity, FftHistThreeStagePipeline) {
 // Radar
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::vector<std::int64_t> run_radar(const ap::RadarConfig& cfg, const MachineConfig& mcfg) {
+  std::vector<std::int64_t> sink;
+  const auto stages = ap::radar_stages(cfg, &sink);
+  const int last = static_cast<int>(stages.size()) - 1;
+  ap::run_stream_pipeline<ap::Complex>(mcfg, stages, {{0, last, 4, 1}}, cfg.num_sets);
+  return sink;
+}
+
+}  // namespace
+
 TEST(ExecParity, RadarDetections) {
   FXPAR_SKIP_SIM_UNDER_TSAN();
   ap::RadarConfig cfg;
   cfg.samples = 64;
   cfg.channels = 8;
   cfg.num_sets = 5;
-  auto run = [&](ex::BackendKind kind) {
-    std::vector<std::int64_t> sink;
-    const auto stages = ap::radar_stages(cfg, &sink);
-    const int last = static_cast<int>(stages.size()) - 1;
-    ap::run_stream_pipeline<ap::Complex>(backend_cfg(4, kind), stages,
-                                         {{0, last, 4, 1}}, cfg.num_sets);
-    return sink;
-  };
-  const auto sim = run(ex::BackendKind::Sim);
-  const auto thr = run(ex::BackendKind::Threads);
+  const auto sim = run_radar(cfg, backend_cfg(4, ex::BackendKind::Sim));
+  const auto thr = run_radar(cfg, backend_cfg(4, ex::BackendKind::Threads));
   expect_bit_identical(sim, thr, "radar/detections", -1);
   for (int k = 0; k < cfg.num_sets; ++k) {
     EXPECT_EQ(sim[static_cast<std::size_t>(k)], ap::radar_reference(cfg, k))
         << "dwell " << k;
   }
+}
+
+TEST(ExecParity, RadarDetectionsProcBothTransports) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  ap::RadarConfig cfg;
+  cfg.samples = 64;
+  cfg.channels = 8;
+  cfg.num_sets = 5;
+  const auto sim = run_radar(cfg, backend_cfg(4, ex::BackendKind::Sim));
+  const auto shm = run_radar(cfg, proc_cfg(4, ex::TransportKind::Shm));
+  const auto tcp = run_radar(cfg, proc_cfg(4, ex::TransportKind::Tcp));
+  expect_bit_identical(sim, shm, "radar/detections/proc-shm", -1);
+  expect_bit_identical(sim, tcp, "radar/detections/proc-tcp", -1);
 }
 
 // ---------------------------------------------------------------------------
@@ -148,6 +236,22 @@ TEST(ExecParity, QuicksortNestedTaskRegions) {
   EXPECT_EQ(thr.sorted, expect);
 }
 
+TEST(ExecParity, QuicksortProcBothTransports) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  // qsort gathers the sorted array to phys 0 — the parent process on the
+  // proc backend — so the result survives the fork boundary directly.
+  const auto input = ap::qsort_input(513, 42);
+  const auto sim =
+      ap::run_parallel_qsort(backend_cfg(4, ex::BackendKind::Sim, 512 * 1024), input);
+  const auto shm = ap::run_parallel_qsort(proc_cfg(4, ex::TransportKind::Shm), input);
+  const auto tcp = ap::run_parallel_qsort(proc_cfg(4, ex::TransportKind::Tcp), input);
+  expect_bit_identical(sim.sorted, shm.sorted, "qsort/sorted/proc-shm", -1);
+  expect_bit_identical(sim.sorted, tcp.sorted, "qsort/sorted/proc-tcp", -1);
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(shm.sorted, expect);
+}
+
 // ---------------------------------------------------------------------------
 // Synthetic floating-point stream pipeline
 // ---------------------------------------------------------------------------
@@ -159,8 +263,7 @@ namespace {
 // processor on either backend), "collect" receives it replicated — the
 // inter-module assign() is a real redistribution — transforms it, and
 // virtual rank 0 records the full array per data set.
-std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind,
-                                                 bool metrics = true) {
+std::vector<std::vector<double>> run_fp_pipeline(MachineConfig mcfg, bool metrics = true) {
   constexpr std::int64_t kN = 64;
   constexpr int kSets = 6;
   std::vector<std::vector<double>> sink(kSets);
@@ -198,9 +301,12 @@ std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind,
     }
   };
 
-  auto cfg = backend_cfg(4, kind);
-  cfg.metrics = metrics;
-  ap::run_stream_pipeline<double>(cfg, stages, {{0, 0, 2, 1}, {1, 1, 2, 1}}, kSets);
+  mcfg.metrics = metrics;
+  // The collect module runs on phys {2,3}: its virtual rank 0 (phys 2)
+  // records the sink, so the epilogue funnels the rows to phys 0 for the
+  // process backend's sake (a no-op data-wise on sim/threads).
+  ap::run_stream_pipeline<double>(mcfg, stages, {{0, 0, 2, 1}, {1, 1, 2, 1}}, kSets, 0.0,
+                                  funnel_sink(sink, /*writer_phys=*/2));
   return sink;
 }
 
@@ -208,8 +314,8 @@ std::vector<std::vector<double>> run_fp_pipeline(ex::BackendKind kind,
 
 TEST(ExecParity, FloatingPointStreamPipelineBitIdentical) {
   FXPAR_SKIP_SIM_UNDER_TSAN();
-  const auto sim = run_fp_pipeline(ex::BackendKind::Sim);
-  const auto thr = run_fp_pipeline(ex::BackendKind::Threads);
+  const auto sim = run_fp_pipeline(backend_cfg(4, ex::BackendKind::Sim));
+  const auto thr = run_fp_pipeline(backend_cfg(4, ex::BackendKind::Threads));
   ASSERT_EQ(sim.size(), thr.size());
   for (std::size_t k = 0; k < sim.size(); ++k) {
     ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
@@ -217,14 +323,35 @@ TEST(ExecParity, FloatingPointStreamPipelineBitIdentical) {
   }
 }
 
+TEST(ExecParity, FloatingPointStreamPipelineProcBothTransports) {
+  // The deterministic-reduction contract must hold across the fork
+  // boundary too: transcendental outputs and the FP assign/redistribute
+  // path are compared at the bit level against the simulator on both
+  // process-backend transports.
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const auto sim = run_fp_pipeline(backend_cfg(4, ex::BackendKind::Sim));
+  const auto shm = run_fp_pipeline(proc_cfg(4, ex::TransportKind::Shm));
+  const auto tcp = run_fp_pipeline(proc_cfg(4, ex::TransportKind::Tcp));
+  ASSERT_EQ(sim.size(), shm.size());
+  ASSERT_EQ(sim.size(), tcp.size());
+  for (std::size_t k = 0; k < sim.size(); ++k) {
+    ASSERT_FALSE(sim[k].empty()) << "sim sink empty at " << k;
+    expect_bit_identical(sim[k], shm[k], "fp-pipeline/proc-shm", static_cast<int>(k));
+    expect_bit_identical(sim[k], tcp[k], "fp-pipeline/proc-tcp", static_cast<int>(k));
+  }
+}
+
 TEST(ExecParity, MetricsOnAndOffProduceBitIdenticalResults) {
   // Metrics instrumentation must be observation-only: disabling it cannot
   // change any computed value on either backend.
   FXPAR_SKIP_SIM_UNDER_TSAN();
-  const auto sim_on = run_fp_pipeline(ex::BackendKind::Sim, /*metrics=*/true);
-  const auto sim_off = run_fp_pipeline(ex::BackendKind::Sim, /*metrics=*/false);
-  const auto thr_on = run_fp_pipeline(ex::BackendKind::Threads, /*metrics=*/true);
-  const auto thr_off = run_fp_pipeline(ex::BackendKind::Threads, /*metrics=*/false);
+  const auto sim_on = run_fp_pipeline(backend_cfg(4, ex::BackendKind::Sim), /*metrics=*/true);
+  const auto sim_off =
+      run_fp_pipeline(backend_cfg(4, ex::BackendKind::Sim), /*metrics=*/false);
+  const auto thr_on =
+      run_fp_pipeline(backend_cfg(4, ex::BackendKind::Threads), /*metrics=*/true);
+  const auto thr_off =
+      run_fp_pipeline(backend_cfg(4, ex::BackendKind::Threads), /*metrics=*/false);
   ASSERT_EQ(sim_on.size(), sim_off.size());
   ASSERT_EQ(thr_on.size(), thr_off.size());
   for (std::size_t k = 0; k < sim_on.size(); ++k) {

@@ -239,11 +239,11 @@ void expect_deadlock_bundle(ex::BackendKind kind) {
   EXPECT_NE(bundle.find("\"flight\""), std::string::npos);
 }
 
-void expect_abort_bundle(ex::BackendKind kind) {
+void expect_abort_bundle(ex::BackendKind kind, int failing_rank = 0) {
   mx::Machine m(backend_config(kind, 3));
-  EXPECT_THROW(m.run([kind](mx::Context& ctx) {
-    if (ctx.vrank() == 0) {
-      if (kind == ex::BackendKind::Threads) {
+  EXPECT_THROW(m.run([kind, failing_rank](mx::Context& ctx) {
+    if (ctx.vrank() == failing_rank) {
+      if (kind != ex::BackendKind::Sim) {
         // Give the peers time to park at the barrier so the frozen
         // introspection shows their block reason.
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -280,6 +280,24 @@ TEST(Diagnostics, AbortBundleSim) {
 
 TEST(Diagnostics, AbortBundleThreads) {
   expect_abort_bundle(ex::BackendKind::Threads);
+}
+
+TEST(Diagnostics, DeadlockBundleProc) {
+#ifdef FXPAR_TSAN
+  GTEST_SKIP() << "fork-per-rank backend is incompatible with ThreadSanitizer";
+#endif
+  expect_deadlock_bundle(ex::BackendKind::Proc);
+}
+
+TEST(Diagnostics, AbortBundleProcChildRank) {
+#ifdef FXPAR_TSAN
+  GTEST_SKIP() << "fork-per-rank backend is incompatible with ThreadSanitizer";
+#endif
+  // Rank 1 is a forked child on the process backend: its exception must
+  // cross the process boundary (shared-memory error block), surface as the
+  // parent's std::runtime_error, and still yield a schema-valid bundle
+  // with the peers' frozen block reasons.
+  expect_abort_bundle(ex::BackendKind::Proc, /*failing_rank=*/1);
 }
 
 TEST(Diagnostics, JsonSurvivesHostileErrorText) {

@@ -274,6 +274,58 @@ TEST(MinLatency, ThreeStageBruteForce) {
   }
 }
 
+TEST(MinLatencyTopology, PrefersNodeLocalModulesOnLatencyTies) {
+  // One stage whose time is 4.0 on four processors but marginally better
+  // (3.999) on eight: the flat optimizer takes the 0.025% win even though
+  // an 8-wide module must span both nodes of a 2x4 machine; the
+  // topology-aware variant treats it as a tie at 1% tolerance and keeps
+  // the node-local 4-wide module.
+  sc::PipelineModel m;
+  m.stages = {sc::StageModel{"s", [](int p) {
+                if (p >= 8) return 3.999;
+                if (p >= 4) return 4.0;
+                return 16.0 / static_cast<double>(p);
+              }}};
+  const auto flat = sc::min_latency_mapping(m, 8, 0.0);
+  ASSERT_EQ(flat.modules.size(), 1u);
+  EXPECT_EQ(flat.modules[0].procs, 8);
+
+  const auto topo = fxpar::exec::HostTopology::synthetic(2, 4);
+  const auto local = sc::min_latency_mapping(m, 8, 0.0, topo, 0.01);
+  ASSERT_EQ(local.modules.size(), 1u);
+  EXPECT_EQ(local.modules[0].procs, 4);
+  // The tie-break never costs more than the tolerance.
+  EXPECT_LE(local.latency, flat.latency * 1.01);
+
+  // A single-node topology (nothing to localize) and a zero tolerance
+  // (no ties admitted) both reproduce the plain mapping exactly.
+  const auto one_node =
+      sc::min_latency_mapping(m, 8, 0.0, fxpar::exec::HostTopology::synthetic(1, 8), 0.01);
+  ASSERT_EQ(one_node.modules.size(), 1u);
+  EXPECT_EQ(one_node.modules[0].procs, 8);
+  const auto zero_tol = sc::min_latency_mapping(m, 8, 0.0, topo, 0.0);
+  ASSERT_EQ(zero_tol.modules.size(), 1u);
+  EXPECT_EQ(zero_tol.modules[0].procs, 8);
+}
+
+TEST(MinLatencyTopology, NoTiesMeansIdenticalMapping) {
+  // Without latency ties the topology-aware overload is the plain DP.
+  const auto m = three_stage_model();
+  const auto topo = fxpar::exec::HostTopology::synthetic(2, 4);
+  for (double rate : {0.0, 0.1, 0.2}) {
+    const auto plain = sc::min_latency_mapping(m, 8, rate);
+    const auto aware = sc::min_latency_mapping(m, 8, rate, topo, 1e-9);
+    ASSERT_EQ(plain.modules.size(), aware.modules.size()) << "rate " << rate;
+    for (std::size_t i = 0; i < plain.modules.size(); ++i) {
+      EXPECT_EQ(plain.modules[i].first_stage, aware.modules[i].first_stage);
+      EXPECT_EQ(plain.modules[i].last_stage, aware.modules[i].last_stage);
+      EXPECT_EQ(plain.modules[i].procs, aware.modules[i].procs);
+      EXPECT_EQ(plain.modules[i].instances, aware.modules[i].instances);
+    }
+    EXPECT_DOUBLE_EQ(plain.latency, aware.latency) << "rate " << rate;
+  }
+}
+
 TEST(MemoryConstraint, UnconstrainedByDefault) {
   const auto m = three_stage_model();
   EXPECT_TRUE(m.module_fits(0, 2, 1));
