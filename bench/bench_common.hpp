@@ -4,6 +4,7 @@
 // docs/observability.md).
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -49,6 +50,44 @@ inline Options& options() {
   return opts;
 }
 
+/// Strict numeric flag parser: the whole string must be a base-10 integer
+/// inside [lo, hi]. Anything else — empty, trailing junk, out of range,
+/// or overflowing a long — prints an enumerated message and exits 2, the
+/// shared loud-failure contract of the bench CLI (a `--threads 0x8`, `-4`
+/// or `99999999999999999999` must never silently become a config value).
+/// `what` names the expected kind in the message ("an integer", "a port").
+inline long parse_int_flag(const char* flag, const std::string& v, long lo, long hi,
+                           const char* what = "an integer") {
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  const bool malformed = v.empty() || end != v.c_str() + v.size();
+  if (malformed || errno == ERANGE || n < lo || n > hi) {
+    std::fprintf(stderr, "%s must be %s in [%ld, %ld], got '%s'\n", flag, what, lo, hi,
+                 v.c_str());
+    std::exit(2);
+  }
+  return n;
+}
+
+/// Strict floating-point flag parser: the whole string must be a finite
+/// number inside [lo, hi]; violations exit 2 with an enumerated message
+/// (an `--arrival-rate inf` or `nan` would otherwise poison every derived
+/// record downstream).
+inline double parse_double_flag(const char* flag, const std::string& v, double lo,
+                                double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  const bool malformed = v.empty() || end != v.c_str() + v.size();
+  if (malformed || errno == ERANGE || !std::isfinite(x) || x < lo || x > hi) {
+    std::fprintf(stderr, "%s must be a number in [%g, %g], got '%s'\n", flag, lo, hi,
+                 v.c_str());
+    std::exit(2);
+  }
+  return x;
+}
+
 /// Parses the shared bench flags; unknown arguments are ignored so benches
 /// can add their own. Call at the top of main().
 inline void init(int argc, char** argv) {
@@ -89,7 +128,10 @@ inline void init(int argc, char** argv) {
         std::exit(2);
       }
     } else if (a == "--threads") {
-      o.threads = std::atoi(value("--threads").c_str());
+      // 0 is not accepted even though it is the Options default: an explicit
+      // `--threads 0` (or a negative/garbled count) is always a mistake that
+      // must not silently fall back to the bench's own default.
+      o.threads = static_cast<int>(parse_int_flag("--threads", value("--threads"), 1, 4096));
     } else if (a == "--work-stealing") {
       const std::string v = value("--work-stealing");
       if (v == "on") {
@@ -124,15 +166,10 @@ inline void init(int argc, char** argv) {
     } else if (a == "--metrics-out") {
       o.metrics_out = value("--metrics-out");
     } else if (a == "--obs-port") {
-      const std::string v = value("--obs-port");
-      o.obs_port = std::atoi(v.c_str());
-      if (o.obs_port < 0 || o.obs_port > 65535 ||
-          (o.obs_port == 0 && v != "0")) {
-        // Fail loudly, like --backend: a typo must not silently run the
-        // bench without the endpoint automation is about to curl.
-        std::fprintf(stderr, "--obs-port must be a port in [0, 65535], got '%s'\n", v.c_str());
-        std::exit(2);
-      }
+      // Fail loudly, like --backend: a typo must not silently run the
+      // bench without the endpoint automation is about to curl.
+      o.obs_port = static_cast<int>(
+          parse_int_flag("--obs-port", value("--obs-port"), 0, 65535, "a port"));
     } else if (a == "--flight-recorder") {
       const std::string v = value("--flight-recorder");
       if (v == "on") {
@@ -481,7 +518,7 @@ void table1_row(const char* name, const char* size_desc,
   const auto model_dp = sched::data_parallel_mapping(model, procs);
   const double model_constraint = rel_constraint * model_dp.throughput;
   auto mapping = sched::min_latency_mapping(model, procs, model_constraint);
-  if (mapping.modules.empty()) {
+  if (!mapping.feasible) {
     mapping = sched::max_throughput_mapping(model, procs);
   }
   const HostTimer best_timer;

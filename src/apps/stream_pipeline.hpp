@@ -80,31 +80,46 @@ struct StreamStats {
 /// Converts a sched mapping into stream modules (drops scheduling metadata).
 std::vector<StreamModule> to_stream_modules(const sched::PipelineMapping& mapping);
 
-/// Runs `num_sets` data sets through `stages` mapped by `modules` on a
-/// machine configured by `config`. The sum of module processor counts must
-/// not exceed config.num_procs (leftover processors idle, as on a real
+/// Optional knobs of one stream run (see run_stream_pipeline_on).
+struct StreamRunOptions {
+  /// `epilogue`, when set, runs on every processor after the last data set
+  /// (still inside the machine run, parent scope). Stream programs whose
+  /// results are recorded by a rank other than physical 0 use it to funnel
+  /// those results to rank 0 with send_phys/recv_phys — on the process
+  /// backend only rank 0's address space survives the run, so a sink
+  /// captured by reference is visible to the driver only if rank 0 wrote
+  /// (or received) it.
+  std::function<void(machine::Context&)> epilogue;
+
+  /// Data-set ids handed to the stages. When set (size must equal
+  /// num_sets), stage `run` callbacks receive (*set_ids)[set] instead of
+  /// the local set index — a serving driver uses this to pump a batch of
+  /// globally-numbered requests through one run while the stages keep
+  /// generating per-request inputs from the global id. Instance
+  /// round-robin and timing stay keyed on the local index.
+  const std::vector<int>* set_ids = nullptr;
+
+  /// External metrics sampler polled by physical rank 0 once per data set.
+  /// The caller owns it — no terminal flush, no take — so one sampler can
+  /// span many runs of one machine (the serving driver's epochs share a
+  /// series across remaps). Single-threaded discipline applies: only poll
+  /// it elsewhere between runs, never during one.
+  metrics::Sampler* sampler = nullptr;
+};
+
+/// Re-entrant core of run_stream_pipeline: runs `num_sets` data sets
+/// through `stages` mapped by `modules` on an *existing* machine, so a
+/// long-running driver can pump many batches — possibly under different
+/// mappings — through one Machine, keeping its metrics registry, plan
+/// caches, flight recorder and live endpoint across runs (drain → remap →
+/// resume). The sum of module processor counts must not exceed the
+/// machine's processor count (leftover processors idle, as on a real
 /// machine).
-///
-/// `metrics_sample_period_s` > 0 turns on time-series sampling for
-/// long-running drivers: physical rank 0 polls the machine's metrics
-/// registry between data sets and a snapshot is appended whenever the
-/// period elapsed (plus one final snapshot after the run); the series is
-/// returned in StreamStats::metrics_series. Pass 0 (the default) to skip
-/// sampling; requires MachineConfig::metrics.
-///
-/// `epilogue`, when set, runs on every processor after the last data set
-/// (still inside the machine run, parent scope). Stream programs whose
-/// results are recorded by a rank other than physical 0 use it to funnel
-/// those results to rank 0 with send_phys/recv_phys — on the process
-/// backend only rank 0's address space survives the run, so a sink
-/// captured by reference is visible to the driver only if rank 0 wrote
-/// (or received) it.
 template <typename T>
-StreamStats run_stream_pipeline(const machine::MachineConfig& config,
-                                const std::vector<PipelineStage<T>>& stages,
-                                const std::vector<StreamModule>& modules, int num_sets,
-                                double metrics_sample_period_s = 0.0,
-                                std::function<void(machine::Context&)> epilogue = {}) {
+StreamStats run_stream_pipeline_on(machine::Machine& machine,
+                                   const std::vector<PipelineStage<T>>& stages,
+                                   const std::vector<StreamModule>& modules, int num_sets,
+                                   const StreamRunOptions& opts = {}) {
   if (stages.empty() || modules.empty() || num_sets <= 0) {
     throw std::invalid_argument("run_stream_pipeline: empty problem");
   }
@@ -120,10 +135,14 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
       modules.back().last_stage != static_cast<int>(stages.size()) - 1) {
     throw std::invalid_argument("run_stream_pipeline: modules must cover all stages");
   }
-  if (used > config.num_procs) {
+  const int num_procs = machine.num_procs();
+  if (used > num_procs) {
     throw std::invalid_argument("run_stream_pipeline: mapping uses " + std::to_string(used) +
                                 " processors but the machine has " +
-                                std::to_string(config.num_procs));
+                                std::to_string(num_procs));
+  }
+  if (opts.set_ids && static_cast<int>(opts.set_ids->size()) != num_sets) {
+    throw std::invalid_argument("run_stream_pipeline: set_ids size must equal num_sets");
   }
 
   StreamStats stats;
@@ -136,20 +155,17 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
   // Per-processor timestamp scratch, merged below: each rank writes only
   // its own row, so recording is race-free on the threaded backend too.
   std::vector<std::vector<double>> start_pp(
-      static_cast<std::size_t>(config.num_procs),
+      static_cast<std::size_t>(num_procs),
       std::vector<double>(static_cast<std::size_t>(num_sets),
                           std::numeric_limits<double>::infinity()));
   std::vector<std::vector<double>> end_pp(
-      static_cast<std::size_t>(config.num_procs),
+      static_cast<std::size_t>(num_procs),
       std::vector<double>(static_cast<std::size_t>(num_sets),
                           -std::numeric_limits<double>::infinity()));
 
-  machine::Machine machine(config);
   metrics::RuntimeMetrics* const mm = machine.metrics();
-  std::unique_ptr<metrics::Sampler> sampler;
-  if (metrics_sample_period_s > 0.0 && mm) {
-    sampler = std::make_unique<metrics::Sampler>(mm->registry, metrics_sample_period_s);
-  }
+  metrics::Sampler* const sampler = opts.sampler;
+  const auto& epilogue = opts.epilogue;
   stats.machine_result = machine.run([&](machine::Context& ctx) {
     // One subgroup per (module, instance); leftovers become "idle".
     std::vector<SubgroupSpec> specs;
@@ -218,8 +234,10 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
               stage_span =
                   ctx.span(stages[static_cast<std::size_t>(abs_stage)].name, "stage");
             }
+            const int data_id = opts.set_ids ? (*opts.set_ids)[static_cast<std::size_t>(set)]
+                                             : set;
             stages[static_cast<std::size_t>(abs_stage)].run(ctx, *per_stage[s].in,
-                                                            *per_stage[s].out, set);
+                                                            *per_stage[s].out, data_id);
           }
           if (m + 1 == modules.size()) {
             auto& mine = end_pp[static_cast<std::size_t>(ctx.phys_rank())];
@@ -239,12 +257,8 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
     }
     if (epilogue) epilogue(ctx);
   });
-  if (sampler) {
-    sampler->force();
-    stats.metrics_series = sampler->take_series();
-  }
   for (int set = 0; set < num_sets; ++set) {
-    for (int p = 0; p < config.num_procs; ++p) {
+    for (int p = 0; p < num_procs; ++p) {
       stats.start[static_cast<std::size_t>(set)] =
           std::min(stats.start[static_cast<std::size_t>(set)],
                    start_pp[static_cast<std::size_t>(p)][static_cast<std::size_t>(set)]);
@@ -254,6 +268,35 @@ StreamStats run_stream_pipeline(const machine::MachineConfig& config,
     }
   }
   stats.makespan = stats.machine_result.finish_time;
+  return stats;
+}
+
+/// One-shot convenience: builds a machine from `config`, runs the stream on
+/// it, and — when `metrics_sample_period_s` > 0 and MachineConfig::metrics
+/// is on — samples the machine's registry into StreamStats::metrics_series
+/// (rank 0 polls once per data set; the series always ends with a terminal
+/// finish() snapshot, so streams shorter than the period still cover their
+/// activity).
+template <typename T>
+StreamStats run_stream_pipeline(const machine::MachineConfig& config,
+                                const std::vector<PipelineStage<T>>& stages,
+                                const std::vector<StreamModule>& modules, int num_sets,
+                                double metrics_sample_period_s = 0.0,
+                                std::function<void(machine::Context&)> epilogue = {}) {
+  machine::Machine machine(config);
+  metrics::RuntimeMetrics* const mm = machine.metrics();
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (metrics_sample_period_s > 0.0 && mm) {
+    sampler = std::make_unique<metrics::Sampler>(mm->registry, metrics_sample_period_s);
+  }
+  StreamRunOptions opts;
+  opts.epilogue = std::move(epilogue);
+  opts.sampler = sampler.get();
+  StreamStats stats = run_stream_pipeline_on(machine, stages, modules, num_sets, opts);
+  if (sampler) {
+    sampler->finish();
+    stats.metrics_series = sampler->take_series();
+  }
   return stats;
 }
 

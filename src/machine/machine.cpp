@@ -290,6 +290,10 @@ std::string Machine::healthz_json() const {
     os << ",\"flight_recorded\":" << flight_->total_recorded()
        << ",\"flight_dropped\":" << flight_->dropped();
   }
+  {
+    std::lock_guard<std::mutex> lk(healthz_extra_mu_);
+    if (healthz_extra_) os << ",\"serve\":" << healthz_extra_();
+  }
   os << "}";
   return os.str();
 }

@@ -189,6 +189,16 @@ class Machine {
   /// The /healthz body: run state, backend, and per-worker liveness.
   std::string healthz_json() const;
 
+  /// Installs a provider whose JSON fragment is appended to /healthz under
+  /// a "serve" key (the serving driver reports offered load, active mapping
+  /// and remap counts here). The callback must return a complete JSON value
+  /// and be callable from the endpoint thread at any time; pass an empty
+  /// function to uninstall.
+  void set_healthz_extra(std::function<std::string()> extra) {
+    std::lock_guard<std::mutex> lk(healthz_extra_mu_);
+    healthz_extra_ = std::move(extra);
+  }
+
   /// The most recent diagnostic bundle, "" if none was ever captured.
   /// Set on DeadlockError, on an aborting exception, when the stall
   /// watchdog fires, and by each /diagnostics request.
@@ -304,6 +314,9 @@ class Machine {
   std::atomic<int> run_state_{0};
   mutable std::mutex diag_mu_;
   std::string last_diagnostic_;  ///< guarded by diag_mu_
+
+  mutable std::mutex healthz_extra_mu_;
+  std::function<std::string()> healthz_extra_;  ///< guarded by healthz_extra_mu_
 
   // Stall watchdog (threaded backend only): one monitor thread per run.
   std::thread watchdog_;

@@ -214,6 +214,13 @@ void Sampler::force() {
   series_.push_back(reg_.snapshot());
 }
 
+void Sampler::finish() {
+  // Terminal sample only — the anchor stays where the grid put it, so a
+  // long-lived sampler polled across many stream epochs is not re-phased by
+  // each epoch's shutdown flush.
+  series_.push_back(reg_.snapshot());
+}
+
 std::string Sampler::series_json(const std::vector<Snapshot>& series) {
   std::ostringstream oss;
   oss << "[";

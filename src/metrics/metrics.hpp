@@ -260,8 +260,15 @@ class Sampler {
 
   /// Samples if due; returns true when a snapshot was appended.
   bool poll();
-  /// Unconditionally appends a snapshot.
+  /// Unconditionally appends a snapshot and re-anchors the cadence at now.
   void force();
+  /// Shutdown flush: appends a terminal snapshot covering the final partial
+  /// interval — activity since the last grid point that poll() alone would
+  /// drop (a stream shorter than the period would otherwise end its series
+  /// at the initial sample, missing everything it did). Unlike force() it
+  /// does NOT move the grid anchor, so a sampler shared across several
+  /// stream epochs keeps its cadence when one epoch drains.
+  void finish();
 
   const std::vector<Snapshot>& series() const noexcept { return series_; }
   std::vector<Snapshot> take_series() { return std::move(series_); }

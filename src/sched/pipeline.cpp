@@ -50,7 +50,21 @@ int PipelineMapping::total_procs() const {
   return t;
 }
 
+bool PipelineMapping::same_modules(const PipelineMapping& other) const {
+  if (modules.size() != other.modules.size()) return false;
+  for (std::size_t k = 0; k < modules.size(); ++k) {
+    const ModuleAssignment& a = modules[k];
+    const ModuleAssignment& b = other.modules[k];
+    if (a.first_stage != b.first_stage || a.last_stage != b.last_stage ||
+        a.procs != b.procs || a.instances != b.instances) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string PipelineMapping::to_string(const PipelineModel& model) const {
+  if (modules.empty()) return feasible ? "<empty>" : "<infeasible>";
   std::ostringstream oss;
   for (std::size_t k = 0; k < modules.size(); ++k) {
     const ModuleAssignment& m = modules[k];
@@ -157,6 +171,9 @@ PipelineMapping min_latency_impl(const PipelineModel& model, int P, double min_t
                                  const exec::HostTopology* topo, double tol) {
   const int S = model.num_stages();
   if (S == 0 || P <= 0) throw std::invalid_argument("min_latency_mapping: empty problem");
+  if (!std::isfinite(min_throughput) || min_throughput < 0.0) {
+    throw std::invalid_argument("min_latency_mapping: min_throughput must be finite and >= 0");
+  }
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // node_local[p]: some NUMA node has >= p CPUs, so a p-processor module
   // instance can live entirely on one node. A flat (or absent) topology
@@ -237,8 +254,10 @@ PipelineMapping min_latency_impl(const PipelineModel& model, int P, double min_t
     }
   }
   PipelineMapping mapping;
+  mapping.required_throughput = min_throughput;
   if (lat[static_cast<std::size_t>(S)][static_cast<std::size_t>(P)] == kInf) {
-    return mapping;  // infeasible: empty modules, throughput 0
+    mapping.feasible = false;  // explicit: no decomposition sustains the rate
+    return mapping;
   }
   int i = S, q = P;
   std::vector<ModuleAssignment> rev;
@@ -251,6 +270,17 @@ PipelineMapping min_latency_impl(const PipelineModel& model, int P, double min_t
   }
   mapping.modules.assign(rev.rbegin(), rev.rend());
   evaluate(model, mapping);
+  // Defensive re-check: the DP enforces the constraint module by module, but
+  // a best-effort pick must never leave here labeled as satisfying an SLO it
+  // misses. If the evaluated throughput falls short, report infeasibility
+  // instead of silently degrading.
+  if (min_throughput > 0.0 &&
+      mapping.throughput < min_throughput * (1.0 - 1e-9)) {
+    PipelineMapping infeasible;
+    infeasible.feasible = false;
+    infeasible.required_throughput = min_throughput;
+    return infeasible;
+  }
   return mapping;
 }
 

@@ -88,8 +88,27 @@ struct PipelineMapping {
   double throughput = 0.0;  ///< data sets per second (steady state)
   double latency = 0.0;     ///< seconds per data set
 
+  /// Whether the mapping satisfies the constraint it was computed under.
+  /// min_latency_mapping sets this to false (and leaves `modules` empty)
+  /// when no decomposition of P processors sustains `min_throughput` —
+  /// callers that promise an SLO must check it instead of treating whatever
+  /// comes back as "constraint met". The unconstrained constructors
+  /// (data_parallel_mapping, max_throughput_mapping) always produce
+  /// feasible mappings.
+  bool feasible = true;
+
+  /// The throughput constraint the mapping was computed under (0 when
+  /// unconstrained). Echoed back so an infeasibility report can say what
+  /// was asked for.
+  double required_throughput = 0.0;
+
   int total_procs() const;
   std::string to_string(const PipelineModel& model) const;
+
+  /// True when `other` describes the same decomposition (same stage
+  /// grouping, processor counts and replication). Used by remap policies
+  /// to detect that a re-planned mapping is a no-op.
+  bool same_modules(const PipelineMapping& other) const;
 };
 
 /// Evaluates throughput and latency of a mapping under the model.
@@ -104,8 +123,17 @@ PipelineMapping data_parallel_mapping(const PipelineModel& model, int P);
 PipelineMapping max_throughput_mapping(const PipelineModel& model, int P);
 
 /// Ref [22]: latency-minimal mapping subject to throughput >= min_throughput,
-/// with per-module replication. Returns an empty-module mapping with
-/// throughput 0 if the constraint is infeasible on P processors.
+/// with per-module replication.
+///
+/// Infeasibility is explicit: when no decomposition of P processors
+/// sustains the constraint — including the defensive case where the
+/// evaluated throughput of the optimizer's own pick falls short of it —
+/// the result has `feasible == false`, empty `modules` and throughput 0,
+/// with `required_throughput` echoing the constraint. A feasible result
+/// always satisfies `throughput >= min_throughput` (up to 1e-9 relative
+/// slack). Serving drivers must check `feasible` to distinguish "cannot
+/// meet the SLO" from "met it"; a non-finite or negative constraint throws
+/// std::invalid_argument rather than optimizing against garbage.
 PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput);
 
 /// Topology-aware variant: identical optimization, but when two candidate
@@ -116,7 +144,8 @@ PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double mi
 /// crossing a memory boundary. With a flat topology (or tolerance 0 and no
 /// exact ties) the result is exactly the plain mapping; the latency of the
 /// returned mapping is never more than (1 + tie_tolerance)^modules of
-/// optimal.
+/// optimal. Infeasible constraints are reported exactly like the plain
+/// overload: `feasible == false`, empty modules, throughput 0.
 PipelineMapping min_latency_mapping(const PipelineModel& model, int P, double min_throughput,
                                     const exec::HostTopology& topo,
                                     double tie_tolerance = 1e-6);

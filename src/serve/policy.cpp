@@ -1,0 +1,135 @@
+#include "serve/policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fxpar::serve {
+
+namespace {
+
+/// Relative slack when comparing a requirement against installed capacity,
+/// mirroring the mapper's own feasibility slack so a mapping planned for
+/// exactly this requirement is not immediately judged short of it.
+constexpr double kSlack = 1e-9;
+
+}  // namespace
+
+RemapPolicy::RemapPolicy(sched::PipelineModel model, int num_procs, PolicyConfig cfg)
+    : model_(std::move(model)), num_procs_(num_procs), cfg_(cfg) {
+  if (num_procs_ < 1) {
+    throw std::invalid_argument("RemapPolicy: num_procs must be >= 1");
+  }
+  if (!(cfg_.safety >= 1.0)) {
+    throw std::invalid_argument("RemapPolicy: safety must be >= 1");
+  }
+  if (cfg_.dwell_up < 1 || cfg_.dwell_down < 1) {
+    throw std::invalid_argument("RemapPolicy: dwell windows must be >= 1 epoch");
+  }
+}
+
+sched::PipelineMapping RemapPolicy::plan(double required, bool& slo_ok) const {
+  // An unbounded requirement (a burst of simultaneous arrivals reads as an
+  // infinite offered rate, and safety * DBL_MAX overflows) is trivially
+  // infeasible — don't even ask the mapper, which rejects non-finite
+  // constraints.
+  if (std::isfinite(required)) {
+    sched::PipelineMapping m = sched::min_latency_mapping(model_, num_procs_, required);
+    if (m.feasible) {
+      slo_ok = true;
+      return m;
+    }
+  }
+  // The SLO is unreachable on this machine: serve best-effort at the
+  // machine's maximum sustainable rate rather than stalling admission.
+  slo_ok = false;
+  sched::PipelineMapping best = sched::max_throughput_mapping(model_, num_procs_);
+  best.required_throughput = required;  // keep the unmet ask visible
+  return best;
+}
+
+void RemapPolicy::install(const sched::PipelineMapping& next, bool slo_ok,
+                          bool count_remap) {
+  if (count_remap) ++remaps_;
+  current_ = next;
+  slo_feasible_ = slo_ok;
+  up_streak_ = 0;
+  down_streak_ = 0;
+}
+
+RemapDecision RemapPolicy::decide(double offered_rate) {
+  if (!(offered_rate >= 0.0)) offered_rate = 0.0;  // also catches NaN
+  RemapDecision d;
+  d.offered_rate = offered_rate;
+  d.required_throughput = cfg_.safety * offered_rate;
+
+  if (!primed_) {
+    bool slo_ok = true;
+    const sched::PipelineMapping next = plan(d.required_throughput, slo_ok);
+    install(next, slo_ok, /*count_remap=*/false);
+    primed_ = true;
+    d.action = slo_ok ? RemapAction::Remap : RemapAction::Infeasible;
+    d.initial = true;
+    d.reason = slo_ok ? "initial plan" : "initial plan: SLO infeasible, best-effort";
+    d.mapping = current_;
+    d.slo_feasible = slo_feasible_;
+    return d;
+  }
+
+  const bool short_of_capacity =
+      d.required_throughput > current_.throughput * (1.0 + kSlack);
+
+  if (short_of_capacity) {
+    down_streak_ = 0;
+    if (++up_streak_ < cfg_.dwell_up) {
+      d.reason = "capacity short; dwelling";
+    } else {
+      bool slo_ok = true;
+      const sched::PipelineMapping next = plan(d.required_throughput, slo_ok);
+      if (next.same_modules(current_)) {
+        // Nothing better exists (typically: already on the best-effort
+        // fallback). Keep, but report the unmet SLO.
+        up_streak_ = 0;
+        slo_feasible_ = slo_ok;
+        d.action = slo_ok ? RemapAction::Keep : RemapAction::Infeasible;
+        d.reason = slo_ok ? "replan chose the installed mapping"
+                          : "SLO infeasible; already on best-effort mapping";
+      } else {
+        install(next, slo_ok, /*count_remap=*/true);
+        d.action = slo_ok ? RemapAction::Remap : RemapAction::Infeasible;
+        d.reason = slo_ok ? "capacity short; remapped up"
+                          : "SLO infeasible; remapped to best-effort";
+      }
+    }
+  } else {
+    up_streak_ = 0;
+    // Capacity suffices. A down remap must buy real latency (or recover
+    // from a best-effort fallback once the requirement dropped back into
+    // feasible territory) and persist for the dwell window.
+    bool slo_ok = true;
+    const sched::PipelineMapping cand = plan(d.required_throughput, slo_ok);
+    const bool recovers = !slo_feasible_ && slo_ok;
+    const bool improves =
+        slo_ok && cand.latency < current_.latency * (1.0 - cfg_.latency_improvement);
+    if ((recovers || improves) && !cand.same_modules(current_)) {
+      if (++down_streak_ < cfg_.dwell_down) {
+        d.reason = "down remap justified; dwelling";
+      } else {
+        install(cand, slo_ok, /*count_remap=*/true);
+        d.action = RemapAction::Remap;
+        d.reason = recovers ? "SLO feasible again; remapped off best-effort"
+                            : "remapped down for latency";
+      }
+    } else {
+      down_streak_ = 0;
+      if (cand.same_modules(current_)) slo_feasible_ = slo_ok;
+      d.reason = "capacity sufficient";
+    }
+  }
+
+  d.mapping = current_;
+  d.slo_feasible = slo_feasible_;
+  return d;
+}
+
+}  // namespace fxpar::serve

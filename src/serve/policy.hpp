@@ -1,0 +1,103 @@
+// fxpar serve: online remap policy for pipeline-as-a-service drivers.
+//
+// The paper's Figure 5 is a *static* study: for each required throughput,
+// run the mapping algorithm of ref [22] once and report the latency of the
+// resulting mapping. A serving driver faces the dynamic version of the same
+// problem — the offered load changes while the pipeline runs, and the
+// mapping that was latency-optimal for the old rate is either too slow
+// (missed SLO) or wastefully replicated (worse latency than necessary) for
+// the new one. RemapPolicy watches the measured offered rate and decides,
+// at each epoch boundary (the only points where the driver can drain and
+// re-partition), whether to keep the current mapping, switch to a newly
+// planned one, or fall back to the best-effort maximum-throughput mapping
+// when the SLO is infeasible on this machine.
+//
+// Hysteresis keeps the policy from thrashing at a mapping-change boundary:
+// an *up* remap (capacity short of requirement) needs the shortfall to
+// persist for `dwell_up` consecutive epochs; a *down* remap (capacity
+// comfortably above requirement) additionally requires the candidate
+// mapping to improve modeled latency by at least `latency_improvement`
+// relative, persisting for `dwell_down` epochs. A load oscillating around
+// a boundary faster than the dwell windows therefore produces zero remaps.
+#pragma once
+
+#include <string>
+
+#include "sched/pipeline.hpp"
+
+namespace fxpar::serve {
+
+/// Knobs of the remap policy (all in epoch / relative units).
+struct PolicyConfig {
+  /// Planning headroom: the mapping is planned for `safety * offered_rate`
+  /// so ordinary jitter does not immediately violate the constraint.
+  double safety = 1.05;
+  /// Consecutive epochs the requirement must exceed capacity before an up
+  /// remap fires (1 = react on the first shortfall epoch).
+  int dwell_up = 1;
+  /// Consecutive epochs a latency-improving down remap must stay justified
+  /// before it fires. Larger than dwell_up on purpose: shedding capacity is
+  /// never urgent, acquiring it is.
+  int dwell_down = 3;
+  /// Minimum relative modeled-latency improvement a down remap must offer
+  /// (0.10 = the candidate must be at least 10% faster per data set).
+  double latency_improvement = 0.10;
+};
+
+enum class RemapAction {
+  Keep,        ///< current mapping stays installed
+  Remap,       ///< `mapping` (feasible for the requirement) was installed
+  Infeasible,  ///< SLO unreachable on P procs; best-effort fallback installed
+};
+
+/// Outcome of one policy step.
+struct RemapDecision {
+  RemapAction action = RemapAction::Keep;
+  /// The mapping installed after this step (current() echo).
+  sched::PipelineMapping mapping;
+  double offered_rate = 0.0;
+  double required_throughput = 0.0;  ///< safety * offered_rate
+  /// False while serving best-effort under an infeasible SLO.
+  bool slo_feasible = true;
+  /// True only for the very first step (initial install, not a remap).
+  bool initial = false;
+  std::string reason;
+};
+
+/// Decides, once per epoch, whether the measured offered rate justifies
+/// replacing the installed mapping. Single-threaded: the serving driver
+/// calls decide() between batches.
+class RemapPolicy {
+ public:
+  RemapPolicy(sched::PipelineModel model, int num_procs, PolicyConfig cfg = {});
+
+  /// The installed mapping (initially planned by the first decide()).
+  const sched::PipelineMapping& current() const noexcept { return current_; }
+  bool primed() const noexcept { return primed_; }
+  bool slo_feasible() const noexcept { return slo_feasible_; }
+  /// Mapping changes after the initial install.
+  int remaps() const noexcept { return remaps_; }
+
+  /// One policy step for the epoch about to run. The first call always
+  /// plans and installs (decision.initial = true, not counted as a remap).
+  RemapDecision decide(double offered_rate);
+
+ private:
+  /// min_latency_mapping for the requirement; falls back to the
+  /// max-throughput mapping (feasible by construction) when the SLO is
+  /// unreachable, reporting slo_ok = false.
+  sched::PipelineMapping plan(double required, bool& slo_ok) const;
+  void install(const sched::PipelineMapping& next, bool slo_ok, bool count_remap);
+
+  sched::PipelineModel model_;
+  int num_procs_;
+  PolicyConfig cfg_;
+  sched::PipelineMapping current_;
+  bool primed_ = false;
+  bool slo_feasible_ = true;
+  int up_streak_ = 0;
+  int down_streak_ = 0;
+  int remaps_ = 0;
+};
+
+}  // namespace fxpar::serve

@@ -1,0 +1,65 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fxpar::serve {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+double ServeReport::latency_quantile(double q) const {
+  if (requests.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(requests.size());
+  for (const RequestRecord& r : requests) lat.push_back(r.latency());
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = std::min(
+      lat.size() - 1, static_cast<std::size_t>(q * static_cast<double>(lat.size() - 1) + 0.5));
+  std::nth_element(lat.begin(), lat.begin() + static_cast<std::ptrdiff_t>(rank), lat.end());
+  return lat[rank];
+}
+
+double ServeReport::mean_latency() const {
+  if (requests.empty()) return 0.0;
+  double s = 0.0;
+  for (const RequestRecord& r : requests) s += r.latency();
+  return s / static_cast<double>(requests.size());
+}
+
+std::string ServeReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"requests\":" << requests.size() << ",\"shed\":" << shed.size()
+     << ",\"streams\":" << num_streams << ",\"epochs\":" << epochs.size()
+     << ",\"remaps\":" << remaps << ",\"infeasible_epochs\":" << infeasible_epochs
+     << ",\"makespan\":" << num(makespan) << ",\"throughput\":" << num(throughput())
+     << ",\"latency_mean\":" << num(mean_latency())
+     << ",\"latency_p50\":" << num(latency_quantile(0.50))
+     << ",\"latency_p95\":" << num(latency_quantile(0.95))
+     << ",\"latency_p99\":" << num(latency_quantile(0.99)) << ",\"epoch_log\":[";
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const EpochRecord& e = epochs[i];
+    if (i) os << ",";
+    os << "{\"epoch\":" << e.epoch << ",\"t_start\":" << num(e.t_start)
+       << ",\"t_end\":" << num(e.t_end) << ",\"sets\":" << e.sets
+       << ",\"offered\":" << num(e.offered_rate)
+       << ",\"required\":" << num(e.required_throughput)
+       << ",\"remapped\":" << (e.remapped ? "true" : "false")
+       << ",\"slo_feasible\":" << (e.slo_feasible ? "true" : "false")
+       << ",\"map_throughput\":" << num(e.map_throughput)
+       << ",\"map_latency\":" << num(e.map_latency)
+       << ",\"map_procs\":" << e.map_procs << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace fxpar::serve

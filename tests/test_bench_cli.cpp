@@ -302,3 +302,72 @@ TEST(BenchCli, JsonRecordFiniteValuesAndOptionalFields) {
   EXPECT_NE(rec.find("\"minor_faults\":"), std::string::npos) << rec;
   EXPECT_NE(rec.find("\"max_rss_kb\":"), std::string::npos) << rec;
 }
+
+// ---------------------------------------------------------------------------
+// Numeric flag validation: zero, negative, malformed and overflowing values
+// must die loudly instead of silently mislabeling a run
+// ---------------------------------------------------------------------------
+
+TEST(BenchCliDeathTest, ThreadsZeroExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads", "0"}); std::exit(0); },
+              testing::ExitedWithCode(2),
+              "--threads must be an integer in \\[1, 4096\\], got '0'");
+}
+
+TEST(BenchCliDeathTest, ThreadsNegativeExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads", "-4"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--threads must be an integer");
+}
+
+TEST(BenchCliDeathTest, ThreadsMalformedExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads", "abc"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--threads must be an integer");
+}
+
+TEST(BenchCliDeathTest, ThreadsTrailingJunkExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads", "4x"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--threads must be an integer");
+}
+
+TEST(BenchCliDeathTest, ThreadsOverflowExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--threads", "99999999999999999999"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--threads must be an integer");
+}
+
+TEST(BenchCliDeathTest, ObsPortOutOfRangeExitsTwo) {
+  EXPECT_EXIT({ run_init({"bench", "--obs-port", "65536"}); std::exit(0); },
+              testing::ExitedWithCode(2), "--obs-port must be a port");
+}
+
+// The serving bench's flags go through the same validators; exercise them
+// directly so their contract is pinned without spawning the bench binary.
+
+TEST(BenchCliDeathTest, ParseIntFlagRejectsBelowRange) {
+  EXPECT_EXIT({ (void)fxbench::parse_int_flag("--streams", "0", 1, 1024); std::exit(0); },
+              testing::ExitedWithCode(2),
+              "--streams must be an integer in \\[1, 1024\\], got '0'");
+}
+
+TEST(BenchCliDeathTest, ParseDoubleFlagRejectsNegative) {
+  EXPECT_EXIT(
+      { (void)fxbench::parse_double_flag("--arrival-rate", "-1", 1e-9, 1e15); std::exit(0); },
+      testing::ExitedWithCode(2), "--arrival-rate must be a number");
+}
+
+TEST(BenchCliDeathTest, ParseDoubleFlagRejectsNonFinite) {
+  EXPECT_EXIT(
+      { (void)fxbench::parse_double_flag("--duration", "inf", 1e-9, 1e9); std::exit(0); },
+      testing::ExitedWithCode(2), "--duration must be a number");
+}
+
+TEST(BenchCliDeathTest, ParseDoubleFlagRejectsMalformed) {
+  EXPECT_EXIT(
+      { (void)fxbench::parse_double_flag("--duration", "1x2", 1e-9, 1e9); std::exit(0); },
+      testing::ExitedWithCode(2), "--duration must be a number");
+}
+
+TEST(BenchCli, ParsersAcceptInRangeValues) {
+  EXPECT_EQ(fxbench::parse_int_flag("--streams", "8", 1, 1024), 8);
+  EXPECT_EQ(fxbench::parse_int_flag("--threads", "4096", 1, 4096), 4096);
+  EXPECT_DOUBLE_EQ(fxbench::parse_double_flag("--duration", "2.5", 1e-9, 1e9), 2.5);
+}

@@ -6,12 +6,15 @@
 // registry, no snapshot, identical modeled results.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "apps/ffthist.hpp"
+#include "apps/stream_pipeline.hpp"
 #include "core/fx.hpp"
 #include "core/parallel_loop.hpp"
 #include "dist/halo.hpp"
@@ -36,6 +39,7 @@
 #define FXPAR_SKIP_SIM_UNDER_TSAN() (void)0
 #endif
 
+namespace ap = fxpar::apps;
 namespace ds = fxpar::dist;
 namespace ex = fxpar::exec;
 namespace me = fxpar::metrics;
@@ -381,4 +385,59 @@ TEST(RuntimeMetrics, DisabledMeansNoRegistryAndIdenticalModeledTime) {
   // Metrics must never perturb the model: same program, same modeled time.
   EXPECT_DOUBLE_EQ(ron.finish_time, roff.finish_time);
   EXPECT_EQ(ron.bytes, roff.bytes);
+}
+
+TEST(Metrics, SamplerFinishFlushesFinalPartialIntervalWithoutReanchoring) {
+  me::Registry reg(1);
+  me::Counter* c = reg.counter("c");
+
+  // Activity inside the final partial interval would be dropped by poll()
+  // alone; finish() captures it in a terminal snapshot.
+  me::Sampler s(reg, 3600.0);
+  EXPECT_TRUE(s.poll());  // initial anchor sample
+  c->add(0, 5);
+  EXPECT_FALSE(s.poll());  // an hour has not elapsed
+  s.finish();
+  ASSERT_EQ(s.series().size(), 2u);
+  EXPECT_EQ(s.series().back().counter("c"), 5u);
+
+  // Unlike force(), finish() leaves the cadence anchor alone: with a short
+  // period, a grid point that was already due before finish() is still due
+  // after it — a sampler shared across several stream epochs keeps its
+  // rhythm when one epoch drains.
+  me::Sampler keep(reg, 0.02);
+  EXPECT_TRUE(keep.poll());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  keep.finish();
+  EXPECT_TRUE(keep.poll()) << "finish() must not re-anchor the grid";
+
+  me::Sampler move(reg, 0.02);
+  EXPECT_TRUE(move.poll());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  move.force();
+  EXPECT_FALSE(move.poll()) << "force() re-anchors the grid at now";
+}
+
+// ---------------------------------------------------------------------------
+// Series coverage: a sampled stream run must account for every data set
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeMetrics, SampledStreamSeriesCoversTheWholeStream) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  // A stream far shorter than the sampling period: before the terminal
+  // flush, the series ended at the initial snapshot and reported zero
+  // completed sets for the whole run.
+  ap::FftHistConfig cfg;
+  cfg.n = 16;
+  cfg.bins = 8;
+  cfg.num_sets = 4;
+  const auto stages = ap::ffthist_stages(cfg);
+  const auto stats = ap::run_stream_pipeline<ap::Complex>(
+      MachineConfig::paragon(4), stages, {{0, 2, 4, 1}}, cfg.num_sets,
+      /*metrics_sample_period_s=*/3600.0);
+  ASSERT_GE(stats.metrics_series.size(), 2u);
+  EXPECT_LT(stats.metrics_series.front().counter("fxpar_apps_pipeline_sets_total"),
+            static_cast<std::uint64_t>(cfg.num_sets));
+  EXPECT_EQ(stats.metrics_series.back().counter("fxpar_apps_pipeline_sets_total"),
+            static_cast<std::uint64_t>(cfg.num_sets));
 }

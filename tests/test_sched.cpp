@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sched/pipeline.hpp"
 
@@ -365,4 +366,48 @@ TEST(MemoryConstraint, ImpossibleCapacityMakesEverythingInfeasible) {
   EXPECT_THROW(sc::max_throughput_mapping(m, 8), std::logic_error);
   const auto opt = sc::min_latency_mapping(m, 8, 0.0);
   EXPECT_TRUE(opt.modules.empty());
+}
+
+TEST(MinLatency, InfeasibilityIsExplicitOnBothOverloads) {
+  // Serving drivers promise an SLO on the strength of `feasible`; an
+  // unreachable constraint must say so on the plain and topology-aware
+  // overloads alike, echoing the constraint it could not meet.
+  const auto m = three_stage_model();
+  const double ask = 1e9;
+  const auto plain = sc::min_latency_mapping(m, 2, ask);
+  EXPECT_FALSE(plain.feasible);
+  EXPECT_TRUE(plain.modules.empty());
+  EXPECT_EQ(plain.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(plain.required_throughput, ask);
+
+  const auto topo = fxpar::exec::HostTopology::synthetic(2, 1);
+  const auto aware = sc::min_latency_mapping(m, 2, ask, topo, 0.01);
+  EXPECT_FALSE(aware.feasible);
+  EXPECT_TRUE(aware.modules.empty());
+  EXPECT_EQ(aware.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(aware.required_throughput, ask);
+
+  // A met constraint reports feasible and actually satisfies it.
+  const auto dp = sc::data_parallel_mapping(m, 8);
+  const auto ok = sc::min_latency_mapping(m, 8, dp.throughput);
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_GE(ok.throughput, dp.throughput * (1.0 - 1e-9));
+  const auto ok_aware = sc::min_latency_mapping(m, 8, dp.throughput,
+                                                fxpar::exec::HostTopology::synthetic(2, 4));
+  EXPECT_TRUE(ok_aware.feasible);
+  EXPECT_GE(ok_aware.throughput, dp.throughput * (1.0 - 1e-9));
+
+  // Unconstrained constructors are feasible by construction.
+  EXPECT_TRUE(dp.feasible);
+  EXPECT_TRUE(sc::max_throughput_mapping(m, 8).feasible);
+}
+
+TEST(MinLatency, GarbageConstraintThrowsInsteadOfOptimizing) {
+  const auto m = three_stage_model();
+  const auto topo = fxpar::exec::HostTopology::synthetic(2, 4);
+  for (double bad : {-1.0, std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_THROW(sc::min_latency_mapping(m, 8, bad), std::invalid_argument);
+    EXPECT_THROW(sc::min_latency_mapping(m, 8, bad, topo, 0.01), std::invalid_argument);
+  }
 }

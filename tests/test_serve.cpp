@@ -1,0 +1,428 @@
+// Serving-layer tests: the RemapPolicy hysteresis contract and the
+// end-to-end determinism guarantee of serve_streams — per-stream results
+// bit-identical to an uninterrupted single-mapping run of the same data
+// ids, across a forced remap boundary, on every backend (docs/serving.md).
+//
+// The policy tests run against the real FFT-Hist cost model at a size
+// whose mapping frontier has distinct points (n=32 on 8 processors), with
+// the boundary rates derived from the model itself so the tests hold on
+// any cost-model revision that keeps the frontier non-flat.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/ffthist.hpp"
+#include "apps/radar.hpp"
+#include "serve/server.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define FXPAR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FXPAR_TSAN 1
+#endif
+#endif
+
+#ifdef FXPAR_TSAN
+#define FXPAR_SKIP_SIM_UNDER_TSAN() \
+  GTEST_SKIP() << "simulator fibers (ucontext) are incompatible with ThreadSanitizer"
+#else
+#define FXPAR_SKIP_SIM_UNDER_TSAN() (void)0
+#endif
+
+namespace ap = fxpar::apps;
+namespace ex = fxpar::exec;
+namespace mx = fxpar::machine;
+namespace sv = fxpar::serve;
+namespace sched = fxpar::sched;
+using fxpar::MachineConfig;
+
+namespace {
+
+constexpr int kProcs = 8;
+
+ap::FftHistConfig hist_cfg(int num_sets) {
+  ap::FftHistConfig cfg;
+  cfg.n = 32;  // mapping frontier has distinct points at this size
+  cfg.bins = 8;
+  cfg.num_sets = num_sets;
+  return cfg;
+}
+
+/// The model plus the two capacities that bracket the remap boundary:
+/// what the latency-optimal mapping sustains and what the machine can
+/// sustain at most.
+struct Landscape {
+  sched::PipelineModel model;
+  double latmin_thr;
+  double max_thr;
+};
+
+Landscape landscape(int num_sets = 1) {
+  Landscape l{ap::ffthist_model(MachineConfig::paragon(kProcs), hist_cfg(num_sets)),
+              0.0, 0.0};
+  l.latmin_thr = sched::min_latency_mapping(l.model, kProcs, 0.0).throughput;
+  l.max_thr = sched::max_throughput_mapping(l.model, kProcs).throughput;
+  return l;
+}
+
+// The FFT-Hist frontier at this size gains throughput without losing
+// latency, so it can never justify a latency-motivated down remap; the
+// full-size radar pipeline's frontier does trade the two, which is what
+// the down-remap test needs.
+constexpr int kRadarProcs = 16;
+
+Landscape radar_landscape() {
+  const ap::RadarConfig cfg;
+  Landscape l{ap::radar_model(MachineConfig::paragon(kRadarProcs), cfg), 0.0, 0.0};
+  l.latmin_thr = sched::min_latency_mapping(l.model, kRadarProcs, 0.0).throughput;
+  l.max_thr = sched::max_throughput_mapping(l.model, kRadarProcs).throughput;
+  return l;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RemapPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RemapPolicy, FrontierIsNotFlat) {
+  // Every boundary-crossing test below assumes a real frontier: a rate
+  // exists that the latency-optimal mapping cannot sustain but the
+  // machine can.
+  const Landscape l = landscape();
+  ASSERT_GT(l.latmin_thr, 0.0);
+  ASSERT_GT(l.max_thr, l.latmin_thr * 1.01);
+}
+
+TEST(RemapPolicy, RejectsBadConfig) {
+  const Landscape l = landscape();
+  EXPECT_THROW(sv::RemapPolicy(l.model, 0), std::invalid_argument);
+  sv::PolicyConfig bad_safety;
+  bad_safety.safety = 0.5;
+  EXPECT_THROW(sv::RemapPolicy(l.model, kProcs, bad_safety), std::invalid_argument);
+  sv::PolicyConfig bad_dwell;
+  bad_dwell.dwell_up = 0;
+  EXPECT_THROW(sv::RemapPolicy(l.model, kProcs, bad_dwell), std::invalid_argument);
+}
+
+TEST(RemapPolicy, InitialInstallIsNotARemap) {
+  const Landscape l = landscape();
+  sv::PolicyConfig cfg;
+  cfg.safety = 1.0;
+  sv::RemapPolicy policy(l.model, kProcs, cfg);
+  EXPECT_FALSE(policy.primed());
+
+  const double low = 0.3 * l.latmin_thr;
+  const sv::RemapDecision d = policy.decide(low);
+  EXPECT_TRUE(d.initial);
+  EXPECT_TRUE(d.slo_feasible);
+  EXPECT_EQ(policy.remaps(), 0);
+  EXPECT_TRUE(policy.primed());
+  EXPECT_GE(d.mapping.throughput, low);
+
+  // NaN / negative rates are treated as zero load, not an error.
+  EXPECT_EQ(policy.decide(std::nan("")).offered_rate, 0.0);
+  EXPECT_EQ(policy.decide(-5.0).offered_rate, 0.0);
+  EXPECT_EQ(policy.remaps(), 0);
+}
+
+TEST(RemapPolicy, UpRemapWaitsForDwellThenFires) {
+  const Landscape l = landscape();
+  sv::PolicyConfig cfg;
+  cfg.safety = 1.0;
+  cfg.dwell_up = 2;
+  sv::RemapPolicy policy(l.model, kProcs, cfg);
+
+  const double low = 0.3 * l.latmin_thr;
+  const double high = 0.5 * (l.latmin_thr + l.max_thr);
+  policy.decide(low);
+  const double low_capacity = policy.current().throughput;
+  ASSERT_LT(low_capacity, high);  // the high rate really crosses the boundary
+
+  // First shortfall epoch: still dwelling.
+  sv::RemapDecision d = policy.decide(high);
+  EXPECT_EQ(d.action, sv::RemapAction::Keep);
+  EXPECT_EQ(policy.remaps(), 0);
+
+  // Second consecutive shortfall epoch: the up remap fires.
+  d = policy.decide(high);
+  EXPECT_EQ(d.action, sv::RemapAction::Remap);
+  EXPECT_EQ(policy.remaps(), 1);
+  EXPECT_TRUE(d.slo_feasible);
+  EXPECT_GE(d.mapping.throughput, high);
+}
+
+TEST(RemapPolicy, DownRemapWaitsForDwellAndBuysLatency) {
+  const Landscape l = radar_landscape();
+  ASSERT_GT(l.max_thr, l.latmin_thr * 1.01);
+  sv::PolicyConfig cfg;
+  cfg.safety = 1.0;
+  cfg.dwell_up = 1;
+  cfg.dwell_down = 2;
+  cfg.latency_improvement = 0.0;  // any strict improvement justifies it
+  sv::RemapPolicy policy(l.model, kRadarProcs, cfg);
+
+  const double low = 0.3 * l.latmin_thr;
+  const double high = 0.5 * (l.latmin_thr + l.max_thr);
+  policy.decide(low);
+  policy.decide(high);  // dwell_up=1: remap up immediately
+  ASSERT_EQ(policy.remaps(), 1);
+  const double high_latency = policy.current().latency;
+
+  // Load drops back: one justified epoch dwells, the second remaps down
+  // to a strictly lower-latency mapping.
+  sv::RemapDecision d = policy.decide(low);
+  EXPECT_EQ(d.action, sv::RemapAction::Keep);
+  EXPECT_EQ(policy.remaps(), 1);
+  d = policy.decide(low);
+  EXPECT_EQ(d.action, sv::RemapAction::Remap);
+  EXPECT_EQ(policy.remaps(), 2);
+  EXPECT_LT(d.mapping.latency, high_latency);
+}
+
+TEST(RemapPolicy, OscillatingLoadFasterThanDwellNeverThrashes) {
+  const Landscape l = landscape();
+  sv::PolicyConfig cfg;
+  cfg.safety = 1.0;
+  cfg.dwell_up = 2;
+  cfg.dwell_down = 2;
+  cfg.latency_improvement = 0.0;
+  sv::RemapPolicy policy(l.model, kProcs, cfg);
+
+  const double low = 0.3 * l.latmin_thr;
+  const double high = 0.5 * (l.latmin_thr + l.max_thr);
+  policy.decide(low);
+  const auto installed = policy.current();
+
+  // The load flips across the boundary every epoch — faster than either
+  // dwell window — so neither streak ever completes and the installed
+  // mapping never changes.
+  for (int i = 0; i < 12; ++i) {
+    policy.decide(i % 2 == 0 ? high : low);
+  }
+  EXPECT_EQ(policy.remaps(), 0);
+  EXPECT_TRUE(policy.current().same_modules(installed));
+}
+
+TEST(RemapPolicy, InfeasibleSloServesBestEffortAndRecovers) {
+  const Landscape l = landscape();
+  sv::PolicyConfig cfg;
+  cfg.safety = 1.0;
+  cfg.dwell_up = 1;
+  cfg.dwell_down = 1;
+  sv::RemapPolicy policy(l.model, kProcs, cfg);
+
+  // An impossible rate: the initial install already falls back to the
+  // best-effort maximum-throughput mapping and reports the unmet SLO.
+  sv::RemapDecision d = policy.decide(1e12);
+  EXPECT_TRUE(d.initial);
+  EXPECT_FALSE(d.slo_feasible);
+  EXPECT_NEAR(d.mapping.throughput, l.max_thr, 1e-9 * l.max_thr);
+
+  // Still impossible: already on best-effort, so no remap is counted.
+  d = policy.decide(1e12);
+  EXPECT_EQ(d.action, sv::RemapAction::Infeasible);
+  EXPECT_FALSE(d.slo_feasible);
+  EXPECT_EQ(policy.remaps(), 0);
+
+  // The load returns to feasible territory: the policy recovers off the
+  // best-effort mapping (a real, counted remap) and the SLO is met again.
+  d = policy.decide(0.3 * l.latmin_thr);
+  EXPECT_EQ(d.action, sv::RemapAction::Remap);
+  EXPECT_TRUE(d.slo_feasible);
+  EXPECT_EQ(policy.remaps(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// serve_streams
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Three-phase (low, high, low) arrival trace over three tenant streams;
+/// the high phase crosses the latency-optimal mapping's capacity so the
+/// dynamic driver must remap. Ids are assigned in global arrival order.
+std::vector<sv::ServeRequest> boundary_trace(const Landscape& l, int per_phase) {
+  const double low = 0.3 * l.latmin_thr;
+  const double high = 0.5 * (l.latmin_thr + l.max_thr);
+  std::vector<sv::ServeRequest> all;
+  double t0 = 0.0;
+  int id = 0;
+  for (double rate : {low, high, low}) {
+    for (int i = 0; i < per_phase; ++i) {
+      sv::ServeRequest r;
+      r.stream = i % 3;
+      r.seq = i / 3;
+      r.arrival_t = t0 + static_cast<double>(i) / rate;
+      r.data_id = id++;
+      all.push_back(r);
+    }
+    t0 += static_cast<double>(per_phase) / rate;
+  }
+  return all;
+}
+
+struct ServeRun {
+  std::vector<std::vector<std::int64_t>> sink;
+  sv::ServeReport report;
+};
+
+ServeRun run_boundary_serve(MachineConfig mcfg, const Landscape& l,
+                            const std::vector<sv::ServeRequest>& arrivals) {
+  ServeRun out;
+  const auto cfg = hist_cfg(static_cast<int>(arrivals.size()));
+  const auto stages = ap::ffthist_stages(cfg, &out.sink);
+  mx::Machine machine(mcfg);
+  sv::ServeConfig scfg;
+  scfg.max_batch = 8;
+  scfg.policy.safety = 1.0;
+  scfg.policy.latency_improvement = 0.05;
+  scfg.epilogue_factory = sv::make_batch_funnel_factory(out.sink);
+  out.report = sv::serve_streams<ap::Complex>(machine, stages, l.model, arrivals, scfg);
+  return out;
+}
+
+MachineConfig backend_cfg(ex::BackendKind kind) {
+  auto c = MachineConfig::paragon(kProcs);
+  c.backend = kind;
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+MachineConfig proc_cfg(ex::TransportKind transport) {
+  auto c = backend_cfg(ex::BackendKind::Proc);
+  c.transport = transport;
+  return c;
+}
+
+void expect_same_trajectory(const sv::ServeReport& a, const sv::ServeReport& b,
+                            const char* what) {
+  // The virtual clock makes the whole serving trajectory a function of the
+  // arrival trace and the cost model only — backends must agree exactly.
+  EXPECT_EQ(a.remaps, b.remaps) << what;
+  ASSERT_EQ(a.epochs.size(), b.epochs.size()) << what;
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].remapped, b.epochs[e].remapped) << what << " epoch " << e;
+    EXPECT_EQ(a.epochs[e].sets, b.epochs[e].sets) << what << " epoch " << e;
+    EXPECT_EQ(a.epochs[e].mapping, b.epochs[e].mapping) << what << " epoch " << e;
+  }
+}
+
+}  // namespace
+
+TEST(ServeStreams, RejectsBadConfig) {
+  const Landscape l = landscape(2);
+  const auto cfg = hist_cfg(2);
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  mx::Machine machine(MachineConfig::paragon(4));
+  std::vector<sv::ServeRequest> arrivals(1);
+
+  sv::ServeConfig bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_THROW(sv::serve_streams<ap::Complex>(machine, stages, l.model, arrivals,
+                                              bad_batch),
+               std::invalid_argument);
+  sv::ServeConfig bad_window;
+  bad_window.rate_window = 1;
+  EXPECT_THROW(sv::serve_streams<ap::Complex>(machine, stages, l.model, arrivals,
+                                              bad_window),
+               std::invalid_argument);
+}
+
+TEST(ServeStreams, RemapBoundaryBitParityAcrossBackends) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const Landscape l = landscape();
+  const auto arrivals = boundary_trace(l, 16);
+  const int total = static_cast<int>(arrivals.size());
+
+  // Uninterrupted baseline: the same data ids 0..total-1 through a single
+  // pinned mapping on the simulator, no serving loop at all.
+  std::vector<std::vector<std::int64_t>> baseline;
+  {
+    const auto cfg = hist_cfg(total);
+    const auto stages = ap::ffthist_stages(cfg, &baseline);
+    const auto modules = ap::to_stream_modules(
+        fxpar::sched::min_latency_mapping(l.model, kProcs, 0.0));
+    ap::run_stream_pipeline<ap::Complex>(MachineConfig::paragon(kProcs), stages,
+                                         modules, total);
+  }
+
+  const ServeRun sim = run_boundary_serve(backend_cfg(ex::BackendKind::Sim), l, arrivals);
+  const ServeRun thr =
+      run_boundary_serve(backend_cfg(ex::BackendKind::Threads), l, arrivals);
+  const ServeRun shm = run_boundary_serve(proc_cfg(ex::TransportKind::Shm), l, arrivals);
+  const ServeRun tcp = run_boundary_serve(proc_cfg(ex::TransportKind::Tcp), l, arrivals);
+
+  // The high phase must actually force a remap, and every backend must
+  // tell the identical serving story.
+  EXPECT_GE(sim.report.remaps, 1);
+  EXPECT_EQ(sim.report.requests.size(), static_cast<std::size_t>(total));
+  expect_same_trajectory(sim.report, thr.report, "sim vs threads");
+  expect_same_trajectory(sim.report, shm.report, "sim vs proc/shm");
+  expect_same_trajectory(sim.report, tcp.report, "sim vs proc/tcp");
+
+  // Per-stream bit parity: a request's result depends only on its data id,
+  // never on the mapping, batch or backend that served it.
+  for (int k = 0; k < total; ++k) {
+    const auto& ref = baseline[static_cast<std::size_t>(k)];
+    for (const ServeRun* run : {&sim, &thr, &shm, &tcp}) {
+      const auto& got = run->sink[static_cast<std::size_t>(k)];
+      ASSERT_EQ(got.size(), ref.size()) << "data set " << k;
+      ASSERT_EQ(std::memcmp(got.data(), ref.data(),
+                            ref.size() * sizeof(std::int64_t)),
+                0)
+          << "data set " << k;
+    }
+    EXPECT_EQ(ref, ap::ffthist_reference(hist_cfg(total), k)) << "data set " << k;
+  }
+}
+
+TEST(ServeStreams, BoundedQueueShedsAndBurstReportsInfeasible) {
+  FXPAR_SKIP_SIM_UNDER_TSAN();
+  const Landscape l = landscape();
+
+  // Eight simultaneous arrivals against a queue of two: six are shed, the
+  // burst reads as an unbounded offered rate, and the epoch is served
+  // best-effort with the unmet SLO reported.
+  std::vector<sv::ServeRequest> arrivals;
+  for (int i = 0; i < 8; ++i) {
+    sv::ServeRequest r;
+    r.stream = i % 2;
+    r.seq = i / 2;
+    r.arrival_t = 0.0;
+    r.data_id = i;
+    arrivals.push_back(r);
+  }
+
+  std::vector<std::vector<std::int64_t>> sink;
+  const auto cfg = hist_cfg(8);
+  const auto stages = ap::ffthist_stages(cfg, &sink);
+  mx::Machine machine(backend_cfg(ex::BackendKind::Sim));
+  sv::ServeConfig scfg;
+  scfg.max_queue = 2;
+  scfg.epilogue_factory = sv::make_batch_funnel_factory(sink);
+  const auto report =
+      sv::serve_streams<ap::Complex>(machine, stages, l.model, arrivals, scfg);
+
+  EXPECT_EQ(report.requests.size(), 2u);
+  EXPECT_EQ(report.shed.size(), 6u);
+  ASSERT_FALSE(report.epochs.empty());
+  EXPECT_FALSE(report.epochs[0].slo_feasible);
+  EXPECT_GE(report.infeasible_epochs, 1);
+  for (const auto& rr : report.requests) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(rr.data_id)],
+              ap::ffthist_reference(cfg, rr.data_id))
+        << "data set " << rr.data_id;
+  }
+
+  // The serving state stays readable on /healthz after the driver returns.
+  const std::string hz = machine.healthz_json();
+  EXPECT_NE(hz.find("\"serve\":"), std::string::npos);
+  EXPECT_NE(hz.find("\"shed\":6"), std::string::npos);
+}
